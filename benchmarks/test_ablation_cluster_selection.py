@@ -1,0 +1,56 @@
+"""Ablation — choosing the cluster count without labels.
+
+Section 6 of the paper picks c by sweeping 2–40 and reading the labelled
+classification curves.  A new deployment has no labelled queries; this
+benchmark asks how close an *unsupervised* choice — the Xie–Beni-optimal c
+over the database windows — gets to the sweep's labelled optimum.
+"""
+
+import numpy as np
+
+from conftest import CLUSTER_GRID, STRIDE_MS, run_point
+from repro.eval.reporting import format_table
+from repro.features.combine import WindowFeaturizer
+from repro.features.scaling import FeatureScaler
+from repro.fuzzy.selection import select_cluster_count
+
+
+def test_ablation_cluster_selection(hand_split, hand_sweep, benchmark):
+    train, test = hand_split
+    featurizer = WindowFeaturizer(window_ms=100.0, stride_ms=STRIDE_MS)
+    windows = np.vstack([featurizer.features(r).matrix for r in train])
+    scaled = FeatureScaler("zscore").fit_transform(windows)
+
+    best_c, scores = benchmark.pedantic(
+        lambda: select_cluster_count(scaled, candidates=CLUSTER_GRID, seed=0),
+        rounds=1, iterations=1,
+    )
+
+    print()
+    print("Ablation — unsupervised cluster-count selection (right hand, "
+          "100 ms windows)")
+    rows = [
+        [s.n_clusters, f"{s.xie_beni:.3f}", f"{s.partition_coefficient:.3f}"]
+        for s in scores
+    ]
+    print(format_table(["c", "Xie-Beni (lower=better)",
+                        "partition coefficient"], rows))
+
+    # What the supervised sweep would have said at 100 ms windows.
+    sweep_points = {
+        r.n_clusters: r.misclassification_pct
+        for r in hand_sweep.results if r.window_ms == 100.0
+    }
+    supervised_best_c = min(sweep_points, key=sweep_points.get)
+    selected = run_point(train, test, 100.0, best_c)
+    print(f"Xie-Beni selects c={best_c} "
+          f"(misclassification {selected.misclassification_pct:.1f}%); "
+          f"the labelled sweep's best at 100 ms is c={supervised_best_c} "
+          f"({sweep_points[supervised_best_c]:.1f}%)")
+
+    # The unsupervised pick is usable: a valid grid point whose error is
+    # within striking distance of the labelled optimum and far better than
+    # the degenerate c=2 setting.
+    assert best_c in CLUSTER_GRID
+    assert selected.misclassification_pct <= sweep_points[2]
+    assert selected.misclassification_pct <= sweep_points[supervised_best_c] + 20.0

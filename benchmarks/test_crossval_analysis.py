@@ -1,0 +1,92 @@
+"""Extended analysis — cross-validated bands with uncertainty.
+
+The paper's figures come from one query set.  This benchmark re-runs the
+representative configuration as stratified 4-fold cross-validation on both
+studies and reports bootstrap confidence intervals — quantifying how much
+of the figures' zigzag is sampling noise — plus a McNemar paired test of
+FCM against the crisp k-means ablation on identical folds.
+"""
+
+import pytest
+
+from conftest import STRIDE_MS
+from repro.core.model import MotionClassifier
+from repro.eval.crossval import cross_validate, stratified_folds
+from repro.eval.reporting import format_table
+from repro.eval.stats import mcnemar_test
+from repro.features.combine import WindowFeaturizer
+
+
+def make_classifier(clusterer="fcm"):
+    featurizer = WindowFeaturizer(window_ms=100.0, stride_ms=STRIDE_MS)
+    return MotionClassifier(n_clusters=15, featurizer=featurizer,
+                            clusterer=clusterer)
+
+
+@pytest.mark.parametrize("study", ["hand", "leg"])
+def test_crossval_bands(study, hand_dataset, leg_dataset, benchmark):
+    dataset = hand_dataset if study == "hand" else leg_dataset
+
+    result = benchmark.pedantic(
+        lambda: cross_validate(
+            dataset, n_folds=4, k=5, seed=0,
+            classifier_factory=make_classifier,
+        ),
+        rounds=1, iterations=1,
+    )
+
+    print()
+    print(f"Extended — 4-fold cross-validation, right {study} "
+          "(100 ms windows, c=15)")
+    rows = [
+        [f"fold {i}", r.misclassification_pct, r.knn_classified_pct]
+        for i, r in enumerate(result.fold_results)
+    ]
+    print(format_table(["fold", "misclassified %", "kNN classified %"], rows))
+    print(f"misclassification: {result.misclassification}")
+    print(f"kNN classified:    {result.knn_classified}")
+
+    # The pooled cross-validated estimate lands in/near the paper's band.
+    assert 3.0 <= result.misclassification.estimate <= 30.0
+    assert result.knn_classified.estimate >= 55.0
+    # Interval is non-degenerate and contains the estimate.
+    assert result.misclassification.low <= result.misclassification.estimate
+    assert result.misclassification.estimate <= result.misclassification.high
+    assert result.n_queries == len(dataset)
+
+
+def test_mcnemar_fcm_vs_kmeans(hand_dataset, benchmark):
+    folds = stratified_folds(hand_dataset, n_folds=4, seed=0)
+
+    def paired_predictions():
+        truth, fcm_pred, km_pred = [], [], []
+        for train, test in folds:
+            fcm = make_classifier("fcm").fit(train, seed=0)
+            km = make_classifier("kmeans").fit(train, seed=0)
+            for record in test:
+                truth.append(record.label)
+                fcm_pred.append(fcm.classify(record))
+                km_pred.append(km.classify(record))
+        return truth, fcm_pred, km_pred
+
+    truth, fcm_pred, km_pred = benchmark.pedantic(paired_predictions,
+                                                  rounds=1, iterations=1)
+    p_value, only_fcm, only_km = mcnemar_test(truth, fcm_pred, km_pred)
+    fcm_errors = sum(1 for t, p in zip(truth, fcm_pred) if t != p)
+    km_errors = sum(1 for t, p in zip(truth, km_pred) if t != p)
+    print()
+    print("Extended — paired McNemar test, FCM vs hard k-means (right hand)")
+    print(format_table(
+        ["metric", "value"],
+        [
+            ["queries", len(truth)],
+            ["FCM errors", fcm_errors],
+            ["k-means errors", km_errors],
+            ["only FCM correct", only_fcm],
+            ["only k-means correct", only_km],
+            ["McNemar p-value", f"{p_value:.4f}"],
+        ],
+    ))
+    # The fuzzy pipeline does not lose to the crisp ablation.
+    assert fcm_errors <= km_errors + 3
+    assert 0.0 <= p_value <= 1.0

@@ -1,0 +1,79 @@
+"""Extended benchmark — dynamic (B+-tree) iDistance under database churn.
+
+A clinical motion database grows as new trials are captured and shrinks as
+old ones are retired.  The array-backed iDistance must rebuild for every
+change; the B+-tree-backed variant absorbs inserts and deletes online.
+This benchmark runs a realistic churn workload over motion signatures and
+verifies exactness against a freshly built linear scan at the end, timing
+the whole mixed workload.
+"""
+
+import numpy as np
+
+from conftest import STRIDE_MS
+from repro.core.model import MotionClassifier
+from repro.eval.reporting import format_table
+from repro.features.combine import WindowFeaturizer
+from repro.retrieval.dynamic import DynamicIDistanceIndex
+from repro.retrieval.linear import LinearScanIndex
+
+
+def test_dynamic_index_churn(hand_dataset, benchmark):
+    featurizer = WindowFeaturizer(window_ms=100.0, stride_ms=STRIDE_MS)
+    model = MotionClassifier(n_clusters=15, featurizer=featurizer)
+    model.fit(hand_dataset, seed=0)
+    signatures = model.database_signatures
+    labels = model.database_labels
+    n = len(signatures)
+    half = n // 2
+    rng = np.random.default_rng(0)
+
+    def churn_workload():
+        index = DynamicIDistanceIndex(n_partitions=8, headroom=4.0)
+        index.fit(signatures[:half])
+        id_of_row = {i: i for i in range(half)}
+        # Insert the second half while deleting a third of the first half.
+        removed = set()
+        for row in range(half, n):
+            vid = index.insert(signatures[row])
+            id_of_row[row] = vid
+            if row % 3 == 0:
+                victim = int(rng.integers(0, half))
+                if victim not in removed:
+                    index.remove(id_of_row[victim])
+                    removed.add(victim)
+        alive_rows = [r for r in range(n) if r not in removed]
+        # Serve queries against the final state.
+        for q_row in alive_rows[:20]:
+            index.query(signatures[q_row], k=5)
+        return index, alive_rows
+
+    index, alive_rows = benchmark.pedantic(churn_workload, rounds=1,
+                                           iterations=1)
+
+    # Exactness: the dynamic index's answers equal a linear scan over the
+    # surviving rows.
+    alive = signatures[alive_rows]
+    linear = LinearScanIndex().fit(alive)
+    mismatches = 0
+    for probe in range(0, len(alive_rows), 7):
+        q = signatures[alive_rows[probe]]
+        got_ids, got_d = index.query(q, k=5)
+        want_idx, want_d = linear.query(q, k=5)
+        if not np.allclose(np.sort(got_d), np.sort(want_d), atol=1e-9):
+            mismatches += 1
+    print()
+    print("Extended — B+-tree iDistance under churn (motion signatures)")
+    print(format_table(
+        ["metric", "value"],
+        [
+            ["initial motions", half],
+            ["inserted online", n - half],
+            ["deleted online", n - len(alive_rows)],
+            ["final size", index.n_indexed],
+            ["distance mismatches vs linear scan", mismatches],
+            ["B+-tree candidates on last query", index.last_candidates],
+        ],
+    ))
+    assert index.n_indexed == len(alive_rows)
+    assert mismatches == 0

@@ -1,0 +1,90 @@
+"""Figure 3 — range of highest membership per cluster, c = 6.
+
+The paper clusters all database windows with c = 6 and plots, for two pairs
+of similar right-hand motions ("Raise Arm" M1/M2 and "Throw Ball" M1/M2),
+the [min, max] range of the highest degree of membership each cluster won.
+The qualitative finding: windows of similar motions concentrate on the same
+subset of clusters (raise-arm on one subset, throw-ball on another, with
+partial overlap).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.model import MotionClassifier
+from repro.eval.reporting import format_table
+from repro.features.combine import WindowFeaturizer
+
+from conftest import STRIDE_MS
+
+PAIR_LABELS = ("raise_arm", "throw_ball")
+N_CLUSTERS = 6
+
+
+@pytest.fixture(scope="module")
+def fig3_model(hand_dataset):
+    featurizer = WindowFeaturizer(window_ms=100.0, stride_ms=STRIDE_MS)
+    model = MotionClassifier(n_clusters=N_CLUSTERS, featurizer=featurizer)
+    model.fit(hand_dataset, seed=0)
+    return model
+
+
+def pick_pairs(dataset):
+    out = []
+    for label in PAIR_LABELS:
+        group = dataset.by_label(label)
+        out.append((f"{label} M1", group[0]))
+        out.append((f"{label} M2", group[1]))
+    return out
+
+
+def test_fig3_membership_ranges(fig3_model, hand_dataset, benchmark):
+    pairs = pick_pairs(hand_dataset)
+    signatures = benchmark.pedantic(
+        lambda: {name: fig3_model.signature(rec) for name, rec in pairs},
+        rounds=1, iterations=1,
+    )
+
+    print()
+    print(f"Figure 3 — highest-membership range per cluster (c = {N_CLUSTERS})")
+    headers = ["motion"] + [f"cluster {i + 1}" for i in range(N_CLUSTERS)]
+    rows = []
+    for name, sig in signatures.items():
+        cells = []
+        for c in range(N_CLUSTERS):
+            if sig.maxima[c] > 0:
+                cells.append(f"[{sig.minima[c]:.2f}, {sig.maxima[c]:.2f}]")
+            else:
+                cells.append("-")
+        rows.append([name] + cells)
+    print(format_table(headers, rows))
+
+    # --- Shape checks --------------------------------------------------
+    for name, sig in signatures.items():
+        # Eq. 5: a window's highest membership always exceeds 1/c.
+        assert np.all(sig.window_memberships >= 1.0 / N_CLUSTERS - 1e-9), name
+        # Memberships live in (0, 1].
+        assert sig.maxima.max() <= 1.0 + 1e-9
+        # Each motion occupies a strict subset of the clusters (Figure 3
+        # shows 4 of 6 occupied per motion).
+        assert 1 <= len(sig.occupied_clusters()) <= N_CLUSTERS
+
+    def occupied(name):
+        return set(signatures[name].occupied_clusters())
+
+    # Similar motions occupy more similar cluster subsets than dissimilar
+    # ones (Jaccard overlap), the core message of Figure 3.
+    def jaccard(a, b):
+        return len(a & b) / len(a | b)
+
+    within = (
+        jaccard(occupied("raise_arm M1"), occupied("raise_arm M2"))
+        + jaccard(occupied("throw_ball M1"), occupied("throw_ball M2"))
+    ) / 2
+    across = (
+        jaccard(occupied("raise_arm M1"), occupied("throw_ball M1"))
+        + jaccard(occupied("raise_arm M2"), occupied("throw_ball M2"))
+    ) / 2
+    print(f"cluster-occupancy overlap: within-class {within:.2f}, "
+          f"across-class {across:.2f}")
+    assert within >= across

@@ -1,0 +1,77 @@
+"""Figure 4 — the final 2c feature vectors for two pairs of similar motions.
+
+The paper plots, for the same four motions as Figure 3 and c = 6, the final
+12-dimensional feature vector laid out as (min, max) per cluster.  The
+visible structure: the two "Raise Arm" curves track each other, the two
+"Throw Ball" curves track each other, and the pairs differ — which is what
+makes nearest-neighbour classification on these vectors work.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.model import MotionClassifier
+from repro.eval.reporting import format_table
+from repro.features.combine import WindowFeaturizer
+
+from conftest import STRIDE_MS
+
+PAIR_LABELS = ("raise_arm", "throw_ball")
+N_CLUSTERS = 6
+
+
+@pytest.fixture(scope="module")
+def fig4_model(hand_dataset):
+    featurizer = WindowFeaturizer(window_ms=100.0, stride_ms=STRIDE_MS)
+    model = MotionClassifier(n_clusters=N_CLUSTERS, featurizer=featurizer)
+    model.fit(hand_dataset, seed=0)
+    return model
+
+
+def test_fig4_final_features(fig4_model, hand_dataset, benchmark):
+    motions = {}
+    for label in PAIR_LABELS:
+        group = hand_dataset.by_label(label)
+        motions[f"{label} M1"] = group[0]
+        motions[f"{label} M2"] = group[1]
+
+    vectors = benchmark.pedantic(
+        lambda: {
+            name: fig4_model.signature(rec).vector
+            for name, rec in motions.items()
+        },
+        rounds=1, iterations=1,
+    )
+
+    print()
+    print(f"Figure 4 — final 2c feature vectors (c = {N_CLUSTERS}, length "
+          f"{2 * N_CLUSTERS})")
+    headers = ["motion"] + [
+        f"c{i + 1}:{kind}" for i in range(N_CLUSTERS) for kind in ("min", "max")
+    ]
+    rows = [
+        [name] + [f"{v:.2f}" for v in vec] for name, vec in vectors.items()
+    ]
+    print(format_table(headers, rows))
+
+    # --- Shape checks --------------------------------------------------
+    for name, vec in vectors.items():
+        assert len(vec) == 2 * N_CLUSTERS, name
+        assert np.all((vec >= 0.0) & (vec <= 1.0 + 1e-9)), name
+        # Interleaved (min, max) layout: min <= max per cluster.
+        assert np.all(vec[0::2] <= vec[1::2] + 1e-12), name
+
+    # Same-class vectors are closer than cross-class vectors — the
+    # separability Figure 4 illustrates and Section 4 relies on.
+    def dist(a, b):
+        return float(np.linalg.norm(vectors[a] - vectors[b]))
+
+    within = (dist("raise_arm M1", "raise_arm M2")
+              + dist("throw_ball M1", "throw_ball M2")) / 2
+    across = (dist("raise_arm M1", "throw_ball M1")
+              + dist("raise_arm M1", "throw_ball M2")
+              + dist("raise_arm M2", "throw_ball M1")
+              + dist("raise_arm M2", "throw_ball M2")) / 4
+    print(f"mean signature distance: within-class {within:.3f}, "
+          f"across-class {across:.3f}")
+    assert within < across

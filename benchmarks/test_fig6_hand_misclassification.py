@@ -1,0 +1,59 @@
+"""Figure 6 — percent of right-hand trials misclassified.
+
+The paper sweeps the FCM cluster count (x-axis, up to 40) for window sizes
+50/100/150/200 ms and reports the percent of misclassified queries.  Its
+headline reading: "The mis-classification is generally between 10-20% for
+the number of clusters between 10-25 ... The overall mis-classification
+rate decreases, as number of cluster increases."
+
+Our reproduction targets the *shape*: a large error at tiny cluster counts
+falling into the paper's band over the 10–25 cluster range.  Absolute
+values depend on the synthetic cohort, not the authors' participants.
+"""
+
+from conftest import band_mean, run_point
+from repro.eval.reporting import format_series
+
+
+def test_fig6_hand_misclassification(hand_sweep, hand_split, benchmark):
+    series = hand_sweep.series("misclassification_pct")
+    print()
+    print(format_series(
+        "Figure 6 — Percent of trials misclassified, right hand",
+        series, y_label="misclassification %",
+    ))
+
+    # --- Shape checks against the paper --------------------------------
+    for window_ms, (clusters, values) in series.items():
+        by_c = dict(zip(clusters, values))
+        # Too few clusters cannot represent the motions: c=2 is the worst
+        # or near-worst point of every curve.
+        assert by_c[2] >= max(values) - 10.0, f"window {window_ms}"
+        # The curve improves from c=2 into the paper's 10-25 band.
+        band = [v for c, v in by_c.items() if 10 <= c <= 25]
+        assert min(band) < by_c[2], f"window {window_ms}"
+
+    # The paper's band: 10-20% misclassification for c in [10, 25].  Allow
+    # synthetic-cohort slack around it.
+    band = band_mean(series, 10, 25)
+    print(f"mean misclassification for c in [10, 25]: {band:.1f}% "
+          f"(paper: 10-20%)")
+    assert 3.0 <= band <= 27.0
+
+    # Uncertainty of the representative point (100 ms, c=15) given the
+    # query count — the paper's plots carry this noise too.
+    from repro.eval.stats import misclassification_ci
+
+    rep = next(r for r in hand_sweep.results
+               if r.window_ms == 100.0 and r.n_clusters == 15)
+    ci = misclassification_ci(list(rep.true_labels),
+                              list(rep.predicted_labels), seed=0)
+    print(f"100 ms / c=15 misclassification: {ci}")
+    assert ci.low <= rep.misclassification_pct <= ci.high
+
+    # Time one representative configuration (100 ms, c = 15).
+    train, test = hand_split
+    result = benchmark.pedantic(
+        lambda: run_point(train, test, 100.0, 15), rounds=1, iterations=1
+    )
+    assert result.n_queries == len(test)

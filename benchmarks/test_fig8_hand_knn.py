@@ -1,0 +1,43 @@
+"""Figure 8 — right-hand k-NN classified percent (k = 5).
+
+For every query the k = 5 nearest database motions are retrieved and the
+percent belonging to the query's class is averaged.  The paper reports
+values rising from the mid-50s at tiny cluster counts towards ~80-85% and
+summarizes "the average percentage of correct matches among k-NN is about
+80%".
+"""
+
+from conftest import K_RETRIEVED, band_mean, run_point
+from repro.eval.reporting import format_series
+
+
+def test_fig8_hand_knn(hand_sweep, hand_split, benchmark):
+    series = hand_sweep.series("knn_classified_pct")
+    print()
+    print(format_series(
+        f"Figure 8 — Percent correctly classified among k={K_RETRIEVED} "
+        "retrieved, right hand",
+        series, y_label="kNN classified %",
+    ))
+
+    # --- Shape checks against the paper --------------------------------
+    for window_ms, (clusters, values) in series.items():
+        by_c = dict(zip(clusters, values))
+        # The c=2 point is the worst of every curve (paper: curves rise
+        # from the bottom-left corner).
+        assert by_c[2] <= min(values) + 10.0, f"window {window_ms}"
+        # The curve improves markedly once clusters can resolve classes.
+        assert max(values) >= by_c[2] + 15.0, f"window {window_ms}"
+
+    # "about 80%": the mature region (c >= 10) averages near the paper's
+    # figure.
+    mature = band_mean(series, 10, 40)
+    print(f"mean kNN-classified for c in [10, 40]: {mature:.1f}% "
+          f"(paper: ~80%)")
+    assert mature >= 60.0
+
+    train, test = hand_split
+    result = benchmark.pedantic(
+        lambda: run_point(train, test, 150.0, 20), rounds=1, iterations=1
+    )
+    assert 0.0 <= result.knn_classified_pct <= 100.0

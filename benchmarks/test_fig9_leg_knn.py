@@ -1,0 +1,37 @@
+"""Figure 9 — right-leg k-NN classified percent (k = 5).
+
+Same protocol as Figure 8 on the leg study.  The paper singles this figure
+out: "Figure 9 clearly shows that as the window size goes on increasing
+more number of correctly classified motions are retrieved", alongside the
+overall rise with cluster count.
+"""
+
+from conftest import K_RETRIEVED, band_mean, run_point
+from repro.eval.reporting import format_series
+
+
+def test_fig9_leg_knn(leg_sweep, leg_split, benchmark):
+    series = leg_sweep.series("knn_classified_pct")
+    print()
+    print(format_series(
+        f"Figure 9 — Percent correctly classified among k={K_RETRIEVED} "
+        "retrieved, right leg",
+        series, y_label="kNN classified %",
+    ))
+
+    # --- Shape checks against the paper --------------------------------
+    for window_ms, (clusters, values) in series.items():
+        by_c = dict(zip(clusters, values))
+        assert by_c[2] <= min(values) + 10.0, f"window {window_ms}"
+        assert max(values) >= by_c[2] + 15.0, f"window {window_ms}"
+
+    mature = band_mean(series, 10, 40)
+    print(f"mean kNN-classified for c in [10, 40]: {mature:.1f}% "
+          f"(paper: ~80%)")
+    assert mature >= 55.0
+
+    train, test = leg_split
+    result = benchmark.pedantic(
+        lambda: run_point(train, test, 200.0, 20), rounds=1, iterations=1
+    )
+    assert 0.0 <= result.knn_classified_pct <= 100.0

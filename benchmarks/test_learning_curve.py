@@ -1,0 +1,52 @@
+"""Extended analysis — how many trials per class does the method need?
+
+The paper's database size is unspecified; for a deployment the saturation
+point matters.  This benchmark evaluates the representative configuration
+with the training database subsampled to 1/2/4/8/12 trials per class (test
+split fixed) on the hand study.
+"""
+
+from conftest import STRIDE_MS
+from repro.core.model import MotionClassifier
+from repro.eval.learning import learning_curve
+from repro.eval.reporting import format_table
+from repro.features.combine import WindowFeaturizer
+
+SIZES = (1, 2, 4, 8, 12)
+
+
+def test_learning_curve(hand_split, benchmark):
+    train, test = hand_split
+
+    def factory():
+        featurizer = WindowFeaturizer(window_ms=100.0, stride_ms=STRIDE_MS)
+        return MotionClassifier(n_clusters=15, featurizer=featurizer)
+
+    points = benchmark.pedantic(
+        lambda: learning_curve(train, test, trials_per_class=SIZES,
+                               k=5, seed=0, classifier_factory=factory),
+        rounds=1, iterations=1,
+    )
+
+    print()
+    print("Extended — learning curve, right hand (100 ms windows, c=15)")
+    rows = [
+        [p.trials_per_class, p.n_train,
+         p.result.misclassification_pct, p.result.knn_classified_pct]
+        for p in points
+    ]
+    print(format_table(
+        ["trials/class", "database size", "misclassified %",
+         "kNN classified %"],
+        rows,
+    ))
+
+    # Some sizes may be skipped if the split holds fewer trials per class.
+    assert len(points) >= 3
+    first, last = points[0].result, points[-1].result
+    # The retrieval metric saturates with database size — with one trial
+    # per class at most 1 of the k=5 retrieved can be correct.
+    assert last.knn_classified_pct >= first.knn_classified_pct + 30.0
+    # Classification stays usable at the full size and never collapses.
+    assert last.misclassification_pct <= first.misclassification_pct + 5.0
+    assert last.misclassification_pct <= 30.0

@@ -1,0 +1,120 @@
+"""Clinical trial report: the biomechanics view of one capture session.
+
+The paper motivates the integrated data with "gait analysis and several
+orthopedic applications, such as joint mechanics, prosthetic designs, and
+sports medicines".  Those applications read *quantities* off the recorded
+streams.  This example produces a clinician-style report for a session:
+per-trial range of motion, elbow-angle excursion, movement smoothness,
+EMG burst timing, and a muscle-fatigue check over repeated trials.
+
+Run:  python examples/clinical_report.py
+"""
+
+import numpy as np
+
+from repro import build_dataset, hand_protocol
+from repro.emg.analysis import detect_onsets, fatigue_trend, median_frequency
+from repro.emg.channels import hand_montage
+from repro.emg.myomonitor import Myomonitor
+from repro.eval.reporting import format_table
+from repro.mocap.analysis import (
+    joint_angle_series,
+    mean_speed,
+    range_of_motion,
+    smoothness_sal,
+)
+from repro.motions.base import get_motion_class
+from repro.motions.variation import VariationModel
+
+
+def kinematic_report(dataset) -> None:
+    rows = []
+    for label in dataset.labels:
+        trial = dataset.by_label(label)[0]
+        rom = range_of_motion(trial.mocap, "hand_r")
+        elbow = joint_angle_series(
+            trial.mocap, "clavicle_r", "humerus_r", "radius_r"
+        )
+        rows.append([
+            label,
+            f"{max(rom.values()):.0f}",
+            f"{np.degrees(elbow.max() - elbow.min()):.0f}",
+            f"{mean_speed(trial.mocap, 'hand_r'):.0f}",
+            f"{smoothness_sal(trial.mocap, 'hand_r'):.2f}",
+        ])
+    print("Kinematics (first trial of each motion class):")
+    print(format_table(
+        ["motion", "hand ROM (mm)", "elbow excursion (deg)",
+         "mean hand speed (mm/s)", "smoothness (SAL)"],
+        rows,
+    ))
+
+
+def emg_timing_report(dataset) -> None:
+    rows = []
+    for label in ("raise_arm", "throw_ball", "punch_forward"):
+        trial = dataset.by_label(label)[0]
+        for channel in ("biceps_r", "triceps_r"):
+            bursts = detect_onsets(trial.emg.channel(channel), trial.fps)
+            if bursts:
+                first = bursts[0]
+                rows.append([
+                    label, channel, len(bursts),
+                    f"{first.onset / trial.fps:.2f}",
+                    f"{1e6 * max(b.peak_volts for b in bursts):.0f}",
+                ])
+            else:
+                rows.append([label, channel, 0, "-", "-"])
+    print("\nEMG burst timing (conditioned 120 Hz channels):")
+    print(format_table(
+        ["motion", "channel", "bursts", "first onset (s)", "peak (uV)"],
+        rows,
+    ))
+
+
+def fatigue_report() -> None:
+    """Sustained-effort fatigue check on raw (1000 Hz) EMG.
+
+    The synthetic fatigue artifact inflates amplitude; spectral compression
+    is what real fatigue adds on top — here we verify the analysis tooling
+    reads a near-flat spectral trend on the synthetic (non-compressing)
+    signal, i.e. it does not hallucinate fatigue.
+    """
+    myo = Myomonitor()
+    plan = get_motion_class("lift_object").plan(
+        variation=VariationModel().sample_trial(
+            ["biceps_r", "triceps_r", "upper_forearm_r", "lower_forearm_r"],
+            seed=3,
+        ),
+        seed=3,
+    )
+    raw = myo.acquire(plan.activations, plan.fps, hand_montage("r"), seed=3)
+    biceps = raw.channel("biceps_r")
+    slope, mdfs = fatigue_trend(biceps, myo.fs, n_epochs=6)
+    print("\nFatigue screening (raw biceps during a sustained lift):")
+    print(format_table(
+        ["epoch", "median frequency (Hz)"],
+        [[i + 1, f"{m:.0f}"] for i, m in enumerate(mdfs)],
+    ))
+    print(f"median-frequency slope: {slope:+.1f} Hz/s "
+          f"(strongly negative would indicate myoelectric fatigue)")
+    print(f"whole-trial median frequency: "
+          f"{median_frequency(biceps, myo.fs):.0f} Hz "
+          "(the synthetic carrier is flat across 20-450 Hz, so its median "
+          "sits near the band centre; real surface EMG peaks lower)")
+
+
+def main() -> None:
+    print("Simulating a right-hand capture session...")
+    dataset = build_dataset(
+        hand_protocol(), n_participants=1, trials_per_motion=2, seed=6
+    )
+    print(dataset.summary())
+    print()
+    kinematic_report(dataset)
+    emg_timing_report(dataset)
+    fatigue_report()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The offline environment used for this reproduction lacks the ``wheel``
+package, so PEP-517 editable installs (``pip install -e .``) cannot build.
+``python setup.py develop`` installs the package in editable mode with the
+same metadata, sourced from pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,15 @@
+"""Raw-signal baseline classifiers from the paper's related work.
+
+The paper contrasts its low-dimensional fuzzy signatures with approaches
+that match raw multi-attribute time series directly; Keogh et al. (VLDB'04,
+the paper's reference [8]) index raw human-motion streams with bounding
+envelopes.  :mod:`repro.baselines.dtw` implements that family — multivariate
+dynamic time warping with a Sakoe-Chiba band, the LB_Keogh lower bound for
+pruning, and a 1-NN classifier over raw (EMG + mocap) motion matrices — so
+the benchmarks can compare the paper's method against the strongest
+classical raw-signal alternative on accuracy *and* query cost.
+"""
+
+from repro.baselines.dtw import DTWClassifier, dtw_distance, keogh_envelope, lb_keogh
+
+__all__ = ["DTWClassifier", "dtw_distance", "keogh_envelope", "lb_keogh"]

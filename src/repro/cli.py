@@ -1,0 +1,208 @@
+"""Command-line interface.
+
+Four subcommands cover the library's workflow without writing Python:
+
+``repro-motions build``
+    Simulate a capture campaign and save it to disk.
+``repro-motions evaluate``
+    Train/test-split a saved dataset and report classification metrics for
+    one configuration.
+``repro-motions sweep``
+    Run the paper's Figure 6–9 grid on a saved dataset and print the series.
+``repro-motions info``
+    Describe a saved dataset.
+
+Example
+-------
+::
+
+    repro-motions build --study hand --participants 2 --trials 3 -o /tmp/hand
+    repro-motions evaluate /tmp/hand --clusters 15 --window-ms 100
+    repro-motions sweep /tmp/hand --clusters 2 5 10 20 40
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.model import MotionClassifier
+from repro.data.protocol import build_dataset, hand_protocol, leg_protocol
+from repro.data.serialize import load_dataset, save_dataset
+from repro.errors import ReproError
+from repro.eval.experiments import SweepResult, run_experiment
+from repro.eval.reporting import format_series, format_table
+from repro.features.combine import WindowFeaturizer
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-motions",
+        description="Motion capture + EMG fuzzy motion classification "
+                    "(Pradhan et al., ICDE'07 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_build = sub.add_parser("build", help="simulate and save a capture campaign")
+    p_build.add_argument("--study", choices=("hand", "leg"), default="hand")
+    p_build.add_argument("--participants", type=int, default=2)
+    p_build.add_argument("--trials", type=int, default=3,
+                         help="trials per motion class per participant")
+    p_build.add_argument("--seed", type=int, default=0)
+    p_build.add_argument("-o", "--output", required=True,
+                         help="output path stem (writes <stem>.json/.npz)")
+
+    p_eval = sub.add_parser("evaluate", help="evaluate one configuration")
+    p_eval.add_argument("dataset", help="dataset path stem")
+    p_eval.add_argument("--clusters", type=int, default=15)
+    p_eval.add_argument("--window-ms", type=float, default=100.0)
+    p_eval.add_argument("--stride-ms", type=float, default=None)
+    p_eval.add_argument("--k", type=int, default=5)
+    p_eval.add_argument("--test-fraction", type=float, default=0.25)
+    p_eval.add_argument("--seed", type=int, default=0)
+    p_eval.add_argument("--scaler", choices=("zscore", "minmax", "none"),
+                        default="zscore")
+    p_eval.add_argument("--clusterer", choices=("fcm", "kmeans"), default="fcm")
+
+    p_sweep = sub.add_parser("sweep", help="run the paper's figure grid")
+    p_sweep.add_argument("dataset", help="dataset path stem")
+    p_sweep.add_argument("--windows-ms", type=float, nargs="+",
+                         default=[50.0, 100.0, 150.0, 200.0])
+    p_sweep.add_argument("--clusters", type=int, nargs="+",
+                         default=[2, 5, 10, 15, 20, 25, 30, 40])
+    p_sweep.add_argument("--stride-ms", type=float, default=25.0)
+    p_sweep.add_argument("--k", type=int, default=5)
+    p_sweep.add_argument("--test-fraction", type=float, default=0.25)
+    p_sweep.add_argument("--seed", type=int, default=0)
+    p_sweep.add_argument("--csv", metavar="PREFIX", default=None,
+                         help="also write <PREFIX>_misclassification.csv and "
+                              "<PREFIX>_knn.csv in long format")
+
+    p_info = sub.add_parser("info", help="describe a saved dataset")
+    p_info.add_argument("dataset", help="dataset path stem")
+    return parser
+
+
+def _cmd_build(args) -> int:
+    proto = hand_protocol() if args.study == "hand" else leg_protocol()
+    dataset = build_dataset(
+        proto,
+        n_participants=args.participants,
+        trials_per_motion=args.trials,
+        seed=args.seed,
+    )
+    path = save_dataset(dataset, args.output)
+    print(dataset.summary())
+    print(f"saved to {path.with_suffix('')}.{{json,npz}}")
+    return 0
+
+
+def _cmd_evaluate(args) -> int:
+    dataset = load_dataset(args.dataset)
+    train, test = dataset.train_test_split(args.test_fraction, seed=args.seed)
+    featurizer = WindowFeaturizer(window_ms=args.window_ms,
+                                  stride_ms=args.stride_ms)
+    classifier = MotionClassifier(
+        n_clusters=args.clusters,
+        featurizer=featurizer,
+        scaler_mode=args.scaler,
+        clusterer=args.clusterer,
+    )
+    result = run_experiment(train, test, k=args.k, seed=args.seed,
+                            classifier=classifier)
+    print(dataset.summary())
+    print(format_table(
+        ["metric", "value"],
+        [
+            ["database motions", len(train)],
+            ["queries", result.n_queries],
+            ["window size", f"{result.window_ms:g} ms"],
+            ["clusters (c)", result.n_clusters],
+            ["misclassification", f"{result.misclassification_pct:.1f} %"],
+            [f"kNN classified (k={result.k})",
+             f"{result.knn_classified_pct:.1f} %"],
+        ],
+    ))
+    labels, matrix = result.confusion()
+    rows = [[labels[i]] + [int(v) for v in matrix[i]] for i in range(len(labels))]
+    print(format_table(["true \\ pred"] + [l[:7] for l in labels], rows))
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    dataset = load_dataset(args.dataset)
+    train, test = dataset.train_test_split(args.test_fraction, seed=args.seed)
+    # The grid is run explicitly (rather than via eval.experiments.sweep)
+    # so the stride option applies to every window size.
+    results = []
+    for window_ms in args.windows_ms:
+        for n_clusters in args.clusters:
+            featurizer = WindowFeaturizer(window_ms=window_ms,
+                                          stride_ms=args.stride_ms)
+            classifier = MotionClassifier(n_clusters=n_clusters,
+                                          featurizer=featurizer)
+            results.append(run_experiment(train, test, k=args.k,
+                                          seed=args.seed,
+                                          classifier=classifier))
+    sweep_result = SweepResult(results=tuple(results))
+    print(format_series(
+        "Misclassification rate",
+        sweep_result.series("misclassification_pct"),
+        y_label="misclassified %",
+    ))
+    print()
+    print(format_series(
+        f"kNN classified percent (k={args.k})",
+        sweep_result.series("knn_classified_pct"),
+        y_label="kNN classified %",
+    ))
+    if args.csv:
+        from pathlib import Path
+
+        from repro.eval.reporting import series_to_csv
+
+        for metric, suffix in (
+            ("misclassification_pct", "misclassification"),
+            ("knn_classified_pct", "knn"),
+        ):
+            path = Path(f"{args.csv}_{suffix}.csv")
+            path.write_text(
+                series_to_csv(sweep_result.series(metric), value_name=suffix)
+            )
+            print(f"wrote {path}")
+    return 0
+
+
+def _cmd_info(args) -> int:
+    dataset = load_dataset(args.dataset)
+    print(dataset.summary())
+    rows = [[label, count] for label, count in sorted(dataset.counts().items())]
+    print(format_table(["motion class", "trials"], rows))
+    return 0
+
+
+_COMMANDS = {
+    "build": _cmd_build,
+    "evaluate": _cmd_evaluate,
+    "sweep": _cmd_sweep,
+    "info": _cmd_info,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

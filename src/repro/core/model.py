@@ -1,0 +1,265 @@
+"""The end-to-end motion classifier (paper Sections 3–4).
+
+:class:`MotionClassifier` ties the pipeline together:
+
+fit (database side, Section 3)
+    1. window every database motion and extract the combined IAV +
+       weighted-SVD feature vectors (Sections 3.1–3.3);
+    2. standardize the combined space (see
+       :mod:`repro.features.scaling`) on the database windows;
+    3. run fuzzy c-means over *all* database windows (Eq. 4);
+    4. build every motion's 2c signature from its windows' membership rows
+       (Eqs. 5–8);
+    5. index the signatures for nearest-neighbour search.
+
+query side (Section 4)
+    The query motion is windowed and featurized identically, scaled with the
+    *stored* statistics, given Eq. 9 memberships against the *fitted*
+    centers (centers never move), reduced to its 2c signature, and matched
+    against the database signatures — 1-NN for classification, k-NN for
+    retrieval.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.signature import MotionSignature, motion_signature
+from repro.data.dataset import MotionDataset
+from repro.data.record import RecordedMotion
+from repro.errors import ClusteringError, NotFittedError
+from repro.features.combine import WindowFeaturizer
+from repro.features.scaling import FeatureScaler
+from repro.fuzzy.cmeans import FuzzyCMeans
+from repro.fuzzy.kmeans import KMeans
+from repro.fuzzy.membership import membership_matrix
+from repro.retrieval.knn import NearestNeighborIndex, knn_vote
+from repro.retrieval.linear import LinearScanIndex
+from repro.utils.rng import SeedLike
+from repro.utils.validation import check_positive_int
+
+__all__ = ["RetrievedNeighbor", "MotionClassifier"]
+
+
+@dataclass(frozen=True)
+class RetrievedNeighbor:
+    """One retrieved database motion.
+
+    Attributes
+    ----------
+    key:
+        The database record's unique key.
+    label:
+        Its motion class.
+    distance:
+        Euclidean distance between signatures.
+    """
+
+    key: str
+    label: str
+    distance: float
+
+
+class MotionClassifier:
+    """Fuzzy-membership motion classifier over integrated mocap + EMG data.
+
+    Parameters
+    ----------
+    n_clusters:
+        The FCM cluster count ``c`` (the paper sweeps 2–40).
+    window_ms:
+        Feature window duration (the paper sweeps 50–200 ms).
+    m:
+        FCM fuzzifier (2 in the paper).
+    featurizer:
+        Custom window featurizer; overrides ``window_ms`` when given.
+    scaler_mode:
+        Combined-space standardization (see
+        :class:`~repro.features.scaling.FeatureScaler`).
+    clusterer:
+        ``"fcm"`` (the paper) or ``"kmeans"`` (crisp ablation), or a factory
+        ``(n_clusters) -> estimator`` with a compatible ``fit``.  A custom
+        fuzzy factory must use the same fuzzifier as this classifier's ``m``,
+        which drives the query-side Eq. 9 memberships.
+    index_factory:
+        Signature search backend; defaults to linear scan as in the paper.
+    n_init:
+        Clustering restarts.
+    """
+
+    def __init__(
+        self,
+        n_clusters: int = 15,
+        window_ms: float = 100.0,
+        m: float = 2.0,
+        featurizer: Optional[WindowFeaturizer] = None,
+        scaler_mode: str = "zscore",
+        clusterer: Union[str, Callable[[int], object]] = "fcm",
+        index_factory: Optional[Callable[[], NearestNeighborIndex]] = None,
+        n_init: int = 1,
+    ):
+        self.n_clusters = check_positive_int(n_clusters, name="n_clusters", minimum=2)
+        self.m = m
+        self.featurizer = featurizer or WindowFeaturizer(window_ms=window_ms)
+        self.scaler = FeatureScaler(mode=scaler_mode)
+        self.clusterer = clusterer
+        self.index_factory = index_factory or LinearScanIndex
+        self.n_init = check_positive_int(n_init, name="n_init")
+
+        self._centers: Optional[np.ndarray] = None
+        self._signatures: Optional[np.ndarray] = None
+        self._labels: List[str] = []
+        self._keys: List[str] = []
+        self._index: Optional[NearestNeighborIndex] = None
+        self._soft_memberships = True
+        self._mean_highest_membership = 1.0
+
+    # ------------------------------------------------------------------
+    # Fitting
+    # ------------------------------------------------------------------
+
+    def _make_clusterer(self):
+        if callable(self.clusterer):
+            return self.clusterer(self.n_clusters)
+        if self.clusterer == "fcm":
+            return FuzzyCMeans(n_clusters=self.n_clusters, m=self.m,
+                               n_init=self.n_init)
+        if self.clusterer == "kmeans":
+            return KMeans(n_clusters=self.n_clusters, n_init=self.n_init)
+        raise ClusteringError(
+            f"unknown clusterer {self.clusterer!r}; use 'fcm', 'kmeans' or a factory"
+        )
+
+    def fit(self, database: MotionDataset, seed: SeedLike = 0) -> "MotionClassifier":
+        """Fit the whole pipeline on the motion database."""
+        if len(database) == 0:
+            raise ClusteringError("cannot fit on an empty database")
+        per_motion = [self.featurizer.features(rec) for rec in database]
+        all_windows = np.vstack([wf.matrix for wf in per_motion])
+        if all_windows.shape[0] < self.n_clusters:
+            raise ClusteringError(
+                f"database yields {all_windows.shape[0]} windows, fewer than "
+                f"c={self.n_clusters} clusters; use a smaller window or more data"
+            )
+        scaled = self.scaler.fit(all_windows).transform(all_windows)
+
+        estimator = self._make_clusterer()
+        result = estimator.fit(scaled, seed=seed)
+        self._centers = result.centers
+        # Fit-time coverage statistic: how confidently the cluster
+        # vocabulary describes its own training windows (used by the
+        # incremental maintainer's drift tracking).
+        self._mean_highest_membership = float(
+            result.membership.max(axis=1).mean()
+        )
+        self._soft_memberships = isinstance(estimator, FuzzyCMeans) or not isinstance(
+            estimator, KMeans
+        )
+
+        signatures = []
+        start = 0
+        for wf in per_motion:
+            stop = start + wf.n_windows
+            sig = motion_signature(result.membership[start:stop], self.n_clusters)
+            signatures.append(sig.vector)
+            start = stop
+        self._signatures = np.vstack(signatures)
+        self._labels = [rec.label for rec in database]
+        self._keys = [rec.key for rec in database]
+        self._index = self.index_factory().fit(self._signatures)
+        return self
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether :meth:`fit` has completed."""
+        return self._centers is not None
+
+    @property
+    def centers(self) -> np.ndarray:
+        """The fitted cluster centers in the scaled combined space."""
+        if self._centers is None:
+            raise NotFittedError("MotionClassifier used before fit")
+        return self._centers
+
+    @property
+    def database_signatures(self) -> np.ndarray:
+        """``(n_motions, 2c)`` database signature matrix."""
+        if self._signatures is None:
+            raise NotFittedError("MotionClassifier used before fit")
+        return self._signatures
+
+    @property
+    def database_labels(self) -> List[str]:
+        """Labels aligned with :attr:`database_signatures`."""
+        if self._signatures is None:
+            raise NotFittedError("MotionClassifier used before fit")
+        return list(self._labels)
+
+    @property
+    def database_keys(self) -> List[str]:
+        """Record keys aligned with :attr:`database_signatures`."""
+        if self._signatures is None:
+            raise NotFittedError("MotionClassifier used before fit")
+        return list(self._keys)
+
+    @property
+    def mean_highest_membership(self) -> float:
+        """Mean highest membership of the training windows at fit time."""
+        if self._centers is None:
+            raise NotFittedError("MotionClassifier used before fit")
+        return self._mean_highest_membership
+
+    # ------------------------------------------------------------------
+    # Query side
+    # ------------------------------------------------------------------
+
+    def signature(self, record: RecordedMotion) -> MotionSignature:
+        """The 2c signature of a (query) motion against the fitted clusters."""
+        if self._centers is None:
+            raise NotFittedError("MotionClassifier used before fit")
+        features = self.featurizer.features(record)
+        scaled = self.scaler.transform(features.matrix)
+        if self._soft_memberships:
+            memberships = membership_matrix(scaled, self._centers, m=self.m)
+        else:
+            # Crisp ablation: one-hot membership of the nearest center.
+            diff = scaled[:, None, :] - self._centers[None, :, :]
+            d2 = np.einsum("ncd,ncd->nc", diff, diff)
+            memberships = np.zeros_like(d2)
+            memberships[np.arange(d2.shape[0]), np.argmin(d2, axis=1)] = 1.0
+        return motion_signature(memberships, self.n_clusters)
+
+    def kneighbors(self, record: RecordedMotion, k: int = 5) -> List[RetrievedNeighbor]:
+        """The ``k`` nearest database motions to ``record``."""
+        if self._index is None:
+            raise NotFittedError("MotionClassifier used before fit")
+        vector = self.signature(record).vector
+        indices, distances = self._index.query(vector, k)
+        return [
+            RetrievedNeighbor(
+                key=self._keys[i], label=self._labels[i], distance=float(d)
+            )
+            for i, d in zip(indices, distances)
+        ]
+
+    def classify(self, record: RecordedMotion, k: int = 1) -> str:
+        """Predict the motion class by k-NN vote (1-NN by default)."""
+        neighbors = self.kneighbors(record, k)
+        return knn_vote(
+            [n.label for n in neighbors],
+            np.asarray([n.distance for n in neighbors]),
+        )
+
+    def knn_class_fraction(self, record: RecordedMotion, k: int = 5) -> float:
+        """Fraction of the ``k`` retrieved motions in the query's own class.
+
+        The paper's second evaluation: "to find k-Nearest Neighbors for the
+        given query motion and to check the percentage of returned motions
+        in k which are actually present in the same group of query motion".
+        """
+        neighbors = self.kneighbors(record, k)
+        same = sum(1 for n in neighbors if n.label == record.label)
+        return same / len(neighbors)

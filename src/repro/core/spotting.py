@@ -1,0 +1,237 @@
+"""Motion spotting: find motion segments in a continuous stream.
+
+The paper assumes trigger-segmented trials; a deployed classifier must find
+the motions first.  :class:`ActivityDetector` scores every frame by fusing
+the two modalities the paper integrates —
+
+* normalized multi-channel EMG amplitude (muscles fire during motion), and
+* normalized joint speed (segments move during motion) —
+
+then applies hysteresis thresholding (a high "on" threshold to enter a
+segment, a lower "off" threshold to leave it), closes short gaps, drops
+too-short blips, and pads segment edges.  :func:`spot_and_classify` feeds
+each detected segment to a fitted
+:class:`~repro.core.model.MotionClassifier`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.model import MotionClassifier
+from repro.data.stream import ContinuousStream, StreamAnnotation
+from repro.errors import ValidationError
+from repro.signal.envelope import moving_average
+from repro.utils.validation import check_in_range, check_positive_int
+
+__all__ = ["ActivityDetector", "DetectedMotion", "spot_and_classify",
+           "segment_matching_score"]
+
+
+@dataclass(frozen=True)
+class DetectedMotion:
+    """One spotted (and optionally classified) segment.
+
+    Attributes
+    ----------
+    start, stop:
+        Frame range ``[start, stop)``.
+    label:
+        Predicted class (``None`` before classification).
+    score:
+        Mean activity score inside the segment.
+    """
+
+    start: int
+    stop: int
+    score: float
+    label: Optional[str] = None
+
+
+class ActivityDetector:
+    """Hysteresis activity detector over fused EMG + kinematic energy.
+
+    Parameters
+    ----------
+    on_threshold / off_threshold:
+        Enter a segment when the smoothed activity exceeds ``on_threshold``;
+        leave when it falls below ``off_threshold`` (both relative to the
+        stream's own activity range, 0–1).
+    smooth_s:
+        Moving-average smoothing of the activity score, seconds.
+    min_duration_s:
+        Segments shorter than this are discarded.
+    max_gap_s:
+        Sub-threshold gaps shorter than this are bridged.
+    pad_s:
+        Padding added on both sides of every accepted segment.
+    """
+
+    def __init__(
+        self,
+        on_threshold: float = 0.18,
+        off_threshold: float = 0.10,
+        smooth_s: float = 0.15,
+        min_duration_s: float = 0.4,
+        max_gap_s: float = 0.3,
+        pad_s: float = 0.1,
+    ):
+        on_threshold = check_in_range(on_threshold, name="on_threshold",
+                                      low=0.0, high=1.0)
+        off_threshold = check_in_range(off_threshold, name="off_threshold",
+                                       low=0.0, high=1.0)
+        if off_threshold > on_threshold:
+            raise ValidationError(
+                f"hysteresis needs off <= on, got off={off_threshold} > "
+                f"on={on_threshold}"
+            )
+        self.on_threshold = on_threshold
+        self.off_threshold = off_threshold
+        self.smooth_s = check_in_range(smooth_s, name="smooth_s", low=0.0,
+                                       high=5.0)
+        self.min_duration_s = check_in_range(min_duration_s,
+                                             name="min_duration_s",
+                                             low=0.0, high=30.0)
+        self.max_gap_s = check_in_range(max_gap_s, name="max_gap_s",
+                                        low=0.0, high=30.0)
+        self.pad_s = check_in_range(pad_s, name="pad_s", low=0.0, high=5.0)
+
+    # ------------------------------------------------------------------
+
+    def activity(self, stream: ContinuousStream) -> np.ndarray:
+        """Fused activity score per frame, normalized to [0, 1]."""
+        emg = np.asarray(stream.emg.data_volts)
+        mocap = np.asarray(stream.mocap.matrix_mm)
+        fps = stream.fps
+
+        # EMG amplitude: mean over channels of per-channel normalized
+        # rectified amplitude.
+        emg_score = self._normalize(emg).mean(axis=1)
+
+        # Kinematic speed: frame-to-frame displacement per joint.
+        velocity = np.zeros(mocap.shape[0])
+        diffs = np.diff(mocap, axis=0)
+        n_joints = mocap.shape[1] // 3
+        speed = np.zeros((diffs.shape[0], n_joints))
+        for j in range(n_joints):
+            block = diffs[:, 3 * j : 3 * j + 3]
+            speed[:, j] = np.sqrt(np.einsum("nd,nd->n", block, block)) * fps
+        velocity[1:] = speed.mean(axis=1)
+        velocity[0] = velocity[1] if len(velocity) > 1 else 0.0
+        speed_score = self._normalize(velocity[:, None])[:, 0]
+
+        fused = 0.5 * emg_score + 0.5 * speed_score
+        width = max(1, int(round(self.smooth_s * fps)))
+        return moving_average(fused, width)
+
+    @staticmethod
+    def _normalize(x: np.ndarray) -> np.ndarray:
+        """Columnwise robust [0, 1] normalization (5th-95th percentile)."""
+        lo = np.percentile(x, 5, axis=0)
+        hi = np.percentile(x, 95, axis=0)
+        span = np.where(hi - lo < 1e-12, 1.0, hi - lo)
+        return np.clip((x - lo) / span, 0.0, 1.0)
+
+    # ------------------------------------------------------------------
+
+    def detect(self, stream: ContinuousStream) -> List[DetectedMotion]:
+        """Spot motion segments in a stream."""
+        score = self.activity(stream)
+        fps = stream.fps
+        n = len(score)
+
+        # Hysteresis pass.
+        raw: List[Tuple[int, int]] = []
+        inside = False
+        start = 0
+        for i, value in enumerate(score):
+            if not inside and value >= self.on_threshold:
+                inside = True
+                start = i
+            elif inside and value < self.off_threshold:
+                inside = False
+                raw.append((start, i))
+        if inside:
+            raw.append((start, n))
+
+        # Bridge short gaps.
+        max_gap = int(round(self.max_gap_s * fps))
+        merged: List[Tuple[int, int]] = []
+        for seg in raw:
+            if merged and seg[0] - merged[-1][1] <= max_gap:
+                merged[-1] = (merged[-1][0], seg[1])
+            else:
+                merged.append(seg)
+
+        # Drop blips, pad, clamp.
+        min_len = int(round(self.min_duration_s * fps))
+        pad = int(round(self.pad_s * fps))
+        out: List[DetectedMotion] = []
+        for start, stop in merged:
+            if stop - start < min_len:
+                continue
+            lo = max(0, start - pad)
+            hi = min(n, stop + pad)
+            out.append(DetectedMotion(
+                start=lo, stop=hi, score=float(score[start:stop].mean()),
+            ))
+        return out
+
+
+def spot_and_classify(
+    stream: ContinuousStream,
+    classifier: MotionClassifier,
+    detector: Optional[ActivityDetector] = None,
+    k: int = 1,
+) -> List[DetectedMotion]:
+    """Detect segments and classify each with the fitted pipeline."""
+    detector = detector or ActivityDetector()
+    detections = detector.detect(stream)
+    out = []
+    for det in detections:
+        record = stream.segment(det.start, det.stop)
+        label = classifier.classify(record, k=k)
+        out.append(DetectedMotion(start=det.start, stop=det.stop,
+                                  score=det.score, label=label))
+    return out
+
+
+def segment_matching_score(
+    annotations: Tuple[StreamAnnotation, ...],
+    detections: List[DetectedMotion],
+    min_iou: float = 0.3,
+) -> dict:
+    """Match detections to annotations and summarize spotting quality.
+
+    A detection matches an annotation when their interval IoU is at least
+    ``min_iou``; each annotation matches at most one detection (greedy by
+    IoU).  Returns hits, misses, false alarms and the label accuracy over
+    hits.
+    """
+    min_iou = check_in_range(min_iou, name="min_iou", low=0.0, high=1.0)
+    remaining = list(range(len(detections)))
+    hits = 0
+    correct = 0
+    for ann in annotations:
+        best_iou, best_idx = 0.0, None
+        for idx in remaining:
+            det = detections[idx]
+            inter = ann.overlap(det.start, det.stop)
+            union = (ann.n_frames + (det.stop - det.start) - inter)
+            iou = inter / union if union else 0.0
+            if iou > best_iou:
+                best_iou, best_idx = iou, idx
+        if best_idx is not None and best_iou >= min_iou:
+            hits += 1
+            remaining.remove(best_idx)
+            if detections[best_idx].label == ann.label:
+                correct += 1
+    return {
+        "hits": hits,
+        "misses": len(annotations) - hits,
+        "false_alarms": len(remaining),
+        "label_accuracy": correct / hits if hits else 0.0,
+    }

@@ -1,0 +1,170 @@
+"""Dataset container with label bookkeeping and splits."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.record import RecordedMotion
+from repro.errors import DatasetError
+from repro.utils.rng import SeedLike, as_generator
+
+__all__ = ["MotionDataset"]
+
+
+@dataclass
+class MotionDataset:
+    """A collection of labelled recorded motions for one study.
+
+    Attributes
+    ----------
+    name:
+        Study name (e.g. ``"right_hand"``).
+    records:
+        The trials.  All must share channel/segment layout and frame rate.
+    """
+
+    name: str
+    records: List[RecordedMotion] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.records:
+            self._check_consistency(self.records)
+
+    @staticmethod
+    def _check_consistency(records: Sequence[RecordedMotion]) -> None:
+        first = records[0]
+        for rec in records[1:]:
+            if rec.mocap.segments != first.mocap.segments:
+                raise DatasetError(
+                    f"{rec.key} has segments {rec.mocap.segments}, "
+                    f"expected {first.mocap.segments}"
+                )
+            if rec.emg.channels != first.emg.channels:
+                raise DatasetError(
+                    f"{rec.key} has channels {rec.emg.channels}, "
+                    f"expected {first.emg.channels}"
+                )
+            if rec.fps != first.fps:
+                raise DatasetError(
+                    f"{rec.key} runs at {rec.fps} fps, expected {first.fps}"
+                )
+
+    # ------------------------------------------------------------------
+    # Collection protocol
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[RecordedMotion]:
+        return iter(self.records)
+
+    def __getitem__(self, index: int) -> RecordedMotion:
+        return self.records[index]
+
+    def add(self, record: RecordedMotion) -> None:
+        """Append a record, enforcing layout consistency."""
+        if self.records:
+            self._check_consistency([self.records[0], record])
+        self.records.append(record)
+
+    # ------------------------------------------------------------------
+    # Bookkeeping
+    # ------------------------------------------------------------------
+
+    @property
+    def labels(self) -> List[str]:
+        """Sorted unique motion labels."""
+        return sorted({r.label for r in self.records})
+
+    @property
+    def participants(self) -> List[str]:
+        """Sorted unique participant ids."""
+        return sorted({r.participant_id for r in self.records})
+
+    def by_label(self, label: str) -> List[RecordedMotion]:
+        """All records with the given label."""
+        out = [r for r in self.records if r.label == label]
+        if not out:
+            raise DatasetError(f"no records with label {label!r}; have {self.labels}")
+        return out
+
+    def counts(self) -> Dict[str, int]:
+        """Record count per label."""
+        out: Dict[str, int] = {}
+        for r in self.records:
+            out[r.label] = out.get(r.label, 0) + 1
+        return out
+
+    def summary(self) -> str:
+        """One-paragraph human-readable description."""
+        if not self.records:
+            return f"MotionDataset({self.name!r}): empty"
+        first = self.records[0]
+        counts = ", ".join(f"{k}={v}" for k, v in sorted(self.counts().items()))
+        return (
+            f"MotionDataset({self.name!r}): {len(self)} trials, "
+            f"{len(self.labels)} classes ({counts}), "
+            f"{len(self.participants)} participants, "
+            f"{len(first.mocap.segments)} mocap segments, "
+            f"{len(first.emg.channels)} EMG channels, {first.fps:g} fps"
+        )
+
+    # ------------------------------------------------------------------
+    # Splits
+    # ------------------------------------------------------------------
+
+    def train_test_split(
+        self,
+        test_fraction: float = 0.25,
+        seed: SeedLike = None,
+    ) -> Tuple["MotionDataset", "MotionDataset"]:
+        """Stratified split: the same fraction of each class goes to test.
+
+        Every class keeps at least one trial on each side (so both the
+        database and the query set exercise every class), which requires at
+        least two trials per class.
+        """
+        if not 0.0 < test_fraction < 1.0:
+            raise DatasetError(
+                f"test_fraction must be in (0, 1), got {test_fraction}"
+            )
+        rng = as_generator(seed)
+        train: List[RecordedMotion] = []
+        test: List[RecordedMotion] = []
+        for label in self.labels:
+            group = self.by_label(label)
+            if len(group) < 2:
+                raise DatasetError(
+                    f"class {label!r} has {len(group)} trial(s); "
+                    "need >= 2 to split"
+                )
+            order = rng.permutation(len(group))
+            n_test = int(round(test_fraction * len(group)))
+            n_test = min(max(n_test, 1), len(group) - 1)
+            for pos, idx in enumerate(order):
+                (test if pos < n_test else train).append(group[idx])
+        return (
+            MotionDataset(name=f"{self.name}:train", records=train),
+            MotionDataset(name=f"{self.name}:test", records=test),
+        )
+
+    def leave_one_participant_out(
+        self, participant_id: str
+    ) -> Tuple["MotionDataset", "MotionDataset"]:
+        """Split with one participant's trials as the test set."""
+        if participant_id not in self.participants:
+            raise DatasetError(
+                f"unknown participant {participant_id!r}; have {self.participants}"
+            )
+        train = [r for r in self.records if r.participant_id != participant_id]
+        test = [r for r in self.records if r.participant_id == participant_id]
+        if not train:
+            raise DatasetError("leave-one-out split would leave an empty train set")
+        return (
+            MotionDataset(name=f"{self.name}:train", records=train),
+            MotionDataset(name=f"{self.name}:test", records=test),
+        )

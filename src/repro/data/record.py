@@ -1,0 +1,79 @@
+"""A labelled, synchronized, pelvis-local recorded motion.
+
+:class:`RecordedMotion` is the unit the classifier's database stores: the
+paper's "query matrix (EMG + Motion Capture)" with its class label and
+provenance.  Both streams share the 120 Hz time base and frame count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.emg.recording import EMGRecording
+from repro.errors import DatasetError
+from repro.mocap.trajectory import MotionCaptureData
+
+__all__ = ["RecordedMotion"]
+
+
+@dataclass(frozen=True)
+class RecordedMotion:
+    """One labelled trial.
+
+    Attributes
+    ----------
+    label:
+        Motion class name (the classification target).
+    participant_id:
+        Identifier of the (synthetic) performer.
+    trial_id:
+        Per-participant trial counter.
+    mocap:
+        Pelvis-local motion matrix restricted to the protocol's segments.
+    emg:
+        Conditioned 120 Hz EMG with the protocol's channels.
+    metadata:
+        Free-form numeric provenance (variation draw, duration, ...).
+    """
+
+    label: str
+    participant_id: str
+    trial_id: int
+    mocap: MotionCaptureData
+    emg: EMGRecording
+    metadata: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.label:
+            raise DatasetError("recorded motion must have a non-empty label")
+        if self.mocap.n_frames != self.emg.n_samples:
+            raise DatasetError(
+                f"streams misaligned in {self.key}: mocap {self.mocap.n_frames} "
+                f"frames vs EMG {self.emg.n_samples} samples"
+            )
+        if self.mocap.fps != self.emg.fs:
+            raise DatasetError(
+                f"streams on different rates in {self.key}: "
+                f"{self.mocap.fps} vs {self.emg.fs}"
+            )
+
+    @property
+    def key(self) -> str:
+        """Unique human-readable identifier of this trial."""
+        return f"{self.label}/{self.participant_id}/t{self.trial_id}"
+
+    @property
+    def n_frames(self) -> int:
+        """Aligned frame count of both streams."""
+        return self.mocap.n_frames
+
+    @property
+    def fps(self) -> float:
+        """Shared frame rate."""
+        return self.mocap.fps
+
+    @property
+    def duration_s(self) -> float:
+        """Trial duration in seconds."""
+        return self.n_frames / self.fps

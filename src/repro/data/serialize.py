@@ -1,0 +1,118 @@
+"""Dataset persistence: one ``.npz`` bundle plus a JSON manifest.
+
+Arrays go into a single compressed ``numpy`` archive; labels, layout and
+provenance go into a sidecar JSON with the same stem, so a saved dataset is
+both compact and human-inspectable.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.data.dataset import MotionDataset
+from repro.data.record import RecordedMotion
+from repro.emg.recording import EMGRecording
+from repro.errors import SerializationError
+from repro.mocap.trajectory import MotionCaptureData
+
+__all__ = ["save_dataset", "load_dataset"]
+
+_FORMAT_VERSION = 1
+
+
+def save_dataset(dataset: MotionDataset, path: Union[str, Path]) -> Path:
+    """Save ``dataset`` as ``<path>.npz`` + ``<path>.json``.
+
+    Returns the JSON manifest path.  Existing files are overwritten.
+    """
+    base = Path(path)
+    if base.suffix in (".npz", ".json"):
+        base = base.with_suffix("")
+    manifest = {
+        "format_version": _FORMAT_VERSION,
+        "name": dataset.name,
+        "records": [],
+    }
+    arrays = {}
+    for i, rec in enumerate(dataset.records):
+        arrays[f"mocap_{i}"] = np.asarray(rec.mocap.matrix_mm)
+        arrays[f"emg_{i}"] = np.asarray(rec.emg.data_volts)
+        manifest["records"].append(
+            {
+                "label": rec.label,
+                "participant_id": rec.participant_id,
+                "trial_id": rec.trial_id,
+                "segments": list(rec.mocap.segments),
+                "fps": rec.mocap.fps,
+                "channels": list(rec.emg.channels),
+                "emg_fs": rec.emg.fs,
+                "metadata": {k: float(v) for k, v in rec.metadata.items()},
+            }
+        )
+    try:
+        np.savez_compressed(base.with_suffix(".npz"), **arrays)
+        with open(base.with_suffix(".json"), "w", encoding="utf-8") as f:
+            json.dump(manifest, f, indent=2)
+    except OSError as exc:
+        raise SerializationError(f"could not write dataset to {base}: {exc}") from exc
+    return base.with_suffix(".json")
+
+
+def load_dataset(path: Union[str, Path]) -> MotionDataset:
+    """Load a dataset saved by :func:`save_dataset`.
+
+    ``path`` may be the stem, the ``.json`` manifest, or the ``.npz`` bundle.
+    """
+    base = Path(path)
+    if base.suffix in (".npz", ".json"):
+        base = base.with_suffix("")
+    json_path = base.with_suffix(".json")
+    npz_path = base.with_suffix(".npz")
+    if not json_path.exists() or not npz_path.exists():
+        raise SerializationError(
+            f"dataset files not found: {json_path} / {npz_path}"
+        )
+    try:
+        with open(json_path, encoding="utf-8") as f:
+            manifest = json.load(f)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SerializationError(f"could not read manifest {json_path}: {exc}") from exc
+    version = manifest.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise SerializationError(
+            f"unsupported dataset format version {version!r} "
+            f"(this library writes {_FORMAT_VERSION})"
+        )
+    records = []
+    with np.load(npz_path) as arrays:
+        for i, meta in enumerate(manifest["records"]):
+            mocap_key, emg_key = f"mocap_{i}", f"emg_{i}"
+            if mocap_key not in arrays or emg_key not in arrays:
+                raise SerializationError(
+                    f"array bundle {npz_path} is missing record {i}"
+                )
+            mocap = MotionCaptureData(
+                segments=tuple(meta["segments"]),
+                matrix_mm=arrays[mocap_key],
+                fps=float(meta["fps"]),
+            )
+            emg = EMGRecording(
+                channels=tuple(meta["channels"]),
+                data_volts=arrays[emg_key],
+                fs=float(meta["emg_fs"]),
+            )
+            records.append(
+                RecordedMotion(
+                    label=meta["label"],
+                    participant_id=meta["participant_id"],
+                    trial_id=int(meta["trial_id"]),
+                    mocap=mocap,
+                    emg=emg,
+                    metadata=dict(meta.get("metadata", {})),
+                )
+            )
+    return MotionDataset(name=manifest["name"], records=records)

@@ -1,0 +1,177 @@
+"""EMG analysis: spectral statistics, fatigue tracking, onset detection.
+
+The survey the paper cites for EMG methodology (Raez, Hussain & Mohd-Yasin
+2006, its reference [12]) organizes surface-EMG analysis into detection,
+processing and classification.  This module supplies the classical
+*analysis* tools that complement the classifier:
+
+* :func:`median_frequency` / :func:`mean_frequency` — spectral statistics
+  of raw EMG; their downward drift over sustained effort is the standard
+  myoelectric fatigue sign;
+* :func:`fatigue_trend` — median-frequency slope across a recording;
+* :func:`detect_onsets` — amplitude-threshold burst detection on the
+  conditioned (rectified, 120 Hz) stream, the classical Hodges-Bui style
+  onset detector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.errors import SignalError
+from repro.signal.envelope import moving_average
+from repro.signal.spectral import welch_psd
+from repro.utils.validation import check_array, check_in_range, check_positive_int
+
+__all__ = [
+    "median_frequency",
+    "mean_frequency",
+    "fatigue_trend",
+    "EMGBurst",
+    "detect_onsets",
+]
+
+
+def median_frequency(x: np.ndarray, fs: float, nperseg: int = 256) -> float:
+    """Frequency splitting the PSD's power into equal halves, in Hz."""
+    freqs, psd = welch_psd(np.asarray(x, dtype=np.float64), fs, nperseg=nperseg)
+    total = psd.sum()
+    if total <= 0:
+        raise SignalError("cannot compute the median frequency of a silent signal")
+    cumulative = np.cumsum(psd) / total
+    idx = int(np.searchsorted(cumulative, 0.5))
+    return float(freqs[min(idx, len(freqs) - 1)])
+
+
+def mean_frequency(x: np.ndarray, fs: float, nperseg: int = 256) -> float:
+    """Power-weighted mean frequency of the PSD, in Hz."""
+    freqs, psd = welch_psd(np.asarray(x, dtype=np.float64), fs, nperseg=nperseg)
+    total = psd.sum()
+    if total <= 0:
+        raise SignalError("cannot compute the mean frequency of a silent signal")
+    return float(np.sum(freqs * psd) / total)
+
+
+def fatigue_trend(
+    x: np.ndarray,
+    fs: float,
+    n_epochs: int = 8,
+    nperseg: int = 256,
+) -> Tuple[float, np.ndarray]:
+    """Median-frequency slope across a recording (Hz per second).
+
+    The raw signal is cut into ``n_epochs`` equal epochs; the median
+    frequency of each is computed and a least-squares line fitted.  A
+    negative slope is the classical spectral-compression fatigue sign.
+
+    Returns
+    -------
+    (slope_hz_per_s, per_epoch_mdf):
+        The fitted slope and the per-epoch median frequencies.
+    """
+    x = check_array(x, name="x", ndim=1, allow_empty=False)
+    n_epochs = check_positive_int(n_epochs, name="n_epochs", minimum=2)
+    n = len(x)
+    epoch_len = n // n_epochs
+    if epoch_len < 32:
+        raise SignalError(
+            f"signal too short for {n_epochs} epochs: {n} samples"
+        )
+    mdfs = np.empty(n_epochs)
+    times = np.empty(n_epochs)
+    for i in range(n_epochs):
+        seg = x[i * epoch_len : (i + 1) * epoch_len]
+        mdfs[i] = median_frequency(seg, fs, nperseg=min(nperseg, epoch_len))
+        times[i] = (i + 0.5) * epoch_len / fs
+    slope = float(np.polyfit(times, mdfs, 1)[0])
+    return slope, mdfs
+
+
+@dataclass(frozen=True)
+class EMGBurst:
+    """One detected activity burst on a conditioned EMG channel.
+
+    Attributes
+    ----------
+    onset, offset:
+        Sample range ``[onset, offset)``.
+    peak_volts:
+        Peak conditioned amplitude inside the burst.
+    """
+
+    onset: int
+    offset: int
+    peak_volts: float
+
+    @property
+    def n_samples(self) -> int:
+        """Burst length in samples."""
+        return self.offset - self.onset
+
+
+def detect_onsets(
+    conditioned: np.ndarray,
+    fs: float,
+    height_fraction: float = 0.15,
+    min_range_ratio: float = 5.0,
+    min_duration_s: float = 0.05,
+    smooth_s: float = 0.05,
+) -> List[EMGBurst]:
+    """Detect activity bursts on a conditioned (rectified) EMG channel.
+
+    The classical percentage-of-peak scheme with a noise guard: smooth the
+    signal, estimate the resting floor (10th percentile) and the peak, and
+    mark samples exceeding ``floor + height_fraction * (peak − floor)``.
+    Channels whose peak is less than ``min_range_ratio`` times the floor
+    are treated as inactive (the smoothed rectified noise floor itself has
+    a peak/floor ratio around 3.5, so the default gate of 5 rejects it);
+    runs shorter than ``min_duration_s`` are dropped.
+
+    Parameters
+    ----------
+    conditioned:
+        1-D non-negative conditioned EMG.
+    fs:
+        Sampling rate (120 Hz after the paper's chain).
+    """
+    x = check_array(conditioned, name="conditioned", ndim=1, allow_empty=False)
+    if np.any(x < 0):
+        raise SignalError("detect_onsets expects rectified (non-negative) EMG")
+    height_fraction = check_in_range(
+        height_fraction, name="height_fraction", low=0.0, high=1.0,
+        inclusive_low=False, inclusive_high=False,
+    )
+    check_in_range(min_range_ratio, name="min_range_ratio", low=1.0,
+                   high=float("inf"))
+    width = max(1, int(round(smooth_s * fs)))
+    smooth = moving_average(x, width)
+
+    floor = float(np.percentile(smooth, 10))
+    peak = float(smooth.max())
+    if peak < min_range_ratio * max(floor, 1e-12):
+        return []
+    threshold = floor + height_fraction * (peak - floor)
+
+    min_len = max(1, int(round(min_duration_s * fs)))
+    bursts: List[EMGBurst] = []
+    inside = False
+    start = 0
+    for i, value in enumerate(smooth):
+        if not inside and value > threshold:
+            inside, start = True, i
+        elif inside and value <= threshold:
+            inside = False
+            if i - start >= min_len:
+                bursts.append(EMGBurst(
+                    onset=start, offset=i,
+                    peak_volts=float(x[start:i].max()),
+                ))
+    if inside and len(smooth) - start >= min_len:
+        bursts.append(EMGBurst(
+            onset=start, offset=len(smooth),
+            peak_volts=float(x[start:].max()),
+        ))
+    return bursts

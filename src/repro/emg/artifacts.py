@@ -1,0 +1,164 @@
+"""EMG artifact models.
+
+The paper's discussion names the contaminations it expects in real
+recordings: "signal drift, change in electrode characteristics, signal
+interference ... subject training, fatigue, nervousness".  These models
+reproduce the physical ones so the conditioning chain (band-pass) and the
+fuzzy feature space are exercised against realistic dirt.
+
+All artifacts implement :class:`ArtifactModel` — ``apply(signal, fs, rng)``
+returns a contaminated copy — and compose via :class:`CompositeArtifacts`.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_array, check_in_range
+
+__all__ = [
+    "ArtifactModel",
+    "BaselineDrift",
+    "PowerlineInterference",
+    "FatigueDrift",
+    "CompositeArtifacts",
+]
+
+
+class ArtifactModel(abc.ABC):
+    """A contamination applied to a single-channel raw EMG signal."""
+
+    @abc.abstractmethod
+    def apply(self, signal: np.ndarray, fs: float, seed: SeedLike = None) -> np.ndarray:
+        """Return a contaminated copy of the 1-D ``signal`` sampled at ``fs``."""
+
+
+@dataclass(frozen=True)
+class BaselineDrift(ArtifactModel):
+    """Slow baseline wander from electrode-skin potential changes.
+
+    A random-phase sub-hertz sinusoid plus a linear trend; almost entirely
+    removed by the 20–450 Hz band-pass, which is exactly why the paper's
+    chain includes one.
+
+    Attributes
+    ----------
+    amplitude_volts:
+        Peak drift amplitude.
+    frequency_hz:
+        Drift frequency; must sit below the band-pass low edge.
+    """
+
+    amplitude_volts: float = 5e-5
+    frequency_hz: float = 0.3
+
+    def __post_init__(self) -> None:
+        check_in_range(self.amplitude_volts, name="amplitude_volts", low=0.0,
+                       high=float("inf"))
+        check_in_range(self.frequency_hz, name="frequency_hz", low=0.0, high=20.0,
+                       inclusive_low=False, inclusive_high=False)
+
+    def apply(self, signal: np.ndarray, fs: float, seed: SeedLike = None) -> np.ndarray:
+        signal = check_array(signal, name="signal", ndim=1)
+        rng = as_generator(seed)
+        t = np.arange(len(signal)) / fs
+        phase = rng.uniform(0.0, 2.0 * np.pi)
+        slope = rng.uniform(-0.5, 0.5) * self.amplitude_volts
+        drift = self.amplitude_volts * np.sin(2.0 * np.pi * self.frequency_hz * t + phase)
+        duration = max(t[-1], 1e-9)
+        return signal + drift + slope * (t / duration)
+
+
+@dataclass(frozen=True)
+class PowerlineInterference(ArtifactModel):
+    """Mains hum pickup (60 Hz in the paper's US laboratory).
+
+    Sits inside the 20–450 Hz pass-band, so unlike drift it survives the
+    conditioning chain — one of the reasons the feature space is noisy.
+
+    Attributes
+    ----------
+    amplitude_volts:
+        Interference amplitude (kept small relative to contraction bursts).
+    frequency_hz:
+        Mains frequency.
+    """
+
+    amplitude_volts: float = 1.5e-6
+    frequency_hz: float = 60.0
+
+    def __post_init__(self) -> None:
+        check_in_range(self.amplitude_volts, name="amplitude_volts", low=0.0,
+                       high=float("inf"))
+        check_in_range(self.frequency_hz, name="frequency_hz", low=0.0,
+                       high=float("inf"), inclusive_low=False)
+
+    def apply(self, signal: np.ndarray, fs: float, seed: SeedLike = None) -> np.ndarray:
+        signal = check_array(signal, name="signal", ndim=1)
+        rng = as_generator(seed)
+        t = np.arange(len(signal)) / fs
+        phase = rng.uniform(0.0, 2.0 * np.pi)
+        return signal + self.amplitude_volts * np.sin(
+            2.0 * np.pi * self.frequency_hz * t + phase
+        )
+
+
+@dataclass(frozen=True)
+class FatigueDrift(ArtifactModel):
+    """Slow amplitude inflation as a muscle fatigues within a trial.
+
+    Fatiguing muscle recruits additional motor units, inflating surface EMG
+    amplitude over sustained effort.  Modelled as a linear gain ramp from 1
+    to ``1 + max_gain_increase`` across the trial.
+
+    Attributes
+    ----------
+    max_gain_increase:
+        Fractional amplitude increase reached at the end of the trial.
+    """
+
+    max_gain_increase: float = 0.15
+
+    def __post_init__(self) -> None:
+        check_in_range(self.max_gain_increase, name="max_gain_increase", low=0.0,
+                       high=2.0)
+
+    def apply(self, signal: np.ndarray, fs: float, seed: SeedLike = None) -> np.ndarray:
+        signal = check_array(signal, name="signal", ndim=1)
+        rng = as_generator(seed)
+        reached = rng.uniform(0.0, self.max_gain_increase)
+        gain = 1.0 + reached * np.linspace(0.0, 1.0, len(signal))
+        return signal * gain
+
+
+class CompositeArtifacts(ArtifactModel):
+    """Apply a sequence of artifact models in order.
+
+    Each stage receives an independent generator spawned from the seed, so
+    inserting or removing a stage does not silently re-seed the others.
+    """
+
+    def __init__(self, stages: Sequence[ArtifactModel]):
+        self.stages = tuple(stages)
+
+    def apply(self, signal: np.ndarray, fs: float, seed: SeedLike = None) -> np.ndarray:
+        from repro.utils.rng import spawn_generators
+
+        signal = check_array(signal, name="signal", ndim=1)
+        rngs = spawn_generators(seed, len(self.stages))
+        out = signal
+        for stage, rng in zip(self.stages, rngs):
+            out = stage.apply(out, fs, seed=rng)
+        return out
+
+
+def default_artifacts() -> CompositeArtifacts:
+    """The default contamination stack used by the Myomonitor simulator."""
+    return CompositeArtifacts(
+        [BaselineDrift(), PowerlineInterference(), FatigueDrift()]
+    )

@@ -1,0 +1,128 @@
+"""Electrode montages matching the paper's Section 5 protocol.
+
+"On each hand, four electrodes are placed mainly on biceps, triceps, upper
+forearm, and lower forearm.  On each leg, two electrodes are placed on front
+side of shin and on backside of shin."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple
+
+from repro.errors import AcquisitionError
+
+__all__ = ["Electrode", "ElectrodeMontage", "hand_montage", "leg_montage"]
+
+
+@dataclass(frozen=True)
+class Electrode:
+    """One surface electrode.
+
+    Attributes
+    ----------
+    channel:
+        Channel name used as the key everywhere in the library; equals the
+        muscle name it overlies (e.g. ``"biceps_r"``).
+    muscle:
+        Anatomical muscle description.
+    placement:
+        Human-readable placement note.
+    """
+
+    channel: str
+    muscle: str
+    placement: str
+
+    def __post_init__(self) -> None:
+        if not self.channel:
+            raise AcquisitionError("electrode channel name must be non-empty")
+
+
+class ElectrodeMontage:
+    """An ordered set of electrodes defining the EMG channel layout.
+
+    Channel order is significant: it fixes the column order of every
+    :class:`~repro.emg.recording.EMGRecording` and therefore the layout of
+    the IAV feature vector.
+    """
+
+    def __init__(self, name: str, electrodes: Sequence[Electrode]):
+        if not electrodes:
+            raise AcquisitionError("a montage needs at least one electrode")
+        channels = [e.channel for e in electrodes]
+        if len(set(channels)) != len(channels):
+            raise AcquisitionError(f"duplicate channels in montage: {channels}")
+        self.name = name
+        self._electrodes: Tuple[Electrode, ...] = tuple(electrodes)
+
+    @property
+    def electrodes(self) -> Tuple[Electrode, ...]:
+        """The electrodes in channel order."""
+        return self._electrodes
+
+    @property
+    def channels(self) -> List[str]:
+        """Channel names in column order."""
+        return [e.channel for e in self._electrodes]
+
+    def __len__(self) -> int:
+        return len(self._electrodes)
+
+    def __iter__(self) -> Iterator[Electrode]:
+        return iter(self._electrodes)
+
+    def __contains__(self, channel: str) -> bool:
+        return any(e.channel == channel for e in self._electrodes)
+
+    def index(self, channel: str) -> int:
+        """Column index of ``channel``; raises on unknown channels."""
+        for i, e in enumerate(self._electrodes):
+            if e.channel == channel:
+                return i
+        raise AcquisitionError(
+            f"channel {channel!r} not in montage {self.name!r}; have {self.channels}"
+        )
+
+    def __repr__(self) -> str:
+        return f"ElectrodeMontage({self.name!r}, channels={self.channels})"
+
+
+def hand_montage(side: str = "r") -> ElectrodeMontage:
+    """The paper's 4-electrode hand montage for the given side ('r'/'l')."""
+    if side not in ("r", "l"):
+        raise AcquisitionError(f"side must be 'r' or 'l', got {side!r}")
+    return ElectrodeMontage(
+        name=f"hand_{side}",
+        electrodes=[
+            Electrode(f"biceps_{side}", "biceps brachii", "anterior upper arm, mid-belly"),
+            Electrode(f"triceps_{side}", "triceps brachii", "posterior upper arm, long head"),
+            Electrode(
+                f"upper_forearm_{side}",
+                "wrist extensor group",
+                "dorsal proximal forearm",
+            ),
+            Electrode(
+                f"lower_forearm_{side}",
+                "wrist flexor group",
+                "volar distal forearm",
+            ),
+        ],
+    )
+
+
+def leg_montage(side: str = "r") -> ElectrodeMontage:
+    """The paper's 2-electrode leg montage for the given side ('r'/'l')."""
+    if side not in ("r", "l"):
+        raise AcquisitionError(f"side must be 'r' or 'l', got {side!r}")
+    return ElectrodeMontage(
+        name=f"leg_{side}",
+        electrodes=[
+            Electrode(
+                f"front_shin_{side}", "tibialis anterior", "anterior shank, proximal third"
+            ),
+            Electrode(
+                f"back_shin_{side}", "gastrocnemius", "posterior shank, medial head"
+            ),
+        ],
+    )

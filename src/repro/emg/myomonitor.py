@@ -1,0 +1,147 @@
+"""Delsys Myomonitor acquisition and conditioning chain.
+
+Section 5 of the paper: "The EMG signals are amplified and band-pass filtered
+(20–450 Hz) by Delsys Myomonitor system.  The sampling rate is 1000 samples /
+second.  This processed signal is full-wave rectified and down-sampled to
+120 Hz to make it uniform with the motion capture system."
+
+:class:`Myomonitor` performs both halves:
+
+* :meth:`acquire` — synthesize raw electrode voltage per channel (via the
+  :class:`~repro.emg.synthesis.SurfaceEMGSynthesizer`) and apply the analog
+  front-end (band-pass 20–450 Hz) at 1000 Hz;
+* :meth:`condition` — full-wave rectify and down-sample to the mocap frame
+  rate, producing the 120 Hz stream the feature extractor consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+import numpy as np
+
+from repro.emg.channels import ElectrodeMontage
+from repro.emg.recording import EMGRecording
+from repro.emg.synthesis import SurfaceEMGSynthesizer
+from repro.errors import AcquisitionError
+from repro.signal.filters import butter_bandpass
+from repro.signal.rectify import full_wave_rectify
+from repro.signal.resample import downsample_to_rate
+from repro.utils.rng import SeedLike, as_generator, spawn_generators
+
+__all__ = ["Myomonitor"]
+
+
+@dataclass
+class Myomonitor:
+    """Simulated Delsys Myomonitor EMG system.
+
+    Attributes
+    ----------
+    fs:
+        Raw sampling rate (1000 Hz in the paper).
+    band_hz:
+        Analog band-pass edges (20–450 Hz in the paper).
+    output_fs:
+        Conditioned output rate (120 Hz, the mocap frame rate).
+    synthesizer:
+        Per-channel raw-EMG generator.
+    """
+
+    fs: float = 1000.0
+    band_hz: tuple[float, float] = (20.0, 450.0)
+    output_fs: float = 120.0
+    synthesizer: SurfaceEMGSynthesizer = field(default_factory=SurfaceEMGSynthesizer)
+
+    def __post_init__(self) -> None:
+        low, high = self.band_hz
+        if not 0 < low < high < self.fs / 2:
+            raise AcquisitionError(
+                f"band {self.band_hz} must satisfy 0 < low < high < fs/2"
+            )
+        if not 0 < self.output_fs <= self.fs:
+            raise AcquisitionError(
+                f"output_fs must be in (0, fs], got {self.output_fs}"
+            )
+        if self.synthesizer.fs != self.fs:
+            raise AcquisitionError(
+                f"synthesizer rate {self.synthesizer.fs} != device rate {self.fs}"
+            )
+
+    def acquire(
+        self,
+        activations: Mapping[str, np.ndarray],
+        activation_fs: float,
+        montage: ElectrodeMontage,
+        duration_s: Optional[float] = None,
+        seed: SeedLike = None,
+    ) -> EMGRecording:
+        """Record raw band-passed EMG for every channel of ``montage``.
+
+        Parameters
+        ----------
+        activations:
+            Channel → commanded activation envelope (at ``activation_fs``).
+            Every montage channel must be present.
+        activation_fs:
+            Envelope sampling rate (the motion frame rate).
+        montage:
+            Electrode layout; defines column order.
+        duration_s:
+            Recording duration; defaults to the envelope duration.
+        seed:
+            Root seed; each channel gets an independent spawned generator.
+        """
+        missing = [c for c in montage.channels if c not in activations]
+        if missing:
+            raise AcquisitionError(f"activations missing channels: {missing}")
+        rngs = spawn_generators(as_generator(seed), len(montage))
+        band = butter_bandpass(*self.band_hz, self.fs, order=4)
+        signals: Dict[str, np.ndarray] = {}
+        for channel, rng in zip(montage.channels, rngs):
+            raw = self.synthesizer.synthesize(
+                activations[channel], activation_fs, duration_s=duration_s, seed=rng
+            )
+            signals[channel] = band.apply_zero_phase(raw)
+        return EMGRecording.from_channel_dict(signals, montage.channels, fs=self.fs)
+
+    def condition(
+        self, recording: EMGRecording, n_out: Optional[int] = None
+    ) -> EMGRecording:
+        """Apply the paper's conditioning: rectify, down-sample to 120 Hz.
+
+        Parameters
+        ----------
+        recording:
+            Raw recording at this device's rate.
+        n_out:
+            Force the output sample count (to match a mocap stream exactly).
+        """
+        if recording.fs != self.fs:
+            raise AcquisitionError(
+                f"recording rate {recording.fs} != device rate {self.fs}"
+            )
+        rectified = full_wave_rectify(recording.data_volts)
+        down = downsample_to_rate(
+            rectified, self.fs, self.output_fs, antialias=True, n_out=n_out
+        )
+        # Rectified EMG is non-negative; the anti-alias filter may ring
+        # slightly below zero at burst edges.
+        down = np.maximum(down, 0.0)
+        return EMGRecording(channels=recording.channels, data_volts=down,
+                            fs=self.output_fs)
+
+    def acquire_conditioned(
+        self,
+        activations: Mapping[str, np.ndarray],
+        activation_fs: float,
+        montage: ElectrodeMontage,
+        duration_s: Optional[float] = None,
+        n_out: Optional[int] = None,
+        seed: SeedLike = None,
+    ) -> EMGRecording:
+        """Convenience: :meth:`acquire` followed by :meth:`condition`."""
+        raw = self.acquire(activations, activation_fs, montage,
+                           duration_s=duration_s, seed=seed)
+        return self.condition(raw, n_out=n_out)

@@ -1,0 +1,124 @@
+"""Multi-channel EMG recording container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.utils.validation import check_array
+
+__all__ = ["EMGRecording"]
+
+
+@dataclass(frozen=True)
+class EMGRecording:
+    """A multi-channel EMG signal.
+
+    Attributes
+    ----------
+    channels:
+        Channel names in column order (from the montage).
+    data_volts:
+        Array of shape ``(n_samples, n_channels)``, in volts — the paper's
+        Figure 2 shows EMG amplitudes on the order of tens of microvolts.
+    fs:
+        Sampling rate in Hz: 1000 for raw Myomonitor output, 120 after the
+        paper's rectify-and-downsample conditioning.
+    """
+
+    channels: Tuple[str, ...]
+    data_volts: np.ndarray
+    fs: float
+
+    def __post_init__(self) -> None:
+        if not self.channels:
+            raise ValidationError("EMGRecording needs at least one channel")
+        if len(set(self.channels)) != len(self.channels):
+            raise ValidationError(f"duplicate channel names: {self.channels}")
+        object.__setattr__(self, "channels", tuple(self.channels))
+        data = check_array(self.data_volts, name="data_volts", ndim=2, min_rows=1)
+        if data.shape[1] != len(self.channels):
+            raise ValidationError(
+                f"data has {data.shape[1]} columns, expected {len(self.channels)}"
+            )
+        data = data.copy()
+        data.flags.writeable = False
+        object.__setattr__(self, "data_volts", data)
+        if not self.fs > 0:
+            raise ValidationError(f"fs must be positive, got {self.fs}")
+
+    @classmethod
+    def from_channel_dict(
+        cls,
+        signals: Mapping[str, np.ndarray],
+        channels: Sequence[str],
+        fs: float,
+    ) -> "EMGRecording":
+        """Assemble a recording from a channel → 1-D signal mapping."""
+        missing = [c for c in channels if c not in signals]
+        if missing:
+            raise ValidationError(f"signals missing channels: {missing}")
+        columns = []
+        n = None
+        for name in channels:
+            sig = check_array(signals[name], name=name, ndim=1)
+            if n is None:
+                n = len(sig)
+            elif len(sig) != n:
+                raise ValidationError(
+                    f"channel {name!r} has {len(sig)} samples, expected {n}"
+                )
+            columns.append(sig)
+        return cls(channels=tuple(channels), data_volts=np.stack(columns, axis=1), fs=fs)
+
+    @property
+    def n_samples(self) -> int:
+        """Number of samples per channel."""
+        return self.data_volts.shape[0]
+
+    @property
+    def n_channels(self) -> int:
+        """Number of channels."""
+        return len(self.channels)
+
+    @property
+    def duration_s(self) -> float:
+        """Recording duration in seconds."""
+        return self.n_samples / self.fs
+
+    def channel(self, name: str) -> np.ndarray:
+        """The 1-D signal of channel ``name``."""
+        try:
+            idx = self.channels.index(name)
+        except ValueError:
+            raise ValidationError(
+                f"channel {name!r} not recorded; have {self.channels}"
+            ) from None
+        return self.data_volts[:, idx]
+
+    def to_dict(self) -> Dict[str, np.ndarray]:
+        """Mapping from channel name to its signal."""
+        return {c: self.channel(c) for c in self.channels}
+
+    def slice_samples(self, start: int, stop: int) -> "EMGRecording":
+        """Return samples ``[start, stop)`` as a new recording."""
+        if not 0 <= start < stop <= self.n_samples:
+            raise ValidationError(
+                f"invalid sample range [{start}, {stop}) for {self.n_samples} samples"
+            )
+        return EMGRecording(
+            channels=self.channels, data_volts=self.data_volts[start:stop], fs=self.fs
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, EMGRecording):
+            return NotImplemented
+        return (
+            self.channels == other.channels
+            and self.fs == other.fs
+            and self.data_volts.shape == other.data_volts.shape
+            and bool(np.allclose(self.data_volts, other.data_volts))
+        )

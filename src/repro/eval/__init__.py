@@ -1,0 +1,51 @@
+"""Evaluation harness: metrics, experiment drivers, reporting.
+
+:mod:`repro.eval.experiments` reproduces the paper's Section 6 protocol —
+misclassification rate and k-NN classified percent swept over window size
+(50–200 ms) and cluster count (2–40) — on synthetic capture campaigns.
+"""
+
+from repro.eval.metrics import (
+    confusion_matrix,
+    knn_classified_percent,
+    misclassification_rate,
+)
+from repro.eval.experiments import (
+    ExperimentResult,
+    SweepResult,
+    run_experiment,
+    sweep,
+)
+from repro.eval.crossval import CrossValidationResult, cross_validate, stratified_folds
+from repro.eval.learning import LearningCurvePoint, learning_curve
+from repro.eval.reporting import format_series, format_table, series_to_csv
+from repro.eval.stats import (
+    BootstrapResult,
+    bootstrap_ci,
+    knn_percent_ci,
+    mcnemar_test,
+    misclassification_ci,
+)
+
+__all__ = [
+    "confusion_matrix",
+    "knn_classified_percent",
+    "misclassification_rate",
+    "ExperimentResult",
+    "SweepResult",
+    "run_experiment",
+    "sweep",
+    "format_series",
+    "format_table",
+    "series_to_csv",
+    "CrossValidationResult",
+    "cross_validate",
+    "stratified_folds",
+    "LearningCurvePoint",
+    "learning_curve",
+    "BootstrapResult",
+    "bootstrap_ci",
+    "knn_percent_ci",
+    "mcnemar_test",
+    "misclassification_ci",
+]

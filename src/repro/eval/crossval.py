@@ -1,0 +1,140 @@
+"""Stratified k-fold cross-validation over a motion dataset.
+
+One split gives one noisy point estimate (the paper's situation); k-fold
+cross-validation turns the same data into k train/test rotations whose
+aggregate carries an uncertainty estimate.  Used by the extended analysis
+benchmarks and available to library users evaluating their own protocols.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.model import MotionClassifier
+from repro.data.dataset import MotionDataset
+from repro.errors import DatasetError
+from repro.eval.experiments import ExperimentResult, run_experiment
+from repro.eval.stats import BootstrapResult, bootstrap_ci
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_positive_int
+
+__all__ = ["CrossValidationResult", "stratified_folds", "cross_validate"]
+
+
+def stratified_folds(
+    dataset: MotionDataset,
+    n_folds: int = 4,
+    seed: SeedLike = 0,
+) -> List[Tuple[MotionDataset, MotionDataset]]:
+    """Split a dataset into ``n_folds`` stratified (train, test) rotations.
+
+    Every class contributes trials to every fold (requires at least
+    ``n_folds`` trials per class); each trial appears in exactly one test
+    fold.
+    """
+    n_folds = check_positive_int(n_folds, name="n_folds", minimum=2)
+    rng = as_generator(seed)
+    fold_members: List[List] = [[] for _ in range(n_folds)]
+    for label in dataset.labels:
+        group = dataset.by_label(label)
+        if len(group) < n_folds:
+            raise DatasetError(
+                f"class {label!r} has {len(group)} trials; "
+                f"need >= {n_folds} for {n_folds}-fold CV"
+            )
+        order = rng.permutation(len(group))
+        for position, idx in enumerate(order):
+            fold_members[position % n_folds].append(group[idx])
+    folds = []
+    for i in range(n_folds):
+        test_records = fold_members[i]
+        train_records = [
+            rec for j in range(n_folds) if j != i for rec in fold_members[j]
+        ]
+        folds.append((
+            MotionDataset(name=f"{dataset.name}:cv{i}:train",
+                          records=train_records),
+            MotionDataset(name=f"{dataset.name}:cv{i}:test",
+                          records=test_records),
+        ))
+    return folds
+
+
+@dataclass(frozen=True)
+class CrossValidationResult:
+    """Aggregated k-fold outcome.
+
+    Attributes
+    ----------
+    fold_results:
+        The per-fold experiment results.
+    misclassification:
+        Bootstrap summary of the pooled per-query errors.
+    knn_classified:
+        Bootstrap summary of the per-fold k-NN percentages.
+    """
+
+    fold_results: Tuple[ExperimentResult, ...]
+    misclassification: BootstrapResult
+    knn_classified: BootstrapResult
+
+    @property
+    def n_folds(self) -> int:
+        """Number of folds run."""
+        return len(self.fold_results)
+
+    @property
+    def n_queries(self) -> int:
+        """Total queries across folds."""
+        return sum(r.n_queries for r in self.fold_results)
+
+
+def cross_validate(
+    dataset: MotionDataset,
+    n_folds: int = 4,
+    window_ms: float = 100.0,
+    n_clusters: int = 15,
+    k: int = 5,
+    seed: SeedLike = 0,
+    classifier_factory: Optional[Callable[[], MotionClassifier]] = None,
+    **classifier_kwargs,
+) -> CrossValidationResult:
+    """Run the paper's evaluation as stratified k-fold cross-validation.
+
+    Parameters
+    ----------
+    dataset:
+        The full labelled campaign.
+    n_folds:
+        Fold count (every class needs at least this many trials).
+    window_ms, n_clusters, k, classifier_kwargs:
+        Configuration forwarded to :func:`~repro.eval.experiments.run_experiment`.
+    classifier_factory:
+        Builds a fresh (unfitted) classifier per fold; overrides the
+        configuration arguments.
+    """
+    folds = stratified_folds(dataset, n_folds=n_folds, seed=seed)
+    results = []
+    for train, test in folds:
+        classifier = classifier_factory() if classifier_factory else None
+        results.append(run_experiment(
+            train, test,
+            window_ms=window_ms, n_clusters=n_clusters, k=k, seed=seed,
+            classifier=classifier, **classifier_kwargs,
+        ))
+    per_query_errors: List[float] = []
+    for r in results:
+        per_query_errors.extend(
+            100.0 * (t != p)
+            for t, p in zip(r.true_labels, r.predicted_labels)
+        )
+    return CrossValidationResult(
+        fold_results=tuple(results),
+        misclassification=bootstrap_ci(per_query_errors, seed=seed),
+        knn_classified=bootstrap_ci(
+            [r.knn_classified_pct for r in results], seed=seed
+        ),
+    )

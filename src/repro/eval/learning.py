@@ -1,0 +1,108 @@
+"""Learning curves: accuracy as a function of database size.
+
+The paper never says how many trials per class its database holds; for a
+deployment ("how many repetitions must each patient record?") the relevant
+question is how quickly the classifier saturates.  :func:`learning_curve`
+subsamples the training split to a growing number of trials per class —
+keeping the test split fixed — and reports the metric at each size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.core.model import MotionClassifier
+from repro.data.dataset import MotionDataset
+from repro.errors import DatasetError
+from repro.eval.experiments import ExperimentResult, run_experiment
+from repro.utils.rng import SeedLike, as_generator
+
+__all__ = ["LearningCurvePoint", "learning_curve"]
+
+
+@dataclass(frozen=True)
+class LearningCurvePoint:
+    """One database size and its evaluation outcome.
+
+    Attributes
+    ----------
+    trials_per_class:
+        Training trials kept per motion class.
+    n_train:
+        Resulting database size.
+    result:
+        The full experiment result at this size.
+    """
+
+    trials_per_class: int
+    n_train: int
+    result: ExperimentResult
+
+
+def _subsample(
+    train: MotionDataset, per_class: int, rng
+) -> MotionDataset:
+    records = []
+    for label in train.labels:
+        group = train.by_label(label)
+        if len(group) < per_class:
+            raise DatasetError(
+                f"class {label!r} has {len(group)} trials; "
+                f"cannot subsample {per_class}"
+            )
+        chosen = rng.choice(len(group), size=per_class, replace=False)
+        records.extend(group[int(i)] for i in chosen)
+    return MotionDataset(name=f"{train.name}:sub{per_class}", records=records)
+
+
+def learning_curve(
+    train: MotionDataset,
+    test: MotionDataset,
+    trials_per_class: Sequence[int] = (1, 2, 4, 8),
+    window_ms: float = 100.0,
+    n_clusters: int = 15,
+    k: int = 5,
+    seed: SeedLike = 0,
+    classifier_factory: Optional[Callable[[], MotionClassifier]] = None,
+) -> List[LearningCurvePoint]:
+    """Evaluate the pipeline across growing training-database sizes.
+
+    Parameters
+    ----------
+    train, test:
+        The fixed split; only ``train`` is subsampled.
+    trials_per_class:
+        Ascending database sizes to evaluate; sizes exceeding the available
+        trials are skipped (never silently truncated: a skipped size is
+        simply absent from the output).
+    window_ms, n_clusters, k:
+        Pipeline configuration.
+    classifier_factory:
+        Builds a fresh classifier per point; overrides the configuration.
+    """
+    if not trials_per_class:
+        raise DatasetError("need at least one database size to evaluate")
+    rng = as_generator(seed)
+    available = min(len(train.by_label(label)) for label in train.labels)
+    points: List[LearningCurvePoint] = []
+    for per_class in trials_per_class:
+        if per_class > available:
+            continue
+        subset = _subsample(train, per_class, rng)
+        classifier = classifier_factory() if classifier_factory else None
+        result = run_experiment(
+            subset, test,
+            window_ms=window_ms, n_clusters=n_clusters, k=k, seed=seed,
+            classifier=classifier,
+        )
+        points.append(LearningCurvePoint(
+            trials_per_class=per_class,
+            n_train=len(subset),
+            result=result,
+        ))
+    if not points:
+        raise DatasetError(
+            f"no usable database sizes: classes have only {available} trials"
+        )
+    return points

@@ -1,0 +1,72 @@
+"""Classification and retrieval metrics (paper Section 6)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+__all__ = ["misclassification_rate", "knn_classified_percent", "confusion_matrix"]
+
+
+def misclassification_rate(
+    true_labels: Sequence[str], predicted_labels: Sequence[str]
+) -> float:
+    """Percent of queries whose predicted class differs from the true class.
+
+    The paper's first evaluation: "for certain amount of queries, we check
+    whether the query motion is correctly classified or not ... we measure
+    the average misclassification rate".
+    """
+    if len(true_labels) != len(predicted_labels):
+        raise ValidationError(
+            f"{len(true_labels)} true labels vs {len(predicted_labels)} predictions"
+        )
+    if not true_labels:
+        raise ValidationError("cannot compute a rate over zero queries")
+    wrong = sum(1 for t, p in zip(true_labels, predicted_labels) if t != p)
+    return 100.0 * wrong / len(true_labels)
+
+
+def knn_classified_percent(fractions: Sequence[float]) -> float:
+    """Average percent of k-retrieved motions in the query's own class.
+
+    The paper's second evaluation ("the percentage of returned motions in k
+    which are actually present in the same group of query motion.  The other
+    returned motions are false alarms").
+    """
+    if not len(fractions):
+        raise ValidationError("cannot average zero retrieval fractions")
+    fractions = np.asarray(fractions, dtype=np.float64)
+    if np.any(fractions < 0) or np.any(fractions > 1):
+        raise ValidationError("retrieval fractions must lie in [0, 1]")
+    return float(100.0 * fractions.mean())
+
+
+def confusion_matrix(
+    true_labels: Sequence[str],
+    predicted_labels: Sequence[str],
+    labels: Sequence[str] | None = None,
+) -> Tuple[List[str], np.ndarray]:
+    """Confusion counts: rows are true classes, columns predicted.
+
+    Returns ``(labels, matrix)`` with labels sorted (or as given).
+    """
+    if len(true_labels) != len(predicted_labels):
+        raise ValidationError(
+            f"{len(true_labels)} true labels vs {len(predicted_labels)} predictions"
+        )
+    if labels is None:
+        labels = sorted(set(true_labels) | set(predicted_labels))
+    else:
+        labels = list(labels)
+        missing = (set(true_labels) | set(predicted_labels)) - set(labels)
+        if missing:
+            raise ValidationError(f"labels argument is missing classes: {sorted(missing)}")
+    index: Dict[str, int] = {label: i for i, label in enumerate(labels)}
+    matrix = np.zeros((len(labels), len(labels)), dtype=np.int64)
+    for t, p in zip(true_labels, predicted_labels):
+        matrix[index[t], index[p]] += 1
+    return labels, matrix

@@ -1,0 +1,100 @@
+"""ASCII reporting for benchmarks and examples.
+
+The benchmark harness prints the same rows/series the paper's figures plot;
+these helpers keep the formatting consistent and tested.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import ValidationError
+
+__all__ = ["format_table", "format_series", "series_to_csv"]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render a fixed-width ASCII table.
+
+    Cells are stringified; floats are shown with one decimal (the precision
+    the paper's figures can be read at).
+    """
+    if not headers:
+        raise ValidationError("table needs at least one column")
+
+    def render(cell: object) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.1f}"
+        return str(cell)
+
+    str_rows = [[render(c) for c in row] for row in rows]
+    for i, row in enumerate(str_rows):
+        if len(row) != len(headers):
+            raise ValidationError(
+                f"row {i} has {len(row)} cells, expected {len(headers)}"
+            )
+    widths = [
+        max(len(str(h)), *(len(r[j]) for r in str_rows)) if str_rows else len(str(h))
+        for j, h in enumerate(headers)
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [" | ".join(str(h).ljust(w) for h, w in zip(headers, widths)), sep]
+    for row in str_rows:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    title: str,
+    series: Dict[float, Tuple[List[int], List[float]]],
+    x_label: str = "clusters",
+    y_label: str = "value",
+) -> str:
+    """Render figure series (one row per window size) as an ASCII table.
+
+    ``series`` is the output of
+    :meth:`repro.eval.experiments.SweepResult.series`.
+    """
+    if not series:
+        raise ValidationError("no series to format")
+    cluster_axis = None
+    for window, (clusters, values) in series.items():
+        if len(clusters) != len(values):
+            raise ValidationError(
+                f"series for window {window} has mismatched lengths"
+            )
+        if cluster_axis is None:
+            cluster_axis = clusters
+        elif clusters != cluster_axis:
+            raise ValidationError("all series must share the same cluster axis")
+    assert cluster_axis is not None
+    headers = [f"window_ms \\ {x_label}"] + [str(c) for c in cluster_axis]
+    rows = []
+    for window in sorted(series):
+        _, values = series[window]
+        rows.append([f"{window:g} ms"] + [f"{v:.1f}" for v in values])
+    table = format_table(headers, rows)
+    return f"{title}  ({y_label})\n{table}"
+
+
+def series_to_csv(
+    series: Dict[float, Tuple[List[int], List[float]]],
+    value_name: str = "value",
+) -> str:
+    """Render figure series as long-format CSV text.
+
+    Columns: ``window_ms,clusters,<value_name>`` — the layout plotting
+    tools ingest directly.  Ends with a trailing newline.
+    """
+    if not series:
+        raise ValidationError("no series to export")
+    lines = [f"window_ms,clusters,{value_name}"]
+    for window in sorted(series):
+        clusters, values = series[window]
+        if len(clusters) != len(values):
+            raise ValidationError(
+                f"series for window {window} has mismatched lengths"
+            )
+        for c, v in zip(clusters, values):
+            lines.append(f"{window:g},{c},{v:.6g}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,144 @@
+"""Statistical companions for the evaluation metrics.
+
+The paper reports point estimates from one query set; with a few dozen
+queries the quantization is coarse (1 query = several percent).  These
+helpers quantify that uncertainty:
+
+* :func:`bootstrap_ci` — percentile bootstrap confidence interval of any
+  per-query statistic;
+* :func:`misclassification_ci` / :func:`knn_percent_ci` — the two paper
+  metrics with intervals;
+* :func:`mcnemar_test` — paired comparison of two classifiers on the same
+  queries (exact binomial version), used by the ablation analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import comb
+from typing import Callable, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_in_range, check_positive_int
+
+__all__ = [
+    "BootstrapResult",
+    "bootstrap_ci",
+    "misclassification_ci",
+    "knn_percent_ci",
+    "mcnemar_test",
+]
+
+
+@dataclass(frozen=True)
+class BootstrapResult:
+    """A point estimate with a percentile-bootstrap confidence interval."""
+
+    estimate: float
+    low: float
+    high: float
+    confidence: float
+    n_resamples: int
+
+    def __str__(self) -> str:
+        pct = 100.0 * self.confidence
+        return f"{self.estimate:.1f} [{self.low:.1f}, {self.high:.1f}] ({pct:.0f}% CI)"
+
+
+def bootstrap_ci(
+    values: Sequence[float],
+    statistic: Callable[[np.ndarray], float] = np.mean,
+    confidence: float = 0.95,
+    n_resamples: int = 2000,
+    seed: SeedLike = 0,
+) -> BootstrapResult:
+    """Percentile bootstrap interval for ``statistic`` over ``values``."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.ndim != 1 or arr.size == 0:
+        raise ValidationError("values must be a non-empty 1-D sequence")
+    confidence = check_in_range(confidence, name="confidence", low=0.0,
+                                high=1.0, inclusive_low=False,
+                                inclusive_high=False)
+    n_resamples = check_positive_int(n_resamples, name="n_resamples")
+    rng = as_generator(seed)
+    n = arr.size
+    stats = np.empty(n_resamples)
+    for i in range(n_resamples):
+        sample = arr[rng.integers(0, n, size=n)]
+        stats[i] = statistic(sample)
+    alpha = (1.0 - confidence) / 2.0
+    return BootstrapResult(
+        estimate=float(statistic(arr)),
+        low=float(np.quantile(stats, alpha)),
+        high=float(np.quantile(stats, 1.0 - alpha)),
+        confidence=confidence,
+        n_resamples=n_resamples,
+    )
+
+
+def misclassification_ci(
+    true_labels: Sequence[str],
+    predicted_labels: Sequence[str],
+    confidence: float = 0.95,
+    n_resamples: int = 2000,
+    seed: SeedLike = 0,
+) -> BootstrapResult:
+    """Bootstrap CI of the misclassification percentage."""
+    if len(true_labels) != len(predicted_labels):
+        raise ValidationError(
+            f"{len(true_labels)} true labels vs {len(predicted_labels)} predictions"
+        )
+    errors = [100.0 * (t != p) for t, p in zip(true_labels, predicted_labels)]
+    return bootstrap_ci(errors, confidence=confidence,
+                        n_resamples=n_resamples, seed=seed)
+
+
+def knn_percent_ci(
+    fractions: Sequence[float],
+    confidence: float = 0.95,
+    n_resamples: int = 2000,
+    seed: SeedLike = 0,
+) -> BootstrapResult:
+    """Bootstrap CI of the k-NN classified percentage."""
+    arr = np.asarray(list(fractions), dtype=np.float64)
+    if np.any(arr < 0) or np.any(arr > 1):
+        raise ValidationError("retrieval fractions must lie in [0, 1]")
+    return bootstrap_ci(100.0 * arr, confidence=confidence,
+                        n_resamples=n_resamples, seed=seed)
+
+
+def mcnemar_test(
+    true_labels: Sequence[str],
+    predictions_a: Sequence[str],
+    predictions_b: Sequence[str],
+) -> Tuple[float, int, int]:
+    """Exact McNemar test comparing two classifiers on the same queries.
+
+    Returns ``(p_value, n_only_a_correct, n_only_b_correct)``.  A small
+    p-value means the two classifiers' error patterns genuinely differ;
+    with the paper-scale query counts, large-looking accuracy gaps are
+    often not significant — which is exactly what this is for.
+    """
+    if not (len(true_labels) == len(predictions_a) == len(predictions_b)):
+        raise ValidationError("all three label sequences must share length")
+    if not true_labels:
+        raise ValidationError("cannot test on zero queries")
+    only_a = sum(
+        1 for t, a, b in zip(true_labels, predictions_a, predictions_b)
+        if a == t and b != t
+    )
+    only_b = sum(
+        1 for t, a, b in zip(true_labels, predictions_a, predictions_b)
+        if b == t and a != t
+    )
+    n = only_a + only_b
+    if n == 0:
+        return 1.0, only_a, only_b
+    # Exact two-sided binomial test with p = 0.5.
+    k = min(only_a, only_b)
+    tail = sum(comb(n, i) for i in range(0, k + 1)) / 2.0**n
+    p_value = min(1.0, 2.0 * tail)
+    return p_value, only_a, only_b

@@ -1,0 +1,46 @@
+"""Integral of Absolute Value — the paper's EMG feature (Eq. 1).
+
+"We follow a traditional measure to extract the feature of the EMG using the
+Integral of Absolute Value (IAV).  We calculate IAV separately for individual
+channel. ... Let x_i be the sample of an EMG signal/data and w be the window
+size for computing the feature components":
+
+.. math::  IAV_k = \\sum_{i=1}^{w} |x_i|
+
+computed over the ``k``-th window of each channel.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.features.base import EMGFeatureExtractor
+from repro.utils.validation import check_array
+
+__all__ = ["integral_absolute_value", "IAVExtractor"]
+
+
+def integral_absolute_value(window: np.ndarray) -> np.ndarray:
+    """IAV of one ``(w, n_channels)`` window, per channel.
+
+    The input is conditioned (already rectified) EMG, but the absolute value
+    is applied regardless so the function also accepts raw signals.
+    """
+    window = check_array(window, name="window", ndim=2, allow_empty=False)
+    return np.sum(np.abs(window), axis=0)
+
+
+class IAVExtractor(EMGFeatureExtractor):
+    """Per-channel IAV feature (one value per channel), Eq. 1 of the paper."""
+
+    features_per_channel = 1
+
+    def extract(self, window: np.ndarray) -> np.ndarray:
+        """IAV per channel for one window."""
+        return integral_absolute_value(self._validated(window))
+
+    def feature_names(self, channels: Sequence[str]) -> List[str]:
+        """``iav:<channel>`` per channel."""
+        return [f"iav:{c}" for c in channels]

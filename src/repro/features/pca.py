@@ -1,0 +1,61 @@
+"""PCA-based mocap window features — the MUSE-style baseline.
+
+The paper's related work includes MUSE (Yang & Shahabi, its reference
+[13]), which partitions multivariate time series "based on the differences
+between corresponding principal components".  This extractor is the
+window-level analogue for our ablation: instead of the paper's weighted sum
+of right singular vectors (Eq. 3), it describes each joint window by its
+top principal directions weighted by explained variance.
+
+The practical difference from Eq. 3: PCA centers the window first, so the
+feature describes the *shape of movement around its mean position* and
+discards where the joint sits — exactly the information the weighted-SVD
+feature keeps.  The ablation benchmark measures what that difference costs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.errors import FeatureError
+from repro.features.base import MocapFeatureExtractor
+from repro.features.svd import stabilize_signs
+from repro.utils.validation import check_array
+
+__all__ = ["PCAJointExtractor", "pca_joint_feature"]
+
+
+def pca_joint_feature(window: np.ndarray) -> np.ndarray:
+    """Variance-weighted principal directions of one ``(w, 3)`` window.
+
+    The window is mean-centred; the right singular vectors of the centred
+    matrix (= principal axes) are summed, weighted by their normalized
+    singular values, with the same deterministic sign convention as the
+    Eq. 3 feature.  Returns the zero vector for windows that do not move.
+    """
+    window = check_array(window, name="window", ndim=2, allow_empty=False)
+    if window.shape[1] != 3:
+        raise FeatureError(f"joint window must have 3 columns, got {window.shape[1]}")
+    centred = window - window.mean(axis=0, keepdims=True)
+    _, singular, vt = np.linalg.svd(centred, full_matrices=False)
+    total = singular.sum()
+    if total <= 1e-12:
+        return np.zeros(3)
+    weights = singular / total
+    return weights @ stabilize_signs(vt)
+
+
+class PCAJointExtractor(MocapFeatureExtractor):
+    """MUSE-style PCA feature: 3 values per joint per window."""
+
+    features_per_joint = 3
+
+    def extract_joint(self, window: np.ndarray) -> np.ndarray:
+        """Variance-weighted principal directions of one joint window."""
+        return pca_joint_feature(window)
+
+    def feature_names(self, segments: Sequence[str]) -> List[str]:
+        """``pca:<segment>:<axis>`` per joint, axes x/y/z."""
+        return [f"pca:{s}:{axis}" for s in segments for axis in "xyz"]

@@ -1,0 +1,93 @@
+"""Feature standardization.
+
+The combined feature space concatenates IAV values (volts·samples, order
+1e-3) with weighted-SVD components (unit-norm combinations, order 1).
+Euclidean FCM on the raw concatenation would be dominated entirely by the
+mocap block, silently discarding the EMG modality the paper sets out to
+integrate.  The paper does not discuss scaling; any faithful implementation
+needs one, so :class:`FeatureScaler` provides the standard options, fitted
+on the database only (queries are transformed with the stored statistics):
+
+* ``"zscore"`` (default) — per-dimension standardization;
+* ``"minmax"`` — per-dimension scaling to [0, 1];
+* ``"none"`` — the paper's literal concatenation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import FeatureError, NotFittedError
+from repro.utils.validation import check_array
+
+__all__ = ["FeatureScaler"]
+
+_MODES = ("zscore", "minmax", "none")
+
+
+class FeatureScaler:
+    """Fit-once, transform-many feature scaler.
+
+    Parameters
+    ----------
+    mode:
+        ``"zscore"``, ``"minmax"`` or ``"none"``.
+    """
+
+    def __init__(self, mode: str = "zscore"):
+        if mode not in _MODES:
+            raise FeatureError(f"unknown scaling mode {mode!r}; choose from {_MODES}")
+        self.mode = mode
+        self._shift: Optional[np.ndarray] = None
+        self._scale: Optional[np.ndarray] = None
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether :meth:`fit` has been called."""
+        return self.mode == "none" or self._shift is not None
+
+    def fit(self, matrix: np.ndarray) -> "FeatureScaler":
+        """Learn the per-dimension statistics from the database windows."""
+        matrix = check_array(matrix, name="matrix", ndim=2, min_rows=1)
+        if self.mode == "none":
+            return self
+        if self.mode == "zscore":
+            self._shift = matrix.mean(axis=0)
+            std = matrix.std(axis=0)
+        else:  # minmax
+            self._shift = matrix.min(axis=0)
+            std = matrix.max(axis=0) - self._shift
+        # Constant dimensions carry no information; mapping them to zero
+        # (scale 1) keeps them harmless instead of dividing by zero.
+        std = np.where(std < 1e-12, 1.0, std)
+        self._scale = std
+        return self
+
+    def transform(self, matrix: np.ndarray) -> np.ndarray:
+        """Scale a feature matrix with the fitted statistics."""
+        matrix = check_array(matrix, name="matrix", ndim=2)
+        if self.mode == "none":
+            return matrix.copy()
+        if self._shift is None or self._scale is None:
+            raise NotFittedError("FeatureScaler.transform called before fit")
+        if matrix.shape[1] != len(self._shift):
+            raise FeatureError(
+                f"matrix has {matrix.shape[1]} dims, scaler was fitted on "
+                f"{len(self._shift)}"
+            )
+        return (matrix - self._shift) / self._scale
+
+    def fit_transform(self, matrix: np.ndarray) -> np.ndarray:
+        """:meth:`fit` then :meth:`transform` in one call."""
+        return self.fit(matrix).transform(matrix)
+
+    def inverse_transform(self, matrix: np.ndarray) -> np.ndarray:
+        """Map scaled features back to the original units."""
+        matrix = check_array(matrix, name="matrix", ndim=2)
+        if self.mode == "none":
+            return matrix.copy()
+        if self._shift is None or self._scale is None:
+            raise NotFittedError("FeatureScaler.inverse_transform called before fit")
+        return matrix * self._scale + self._shift

@@ -1,0 +1,91 @@
+"""Weighted-SVD joint features for motion capture (paper Eqs. 2–3).
+
+For a joint matrix window ``A`` (``w × 3``) the paper computes the SVD
+``A = U Σ Vᵀ`` and builds the joint's feature as the sum of the three right
+singular vectors weighted by their normalized singular values:
+
+.. math::
+
+   f = \\sum_{j} \\hat{\\sigma}_j \\, v_j, \\qquad
+   \\hat{\\sigma}_j = \\sigma_j / \\textstyle\\sum_k \\sigma_k
+
+yielding a 3-vector per joint per window that "represents the contribution
+of the corresponding joint to the motion data in 3D space ... and also
+captures the geometric similarity of motion matrices".
+
+Sign convention
+---------------
+Singular vectors are only defined up to sign; a naive implementation would
+produce features that flip arbitrarily between otherwise-identical windows.
+We resolve each right singular vector's sign deterministically so that the
+component with the largest absolute value is positive — a standard
+sign-stabilization rule (the paper does not discuss this, but without it the
+method is not reproducible).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.errors import FeatureError
+from repro.features.base import MocapFeatureExtractor
+from repro.utils.validation import check_array
+
+__all__ = ["weighted_svd_feature", "stabilize_signs", "WeightedSVDExtractor"]
+
+
+def stabilize_signs(vt: np.ndarray) -> np.ndarray:
+    """Flip rows of ``Vᵀ`` so each right singular vector's dominant component is positive.
+
+    Parameters
+    ----------
+    vt:
+        The ``Vᵀ`` factor from ``numpy.linalg.svd`` (rows are right singular
+        vectors).
+    """
+    vt = np.asarray(vt, dtype=np.float64).copy()
+    for i in range(vt.shape[0]):
+        row = vt[i]
+        dominant = int(np.argmax(np.abs(row)))
+        if row[dominant] < 0:
+            vt[i] = -row
+    return vt
+
+
+def weighted_svd_feature(window: np.ndarray) -> np.ndarray:
+    """The paper's Eq. 3 feature for one ``(w, 3)`` joint window.
+
+    Returns a 3-vector.  Degenerate cases:
+
+    * a window of all (numerically) zero positions returns the zero vector
+      (a joint that does not move relative to the pelvis contributes
+      nothing);
+    * windows with fewer than 3 rows use the available ``min(w, 3)``
+      singular pairs.
+    """
+    window = check_array(window, name="window", ndim=2, allow_empty=False)
+    if window.shape[1] != 3:
+        raise FeatureError(f"joint window must have 3 columns, got {window.shape[1]}")
+    _, singular, vt = np.linalg.svd(window, full_matrices=False)
+    total = singular.sum()
+    if total <= 1e-12:
+        return np.zeros(3)
+    weights = singular / total
+    vt = stabilize_signs(vt)
+    return weights @ vt
+
+
+class WeightedSVDExtractor(MocapFeatureExtractor):
+    """Weighted-SVD feature: 3 values per joint per window (Eqs. 2–3)."""
+
+    features_per_joint = 3
+
+    def extract_joint(self, window: np.ndarray) -> np.ndarray:
+        """Eq. 3 feature for one joint window."""
+        return weighted_svd_feature(window)
+
+    def feature_names(self, segments: Sequence[str]) -> List[str]:
+        """``svd:<segment>:<axis>`` per joint, axes x/y/z."""
+        return [f"svd:{s}:{axis}" for s in segments for axis in "xyz"]

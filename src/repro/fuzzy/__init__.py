@@ -1,0 +1,30 @@
+"""Fuzzy c-means clustering and companions (paper Section 3.3 and Eq. 9).
+
+Implemented from scratch on numpy:
+
+* :mod:`repro.fuzzy.cmeans` — the Bezdek FCM algorithm (paper Eq. 4);
+* :mod:`repro.fuzzy.membership` — closed-form membership of *new* points
+  against fitted centers (paper Eq. 9, used for queries);
+* :mod:`repro.fuzzy.kmeans` — hard k-means baseline for the FCM ablation;
+* :mod:`repro.fuzzy.validity` — partition coefficient/entropy and Xie–Beni
+  cluster-validity indices.
+"""
+
+from repro.fuzzy.cmeans import FCMResult, FuzzyCMeans
+from repro.fuzzy.kmeans import KMeans, KMeansResult
+from repro.fuzzy.membership import membership_matrix
+from repro.fuzzy.selection import ClusterCountScore, select_cluster_count
+from repro.fuzzy.validity import partition_coefficient, partition_entropy, xie_beni_index
+
+__all__ = [
+    "FCMResult",
+    "FuzzyCMeans",
+    "KMeans",
+    "KMeansResult",
+    "membership_matrix",
+    "partition_coefficient",
+    "partition_entropy",
+    "xie_beni_index",
+    "ClusterCountScore",
+    "select_cluster_count",
+]

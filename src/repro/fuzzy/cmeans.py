@@ -1,0 +1,211 @@
+"""Fuzzy c-means clustering (Bezdek 1981), the paper's Eq. 4.
+
+The paper calls ``fcm(points, c)`` and keeps the cluster centers and the
+membership matrix (discarding the objective history, which we keep anyway
+for diagnostics): "``center`` gives the center/median points for all
+clusters ... and matrix ``U`` gives the degree of membership for each
+point ... with respect to each cluster.  ``obj_fcn`` contains a history of
+the objective function across the iterations."
+
+Algorithm
+---------
+Minimize ``J_m = Σ_i Σ_k u_ik^m ||x_k - v_i||²`` subject to column-stochastic
+memberships, by alternating:
+
+* centers:      ``v_i = Σ_k u_ik^m x_k / Σ_k u_ik^m``
+* memberships:  ``u_ik = 1 / Σ_j (d_ik / d_jk)^(2/(m-1))``
+
+until the objective improvement falls below ``tol`` or ``max_iter`` passes.
+The fuzzifier defaults to ``m = 2`` — the paper: "parameter m is chosen in
+range of [1, ∞] ... we choose m = 2 as it is most widely used".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ClusteringError
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_array, check_in_range, check_positive_int
+
+__all__ = ["FCMResult", "FuzzyCMeans"]
+
+#: Distances below this are treated as "point sits on a center".
+_EPS = 1e-12
+
+
+@dataclass(frozen=True)
+class FCMResult:
+    """The output of one FCM fit.
+
+    Attributes
+    ----------
+    centers:
+        ``(c, d)`` cluster centers (the paper's ``center``).
+    membership:
+        ``(n, c)`` degrees of membership, rows summing to 1 (the paper's
+        ``U``, transposed to the row-per-point convention).
+    objective_history:
+        ``J_m`` per iteration (the paper's ``obj_fcn``).
+    n_iter:
+        Iterations actually run.
+    converged:
+        Whether the tolerance was reached before ``max_iter``.
+    """
+
+    centers: np.ndarray
+    membership: np.ndarray
+    objective_history: np.ndarray
+    n_iter: int
+    converged: bool
+
+    @property
+    def n_clusters(self) -> int:
+        """Number of clusters ``c``."""
+        return self.centers.shape[0]
+
+    def hard_labels(self) -> np.ndarray:
+        """Arg-max defuzzification: each point's best cluster index."""
+        return np.argmax(self.membership, axis=1)
+
+
+class FuzzyCMeans:
+    """Fuzzy c-means estimator.
+
+    Parameters
+    ----------
+    n_clusters:
+        The pre-determined cluster count ``c`` (the paper sweeps 2–40).
+    m:
+        Fuzzifier; must exceed 1 (``m → 1`` approaches hard clustering).
+    max_iter:
+        Iteration cap.
+    tol:
+        Convergence threshold on the objective decrease.
+    n_init:
+        Independent restarts; the best objective wins.  FCM is sensitive to
+        initialization, so a couple of restarts stabilize the benchmarks.
+    """
+
+    def __init__(
+        self,
+        n_clusters: int,
+        m: float = 2.0,
+        max_iter: int = 200,
+        tol: float = 1e-6,
+        n_init: int = 1,
+    ):
+        self.n_clusters = check_positive_int(n_clusters, name="n_clusters", minimum=2)
+        self.m = check_in_range(m, name="m", low=1.0, high=float("inf"),
+                                inclusive_low=False)
+        self.max_iter = check_positive_int(max_iter, name="max_iter")
+        self.tol = check_in_range(tol, name="tol", low=0.0, high=1.0)
+        self.n_init = check_positive_int(n_init, name="n_init")
+
+    # ------------------------------------------------------------------
+
+    def fit(self, points: np.ndarray, seed: SeedLike = None) -> FCMResult:
+        """Cluster ``points`` of shape ``(n, d)``.
+
+        Raises
+        ------
+        ClusteringError
+            If there are fewer points than clusters.
+        """
+        x = check_array(points, name="points", ndim=2, allow_empty=False)
+        n = x.shape[0]
+        if n < self.n_clusters:
+            raise ClusteringError(
+                f"cannot form {self.n_clusters} clusters from {n} points"
+            )
+        rng = as_generator(seed)
+        best: Optional[FCMResult] = None
+        for _ in range(self.n_init):
+            result = self._fit_once(x, rng)
+            if best is None or (
+                result.objective_history[-1] < best.objective_history[-1]
+            ):
+                best = result
+        assert best is not None
+        return best
+
+    def _fit_once(self, x: np.ndarray, rng: np.random.Generator) -> FCMResult:
+        n = x.shape[0]
+        c = self.n_clusters
+        # Initialize centers on distinct random points; this converges faster
+        # and more reproducibly than random memberships.
+        centers = x[rng.choice(n, size=c, replace=False)].copy()
+        membership = self._memberships(x, centers)
+        history = []
+        converged = False
+        iteration = 0
+        for iteration in range(1, self.max_iter + 1):
+            centers = self._centers(x, membership)
+            membership = self._memberships(x, centers)
+            objective = self._objective(x, centers, membership)
+            history.append(objective)
+            if len(history) >= 2 and abs(history[-2] - history[-1]) <= self.tol:
+                converged = True
+                break
+        return FCMResult(
+            centers=centers,
+            membership=membership,
+            objective_history=np.asarray(history),
+            n_iter=iteration,
+            converged=converged,
+        )
+
+    # ------------------------------------------------------------------
+    # Update steps
+    # ------------------------------------------------------------------
+
+    def _centers(self, x: np.ndarray, membership: np.ndarray) -> np.ndarray:
+        weights = membership**self.m  # (n, c)
+        denom = weights.sum(axis=0)  # (c,)
+        # A cluster abandoned by every point keeps a center at the weighted
+        # grand mean rather than dividing by zero.
+        denom = np.where(denom < _EPS, 1.0, denom)
+        return (weights.T @ x) / denom[:, None]
+
+    def _memberships(self, x: np.ndarray, centers: np.ndarray) -> np.ndarray:
+        d2 = _squared_distances(x, centers)
+        return _membership_from_distances(d2, self.m)
+
+    def _objective(
+        self, x: np.ndarray, centers: np.ndarray, membership: np.ndarray
+    ) -> float:
+        d2 = _squared_distances(x, centers)
+        return float(np.sum((membership**self.m) * d2))
+
+
+def _squared_distances(x: np.ndarray, centers: np.ndarray) -> np.ndarray:
+    """Pairwise squared Euclidean distances, shape ``(n, c)``."""
+    diff = x[:, None, :] - centers[None, :, :]
+    return np.einsum("ncd,ncd->nc", diff, diff)
+
+
+def _membership_from_distances(d2: np.ndarray, m: float) -> np.ndarray:
+    """Standard FCM membership update from squared distances.
+
+    Points coinciding with one or more centers get membership split equally
+    among the coinciding centers (the limit of the update rule).
+    """
+    n, c = d2.shape
+    u = np.empty((n, c))
+    zero_mask = d2 <= _EPS
+    has_zero = zero_mask.any(axis=1)
+    power = 1.0 / (m - 1.0)
+    safe = np.where(zero_mask, 1.0, d2)
+    inv = safe ** (-power)
+    u_regular = inv / inv.sum(axis=1, keepdims=True)
+    u[~has_zero] = u_regular[~has_zero]
+    if has_zero.any():
+        rows = np.where(has_zero)[0]
+        u[rows] = 0.0
+        for r in rows:
+            hits = zero_mask[r]
+            u[r, hits] = 1.0 / hits.sum()
+    return u

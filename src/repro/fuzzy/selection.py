@@ -1,0 +1,97 @@
+"""Unsupervised cluster-count selection.
+
+The paper sweeps c from 2 to 40 and reads the best region off the
+classification curves — which needs labelled queries.  For a new deployment
+without labels, validity indices give an unsupervised way to pick c: fit
+FCM across a grid and score each partition.  :func:`select_cluster_count`
+implements the standard recipe (best Xie–Beni, with partition coefficient
+as a tie-breaking diagnostic) and returns the full score table so callers
+can inspect the trade-off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ClusteringError
+from repro.fuzzy.cmeans import FuzzyCMeans
+from repro.fuzzy.validity import partition_coefficient, xie_beni_index
+from repro.utils.rng import SeedLike
+from repro.utils.validation import check_array
+
+__all__ = ["ClusterCountScore", "select_cluster_count"]
+
+
+@dataclass(frozen=True)
+class ClusterCountScore:
+    """Validity scores of one candidate cluster count.
+
+    Attributes
+    ----------
+    n_clusters:
+        The candidate ``c``.
+    xie_beni:
+        Compactness/separation (lower is better).
+    partition_coefficient:
+        Crispness in [1/c, 1] (higher is crisper).
+    objective:
+        Final FCM objective value.
+    """
+
+    n_clusters: int
+    xie_beni: float
+    partition_coefficient: float
+    objective: float
+
+
+def select_cluster_count(
+    points: np.ndarray,
+    candidates: Sequence[int] = (2, 4, 6, 8, 10, 12, 15, 20, 25, 30),
+    m: float = 2.0,
+    seed: SeedLike = 0,
+    n_init: int = 1,
+) -> Tuple[int, List[ClusterCountScore]]:
+    """Pick a cluster count by the Xie–Beni index.
+
+    Parameters
+    ----------
+    points:
+        ``(n, d)`` window feature matrix (scaled, as fed to FCM).
+    candidates:
+        Cluster counts to evaluate; counts exceeding ``n - 1`` are skipped.
+    m, seed, n_init:
+        FCM parameters.
+
+    Returns
+    -------
+    (best_c, scores):
+        The Xie–Beni-optimal count and the per-candidate score table in
+        candidate order.
+    """
+    x = check_array(points, name="points", ndim=2, allow_empty=False)
+    usable = [c for c in candidates if 2 <= c <= x.shape[0] - 1]
+    if not usable:
+        raise ClusteringError(
+            f"no usable candidate counts for {x.shape[0]} points: {candidates}"
+        )
+    scores: List[ClusterCountScore] = []
+    for c in usable:
+        result = FuzzyCMeans(n_clusters=c, m=m, n_init=n_init).fit(x, seed=seed)
+        try:
+            xb = xie_beni_index(x, result.centers, result.membership, m=m)
+        except ClusteringError:
+            # Coincident centers: hopeless over-clustering for this data.
+            xb = float("inf")
+        scores.append(
+            ClusterCountScore(
+                n_clusters=c,
+                xie_beni=xb,
+                partition_coefficient=partition_coefficient(result.membership),
+                objective=float(result.objective_history[-1]),
+            )
+        )
+    best = min(scores, key=lambda s: s.xie_beni)
+    return best.n_clusters, scores

@@ -1,0 +1,115 @@
+"""Kinematic analysis of captured motion matrices.
+
+The paper motivates the integration with "joint mechanics, prosthetic
+designs, and sports medicines" — applications that read *kinematic
+quantities* off the same motion matrices the classifier consumes.  This
+module provides the standard ones:
+
+* :func:`joint_angle_series` — the included angle at a middle joint of a
+  three-point chain (e.g. elbow angle from shoulder/elbow/wrist positions);
+* :func:`range_of_motion` — per-axis excursion of a joint;
+* :func:`path_length` / :func:`mean_speed` — trajectory length and speed;
+* :func:`smoothness_sal` — spectral-arc-length smoothness, the standard
+  motor-control quality metric (lower magnitude = smoother).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.mocap.trajectory import MotionCaptureData
+from repro.utils.validation import check_array, check_in_range
+
+__all__ = [
+    "joint_angle_series",
+    "range_of_motion",
+    "path_length",
+    "mean_speed",
+    "smoothness_sal",
+]
+
+
+def joint_angle_series(
+    capture: MotionCaptureData,
+    proximal: str,
+    middle: str,
+    distal: str,
+) -> np.ndarray:
+    """Included angle (radians) at ``middle`` over time.
+
+    The angle between the vectors ``middle→proximal`` and ``middle→distal``:
+    an extended elbow reads ~pi, a fully flexed one approaches 0.
+    """
+    a = capture.joint_matrix(proximal)
+    b = capture.joint_matrix(middle)
+    c = capture.joint_matrix(distal)
+    u = a - b
+    v = c - b
+    nu = np.linalg.norm(u, axis=1)
+    nv = np.linalg.norm(v, axis=1)
+    if np.any(nu < 1e-9) or np.any(nv < 1e-9):
+        raise ValidationError(
+            "degenerate joint geometry: coincident points in the chain"
+        )
+    cosine = np.einsum("nd,nd->n", u, v) / (nu * nv)
+    return np.arccos(np.clip(cosine, -1.0, 1.0))
+
+
+def range_of_motion(capture: MotionCaptureData, segment: str) -> Dict[str, float]:
+    """Per-axis excursion (max − min, mm) of a segment's trajectory."""
+    pos = capture.joint_matrix(segment)
+    span = pos.max(axis=0) - pos.min(axis=0)
+    return {"x": float(span[0]), "y": float(span[1]), "z": float(span[2])}
+
+
+def path_length(capture: MotionCaptureData, segment: str) -> float:
+    """Total 3-D path length of a segment's trajectory, mm."""
+    pos = capture.joint_matrix(segment)
+    if pos.shape[0] < 2:
+        return 0.0
+    steps = np.diff(pos, axis=0)
+    return float(np.sum(np.sqrt(np.einsum("nd,nd->n", steps, steps))))
+
+
+def mean_speed(capture: MotionCaptureData, segment: str) -> float:
+    """Average 3-D speed of a segment, mm/s."""
+    duration = capture.duration_s
+    if duration <= 0:
+        raise ValidationError("capture has zero duration")
+    return path_length(capture, segment) / duration
+
+
+def smoothness_sal(
+    capture: MotionCaptureData,
+    segment: str,
+    cutoff_hz: float = 10.0,
+) -> float:
+    """Spectral arc length of a segment's speed profile (Balasubramanian).
+
+    The arc length of the normalized Fourier magnitude spectrum of the
+    speed profile up to ``cutoff_hz``; always negative, with values nearer
+    zero indicating smoother movement.
+    """
+    cutoff_hz = check_in_range(cutoff_hz, name="cutoff_hz", low=0.0,
+                               high=capture.fps / 2.0, inclusive_low=False)
+    pos = capture.joint_matrix(segment)
+    if pos.shape[0] < 8:
+        raise ValidationError("need at least 8 frames for a smoothness estimate")
+    steps = np.diff(pos, axis=0)
+    speed = np.sqrt(np.einsum("nd,nd->n", steps, steps)) * capture.fps
+    # Zero-pad for spectral resolution.
+    n_fft = max(256, 4 * len(speed))
+    spectrum = np.abs(np.fft.rfft(speed, n=n_fft))
+    freqs = np.fft.rfftfreq(n_fft, d=1.0 / capture.fps)
+    keep = freqs <= cutoff_hz
+    mag = spectrum[keep]
+    if mag[0] <= 0:
+        raise ValidationError("segment does not move; smoothness undefined")
+    mag = mag / mag[0]
+    f_norm = freqs[keep] / cutoff_hz
+    d_f = np.diff(f_norm)
+    d_m = np.diff(mag)
+    return float(-np.sum(np.sqrt(d_f**2 + d_m**2)))

@@ -1,0 +1,70 @@
+"""Gap-filling of occluded marker samples.
+
+Short NaN runs produced by :class:`repro.mocap.noise.OcclusionModel` are
+reconstructed by per-column linear interpolation (the standard first-pass
+gap-fill in commercial mocap pipelines); leading/trailing gaps are filled by
+nearest-value extrapolation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SignalError
+
+__all__ = ["fill_gaps", "gap_statistics"]
+
+
+def fill_gaps(positions_mm: np.ndarray) -> np.ndarray:
+    """Return a copy of ``(n_frames, k)`` positions with NaNs interpolated.
+
+    Raises
+    ------
+    SignalError
+        If any column is entirely NaN (nothing to interpolate from).
+    """
+    positions = np.asarray(positions_mm, dtype=np.float64)
+    if positions.ndim != 2:
+        raise SignalError(f"positions must be 2-D, got shape {positions.shape}")
+    out = positions.copy()
+    n = out.shape[0]
+    idx = np.arange(n)
+    for col in range(out.shape[1]):
+        column = out[:, col]
+        mask = np.isnan(column)
+        if not mask.any():
+            continue
+        if mask.all():
+            raise SignalError(f"column {col} is entirely NaN; cannot gap-fill")
+        valid = ~mask
+        out[mask, col] = np.interp(idx[mask], idx[valid], column[valid])
+    return out
+
+
+def gap_statistics(positions_mm: np.ndarray) -> dict:
+    """Summarize occlusion gaps: count, total NaN samples, longest run.
+
+    Useful for acquisition-quality reporting and tested independently of the
+    filler.
+    """
+    positions = np.asarray(positions_mm, dtype=np.float64)
+    if positions.ndim != 2:
+        raise SignalError(f"positions must be 2-D, got shape {positions.shape}")
+    mask = np.isnan(positions)
+    n_samples = int(mask.sum())
+    n_gaps = 0
+    longest = 0
+    for col in range(mask.shape[1]):
+        column = mask[:, col]
+        run = 0
+        for value in column:
+            if value:
+                run += 1
+                longest = max(longest, run)
+            else:
+                if run > 0:
+                    n_gaps += 1
+                run = 0
+        if run > 0:
+            n_gaps += 1
+    return {"n_gaps": n_gaps, "n_nan_samples": n_samples, "longest_gap": longest}

@@ -1,0 +1,161 @@
+"""Marker clusters and joint reconstruction.
+
+Real optical capture does not measure joints — it measures retro-reflective
+*markers* taped to the body ("round-shaped" reflectors in the paper's
+Figure 1) and software reconstructs joint centers from them.  This module
+adds that layer to the simulator:
+
+* a :class:`MarkerCluster` is a rigid set of markers around one segment's
+  distal joint, with local offsets summing to zero — so the cluster's
+  centroid *is* the joint center;
+* :func:`marker_positions` places clusters with the segment's full pose
+  (position + orientation from :func:`~repro.skeleton.kinematics.forward_kinematics_full`);
+* :func:`reconstruct_joints` recovers joint trajectories by averaging each
+  cluster's markers — noise on individual markers averages down by
+  ``1/sqrt(k)``, exactly why labs use 3-marker clusters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import SkeletonError, ValidationError
+from repro.skeleton.kinematics import JointAngles, forward_kinematics_full
+from repro.skeleton.model import Skeleton
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_array, check_in_range, check_positive_int
+
+__all__ = [
+    "MarkerCluster",
+    "default_marker_set",
+    "marker_positions",
+    "reconstruct_joints",
+]
+
+
+@dataclass(frozen=True)
+class MarkerCluster:
+    """A rigid marker cluster on one segment.
+
+    Attributes
+    ----------
+    segment:
+        Segment whose distal joint the cluster surrounds.
+    offsets_mm:
+        ``(k, 3)`` marker offsets in the segment's local frame; they must
+        sum to (numerically) zero so the centroid coincides with the joint.
+    """
+
+    segment: str
+    offsets_mm: np.ndarray
+
+    def __post_init__(self) -> None:
+        offsets = check_array(self.offsets_mm, name="offsets_mm", ndim=2,
+                              min_rows=1)
+        if offsets.shape[1] != 3:
+            raise ValidationError(
+                f"marker offsets must be (k, 3), got {offsets.shape}"
+            )
+        centroid = offsets.mean(axis=0)
+        if np.linalg.norm(centroid) > 1e-6 * max(1.0, np.abs(offsets).max()):
+            raise ValidationError(
+                f"cluster on {self.segment!r} is not centred on the joint: "
+                f"centroid {centroid}"
+            )
+        offsets = offsets.copy()
+        offsets.flags.writeable = False
+        object.__setattr__(self, "offsets_mm", offsets)
+
+    @property
+    def n_markers(self) -> int:
+        """Markers in the cluster."""
+        return self.offsets_mm.shape[0]
+
+
+def default_marker_set(
+    segments: Sequence[str],
+    n_markers: int = 3,
+    radius_mm: float = 40.0,
+    seed: SeedLike = 0,
+) -> Dict[str, MarkerCluster]:
+    """Symmetric marker clusters for the given segments.
+
+    Markers are spread evenly on a circle of ``radius_mm`` whose plane
+    orientation is drawn per segment (clusters on different segments should
+    not be coplanar copies of each other), guaranteeing a zero centroid.
+    """
+    n_markers = check_positive_int(n_markers, name="n_markers", minimum=2)
+    radius_mm = check_in_range(radius_mm, name="radius_mm", low=0.0,
+                               high=500.0, inclusive_low=False)
+    rng = as_generator(seed)
+    clusters: Dict[str, MarkerCluster] = {}
+    for segment in segments:
+        angles = 2.0 * np.pi * np.arange(n_markers) / n_markers
+        circle = np.stack(
+            [np.cos(angles), np.sin(angles), np.zeros(n_markers)], axis=1
+        ) * radius_mm
+        # Random plane orientation per segment.
+        q = np.linalg.qr(rng.normal(size=(3, 3)))[0]
+        clusters[segment] = MarkerCluster(
+            segment=segment, offsets_mm=circle @ q.T
+        )
+    return clusters
+
+
+def marker_positions(
+    skeleton: Skeleton,
+    animation: JointAngles,
+    clusters: Dict[str, MarkerCluster],
+) -> Dict[str, np.ndarray]:
+    """Global marker trajectories per segment, shape ``(n, k, 3)``.
+
+    Markers ride rigidly with their segment: position = joint position +
+    segment rotation applied to the local offset.
+    """
+    if not clusters:
+        raise ValidationError("need at least one marker cluster")
+    segments = list(clusters)
+    skeleton.validate_segment_names(segments)
+    positions, rotations = forward_kinematics_full(skeleton, animation, segments)
+    out: Dict[str, np.ndarray] = {}
+    for segment, cluster in clusters.items():
+        joint = positions[segment]  # (n, 3)
+        rot = rotations[segment]  # (n, 3, 3)
+        riding = np.einsum("nij,kj->nki", rot, np.asarray(cluster.offsets_mm))
+        out[segment] = joint[:, None, :] + riding
+    return out
+
+
+def reconstruct_joints(
+    markers: Dict[str, np.ndarray],
+) -> Dict[str, np.ndarray]:
+    """Joint trajectories as the centroid of each segment's marker cluster.
+
+    NaN markers (occluded samples) are ignored frame-wise; a frame with
+    every marker of a cluster missing raises, because no reconstruction is
+    possible without gap-filling first.
+    """
+    out: Dict[str, np.ndarray] = {}
+    for segment, cloud in markers.items():
+        cloud = np.asarray(cloud, dtype=np.float64)
+        if cloud.ndim != 3 or cloud.shape[2] != 3:
+            raise ValidationError(
+                f"markers for {segment!r} must be (n, k, 3), got {cloud.shape}"
+            )
+        import warnings
+
+        with warnings.catch_warnings():
+            # A fully occluded frame produces "Mean of empty slice"; the
+            # resulting NaN is detected and reported just below.
+            warnings.simplefilter("ignore", category=RuntimeWarning)
+            centroid = np.nanmean(cloud, axis=1)
+        if np.isnan(centroid).any():
+            raise SkeletonError(
+                f"segment {segment!r} has frames with every marker occluded; "
+                "gap-fill the markers first"
+            )
+        out[segment] = centroid
+    return out

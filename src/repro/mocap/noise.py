@@ -1,0 +1,95 @@
+"""Marker measurement-noise and occlusion models.
+
+Optical motion capture is precise but not perfect: reconstructed marker
+positions jitter by a fraction of a millimetre to a few millimetres, and
+markers occasionally drop out when occluded from too many cameras.  The
+paper notes that motion-capture data is far more noise-immune than EMG —
+these models keep that ordering while still exercising the gap-filling code
+path a real pipeline needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_array, check_in_range, check_positive_int
+
+__all__ = ["MarkerNoiseModel", "OcclusionModel"]
+
+
+@dataclass(frozen=True)
+class MarkerNoiseModel:
+    """Additive Gaussian jitter on reconstructed marker positions.
+
+    Attributes
+    ----------
+    sigma_mm:
+        Per-axis standard deviation in millimetres.  Sub-millimetre values
+        are typical for a calibrated optical system; the default 0.8 mm is a
+        conservative lab-quality figure.
+    """
+
+    sigma_mm: float = 0.8
+
+    def __post_init__(self) -> None:
+        check_in_range(self.sigma_mm, name="sigma_mm", low=0.0, high=float("inf"))
+
+    def apply(self, positions_mm: np.ndarray, seed: SeedLike = None) -> np.ndarray:
+        """Return a jittered copy of an ``(n_frames, k)`` position array."""
+        positions = check_array(positions_mm, name="positions_mm", ndim=2)
+        if self.sigma_mm == 0.0:
+            return positions.copy()
+        rng = as_generator(seed)
+        return positions + rng.normal(0.0, self.sigma_mm, size=positions.shape)
+
+
+@dataclass(frozen=True)
+class OcclusionModel:
+    """Random short marker dropouts, marked as NaN runs per segment.
+
+    Attributes
+    ----------
+    dropout_rate_per_s:
+        Expected number of occlusion events per segment per second.
+    max_gap_frames:
+        Maximum dropout length; each event draws a length in
+        ``[1, max_gap_frames]`` uniformly.
+    """
+
+    dropout_rate_per_s: float = 0.1
+    max_gap_frames: int = 6
+
+    def __post_init__(self) -> None:
+        check_in_range(self.dropout_rate_per_s, name="dropout_rate_per_s",
+                       low=0.0, high=float("inf"))
+        check_positive_int(self.max_gap_frames, name="max_gap_frames")
+
+    def apply(
+        self, positions_mm: np.ndarray, fps: float, seed: SeedLike = None
+    ) -> np.ndarray:
+        """Return a copy of ``(n_frames, 3k)`` positions with NaN gaps.
+
+        Gaps never cover the first or last frame of a segment's trajectory so
+        that gap-filling by interpolation stays well-posed.
+        """
+        positions = check_array(positions_mm, name="positions_mm", ndim=2)
+        out = positions.copy()
+        if self.dropout_rate_per_s == 0.0:
+            return out
+        rng = as_generator(seed)
+        n = positions.shape[0]
+        n_markers = positions.shape[1] // 3
+        duration_s = n / fps
+        for marker in range(n_markers):
+            n_events = rng.poisson(self.dropout_rate_per_s * duration_s)
+            for _ in range(n_events):
+                if n <= 2:
+                    break
+                length = int(rng.integers(1, self.max_gap_frames + 1))
+                length = min(length, n - 2)
+                start = int(rng.integers(1, n - length))
+                out[start : start + length, 3 * marker : 3 * marker + 3] = np.nan
+        return out

@@ -1,0 +1,167 @@
+"""The motion-capture data container.
+
+The paper represents "every motion ... by a matrix which contains the 3D
+positional information for all joints, in the form of 3-column per joint
+(called as 'joint matrix') in whole motion matrix".
+:class:`MotionCaptureData` is exactly that motion matrix plus the segment
+ordering and frame rate needed to interpret it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.skeleton.transform import to_pelvis_frame
+from repro.utils.validation import check_array
+
+__all__ = ["MotionCaptureData"]
+
+
+@dataclass(frozen=True)
+class MotionCaptureData:
+    """A captured motion matrix: 3 columns (X, Y, Z) per segment, mm.
+
+    Attributes
+    ----------
+    segments:
+        Segment names in column order.
+    matrix_mm:
+        Array of shape ``(n_frames, 3 * len(segments))``.
+    fps:
+        Frame rate, 120 Hz in the paper's laboratory.
+    """
+
+    segments: Tuple[str, ...]
+    matrix_mm: np.ndarray
+    fps: float = 120.0
+
+    def __post_init__(self) -> None:
+        if not self.segments:
+            raise ValidationError("MotionCaptureData needs at least one segment")
+        if len(set(self.segments)) != len(self.segments):
+            raise ValidationError(f"duplicate segment names: {self.segments}")
+        object.__setattr__(self, "segments", tuple(self.segments))
+        matrix = check_array(self.matrix_mm, name="matrix_mm", ndim=2, min_rows=1)
+        if matrix.shape[1] != 3 * len(self.segments):
+            raise ValidationError(
+                f"matrix has {matrix.shape[1]} columns, expected "
+                f"{3 * len(self.segments)} for {len(self.segments)} segments"
+            )
+        matrix = matrix.copy()
+        matrix.flags.writeable = False
+        object.__setattr__(self, "matrix_mm", matrix)
+        if not self.fps > 0:
+            raise ValidationError(f"fps must be positive, got {self.fps}")
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_positions(
+        cls,
+        positions_mm: Mapping[str, np.ndarray],
+        segments: Sequence[str],
+        fps: float = 120.0,
+    ) -> "MotionCaptureData":
+        """Assemble the motion matrix from a name → (n, 3) mapping.
+
+        Column order follows ``segments``; each requested segment must be
+        present in the mapping.
+        """
+        missing = [s for s in segments if s not in positions_mm]
+        if missing:
+            raise ValidationError(f"positions missing segments: {missing}")
+        arrays = []
+        n = None
+        for name in segments:
+            pos = check_array(positions_mm[name], name=name, ndim=2)
+            if pos.shape[1] != 3:
+                raise ValidationError(
+                    f"positions for {name!r} must be (n, 3), got {pos.shape}"
+                )
+            if n is None:
+                n = pos.shape[0]
+            elif pos.shape[0] != n:
+                raise ValidationError(
+                    f"segment {name!r} has {pos.shape[0]} frames, expected {n}"
+                )
+            arrays.append(pos)
+        return cls(segments=tuple(segments), matrix_mm=np.hstack(arrays), fps=fps)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def n_frames(self) -> int:
+        """Number of captured frames."""
+        return self.matrix_mm.shape[0]
+
+    @property
+    def n_segments(self) -> int:
+        """Number of segments (joints) in the matrix."""
+        return len(self.segments)
+
+    @property
+    def duration_s(self) -> float:
+        """Capture duration in seconds."""
+        return self.n_frames / self.fps
+
+    def column_slice(self, segment: str) -> slice:
+        """Column slice of ``segment`` inside the motion matrix."""
+        try:
+            idx = self.segments.index(segment)
+        except ValueError:
+            raise ValidationError(
+                f"segment {segment!r} not captured; have {self.segments}"
+            ) from None
+        return slice(3 * idx, 3 * idx + 3)
+
+    def joint_matrix(self, segment: str) -> np.ndarray:
+        """The paper's per-joint ``(n_frames, 3)`` "joint matrix"."""
+        return self.matrix_mm[:, self.column_slice(segment)]
+
+    def positions(self) -> Dict[str, np.ndarray]:
+        """Mapping from segment name to its (n, 3) trajectory."""
+        return {s: self.joint_matrix(s) for s in self.segments}
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+
+    def select(self, segments: Sequence[str]) -> "MotionCaptureData":
+        """Restrict the matrix to ``segments`` (in the given order)."""
+        pos = self.positions()
+        return MotionCaptureData.from_positions(pos, segments, fps=self.fps)
+
+    def to_pelvis_local(self, pelvis_name: str = "pelvis") -> "MotionCaptureData":
+        """Apply the paper's local transformation (pelvis at the origin)."""
+        local = to_pelvis_frame(self.positions(), pelvis_name=pelvis_name)
+        return MotionCaptureData.from_positions(local, self.segments, fps=self.fps)
+
+    def slice_frames(self, start: int, stop: int) -> "MotionCaptureData":
+        """Return frames ``[start, stop)`` as a new capture."""
+        if not 0 <= start < stop <= self.n_frames:
+            raise ValidationError(
+                f"invalid frame range [{start}, {stop}) for {self.n_frames} frames"
+            )
+        return MotionCaptureData(
+            segments=self.segments,
+            matrix_mm=self.matrix_mm[start:stop],
+            fps=self.fps,
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MotionCaptureData):
+            return NotImplemented
+        return (
+            self.segments == other.segments
+            and self.fps == other.fps
+            and self.matrix_mm.shape == other.matrix_mm.shape
+            and bool(np.allclose(self.matrix_mm, other.matrix_mm))
+        )

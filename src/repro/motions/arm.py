@@ -1,0 +1,344 @@
+"""Right-arm motion classes for the paper's hand study.
+
+Electrode montage (Section 5): biceps, triceps, upper forearm, lower forearm.
+Captured segments: clavicle, humerus, radius, hand.
+
+Angle conventions follow :mod:`repro.skeleton.kinematics`: a positive X
+rotation of the humerus flexes the shoulder (raises the arm forward), a
+positive X rotation of the radius flexes the elbow.
+
+The activation envelopes implement textbook muscle roles: biceps for elbow
+flexion and load holding, triceps for elbow extension and ballistic throws,
+and the forearm groups for wrist stabilization and grip, with co-contraction
+floors so no channel is ever perfectly silent (surface EMG never is).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.motions.base import MotionClass, register_motion_class
+from repro.motions.profiles import bell, minimum_jerk, oscillation, ramp_hold, raised_cosine_pulse
+
+__all__ = [
+    "RaiseArm",
+    "ThrowBall",
+    "WaveHand",
+    "PunchForward",
+    "ReachForward",
+    "ARM_MOTIONS",
+    "ARM_MUSCLES",
+]
+
+#: The hand-study electrode montage (paper Section 5).
+ARM_MUSCLES: Tuple[str, ...] = (
+    "biceps_r",
+    "triceps_r",
+    "upper_forearm_r",
+    "lower_forearm_r",
+)
+
+_ARM_SEGMENTS: Tuple[str, ...] = ("clavicle_r", "humerus_r", "radius_r", "hand_r")
+
+#: Tonic co-contraction floor: surface EMG channels are never silent.
+_TONIC = 0.05
+
+
+def _xyz(x: np.ndarray, y: np.ndarray | float = 0.0, z: np.ndarray | float = 0.0) -> np.ndarray:
+    """Stack X/Y/Z angle curves (scalars broadcast) into an (n, 3) array."""
+    lengths = [len(v) for v in (x, y, z) if not np.isscalar(v)]
+    if not lengths:
+        raise ValueError("_xyz needs at least one array-valued component")
+    n = lengths[0]
+
+    def column(v) -> np.ndarray:
+        if np.isscalar(v):
+            return np.full(n, v, dtype=np.float64)
+        return np.asarray(v, dtype=np.float64)
+
+    return np.stack([column(x), column(y), column(z)], axis=1)
+
+
+class RaiseArm(MotionClass):
+    """Raise the arm forward overhead, hold briefly, lower it back down.
+
+    The motion illustrated in the paper's Figures 2–4 ("Raise Arm – Right
+    Hand").
+    """
+
+    name = "raise_arm"
+    limb = "hand_r"
+    nominal_duration_s = 3.0
+    muscles = ARM_MUSCLES
+    animated_segments = _ARM_SEGMENTS
+
+    def _angles(self, s: np.ndarray, amplitude: float) -> Dict[str, np.ndarray]:
+        lift = ramp_hold(s, up_end=0.4, down_start=0.6)
+        shoulder_flex = amplitude * 2.2 * lift
+        elbow_flex = amplitude * 0.25 * lift
+        return {
+            "humerus_r": _xyz(shoulder_flex),
+            "radius_r": _xyz(elbow_flex),
+            "hand_r": _xyz(amplitude * 0.1 * lift),
+        }
+
+    def _activations(self, s: np.ndarray, amplitude: float) -> Dict[str, np.ndarray]:
+        lifting = raised_cosine_pulse(s, 0.0, 0.45)
+        holding = raised_cosine_pulse(s, 0.3, 0.7)
+        lowering = raised_cosine_pulse(s, 0.55, 1.0)
+        return {
+            "biceps_r": _TONIC + amplitude * (0.7 * lifting + 0.35 * holding),
+            "triceps_r": _TONIC + amplitude * 0.3 * lowering,
+            "upper_forearm_r": _TONIC + amplitude * (0.4 * lifting + 0.2 * holding),
+            "lower_forearm_r": _TONIC + amplitude * 0.25 * holding,
+        }
+
+
+class ThrowBall(MotionClass):
+    """Overarm ball throw: wind-up, explosive acceleration, release, follow-through.
+
+    The second motion illustrated in the paper's Figures 3–4 ("Throw Ball –
+    Right Hand").  Much faster and more ballistic than ``raise_arm`` with a
+    dominant triceps burst.
+    """
+
+    name = "throw_ball"
+    limb = "hand_r"
+    nominal_duration_s = 1.8
+    muscles = ARM_MUSCLES
+    animated_segments = _ARM_SEGMENTS
+
+    def _angles(self, s: np.ndarray, amplitude: float) -> Dict[str, np.ndarray]:
+        windup = bell(s, 0.25, 0.10)
+        strike = minimum_jerk((s - 0.35) / 0.3)
+        follow = bell(s, 0.8, 0.12)
+        shoulder_flex = amplitude * (-0.8 * windup + 2.0 * strike - 0.4 * follow)
+        shoulder_abduct = amplitude * 0.5 * bell(s, 0.4, 0.2)
+        elbow_flex = amplitude * (1.6 * windup + 0.3 * (1.0 - strike))
+        return {
+            "clavicle_r": _xyz(amplitude * 0.15 * strike),
+            "humerus_r": _xyz(shoulder_flex, shoulder_abduct),
+            "radius_r": _xyz(elbow_flex),
+            "hand_r": _xyz(amplitude * -0.6 * bell(s, 0.55, 0.08)),
+        }
+
+    def _activations(self, s: np.ndarray, amplitude: float) -> Dict[str, np.ndarray]:
+        windup = raised_cosine_pulse(s, 0.05, 0.35)
+        strike = raised_cosine_pulse(s, 0.35, 0.65)
+        release = bell(s, 0.58, 0.06)
+        return {
+            "biceps_r": _TONIC + amplitude * (0.6 * windup + 0.2 * strike),
+            "triceps_r": _TONIC + amplitude * 1.0 * strike,
+            "upper_forearm_r": _TONIC + amplitude * (0.3 * windup + 0.8 * release),
+            "lower_forearm_r": _TONIC + amplitude * (0.5 * strike + 0.7 * release),
+        }
+
+
+class WaveHand(MotionClass):
+    """Raise the forearm and wave the hand side to side several times."""
+
+    name = "wave_hand"
+    limb = "hand_r"
+    nominal_duration_s = 3.2
+    muscles = ARM_MUSCLES
+    animated_segments = _ARM_SEGMENTS
+
+    def _angles(self, s: np.ndarray, amplitude: float) -> Dict[str, np.ndarray]:
+        hold = ramp_hold(s, up_end=0.2, down_start=0.85)
+        wave_env = raised_cosine_pulse(s, 0.2, 0.85)
+        wave = oscillation(s, cycles=3.0, envelope=wave_env)
+        return {
+            "humerus_r": _xyz(amplitude * 1.2 * hold, amplitude * 0.25 * wave),
+            "radius_r": _xyz(amplitude * 1.5 * hold, 0.0, amplitude * 0.5 * wave),
+            "hand_r": _xyz(0.0, 0.0, amplitude * 0.4 * wave),
+        }
+
+    def _activations(self, s: np.ndarray, amplitude: float) -> Dict[str, np.ndarray]:
+        hold = ramp_hold(s, up_end=0.2, down_start=0.85)
+        wave_env = raised_cosine_pulse(s, 0.2, 0.85)
+        burst = np.abs(oscillation(s, cycles=3.0, envelope=wave_env))
+        return {
+            "biceps_r": _TONIC + amplitude * (0.5 * hold + 0.1 * burst),
+            "triceps_r": _TONIC + amplitude * 0.2 * hold,
+            "upper_forearm_r": _TONIC + amplitude * 0.7 * burst,
+            "lower_forearm_r": _TONIC + amplitude * 0.6 * burst,
+        }
+
+
+class PunchForward(MotionClass):
+    """Quick straight punch from a guard position and retraction."""
+
+    name = "punch_forward"
+    limb = "hand_r"
+    nominal_duration_s = 1.5
+    muscles = ARM_MUSCLES
+    animated_segments = _ARM_SEGMENTS
+
+    def _angles(self, s: np.ndarray, amplitude: float) -> Dict[str, np.ndarray]:
+        jab = raised_cosine_pulse(s, 0.25, 0.75)
+        guard_elbow = 1.8 * (1.0 - jab * 0.9)
+        return {
+            "humerus_r": _xyz(amplitude * 1.3 * jab, amplitude * -0.2 * jab),
+            "radius_r": _xyz(amplitude * guard_elbow),
+            "hand_r": _xyz(0.0, 0.0, amplitude * 0.2 * jab),
+        }
+
+    def _activations(self, s: np.ndarray, amplitude: float) -> Dict[str, np.ndarray]:
+        extend = bell(s, 0.42, 0.08)
+        retract = bell(s, 0.68, 0.08)
+        grip = raised_cosine_pulse(s, 0.2, 0.8)
+        return {
+            "biceps_r": _TONIC + amplitude * (0.3 * grip + 0.8 * retract),
+            "triceps_r": _TONIC + amplitude * 1.0 * extend,
+            "upper_forearm_r": _TONIC + amplitude * 0.6 * grip,
+            "lower_forearm_r": _TONIC + amplitude * 0.7 * grip,
+        }
+
+
+class ReachForward(MotionClass):
+    """Slow deliberate forward reach, as when taking an object from a shelf."""
+
+    name = "reach_forward"
+    limb = "hand_r"
+    nominal_duration_s = 3.6
+    muscles = ARM_MUSCLES
+    animated_segments = _ARM_SEGMENTS
+
+    def _angles(self, s: np.ndarray, amplitude: float) -> Dict[str, np.ndarray]:
+        reach = ramp_hold(s, up_end=0.45, down_start=0.62)
+        return {
+            "clavicle_r": _xyz(amplitude * 0.1 * reach),
+            "humerus_r": _xyz(amplitude * 1.1 * reach),
+            "radius_r": _xyz(amplitude * -0.3 * reach + 0.35 * (1.0 - reach)),
+            "hand_r": _xyz(amplitude * 0.15 * reach),
+        }
+
+    def _activations(self, s: np.ndarray, amplitude: float) -> Dict[str, np.ndarray]:
+        move = raised_cosine_pulse(s, 0.05, 0.5)
+        grasp = bell(s, 0.55, 0.07)
+        ret = raised_cosine_pulse(s, 0.6, 0.98)
+        return {
+            "biceps_r": _TONIC + amplitude * (0.35 * move + 0.3 * ret),
+            "triceps_r": _TONIC + amplitude * 0.3 * move,
+            "upper_forearm_r": _TONIC + amplitude * (0.2 * move + 0.6 * grasp),
+            "lower_forearm_r": _TONIC + amplitude * (0.15 * move + 0.7 * grasp),
+        }
+
+
+class LiftObject(MotionClass):
+    """Lift a moderately heavy object from waist to chest height.
+
+    Deliberately confusable with ``raise_arm`` kinematically (both flex the
+    shoulder upward) but with a distinct loading pattern: sustained biceps
+    and forearm grip throughout the carry.
+    """
+
+    name = "lift_object"
+    limb = "hand_r"
+    nominal_duration_s = 2.8
+    muscles = ARM_MUSCLES
+    animated_segments = _ARM_SEGMENTS
+
+    def _angles(self, s: np.ndarray, amplitude: float) -> Dict[str, np.ndarray]:
+        lift = ramp_hold(s, up_end=0.45, down_start=0.65)
+        return {
+            "humerus_r": _xyz(amplitude * 1.0 * lift),
+            "radius_r": _xyz(amplitude * 1.1 * lift),
+            "hand_r": _xyz(amplitude * -0.2 * lift),
+        }
+
+    def _activations(self, s: np.ndarray, amplitude: float) -> Dict[str, np.ndarray]:
+        grip = ramp_hold(s, up_end=0.15, down_start=0.9)
+        lift = raised_cosine_pulse(s, 0.1, 0.55)
+        lower = raised_cosine_pulse(s, 0.6, 0.98)
+        return {
+            "biceps_r": _TONIC + amplitude * (0.9 * lift + 0.5 * grip + 0.4 * lower),
+            "triceps_r": _TONIC + amplitude * 0.25 * lower,
+            "upper_forearm_r": _TONIC + amplitude * 0.7 * grip,
+            "lower_forearm_r": _TONIC + amplitude * 0.8 * grip,
+        }
+
+
+class DrinkFromCup(MotionClass):
+    """Bring a cup to the mouth, tip it, and set the arm back down.
+
+    Shares the elbow-flexion kinematics of ``lift_object`` and the slow
+    tempo of ``reach_forward``; separability rests on the wrist rotation
+    and the light, flexor-dominated muscle pattern.
+    """
+
+    name = "drink_from_cup"
+    limb = "hand_r"
+    nominal_duration_s = 3.4
+    muscles = ARM_MUSCLES
+    animated_segments = _ARM_SEGMENTS
+
+    def _angles(self, s: np.ndarray, amplitude: float) -> Dict[str, np.ndarray]:
+        raise_cup = ramp_hold(s, up_end=0.35, down_start=0.7)
+        tip = bell(s, 0.5, 0.09)
+        return {
+            "humerus_r": _xyz(amplitude * 0.6 * raise_cup),
+            "radius_r": _xyz(amplitude * 1.9 * raise_cup),
+            "hand_r": _xyz(amplitude * 0.5 * tip, 0.0, amplitude * 0.2 * raise_cup),
+        }
+
+    def _activations(self, s: np.ndarray, amplitude: float) -> Dict[str, np.ndarray]:
+        hold = ramp_hold(s, up_end=0.3, down_start=0.75)
+        tip = bell(s, 0.5, 0.09)
+        return {
+            "biceps_r": _TONIC + amplitude * 0.55 * hold,
+            "triceps_r": _TONIC + amplitude * 0.15 * raised_cosine_pulse(s, 0.7, 1.0),
+            "upper_forearm_r": _TONIC + amplitude * (0.25 * hold + 0.4 * tip),
+            "lower_forearm_r": _TONIC + amplitude * (0.35 * hold + 0.3 * tip),
+        }
+
+
+class PushForward(MotionClass):
+    """Slow two-phase push against resistance at chest height.
+
+    The slow counterpart of ``punch_forward``: similar elbow-extension
+    kinematics at a fraction of the speed, with sustained triceps effort
+    instead of a ballistic burst.
+    """
+
+    name = "push_forward"
+    limb = "hand_r"
+    nominal_duration_s = 3.0
+    muscles = ARM_MUSCLES
+    animated_segments = _ARM_SEGMENTS
+
+    def _angles(self, s: np.ndarray, amplitude: float) -> Dict[str, np.ndarray]:
+        push = ramp_hold(s, up_end=0.5, down_start=0.7)
+        guard_elbow = 1.6 * (1.0 - 0.85 * push)
+        return {
+            "humerus_r": _xyz(amplitude * 1.1 * push),
+            "radius_r": _xyz(amplitude * guard_elbow),
+            "hand_r": _xyz(amplitude * -0.15 * push),
+        }
+
+    def _activations(self, s: np.ndarray, amplitude: float) -> Dict[str, np.ndarray]:
+        effort = ramp_hold(s, up_end=0.4, down_start=0.75)
+        return {
+            "biceps_r": _TONIC + amplitude * 0.25 * effort,
+            "triceps_r": _TONIC + amplitude * 0.85 * effort,
+            "upper_forearm_r": _TONIC + amplitude * 0.45 * effort,
+            "lower_forearm_r": _TONIC + amplitude * 0.5 * effort,
+        }
+
+
+#: All registered arm motions, in registration order.
+ARM_MOTIONS = tuple(
+    register_motion_class(cls())
+    for cls in (
+        RaiseArm,
+        ThrowBall,
+        WaveHand,
+        PunchForward,
+        ReachForward,
+        LiftObject,
+        DrinkFromCup,
+        PushForward,
+    )
+)

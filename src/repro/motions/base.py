@@ -1,0 +1,224 @@
+"""Motion-class abstraction and registry.
+
+A :class:`MotionClass` is a parametric description of one semantic motion.
+Calling :meth:`MotionClass.plan` with a trial variation draws a concrete
+performance: a :class:`MotionPlan` holding the joint-angle animation (for the
+motion-capture simulator) and per-muscle activation envelopes (for the EMG
+synthesizer), both on the motion-capture time base.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.motions.profiles import smooth_noise
+from repro.motions.variation import TrialVariation
+from repro.skeleton.kinematics import JointAngles
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_array
+
+__all__ = [
+    "MotionPlan",
+    "MotionClass",
+    "register_motion_class",
+    "get_motion_class",
+    "available_motions",
+    "motions_for_limb",
+]
+
+
+@dataclass
+class MotionPlan:
+    """A concrete planned performance of a motion.
+
+    Attributes
+    ----------
+    label:
+        Motion class name (e.g. ``"raise_arm"``).
+    limb:
+        Which study the motion belongs to: ``"hand_r"`` or ``"leg_r"``.
+    fps:
+        Frame rate of the animation and activation curves.
+    animation:
+        Joint-angle trajectories for the skeleton.
+    activations:
+        Per-muscle activation envelopes in [0, ~1.6], one value per frame.
+        (Values may exceed 1 after trial gain variation; the EMG synthesizer
+        treats them as relative drive.)
+    """
+
+    label: str
+    limb: str
+    fps: float
+    animation: JointAngles
+    activations: Dict[str, np.ndarray]
+    metadata: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        n = self.animation.n_frames
+        validated: Dict[str, np.ndarray] = {}
+        for muscle, env in self.activations.items():
+            env = check_array(env, name=f"activations[{muscle!r}]", ndim=1)
+            if len(env) != n:
+                raise ValidationError(
+                    f"activation for {muscle!r} has {len(env)} frames, animation has {n}"
+                )
+            if np.any(env < 0):
+                raise ValidationError(f"activation for {muscle!r} must be non-negative")
+            validated[muscle] = env
+        self.activations = validated
+
+    @property
+    def n_frames(self) -> int:
+        """Number of frames in the plan."""
+        return self.animation.n_frames
+
+    @property
+    def duration_s(self) -> float:
+        """Duration of the planned motion in seconds."""
+        return self.n_frames / self.fps
+
+    @property
+    def muscles(self) -> List[str]:
+        """Muscle names with activation envelopes, sorted."""
+        return sorted(self.activations)
+
+
+class MotionClass(abc.ABC):
+    """Abstract parametric motion.
+
+    Subclasses implement :meth:`_angles` and :meth:`_activations` in terms of
+    normalized time and receive the already-varied amplitude; the base class
+    handles duration/speed variation, timing jitter, smooth angle wobble, and
+    activation gains, so every motion class varies consistently.
+    """
+
+    #: Motion class name; unique across the registry.
+    name: str = ""
+    #: Limb/study this motion belongs to: ``"hand_r"`` or ``"leg_r"``.
+    limb: str = ""
+    #: Nominal duration of one performance, seconds.
+    nominal_duration_s: float = 3.0
+    #: Muscles this motion drives (must match the limb's electrode montage).
+    muscles: Tuple[str, ...] = ()
+    #: Segments whose angles the motion animates.
+    animated_segments: Tuple[str, ...] = ()
+
+    def plan(
+        self,
+        variation: Optional[TrialVariation] = None,
+        fps: float = 120.0,
+        seed: SeedLike = None,
+    ) -> MotionPlan:
+        """Draw one concrete performance of this motion.
+
+        Parameters
+        ----------
+        variation:
+            Trial variation (defaults to the identity variation).
+        fps:
+            Frame rate; the paper's systems run at 120 Hz.
+        seed:
+            RNG for the smooth angle wobble.
+        """
+        if fps <= 0:
+            raise ValidationError(f"fps must be positive, got {fps}")
+        variation = variation or TrialVariation()
+        rng = as_generator(seed)
+        duration = self.nominal_duration_s / variation.speed
+        n = max(8, int(round(duration * fps)))
+        s = np.linspace(0.0, 1.0, n)
+
+        angles = self._angles(s, variation.amplitude)
+        for seg, arr in angles.items():
+            arr = check_array(arr, name=f"angles[{seg!r}]", ndim=2, shape=(n, 3))
+            if variation.angle_noise_rad > 0:
+                wobble = np.stack(
+                    [
+                        smooth_noise(n, rng, variation.angle_noise_rad)
+                        for _ in range(3)
+                    ],
+                    axis=1,
+                )
+                arr = arr + wobble
+            angles[seg] = arr
+
+        s_act = np.clip(s - variation.timing_shift, 0.0, 1.0)
+        activations = self._activations(s_act, variation.amplitude)
+        for muscle in self.muscles:
+            if muscle not in activations:
+                raise ValidationError(
+                    f"motion {self.name!r} did not produce activation for {muscle!r}"
+                )
+        scaled = {
+            muscle: np.maximum(env, 0.0) * variation.gain_for(muscle)
+            for muscle, env in activations.items()
+        }
+        return MotionPlan(
+            label=self.name,
+            limb=self.limb,
+            fps=fps,
+            animation=JointAngles(n_frames=n, angles_rad=angles),
+            activations=scaled,
+            metadata={
+                "amplitude": variation.amplitude,
+                "speed": variation.speed,
+                "duration_s": duration,
+            },
+        )
+
+    @abc.abstractmethod
+    def _angles(self, s: np.ndarray, amplitude: float) -> Dict[str, np.ndarray]:
+        """Joint-angle curves at normalized times ``s``; shape (n, 3) each."""
+
+    @abc.abstractmethod
+    def _activations(self, s: np.ndarray, amplitude: float) -> Dict[str, np.ndarray]:
+        """Per-muscle activation envelopes in [0, 1] at normalized times."""
+
+
+_REGISTRY: Dict[str, MotionClass] = {}
+
+
+def register_motion_class(motion: MotionClass) -> MotionClass:
+    """Add ``motion`` to the global registry (idempotent per name).
+
+    Raises
+    ------
+    ValidationError
+        If a *different* motion object is already registered under the name.
+    """
+    if not motion.name:
+        raise ValidationError("motion class must define a name")
+    existing = _REGISTRY.get(motion.name)
+    if existing is not None and type(existing) is not type(motion):
+        raise ValidationError(f"motion name {motion.name!r} already registered")
+    _REGISTRY[motion.name] = motion
+    return motion
+
+
+def get_motion_class(name: str) -> MotionClass:
+    """Look up a registered motion by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValidationError(
+            f"unknown motion {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def available_motions() -> List[str]:
+    """All registered motion names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def motions_for_limb(limb: str) -> List[MotionClass]:
+    """All registered motions for ``limb`` (``"hand_r"`` or ``"leg_r"``)."""
+    out = [m for m in _REGISTRY.values() if m.limb == limb]
+    if not out:
+        raise ValidationError(f"no motions registered for limb {limb!r}")
+    return sorted(out, key=lambda m: m.name)

@@ -1,0 +1,127 @@
+"""Composing multi-motion session plans.
+
+:func:`compose_plans` joins several planned motions into one long
+:class:`~repro.motions.base.MotionPlan`, inserting rest holds between them:
+the skeleton freezes at the previous motion's final pose (then blends to the
+next motion's starting pose over the rest period), and every muscle idles at
+the tonic floor.  The composed plan runs through the *real* acquisition
+chain (`AcquisitionSession.record_trial`), so continuous-stream experiments
+can be captured end-to-end instead of stitched together post hoc — the
+physically faithful way to produce data for
+:mod:`repro.core.spotting`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.motions.base import MotionPlan
+from repro.motions.profiles import minimum_jerk
+from repro.skeleton.kinematics import JointAngles
+from repro.utils.validation import check_in_range
+
+__all__ = ["compose_plans"]
+
+#: Tonic activation during rests (matches the motion classes' floor).
+_REST_ACTIVATION = 0.05
+
+
+def compose_plans(
+    plans: Sequence[MotionPlan],
+    rest_s: float = 1.0,
+    label: str = "session",
+) -> Tuple[MotionPlan, List[Tuple[int, int, str]]]:
+    """Join plans into one session plan with rest holds.
+
+    Parameters
+    ----------
+    plans:
+        The motions in performance order; all must share the frame rate and
+        limb-compatible channel sets (the union of muscles is used; a plan
+        missing a muscle idles it at the tonic floor).
+    rest_s:
+        Rest duration before, between and after motions.
+    label:
+        Label of the composed plan.
+
+    Returns
+    -------
+    (plan, annotations):
+        The composed plan and ``(start_frame, stop_frame, label)`` ground
+        truth for each embedded motion.
+    """
+    if not plans:
+        raise ValidationError("need at least one plan to compose")
+    rest_s = check_in_range(rest_s, name="rest_s", low=0.0, high=60.0)
+    fps = plans[0].fps
+    for plan in plans[1:]:
+        if plan.fps != fps:
+            raise ValidationError(
+                f"plans mix frame rates: {plan.fps} vs {fps}"
+            )
+    n_rest = int(round(rest_s * fps))
+    all_segments = sorted({
+        seg for plan in plans for seg in plan.animation.angles_rad
+    })
+    all_muscles = sorted({m for plan in plans for m in plan.activations})
+
+    angle_parts: Dict[str, List[np.ndarray]] = {s: [] for s in all_segments}
+    act_parts: Dict[str, List[np.ndarray]] = {m: [] for m in all_muscles}
+    annotations: List[Tuple[int, int, str]] = []
+    cursor = 0
+
+    def pose_of(plan: MotionPlan, frame: int) -> Dict[str, np.ndarray]:
+        return {
+            s: plan.animation.angles_for(s)[frame] for s in all_segments
+        }
+
+    def add_rest(from_pose: Dict[str, np.ndarray],
+                 to_pose: Dict[str, np.ndarray]) -> None:
+        nonlocal cursor
+        if n_rest == 0:
+            return
+        blend = minimum_jerk(np.linspace(0.0, 1.0, n_rest))
+        for seg in all_segments:
+            start, stop = from_pose[seg], to_pose[seg]
+            angle_parts[seg].append(
+                start[None, :] + blend[:, None] * (stop - start)[None, :]
+            )
+        for muscle in all_muscles:
+            act_parts[muscle].append(np.full(n_rest, _REST_ACTIVATION))
+        cursor += n_rest
+
+    zero_pose = {s: np.zeros(3) for s in all_segments}
+    previous_pose = zero_pose
+    for plan in plans:
+        add_rest(previous_pose, pose_of(plan, 0))
+        n = plan.n_frames
+        for seg in all_segments:
+            angle_parts[seg].append(plan.animation.angles_for(seg))
+        for muscle in all_muscles:
+            env = plan.activations.get(muscle)
+            if env is None:
+                env = np.full(n, _REST_ACTIVATION)
+            act_parts[muscle].append(env)
+        annotations.append((cursor, cursor + n, plan.label))
+        cursor += n
+        previous_pose = pose_of(plan, n - 1)
+    add_rest(previous_pose, zero_pose)
+
+    total = cursor
+    animation = JointAngles(
+        n_frames=total,
+        angles_rad={s: np.vstack(parts) for s, parts in angle_parts.items()},
+    )
+    activations = {m: np.concatenate(parts) for m, parts in act_parts.items()}
+    composed = MotionPlan(
+        label=label,
+        limb=plans[0].limb,
+        fps=fps,
+        animation=animation,
+        activations=activations,
+        metadata={"n_motions": float(len(plans)), "rest_s": rest_s},
+    )
+    return composed, annotations

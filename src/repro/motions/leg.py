@@ -1,0 +1,254 @@
+"""Right-leg motion classes for the paper's leg study.
+
+Electrode montage (Section 5): one electrode on the front of the shin
+(tibialis anterior — dorsiflexes the ankle) and one on the back of the shin
+(gastrocnemius/soleus — plantarflexes the ankle).  Captured segments: tibia,
+foot, toe.  The hip (femur) is animated too because it moves the captured
+segments, even though its position is not part of the leg feature set.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.motions.arm import _xyz
+from repro.motions.base import MotionClass, register_motion_class
+from repro.motions.profiles import bell, oscillation, ramp_hold, raised_cosine_pulse
+
+__all__ = [
+    "KickBall",
+    "StepForward",
+    "Squat",
+    "ToeTap",
+    "HeelRaise",
+    "LEG_MOTIONS",
+    "LEG_MUSCLES",
+]
+
+#: The leg-study electrode montage (paper Section 5).
+LEG_MUSCLES: Tuple[str, ...] = ("front_shin_r", "back_shin_r")
+
+_LEG_SEGMENTS: Tuple[str, ...] = ("femur_r", "tibia_r", "foot_r", "toe_r")
+
+#: Tonic co-contraction floor shared with the arm classes.
+_TONIC = 0.05
+
+
+class KickBall(MotionClass):
+    """Kick a ball: back-swing, fast forward swing with knee extension, recovery."""
+
+    name = "kick_ball"
+    limb = "leg_r"
+    nominal_duration_s = 1.8
+    muscles = LEG_MUSCLES
+    animated_segments = _LEG_SEGMENTS
+
+    def _angles(self, s: np.ndarray, amplitude: float) -> Dict[str, np.ndarray]:
+        backswing = bell(s, 0.25, 0.1)
+        swing = raised_cosine_pulse(s, 0.3, 0.8)
+        hip_flex = amplitude * (-0.5 * backswing + 1.1 * swing)
+        knee_flex = amplitude * (-1.3 * backswing - 0.2 * swing)
+        ankle = amplitude * 0.4 * swing  # dorsiflexed toes during the strike
+        return {
+            "femur_r": _xyz(hip_flex),
+            "tibia_r": _xyz(knee_flex),
+            "foot_r": _xyz(ankle),
+            "toe_r": _xyz(amplitude * 0.15 * swing),
+        }
+
+    def _activations(self, s: np.ndarray, amplitude: float) -> Dict[str, np.ndarray]:
+        swing = raised_cosine_pulse(s, 0.3, 0.7)
+        plant = bell(s, 0.85, 0.08)
+        return {
+            "front_shin_r": _TONIC + amplitude * 0.9 * swing,
+            "back_shin_r": _TONIC + amplitude * (0.3 * bell(s, 0.25, 0.1) + 0.8 * plant),
+        }
+
+
+class StepForward(MotionClass):
+    """One deliberate step forward: swing, heel strike, push-off back to stance."""
+
+    name = "step_forward"
+    limb = "leg_r"
+    nominal_duration_s = 2.2
+    muscles = LEG_MUSCLES
+    animated_segments = _LEG_SEGMENTS
+
+    def _angles(self, s: np.ndarray, amplitude: float) -> Dict[str, np.ndarray]:
+        swing = raised_cosine_pulse(s, 0.1, 0.55)
+        stance = raised_cosine_pulse(s, 0.55, 0.95)
+        hip_flex = amplitude * (0.7 * swing - 0.2 * stance)
+        knee_flex = amplitude * (-0.9 * swing * bell(s, 0.3, 0.12) - 0.1 * stance)
+        ankle = amplitude * (0.35 * swing - 0.45 * stance)
+        return {
+            "femur_r": _xyz(hip_flex),
+            "tibia_r": _xyz(knee_flex),
+            "foot_r": _xyz(ankle),
+            "toe_r": _xyz(amplitude * -0.3 * stance),
+        }
+
+    def _activations(self, s: np.ndarray, amplitude: float) -> Dict[str, np.ndarray]:
+        swing = raised_cosine_pulse(s, 0.1, 0.5)
+        pushoff = raised_cosine_pulse(s, 0.6, 0.95)
+        return {
+            "front_shin_r": _TONIC + amplitude * (0.7 * swing + 0.2 * bell(s, 0.55, 0.05)),
+            "back_shin_r": _TONIC + amplitude * 0.9 * pushoff,
+        }
+
+
+class Squat(MotionClass):
+    """Slow two-legged squat down and back up (hip and knee flexion)."""
+
+    name = "squat"
+    limb = "leg_r"
+    nominal_duration_s = 3.5
+    muscles = LEG_MUSCLES
+    animated_segments = _LEG_SEGMENTS
+
+    def _angles(self, s: np.ndarray, amplitude: float) -> Dict[str, np.ndarray]:
+        depth = ramp_hold(s, up_end=0.4, down_start=0.6)
+        return {
+            "femur_r": _xyz(amplitude * 1.4 * depth),
+            "tibia_r": _xyz(amplitude * -1.8 * depth),
+            "foot_r": _xyz(amplitude * 0.45 * depth),
+            "toe_r": _xyz(amplitude * 0.1 * depth),
+        }
+
+    def _activations(self, s: np.ndarray, amplitude: float) -> Dict[str, np.ndarray]:
+        descend = raised_cosine_pulse(s, 0.05, 0.45)
+        hold = raised_cosine_pulse(s, 0.35, 0.65)
+        ascend = raised_cosine_pulse(s, 0.55, 0.95)
+        return {
+            "front_shin_r": _TONIC + amplitude * (0.4 * descend + 0.3 * hold + 0.3 * ascend),
+            "back_shin_r": _TONIC + amplitude * (0.3 * descend + 0.4 * hold + 0.7 * ascend),
+        }
+
+
+class ToeTap(MotionClass):
+    """Repeated toe tapping: rhythmic ankle dorsiflexion with the heel planted."""
+
+    name = "toe_tap"
+    limb = "leg_r"
+    nominal_duration_s = 3.0
+    muscles = LEG_MUSCLES
+    animated_segments = _LEG_SEGMENTS
+
+    def _angles(self, s: np.ndarray, amplitude: float) -> Dict[str, np.ndarray]:
+        env = raised_cosine_pulse(s, 0.08, 0.92)
+        taps = oscillation(s, cycles=4.0, envelope=env)
+        lifted = np.maximum(taps, 0.0)
+        return {
+            "femur_r": _xyz(amplitude * 0.05 * env),
+            "tibia_r": _xyz(amplitude * -0.05 * env),
+            "foot_r": _xyz(amplitude * 0.5 * lifted),
+            "toe_r": _xyz(amplitude * 0.25 * lifted),
+        }
+
+    def _activations(self, s: np.ndarray, amplitude: float) -> Dict[str, np.ndarray]:
+        env = raised_cosine_pulse(s, 0.08, 0.92)
+        bursts = np.maximum(oscillation(s, cycles=4.0, envelope=env), 0.0)
+        return {
+            "front_shin_r": _TONIC + amplitude * 0.9 * bursts,
+            "back_shin_r": _TONIC + amplitude * 0.15 * env,
+        }
+
+
+class HeelRaise(MotionClass):
+    """Rise onto the toes (plantarflexion), hold, and lower back down."""
+
+    name = "heel_raise"
+    limb = "leg_r"
+    nominal_duration_s = 2.8
+    muscles = LEG_MUSCLES
+    animated_segments = _LEG_SEGMENTS
+
+    def _angles(self, s: np.ndarray, amplitude: float) -> Dict[str, np.ndarray]:
+        rise = ramp_hold(s, up_end=0.35, down_start=0.65)
+        return {
+            "femur_r": _xyz(amplitude * -0.05 * rise),
+            "tibia_r": _xyz(amplitude * 0.1 * rise),
+            "foot_r": _xyz(amplitude * -0.6 * rise),
+            "toe_r": _xyz(amplitude * 0.3 * rise),
+        }
+
+    def _activations(self, s: np.ndarray, amplitude: float) -> Dict[str, np.ndarray]:
+        rise = raised_cosine_pulse(s, 0.05, 0.5)
+        hold = raised_cosine_pulse(s, 0.3, 0.7)
+        lower = raised_cosine_pulse(s, 0.6, 0.95)
+        return {
+            "front_shin_r": _TONIC + amplitude * 0.2 * lower,
+            "back_shin_r": _TONIC + amplitude * (0.8 * rise + 0.6 * hold + 0.3 * lower),
+        }
+
+
+class Stomp(MotionClass):
+    """Raise the knee and stomp the foot down hard once.
+
+    Shares the hip/knee flexion of ``step_forward`` and the plantarflexion
+    impact of ``kick_ball``'s plant phase — a deliberately confusable class.
+    """
+
+    name = "stomp"
+    limb = "leg_r"
+    nominal_duration_s = 1.6
+    muscles = LEG_MUSCLES
+    animated_segments = _LEG_SEGMENTS
+
+    def _angles(self, s: np.ndarray, amplitude: float) -> Dict[str, np.ndarray]:
+        lift = raised_cosine_pulse(s, 0.1, 0.6)
+        return {
+            "femur_r": _xyz(amplitude * 1.0 * lift),
+            "tibia_r": _xyz(amplitude * -1.0 * lift),
+            "foot_r": _xyz(amplitude * 0.3 * lift),
+            "toe_r": _xyz(amplitude * 0.1 * lift),
+        }
+
+    def _activations(self, s: np.ndarray, amplitude: float) -> Dict[str, np.ndarray]:
+        lift = raised_cosine_pulse(s, 0.1, 0.5)
+        impact = bell(s, 0.62, 0.05)
+        return {
+            "front_shin_r": _TONIC + amplitude * (0.6 * lift + 0.4 * impact),
+            "back_shin_r": _TONIC + amplitude * 0.9 * impact,
+        }
+
+
+class LegSwing(MotionClass):
+    """Relaxed pendular forward-backward leg swings from the hip.
+
+    Kinematically close to a slow ``kick_ball`` repeated, but with low,
+    oscillating muscle effort instead of a ballistic burst.
+    """
+
+    name = "leg_swing"
+    limb = "leg_r"
+    nominal_duration_s = 3.2
+    muscles = LEG_MUSCLES
+    animated_segments = _LEG_SEGMENTS
+
+    def _angles(self, s: np.ndarray, amplitude: float) -> Dict[str, np.ndarray]:
+        env = raised_cosine_pulse(s, 0.08, 0.92)
+        swing = oscillation(s, cycles=2.5, envelope=env)
+        return {
+            "femur_r": _xyz(amplitude * 0.7 * swing),
+            "tibia_r": _xyz(amplitude * -0.25 * np.abs(swing)),
+            "foot_r": _xyz(amplitude * 0.15 * swing),
+            "toe_r": _xyz(amplitude * 0.05 * swing),
+        }
+
+    def _activations(self, s: np.ndarray, amplitude: float) -> Dict[str, np.ndarray]:
+        env = raised_cosine_pulse(s, 0.08, 0.92)
+        forward = np.maximum(oscillation(s, cycles=2.5, envelope=env), 0.0)
+        backward = np.maximum(-oscillation(s, cycles=2.5, envelope=env), 0.0)
+        return {
+            "front_shin_r": _TONIC + amplitude * 0.35 * forward,
+            "back_shin_r": _TONIC + amplitude * 0.35 * backward,
+        }
+
+
+#: All registered leg motions, in registration order.
+LEG_MOTIONS = tuple(
+    register_motion_class(cls())
+    for cls in (KickBall, StepForward, Squat, ToeTap, HeelRaise, Stomp, LegSwing)
+)

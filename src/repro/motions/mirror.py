@@ -1,0 +1,83 @@
+"""Left/right mirroring of motion plans.
+
+The paper's protocols instrument both sides ("on each hand ... on each
+leg") but, like most studies, evaluates the right limb.  Rather than
+duplicating every motion class for the left side, this module mirrors a
+planned right-side performance across the sagittal (X = 0) plane:
+
+* segment names swap their ``_r``/``_l`` suffixes;
+* Euler angles transform as a reflection about the YZ-plane: rotations
+  about the Y and Z axes flip sign, rotations about X are preserved;
+* activation envelopes carry over to the homologous muscles.
+
+The transformation is verified property-style in the test-suite: forward
+kinematics of the mirrored plan equals the mirror image of the original
+plan's kinematics.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.motions.base import MotionPlan
+from repro.skeleton.kinematics import JointAngles
+
+__all__ = ["mirror_name", "mirror_plan"]
+
+#: Reflection about the X = 0 plane flips the sign of Y and Z rotations.
+_ANGLE_FLIP = np.array([1.0, -1.0, -1.0])
+
+
+def mirror_name(name: str) -> str:
+    """Swap a ``_r``/``_l`` side suffix; names without one pass through."""
+    if name.endswith("_r"):
+        return name[:-2] + "_l"
+    if name.endswith("_l"):
+        return name[:-2] + "_r"
+    return name
+
+
+def mirror_plan(plan: MotionPlan) -> MotionPlan:
+    """Mirror a planned performance to the opposite side.
+
+    Parameters
+    ----------
+    plan:
+        A right- (or left-) side motion plan.
+
+    Returns
+    -------
+    MotionPlan
+        The homologous plan for the other side; its ``limb`` and all
+        segment/muscle names have their side suffix swapped.
+    """
+    if not plan.limb.endswith(("_r", "_l")):
+        raise ValidationError(
+            f"plan limb {plan.limb!r} carries no side suffix to mirror"
+        )
+    mirrored_angles: Dict[str, np.ndarray] = {}
+    for segment, angles in plan.animation.angles_rad.items():
+        mirrored_angles[mirror_name(segment)] = angles * _ANGLE_FLIP
+    root = plan.animation.root_position_mm
+    if root is not None:
+        root = root * np.array([-1.0, 1.0, 1.0])
+    animation = JointAngles(
+        n_frames=plan.animation.n_frames,
+        angles_rad=mirrored_angles,
+        root_position_mm=root,
+    )
+    activations = {
+        mirror_name(muscle): env.copy()
+        for muscle, env in plan.activations.items()
+    }
+    return MotionPlan(
+        label=plan.label,
+        limb=mirror_name(plan.limb),
+        fps=plan.fps,
+        animation=animation,
+        activations=activations,
+        metadata=dict(plan.metadata),
+    )

@@ -1,0 +1,94 @@
+"""Smooth time-profile primitives for motion and activation curves.
+
+All profiles are functions of normalized time ``s`` in [0, 1] returning values
+in [0, 1] (or [-1, 1] for oscillations); motion classes compose them into
+joint-angle and muscle-activation trajectories.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "minimum_jerk",
+    "bell",
+    "raised_cosine_pulse",
+    "ramp_hold",
+    "oscillation",
+    "smooth_noise",
+]
+
+
+def minimum_jerk(s: np.ndarray) -> np.ndarray:
+    """Minimum-jerk position profile: 0 → 1 with zero end velocities.
+
+    The classical ``10 s^3 − 15 s^4 + 6 s^5`` polynomial; values outside
+    [0, 1] are clamped to the endpoints.
+    """
+    s = np.clip(np.asarray(s, dtype=np.float64), 0.0, 1.0)
+    return 10.0 * s**3 - 15.0 * s**4 + 6.0 * s**5
+
+
+def bell(s: np.ndarray, center: float, width: float) -> np.ndarray:
+    """Gaussian bump with unit peak at ``center`` and std ``width``."""
+    s = np.asarray(s, dtype=np.float64)
+    if width <= 0:
+        raise ValueError(f"width must be positive, got {width}")
+    return np.exp(-0.5 * ((s - center) / width) ** 2)
+
+
+def raised_cosine_pulse(s: np.ndarray, start: float, stop: float) -> np.ndarray:
+    """Smooth 0→1→0 pulse supported on [start, stop] (raised cosine)."""
+    s = np.asarray(s, dtype=np.float64)
+    if not stop > start:
+        raise ValueError(f"pulse needs stop > start, got [{start}, {stop}]")
+    u = (s - start) / (stop - start)
+    out = np.where((u >= 0) & (u <= 1), 0.5 * (1.0 - np.cos(2.0 * np.pi * np.clip(u, 0, 1))), 0.0)
+    return out
+
+
+def ramp_hold(s: np.ndarray, up_end: float, down_start: float) -> np.ndarray:
+    """Rise smoothly over [0, up_end], hold at 1, fall over [down_start, 1].
+
+    Uses minimum-jerk ramps on both sides so velocities are zero at the ends.
+    """
+    s = np.asarray(s, dtype=np.float64)
+    if not 0.0 < up_end <= down_start < 1.0:
+        raise ValueError(
+            f"need 0 < up_end <= down_start < 1, got up_end={up_end}, down_start={down_start}"
+        )
+    rise = minimum_jerk(s / up_end)
+    fall = 1.0 - minimum_jerk((s - down_start) / (1.0 - down_start))
+    out = np.where(s < up_end, rise, np.where(s <= down_start, 1.0, fall))
+    return np.clip(out, 0.0, 1.0)
+
+
+def oscillation(s: np.ndarray, cycles: float, envelope: np.ndarray | None = None) -> np.ndarray:
+    """Sine oscillation over [0, 1] with ``cycles`` periods, optional envelope."""
+    s = np.asarray(s, dtype=np.float64)
+    wave = np.sin(2.0 * np.pi * cycles * s)
+    if envelope is not None:
+        wave = wave * np.asarray(envelope, dtype=np.float64)
+    return wave
+
+
+def smooth_noise(
+    n: int, rng: np.random.Generator, scale: float, smoothness: int = 12
+) -> np.ndarray:
+    """Zero-mean smooth random curve of length ``n`` with std ≈ ``scale``.
+
+    White noise is smoothed with a moving-average kernel of width
+    ``smoothness`` and rescaled, producing low-frequency trial-to-trial
+    wobble for joint angles.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if scale == 0.0:
+        return np.zeros(n)
+    raw = rng.normal(size=n + 2 * smoothness)
+    kernel = np.ones(smoothness) / smoothness
+    smooth = np.convolve(raw, kernel, mode="same")[smoothness : smoothness + n]
+    std = smooth.std()
+    if std < 1e-12:
+        return np.zeros(n)
+    return (smooth - smooth.mean()) / std * scale

@@ -1,0 +1,33 @@
+"""Similarity search over motion signatures.
+
+Section 4 of the paper: "We can use any searching technique like linear
+search to get the nearest neighbors and to classify the query motion. ...
+For fast searching, our extracted feature vectors can be applied to any
+indexing technique to prune irrelevant motions."
+
+* :mod:`repro.retrieval.linear` — exact linear-scan k-NN (what the paper
+  uses);
+* :mod:`repro.retrieval.idistance` — the iDistance index (Yu et al.,
+  VLDB'01, the paper's reference [14]) as the "any indexing technique",
+  verified to return identical neighbours while pruning most candidates;
+* :mod:`repro.retrieval.bptree` — the B+-tree the original iDistance design
+  stores its keys in;
+* :mod:`repro.retrieval.dynamic` — a B+-tree-backed iDistance supporting
+  online inserts and deletes;
+* :mod:`repro.retrieval.knn` — k-NN voting and retrieval-quality helpers.
+"""
+
+from repro.retrieval.linear import LinearScanIndex
+from repro.retrieval.idistance import IDistanceIndex
+from repro.retrieval.bptree import BPlusTree
+from repro.retrieval.dynamic import DynamicIDistanceIndex
+from repro.retrieval.knn import NearestNeighborIndex, knn_vote
+
+__all__ = [
+    "LinearScanIndex",
+    "IDistanceIndex",
+    "BPlusTree",
+    "DynamicIDistanceIndex",
+    "NearestNeighborIndex",
+    "knn_vote",
+]

@@ -1,0 +1,349 @@
+"""An in-memory B+-tree over float keys.
+
+The original iDistance paper (Yu, Ooi, Tan & Jagadish, VLDB 2001 — the
+paper's reference [14]) stores its one-dimensional keys in a B+-tree and
+answers k-NN queries with range scans over the leaf level.  The
+array-backed :class:`~repro.retrieval.idistance.IDistanceIndex` is exact
+but static; this B+-tree provides the dynamic variant: inserts and deletes
+interleave with range searches, so motions can be added to or retired from
+the database without rebuilding the index.
+
+Implementation notes
+--------------------
+* Classic order-``B`` B+-tree: internal nodes hold separator keys and
+  children; leaves hold ``(key, value)`` pairs and are chained left-to-
+  right for range scans.
+* Duplicate keys are allowed (two windows can share an iDistance key);
+  deletion removes one matching ``(key, value)`` pair.
+* Deletion uses the standard borrow/merge rebalancing so the tree stays
+  within the B+-tree invariants, which the test-suite checks explicitly
+  after randomized workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Tuple
+
+from repro.errors import RetrievalError
+from repro.utils.validation import check_positive_int
+
+__all__ = ["BPlusTree"]
+
+
+@dataclass
+class _Node:
+    leaf: bool
+    keys: List[float] = field(default_factory=list)
+    # Leaves: ``values[i]`` pairs with ``keys[i]``.  Internal nodes:
+    # ``children`` has ``len(keys) + 1`` entries.
+    values: List[object] = field(default_factory=list)
+    children: List["_Node"] = field(default_factory=list)
+    next: Optional["_Node"] = None  # leaf chain
+
+
+class BPlusTree:
+    """Order-``branching`` B+-tree mapping float keys to payloads.
+
+    Parameters
+    ----------
+    branching:
+        Maximum number of children of an internal node (>= 3).  Leaves hold
+        at most ``branching - 1`` pairs.
+    """
+
+    def __init__(self, branching: int = 32):
+        branching = check_positive_int(branching, name="branching", minimum=3)
+        self._b = branching
+        self._root = _Node(leaf=True)
+        self._size = 0
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def branching(self) -> int:
+        """The tree's maximum fan-out."""
+        return self._b
+
+    def height(self) -> int:
+        """Number of levels (1 for a single-leaf tree)."""
+        node, levels = self._root, 1
+        while not node.leaf:
+            node = node.children[0]
+            levels += 1
+        return levels
+
+    # ------------------------------------------------------------------
+    # Insertion
+    # ------------------------------------------------------------------
+
+    def insert(self, key: float, value: object) -> None:
+        """Insert a ``(key, value)`` pair (duplicates allowed)."""
+        key = float(key)
+        if key != key:  # NaN keys break ordering
+            raise RetrievalError("cannot insert a NaN key")
+        split = self._insert(self._root, key, value)
+        if split is not None:
+            sep, right = split
+            new_root = _Node(leaf=False, keys=[sep], children=[self._root, right])
+            self._root = new_root
+        self._size += 1
+
+    def _insert(
+        self, node: _Node, key: float, value: object
+    ) -> Optional[Tuple[float, _Node]]:
+        if node.leaf:
+            idx = self._bisect_right(node.keys, key)
+            node.keys.insert(idx, key)
+            node.values.insert(idx, value)
+            if len(node.keys) < self._b:
+                return None
+            return self._split_leaf(node)
+        idx = self._bisect_right(node.keys, key)
+        split = self._insert(node.children[idx], key, value)
+        if split is None:
+            return None
+        sep, right = split
+        node.keys.insert(idx, sep)
+        node.children.insert(idx + 1, right)
+        if len(node.children) <= self._b:
+            return None
+        return self._split_internal(node)
+
+    def _split_leaf(self, node: _Node) -> Tuple[float, _Node]:
+        mid = len(node.keys) // 2
+        right = _Node(
+            leaf=True, keys=node.keys[mid:], values=node.values[mid:],
+            next=node.next,
+        )
+        node.keys = node.keys[:mid]
+        node.values = node.values[:mid]
+        node.next = right
+        return right.keys[0], right
+
+    def _split_internal(self, node: _Node) -> Tuple[float, _Node]:
+        mid = len(node.keys) // 2
+        sep = node.keys[mid]
+        right = _Node(
+            leaf=False,
+            keys=node.keys[mid + 1:],
+            children=node.children[mid + 1:],
+        )
+        node.keys = node.keys[:mid]
+        node.children = node.children[: mid + 1]
+        return sep, right
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+
+    def range_search(self, low: float, high: float) -> List[Tuple[float, object]]:
+        """All ``(key, value)`` pairs with ``low <= key <= high``, in order."""
+        if high < low:
+            return []
+        out: List[Tuple[float, object]] = []
+        leaf = self._find_leaf(low)
+        while leaf is not None:
+            for k, v in zip(leaf.keys, leaf.values):
+                if k > high:
+                    return out
+                if k >= low:
+                    out.append((k, v))
+            leaf = leaf.next
+        return out
+
+    def items(self) -> Iterator[Tuple[float, object]]:
+        """All pairs in ascending key order (leaf-chain scan)."""
+        leaf = self._leftmost_leaf()
+        while leaf is not None:
+            yield from zip(leaf.keys, leaf.values)
+            leaf = leaf.next
+
+    def _find_leaf(self, key: float) -> _Node:
+        node = self._root
+        while not node.leaf:
+            idx = self._bisect_right(node.keys, key, left_bias=True)
+            node = node.children[idx]
+        return node
+
+    def _leftmost_leaf(self) -> _Node:
+        node = self._root
+        while not node.leaf:
+            node = node.children[0]
+        return node
+
+    # ------------------------------------------------------------------
+    # Deletion
+    # ------------------------------------------------------------------
+
+    def delete(self, key: float, value: object) -> bool:
+        """Remove one pair matching ``(key, value)``; returns success."""
+        removed = self._delete(self._root, float(key), value)
+        if not removed:
+            return False
+        # Shrink the root when it has a single child.
+        if not self._root.leaf and len(self._root.children) == 1:
+            self._root = self._root.children[0]
+        self._size -= 1
+        return True
+
+    def _min_pairs(self) -> int:
+        return (self._b - 1) // 2
+
+    def _min_children(self) -> int:
+        return (self._b + 1) // 2
+
+    def _delete(self, node: _Node, key: float, value: object) -> bool:
+        if node.leaf:
+            for i, (k, v) in enumerate(zip(node.keys, node.values)):
+                if k == key and v == value:
+                    node.keys.pop(i)
+                    node.values.pop(i)
+                    return True
+                if k > key:
+                    break
+            return False
+        idx = self._bisect_right(node.keys, key, left_bias=True)
+        # Duplicate keys may straddle a separator: try right siblings too.
+        removed = False
+        for child_idx in range(idx, len(node.children)):
+            if child_idx > idx:
+                child = node.children[child_idx]
+                first = self._first_key(child)
+                if first is None or first > key:
+                    break
+            if self._delete(node.children[child_idx], key, value):
+                self._rebalance(node, child_idx)
+                removed = True
+                break
+        return removed
+
+    @staticmethod
+    def _first_key(node: _Node) -> Optional[float]:
+        while not node.leaf:
+            node = node.children[0]
+        return node.keys[0] if node.keys else None
+
+    def _rebalance(self, parent: _Node, idx: int) -> None:
+        child = parent.children[idx]
+        if child.leaf:
+            if len(child.keys) >= self._min_pairs():
+                return
+        elif len(child.children) >= self._min_children():
+            return
+
+        left = parent.children[idx - 1] if idx > 0 else None
+        right = parent.children[idx + 1] if idx + 1 < len(parent.children) else None
+
+        if child.leaf:
+            if left is not None and len(left.keys) > self._min_pairs():
+                child.keys.insert(0, left.keys.pop())
+                child.values.insert(0, left.values.pop())
+                parent.keys[idx - 1] = child.keys[0]
+            elif right is not None and len(right.keys) > self._min_pairs():
+                child.keys.append(right.keys.pop(0))
+                child.values.append(right.values.pop(0))
+                parent.keys[idx] = right.keys[0]
+            elif left is not None:
+                left.keys.extend(child.keys)
+                left.values.extend(child.values)
+                left.next = child.next
+                parent.keys.pop(idx - 1)
+                parent.children.pop(idx)
+            elif right is not None:
+                child.keys.extend(right.keys)
+                child.values.extend(right.values)
+                child.next = right.next
+                parent.keys.pop(idx)
+                parent.children.pop(idx + 1)
+            return
+
+        # Internal child.
+        if left is not None and len(left.children) > self._min_children():
+            child.keys.insert(0, parent.keys[idx - 1])
+            parent.keys[idx - 1] = left.keys.pop()
+            child.children.insert(0, left.children.pop())
+        elif right is not None and len(right.children) > self._min_children():
+            child.keys.append(parent.keys[idx])
+            parent.keys[idx] = right.keys.pop(0)
+            child.children.append(right.children.pop(0))
+        elif left is not None:
+            left.keys.append(parent.keys.pop(idx - 1))
+            left.keys.extend(child.keys)
+            left.children.extend(child.children)
+            parent.children.pop(idx)
+        elif right is not None:
+            child.keys.append(parent.keys.pop(idx))
+            child.keys.extend(right.keys)
+            child.children.extend(right.children)
+            parent.children.pop(idx + 1)
+
+    # ------------------------------------------------------------------
+    # Invariant checking (used by the test-suite)
+    # ------------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Raise :class:`RetrievalError` if any B+-tree invariant is broken."""
+        size = sum(1 for _ in self.items())
+        if size != self._size:
+            raise RetrievalError(
+                f"size bookkeeping broken: counted {size}, recorded {self._size}"
+            )
+        keys = [k for k, _ in self.items()]
+        if keys != sorted(keys):
+            raise RetrievalError("leaf chain is not sorted")
+        self._check_node(self._root, is_root=True, depth=0,
+                         leaf_depth=self.height() - 1)
+
+    def _check_node(self, node: _Node, is_root: bool, depth: int,
+                    leaf_depth: int) -> None:
+        if node.leaf:
+            if depth != leaf_depth:
+                raise RetrievalError("leaves at different depths")
+            if not is_root and len(node.keys) < self._min_pairs():
+                raise RetrievalError(
+                    f"leaf underflow: {len(node.keys)} < {self._min_pairs()}"
+                )
+            if len(node.keys) != len(node.values):
+                raise RetrievalError("leaf keys/values length mismatch")
+            if len(node.keys) >= self._b:
+                raise RetrievalError("leaf overflow")
+            return
+        if len(node.children) != len(node.keys) + 1:
+            raise RetrievalError("internal fan-out mismatch")
+        if not is_root and len(node.children) < self._min_children():
+            raise RetrievalError("internal underflow")
+        if len(node.children) > self._b:
+            raise RetrievalError("internal overflow")
+        for i, child in enumerate(node.children):
+            first = self._first_key(child)
+            if first is not None:
+                if i > 0 and first < node.keys[i - 1]:
+                    raise RetrievalError("separator invariant broken (left)")
+                if i < len(node.keys) and first > node.keys[i]:
+                    raise RetrievalError("separator invariant broken (right)")
+            self._check_node(child, is_root=False, depth=depth + 1,
+                             leaf_depth=leaf_depth)
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _bisect_right(keys: List[float], key: float, left_bias: bool = False) -> int:
+        """Insertion index for ``key``.
+
+        With ``left_bias`` (used for descent), equal keys go to the left
+        child so range scans starting at ``key`` see every duplicate.
+        """
+        lo, hi = 0, len(keys)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if keys[mid] < key or (not left_bias and keys[mid] == key):
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo

@@ -1,0 +1,212 @@
+"""Dynamic iDistance index backed by the B+-tree.
+
+The array-backed :class:`~repro.retrieval.idistance.IDistanceIndex` must be
+rebuilt whenever the motion database changes.  This variant follows the
+original VLDB'01 design more literally: the one-dimensional iDistance keys
+live in a :class:`~repro.retrieval.bptree.BPlusTree`, so motions can be
+**inserted and deleted online** while k-NN queries keep running — the
+operating mode of a growing clinical motion database.
+
+Reference points are fixed at construction (from a seed batch, via
+k-means); the key-space stretch constant ``C`` is sized with headroom so
+later insertions fit.  A point farther from every reference than the
+headroom allows is rejected with a clear "rebuild" error rather than
+silently corrupting the key space.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import NotFittedError, RetrievalError
+from repro.fuzzy.kmeans import KMeans
+from repro.retrieval.bptree import BPlusTree
+from repro.retrieval.knn import NearestNeighborIndex
+from repro.utils.rng import SeedLike
+from repro.utils.validation import check_array, check_positive_int
+
+__all__ = ["DynamicIDistanceIndex"]
+
+
+class DynamicIDistanceIndex(NearestNeighborIndex):
+    """Insert/delete-capable exact k-NN over iDistance keys in a B+-tree.
+
+    Parameters
+    ----------
+    n_partitions:
+        Number of reference points (k-means centers of the seed batch).
+    headroom:
+        Multiplier on the seed batch's largest radial distance used to size
+        the key-space stretch ``C``; later insertions may be up to this
+        factor farther from their reference than any seed point was.
+    branching:
+        B+-tree fan-out.
+    seed:
+        Seed for the reference-point clustering.
+    """
+
+    def __init__(
+        self,
+        n_partitions: int = 8,
+        headroom: float = 4.0,
+        branching: int = 32,
+        radius_growth: float = 2.0,
+        seed: SeedLike = 0,
+    ):
+        self.n_partitions = check_positive_int(n_partitions, name="n_partitions")
+        if not headroom >= 1.0:
+            raise RetrievalError(f"headroom must be >= 1, got {headroom}")
+        if not radius_growth > 1.0:
+            raise RetrievalError(f"radius_growth must exceed 1, got {radius_growth}")
+        self.headroom = headroom
+        self.branching = branching
+        self.radius_growth = radius_growth
+        self.seed = seed
+        self._refs: Optional[np.ndarray] = None
+        self._c: float = 0.0
+        self._tree: Optional[BPlusTree] = None
+        self._vectors: Dict[int, np.ndarray] = {}
+        self._r_max: Optional[np.ndarray] = None
+        self._next_id = 0
+        #: Candidates examined by the last query.
+        self.last_candidates = 0
+
+    # ------------------------------------------------------------------
+    # Construction and maintenance
+    # ------------------------------------------------------------------
+
+    def fit(self, vectors: np.ndarray) -> "DynamicIDistanceIndex":
+        """Build the index from a seed batch; ids are 0..n-1."""
+        x = check_array(vectors, name="vectors", ndim=2, allow_empty=False)
+        n_parts = min(self.n_partitions, x.shape[0])
+        if n_parts >= 2:
+            self._refs = KMeans(n_clusters=n_parts, n_init=1).fit(
+                x, seed=self.seed
+            ).centers
+        else:
+            self._refs = x.mean(axis=0, keepdims=True)
+        radial = self._radial_distances(x)
+        max_radial = float(radial.min(axis=1).max())
+        # Size the key-space stretch from the seed batch's spatial extent
+        # (bounding-box diagonal), not just its radial spread: future
+        # insertions anywhere within `headroom` diagonals of the references
+        # must map to non-overlapping per-partition key intervals.
+        diagonal = float(np.linalg.norm(x.max(axis=0) - x.min(axis=0)))
+        scale = max(max_radial, diagonal, 1e-9)
+        self._c = self.headroom * scale * 2.0 + 1.0
+        self._tree = BPlusTree(branching=self.branching)
+        self._r_max = np.zeros(self._refs.shape[0])
+        self._vectors = {}
+        self._next_id = 0
+        for row in x:
+            self.insert(row)
+        return self
+
+    def insert(self, vector: np.ndarray) -> int:
+        """Add a vector; returns its integer id."""
+        if self._refs is None or self._tree is None or self._r_max is None:
+            raise NotFittedError("DynamicIDistanceIndex used before fit")
+        vector = check_array(vector, name="vector", ndim=1)
+        if len(vector) != self._refs.shape[1]:
+            raise RetrievalError(
+                f"vector has {len(vector)} dims, index holds "
+                f"{self._refs.shape[1]}-dim vectors"
+            )
+        partition, dist = self._assign(vector)
+        if dist >= self._c / 2.0:
+            raise RetrievalError(
+                "vector exceeds the key-space headroom; rebuild the index "
+                "with fit() (or a larger headroom) to cover the new data"
+            )
+        vid = self._next_id
+        self._next_id += 1
+        self._tree.insert(partition * self._c + dist, vid)
+        self._vectors[vid] = np.array(vector, dtype=np.float64)
+        self._r_max[partition] = max(self._r_max[partition], dist)
+        return vid
+
+    def remove(self, vid: int) -> bool:
+        """Delete a vector by id; returns whether it was present.
+
+        Per-partition radii are kept conservative (they only grow), which
+        preserves exactness — deletion never makes the search consider too
+        little.
+        """
+        if self._refs is None or self._tree is None:
+            raise NotFittedError("DynamicIDistanceIndex used before fit")
+        vector = self._vectors.pop(vid, None)
+        if vector is None:
+            return False
+        partition, dist = self._assign(vector)
+        if not self._tree.delete(partition * self._c + dist, vid):
+            raise RetrievalError(
+                f"index corruption: id {vid} missing from the B+-tree"
+            )  # pragma: no cover
+        return True
+
+    @property
+    def n_indexed(self) -> int:
+        """Number of currently indexed vectors."""
+        return len(self._vectors)
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+
+    def query(self, vector: np.ndarray, k: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Exact k-NN over the current contents (ids and distances)."""
+        if (
+            self._refs is None or self._tree is None or self._r_max is None
+        ):
+            raise NotFittedError("DynamicIDistanceIndex used before fit")
+        n = len(self._vectors)
+        vector = self._check_query(vector, k, n, self._refs.shape[1])
+
+        ref_diff = self._refs - vector
+        ref_dist = np.sqrt(np.einsum("pd,pd->p", ref_diff, ref_diff))
+        max_possible = float(ref_dist.max() + self._r_max.max())
+        radius = max(0.1 * float(self._r_max.max()), 1e-9)
+
+        seen: set = set()
+        ids: List[int] = []
+        dists: List[float] = []
+        self.last_candidates = 0
+        while True:
+            for j in range(self._refs.shape[0]):
+                if ref_dist[j] - radius > self._r_max[j]:
+                    continue
+                low = j * self._c + max(0.0, ref_dist[j] - radius)
+                high = j * self._c + min(self._r_max[j], ref_dist[j] + radius)
+                for _, vid in self._tree.range_search(low, high):
+                    if vid in seen:
+                        continue
+                    seen.add(vid)
+                    self.last_candidates += 1
+                    d = float(np.linalg.norm(self._vectors[vid] - vector))
+                    ids.append(vid)
+                    dists.append(d)
+            if len(ids) >= k:
+                dist_arr = np.asarray(dists)
+                id_arr = np.asarray(ids)
+                order = np.lexsort((id_arr, dist_arr))[:k]
+                if dist_arr[order[-1]] <= radius or radius >= max_possible:
+                    return id_arr[order], dist_arr[order]
+            if radius >= max_possible:
+                dist_arr = np.asarray(dists)
+                id_arr = np.asarray(ids)
+                order = np.lexsort((id_arr, dist_arr))[:k]
+                return id_arr[order], dist_arr[order]
+            radius = min(radius * self.radius_growth, max_possible)
+
+    # ------------------------------------------------------------------
+
+    def _radial_distances(self, x: np.ndarray) -> np.ndarray:
+        diff = x[:, None, :] - self._refs[None, :, :]
+        return np.sqrt(np.einsum("npd,npd->np", diff, diff))
+
+    def _assign(self, vector: np.ndarray) -> Tuple[int, float]:
+        dists = np.linalg.norm(self._refs - vector, axis=1)
+        partition = int(np.argmin(dists))
+        return partition, float(dists[partition])

@@ -1,0 +1,69 @@
+"""k-NN interface and voting helpers shared by the retrieval backends."""
+
+from __future__ import annotations
+
+import abc
+from collections import Counter
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import RetrievalError
+from repro.utils.validation import check_array, check_positive_int
+
+__all__ = ["NearestNeighborIndex", "knn_vote"]
+
+
+class NearestNeighborIndex(abc.ABC):
+    """Exact k-nearest-neighbour search over a fixed set of vectors."""
+
+    @abc.abstractmethod
+    def fit(self, vectors: np.ndarray) -> "NearestNeighborIndex":
+        """Index the ``(n, d)`` database vectors."""
+
+    @abc.abstractmethod
+    def query(self, vector: np.ndarray, k: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Return ``(indices, distances)`` of the ``k`` nearest vectors.
+
+        Results are sorted by ascending distance; ties broken by index so
+        every backend returns the identical answer.
+        """
+
+    def _check_query(self, vector: np.ndarray, k: int, n: int, d: int) -> np.ndarray:
+        vector = check_array(vector, name="vector", ndim=1)
+        if len(vector) != d:
+            raise RetrievalError(
+                f"query has {len(vector)} dims, index holds {d}-dim vectors"
+            )
+        k = check_positive_int(k, name="k")
+        if k > n:
+            raise RetrievalError(f"k={k} exceeds the {n} indexed vectors")
+        return vector
+
+
+def knn_vote(labels: Sequence[str], distances: np.ndarray) -> str:
+    """Majority vote among retrieved labels; ties go to the nearest label.
+
+    Parameters
+    ----------
+    labels:
+        Labels of the k retrieved neighbours, nearest first.
+    distances:
+        Matching distances (used only for tie-breaking sanity).
+    """
+    if not labels:
+        raise RetrievalError("cannot vote on an empty neighbour list")
+    if len(labels) != len(distances):
+        raise RetrievalError(
+            f"{len(labels)} labels but {len(distances)} distances"
+        )
+    counts = Counter(labels)
+    top = max(counts.values())
+    tied = {label for label, count in counts.items() if count == top}
+    if len(tied) == 1:
+        return next(iter(tied))
+    # Tie: the tied label whose nearest representative is closest wins.
+    for label in labels:  # labels are nearest-first
+        if label in tied:
+            return label
+    raise RetrievalError("unreachable: tie-break found no label")  # pragma: no cover

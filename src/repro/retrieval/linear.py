@@ -1,0 +1,51 @@
+"""Exact linear-scan k-NN — the paper's own search technique."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import NotFittedError
+from repro.retrieval.knn import NearestNeighborIndex
+from repro.utils.validation import check_array
+
+__all__ = ["LinearScanIndex"]
+
+
+class LinearScanIndex(NearestNeighborIndex):
+    """Brute-force Euclidean k-NN over the signature matrix.
+
+    Exact by construction; serves both as the paper's search method and as
+    the ground truth the :class:`~repro.retrieval.idistance.IDistanceIndex`
+    is verified against.
+    """
+
+    def __init__(self) -> None:
+        self._vectors: Optional[np.ndarray] = None
+
+    def fit(self, vectors: np.ndarray) -> "LinearScanIndex":
+        """Store the ``(n, d)`` database vectors."""
+        self._vectors = check_array(vectors, name="vectors", ndim=2,
+                                    allow_empty=False)
+        return self
+
+    @property
+    def n_indexed(self) -> int:
+        """Number of indexed vectors."""
+        if self._vectors is None:
+            raise NotFittedError("LinearScanIndex used before fit")
+        return self._vectors.shape[0]
+
+    def query(self, vector: np.ndarray, k: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Scan all vectors; return the ``k`` nearest (ties by index)."""
+        if self._vectors is None:
+            raise NotFittedError("LinearScanIndex used before fit")
+        x = self._vectors
+        vector = self._check_query(vector, k, x.shape[0], x.shape[1])
+        diff = x - vector
+        distances = np.sqrt(np.einsum("nd,nd->n", diff, diff))
+        # Stable lexicographic order (distance, index) makes results
+        # deterministic and comparable across backends.
+        order = np.lexsort((np.arange(len(distances)), distances))[:k]
+        return order, distances[order]

@@ -1,0 +1,40 @@
+"""DSP substrate built on numpy only.
+
+This subpackage reimplements the small amount of classical signal processing
+the paper's acquisition chain needs — IIR Butterworth design via the bilinear
+transform, zero-phase filtering, anti-aliased decimation, full-wave
+rectification, Welch PSD estimation and linear-envelope extraction — without
+depending on scipy.  The test suite cross-checks the filter implementations
+against scipy as an oracle.
+"""
+
+from repro.signal.filters import (
+    IIRFilter,
+    butter_bandpass,
+    butter_highpass,
+    butter_lowpass,
+    filtfilt,
+    lfilter,
+)
+from repro.signal.envelope import linear_envelope, moving_average
+from repro.signal.notch import notch_filter
+from repro.signal.rectify import full_wave_rectify
+from repro.signal.resample import decimate, downsample_to_rate
+from repro.signal.spectral import band_power, welch_psd
+
+__all__ = [
+    "IIRFilter",
+    "butter_bandpass",
+    "butter_highpass",
+    "butter_lowpass",
+    "filtfilt",
+    "lfilter",
+    "notch_filter",
+    "linear_envelope",
+    "moving_average",
+    "full_wave_rectify",
+    "decimate",
+    "downsample_to_rate",
+    "band_power",
+    "welch_psd",
+]

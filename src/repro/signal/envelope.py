@@ -1,0 +1,71 @@
+"""Linear-envelope extraction for EMG signals.
+
+A "linear envelope" — full-wave rectification followed by low-pass smoothing —
+is the classical amplitude estimate for surface EMG.  The library uses it when
+synthesizing figures like the paper's Figure 2 (muscle activity traces) and
+when validating the synthetic EMG generator against its commanded activation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.signal.filters import butter_lowpass
+from repro.signal.rectify import full_wave_rectify
+from repro.utils.validation import check_array, check_in_range, check_positive_int
+
+__all__ = ["moving_average", "linear_envelope"]
+
+
+def moving_average(x: np.ndarray, width: int) -> np.ndarray:
+    """Centered moving average along axis 0 with edge replication.
+
+    Parameters
+    ----------
+    x:
+        1-D or 2-D signal (frames on axis 0).
+    width:
+        Averaging window in samples; clipped to the signal length.
+    """
+    x = check_array(x, name="x")
+    width = check_positive_int(width, name="width")
+    if x.ndim == 1:
+        squeeze = True
+        data = x[:, None]
+    else:
+        squeeze = False
+        data = x
+    n = data.shape[0]
+    width = min(width, n)
+    half_lo = (width - 1) // 2
+    half_hi = width - 1 - half_lo
+    padded = np.concatenate(
+        [np.repeat(data[:1], half_lo, axis=0), data, np.repeat(data[-1:], half_hi, axis=0)],
+        axis=0,
+    )
+    kernel = np.ones(width) / width
+    out = np.empty_like(data)
+    for j in range(data.shape[1]):
+        out[:, j] = np.convolve(padded[:, j], kernel, mode="valid")
+    return out[:, 0] if squeeze else out
+
+
+def linear_envelope(x: np.ndarray, fs: float, cutoff_hz: float = 6.0) -> np.ndarray:
+    """Classical EMG linear envelope: rectify, then low-pass at ``cutoff_hz``.
+
+    Parameters
+    ----------
+    x:
+        Raw (or band-passed) EMG, frames on axis 0.
+    fs:
+        Sampling rate in Hz.
+    cutoff_hz:
+        Smoothing cutoff; 3–10 Hz is conventional for movement studies.
+    """
+    fs = check_in_range(fs, name="fs", low=0.0, high=float("inf"), inclusive_low=False)
+    rectified = full_wave_rectify(x)
+    filt = butter_lowpass(cutoff_hz, fs, order=4)
+    env = filt.apply_zero_phase(rectified, axis=0)
+    # Smoothing can undershoot slightly below zero near sharp onsets; an
+    # envelope is non-negative by definition.
+    return np.maximum(env, 0.0)

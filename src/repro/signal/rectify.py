@@ -1,0 +1,24 @@
+"""Full-wave rectification.
+
+The paper's EMG conditioning chain full-wave rectifies the band-passed signal
+before down-sampling it to the motion-capture frame rate (Section 5).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_array
+
+__all__ = ["full_wave_rectify"]
+
+
+def full_wave_rectify(x: np.ndarray) -> np.ndarray:
+    """Return the element-wise absolute value of ``x`` as float64.
+
+    A trivial operation, but kept as a named pipeline stage so the
+    acquisition chain reads exactly like the paper's description
+    ("this processed signal is full-wave rectified and down-sampled").
+    """
+    x = check_array(x, name="x")
+    return np.abs(x)

@@ -1,0 +1,37 @@
+"""Hierarchical human body model and forward kinematics.
+
+The motion-capture side of the paper represents every motion as a matrix of
+3-D joint positions rooted at the pelvis segment ("we do the local
+transformation of positional data for each body segment by shifting the
+global origin to the pelvis segment because it is the root of all body
+segments").  This subpackage provides:
+
+* :mod:`repro.skeleton.model` — the segment-tree data model;
+* :mod:`repro.skeleton.body` — the default adult body with the exact segment
+  inventory the paper's protocols use;
+* :mod:`repro.skeleton.kinematics` — forward kinematics from per-joint Euler
+  angle time-series to global 3-D joint positions (in millimetres, as in the
+  paper);
+* :mod:`repro.skeleton.transform` — the pelvis-local transform.
+"""
+
+from repro.skeleton.model import Segment, Skeleton
+from repro.skeleton.body import default_body, HAND_SEGMENTS, LEG_SEGMENTS
+from repro.skeleton.kinematics import (
+    JointAngles,
+    forward_kinematics,
+    forward_kinematics_full,
+)
+from repro.skeleton.transform import to_pelvis_frame
+
+__all__ = [
+    "Segment",
+    "Skeleton",
+    "default_body",
+    "HAND_SEGMENTS",
+    "LEG_SEGMENTS",
+    "JointAngles",
+    "forward_kinematics",
+    "forward_kinematics_full",
+    "to_pelvis_frame",
+]

@@ -1,0 +1,87 @@
+"""Default adult body model with the paper's segment inventory.
+
+Section 5 of the paper analyzes limbs with these motion-capture attributes:
+
+* **hand study** — clavicle, humerus, radius and hand segments;
+* **leg study** — tibia, foot and toe segments.
+
+The default body includes both sides plus the trunk so the pelvis-rooted
+local transform and full-body captures are possible.  Offsets are bind-pose
+joint positions in millimetres, loosely based on standard anthropometry for a
+1.75 m adult; exact dimensions do not matter for the classifier, only the
+relative geometry of the chains.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.skeleton.model import Segment, Skeleton
+
+__all__ = [
+    "default_body",
+    "scaled_body",
+    "HAND_SEGMENTS",
+    "LEG_SEGMENTS",
+    "DEFAULT_SEGMENT_OFFSETS",
+]
+
+#: Segments the paper's right-hand protocol captures (4 mocap attributes).
+HAND_SEGMENTS: Tuple[str, ...] = ("clavicle_r", "humerus_r", "radius_r", "hand_r")
+
+#: Segments the paper's right-leg protocol captures (3 mocap attributes).
+LEG_SEGMENTS: Tuple[str, ...] = ("tibia_r", "foot_r", "toe_r")
+
+#: Bind-pose distal-joint offsets, millimetres, in the parent segment frame.
+#: Axes: X = right, Y = forward (anterior), Z = up.  Arms hang down at the
+#: side (distal offsets pointing down); legs point down; toes point forward.
+DEFAULT_SEGMENT_OFFSETS: Dict[str, Tuple[str, Tuple[float, float, float]]] = {
+    # name: (parent, offset_mm)
+    "pelvis": ("", (0.0, 0.0, 0.0)),
+    "spine": ("pelvis", (0.0, 0.0, 250.0)),
+    "thorax": ("spine", (0.0, 0.0, 250.0)),
+    "neck": ("thorax", (0.0, 0.0, 100.0)),
+    "head": ("neck", (0.0, 0.0, 180.0)),
+    # Right arm chain.
+    "clavicle_r": ("thorax", (180.0, 0.0, 0.0)),
+    "humerus_r": ("clavicle_r", (0.0, 0.0, -300.0)),
+    "radius_r": ("humerus_r", (0.0, 0.0, -260.0)),
+    "hand_r": ("radius_r", (0.0, 0.0, -180.0)),
+    # Left arm chain.
+    "clavicle_l": ("thorax", (-180.0, 0.0, 0.0)),
+    "humerus_l": ("clavicle_l", (0.0, 0.0, -300.0)),
+    "radius_l": ("humerus_l", (0.0, 0.0, -260.0)),
+    "hand_l": ("radius_l", (0.0, 0.0, -180.0)),
+    # Right leg chain.
+    "femur_r": ("pelvis", (90.0, 0.0, -430.0)),
+    "tibia_r": ("femur_r", (0.0, 0.0, -420.0)),
+    "foot_r": ("tibia_r", (0.0, 50.0, -60.0)),
+    "toe_r": ("foot_r", (0.0, 150.0, 0.0)),
+    # Left leg chain.
+    "femur_l": ("pelvis", (-90.0, 0.0, -430.0)),
+    "tibia_l": ("femur_l", (0.0, 0.0, -420.0)),
+    "foot_l": ("tibia_l", (0.0, 50.0, -60.0)),
+    "toe_l": ("foot_l", (0.0, 150.0, 0.0)),
+}
+
+
+def default_body() -> Skeleton:
+    """Return the default 21-segment body model rooted at the pelvis."""
+    return scaled_body(1.0)
+
+
+def scaled_body(scale: float) -> Skeleton:
+    """Return the default body with all segment lengths scaled by ``scale``.
+
+    Used to model inter-participant anthropometric variation (a 0.9-scale
+    body is a smaller participant performing the same motions).
+    """
+    if not scale > 0:
+        raise ValueError(f"scale must be positive, got {scale}")
+    segments = []
+    for name, (parent, offset) in DEFAULT_SEGMENT_OFFSETS.items():
+        scaled = tuple(scale * v for v in offset)
+        segments.append(
+            Segment(name=name, parent=parent or None, offset_mm=scaled)  # type: ignore[arg-type]
+        )
+    return Skeleton(segments)

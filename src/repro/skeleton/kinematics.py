@@ -1,0 +1,178 @@
+"""Forward kinematics: per-joint Euler-angle time-series → 3-D joint positions.
+
+The motion generators in :mod:`repro.motions` describe motions as joint-angle
+trajectories (the natural parameterization of a human motion); this module
+turns them into what the Vicon system measures — global 3-D positions of each
+segment's distal joint over time, in millimetres.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import SkeletonError
+from repro.skeleton.model import Skeleton
+from repro.utils.validation import check_array
+
+__all__ = [
+    "JointAngles",
+    "euler_to_matrix",
+    "forward_kinematics",
+    "forward_kinematics_full",
+]
+
+
+def euler_to_matrix(angles_rad: np.ndarray) -> np.ndarray:
+    """Rotation matrices from intrinsic XYZ Euler angles.
+
+    Parameters
+    ----------
+    angles_rad:
+        Array of shape ``(..., 3)`` with rotations about X, Y, Z in radians.
+
+    Returns
+    -------
+    numpy.ndarray
+        Rotation matrices of shape ``(..., 3, 3)``, computed as
+        ``R = Rx @ Ry @ Rz``.
+    """
+    angles = np.asarray(angles_rad, dtype=np.float64)
+    if angles.shape[-1] != 3:
+        raise SkeletonError(f"angles must have last dimension 3, got {angles.shape}")
+    ax, ay, az = angles[..., 0], angles[..., 1], angles[..., 2]
+    cx, sx = np.cos(ax), np.sin(ax)
+    cy, sy = np.cos(ay), np.sin(ay)
+    cz, sz = np.cos(az), np.sin(az)
+    shape = angles.shape[:-1] + (3, 3)
+    r = np.empty(shape, dtype=np.float64)
+    # R = Rx @ Ry @ Rz, expanded.
+    r[..., 0, 0] = cy * cz
+    r[..., 0, 1] = -cy * sz
+    r[..., 0, 2] = sy
+    r[..., 1, 0] = cx * sz + sx * sy * cz
+    r[..., 1, 1] = cx * cz - sx * sy * sz
+    r[..., 1, 2] = -sx * cy
+    r[..., 2, 0] = sx * sz - cx * sy * cz
+    r[..., 2, 1] = sx * cz + cx * sy * sz
+    r[..., 2, 2] = cx * cy
+    return r
+
+
+@dataclass
+class JointAngles:
+    """A joint-angle animation for a skeleton.
+
+    Attributes
+    ----------
+    n_frames:
+        Number of animation frames.
+    angles_rad:
+        Mapping from segment name to an ``(n_frames, 3)`` array of intrinsic
+        XYZ Euler angles (radians) applied at the segment's proximal joint.
+        Segments absent from the mapping stay at bind pose.
+    root_position_mm:
+        Optional ``(n_frames, 3)`` global trajectory of the root segment
+        (e.g. the pelvis translating during gait); defaults to the origin.
+    """
+
+    n_frames: int
+    angles_rad: Dict[str, np.ndarray]
+    root_position_mm: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        if self.n_frames < 1:
+            raise SkeletonError(f"n_frames must be >= 1, got {self.n_frames}")
+        validated: Dict[str, np.ndarray] = {}
+        for name, arr in self.angles_rad.items():
+            validated[name] = check_array(
+                arr, name=f"angles_rad[{name!r}]", ndim=2, shape=(self.n_frames, 3)
+            )
+        self.angles_rad = validated
+        if self.root_position_mm is not None:
+            self.root_position_mm = check_array(
+                self.root_position_mm,
+                name="root_position_mm",
+                ndim=2,
+                shape=(self.n_frames, 3),
+            )
+
+    def angles_for(self, name: str) -> np.ndarray:
+        """Angles for ``name``, or zeros (bind pose) if not animated."""
+        if name in self.angles_rad:
+            return self.angles_rad[name]
+        return np.zeros((self.n_frames, 3))
+
+
+def forward_kinematics(
+    skeleton: Skeleton,
+    animation: JointAngles,
+    segments: Optional[Sequence[str]] = None,
+) -> Dict[str, np.ndarray]:
+    """Compute global distal-joint positions for an animated skeleton.
+
+    Parameters
+    ----------
+    skeleton:
+        The body model.
+    animation:
+        Joint-angle trajectories; see :class:`JointAngles`.
+    segments:
+        Restrict the output to these segment names (positions of all
+        ancestors are still computed internally).  Defaults to every segment.
+
+    Returns
+    -------
+    dict
+        Mapping from segment name to ``(n_frames, 3)`` positions in mm.
+    """
+    positions, _ = forward_kinematics_full(skeleton, animation, segments)
+    return positions
+
+
+def forward_kinematics_full(
+    skeleton: Skeleton,
+    animation: JointAngles,
+    segments: Optional[Sequence[str]] = None,
+) -> tuple[Dict[str, np.ndarray], Dict[str, np.ndarray]]:
+    """Forward kinematics returning positions *and* global orientations.
+
+    Same contract as :func:`forward_kinematics`, additionally returning each
+    segment's global rotation matrices of shape ``(n_frames, 3, 3)`` — what
+    the marker-cluster capture model needs to place markers rigidly on a
+    segment.
+    """
+    for name in animation.angles_rad:
+        if name not in skeleton:
+            raise SkeletonError(f"animation references unknown segment {name!r}")
+    if segments is not None:
+        skeleton.validate_segment_names(segments)
+    n = animation.n_frames
+    if animation.root_position_mm is not None:
+        root_pos = animation.root_position_mm
+    else:
+        root_pos = np.zeros((n, 3))
+
+    # Per-segment global rotation (n, 3, 3) and position (n, 3).
+    global_rot: Dict[str, np.ndarray] = {}
+    global_pos: Dict[str, np.ndarray] = {}
+    for seg in skeleton:  # topological order: parents first
+        local_rot = euler_to_matrix(animation.angles_for(seg.name))
+        if seg.parent is None:
+            global_rot[seg.name] = local_rot
+            global_pos[seg.name] = root_pos
+            continue
+        parent_rot = global_rot[seg.parent]
+        parent_pos = global_pos[seg.parent]
+        rot = parent_rot @ local_rot
+        pos = parent_pos + np.einsum("nij,j->ni", rot, seg.offset)
+        global_rot[seg.name] = rot
+        global_pos[seg.name] = pos
+
+    wanted = skeleton.names if segments is None else list(segments)
+    return (
+        {name: global_pos[name] for name in wanted},
+        {name: global_rot[name] for name in wanted},
+    )

@@ -1,0 +1,171 @@
+"""Segment-tree data model for an articulated body.
+
+A :class:`Skeleton` is a tree of :class:`Segment` objects.  Each segment is a
+rigid link attached to its parent at a joint; the segment's ``offset`` is the
+position of its distal joint in the parent segment's local frame when all
+joint angles are zero (the "bind pose").  Forward kinematics composes the
+per-joint rotations down the tree to produce global 3-D joint positions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import SkeletonError
+
+__all__ = ["Segment", "Skeleton"]
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A rigid body segment.
+
+    Attributes
+    ----------
+    name:
+        Unique segment identifier (e.g. ``"humerus_r"``).
+    parent:
+        Name of the parent segment, or ``None`` for the root (pelvis).
+    offset_mm:
+        Distal-joint position in the parent frame at bind pose, millimetres.
+    """
+
+    name: str
+    parent: Optional[str]
+    offset_mm: Tuple[float, float, float]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SkeletonError("segment name must be non-empty")
+        if self.parent == self.name:
+            raise SkeletonError(f"segment {self.name!r} cannot be its own parent")
+        offset = np.asarray(self.offset_mm, dtype=np.float64)
+        if offset.shape != (3,):
+            raise SkeletonError(
+                f"segment {self.name!r} offset must have 3 components, got {offset.shape}"
+            )
+        object.__setattr__(self, "offset_mm", tuple(float(v) for v in offset))
+
+    @property
+    def offset(self) -> np.ndarray:
+        """Offset as a float64 array of shape (3,)."""
+        return np.asarray(self.offset_mm, dtype=np.float64)
+
+    @property
+    def length_mm(self) -> float:
+        """Euclidean length of the segment at bind pose."""
+        return float(np.linalg.norm(self.offset))
+
+
+class Skeleton:
+    """A validated tree of segments rooted at a single segment.
+
+    The constructor checks that exactly one root exists, every parent is
+    defined, names are unique, and the graph is acyclic (guaranteed by the
+    reachability check).
+
+    Parameters
+    ----------
+    segments:
+        The segment definitions in any order.
+    """
+
+    def __init__(self, segments: Sequence[Segment]):
+        if not segments:
+            raise SkeletonError("a skeleton needs at least one segment")
+        by_name: Dict[str, Segment] = {}
+        for seg in segments:
+            if seg.name in by_name:
+                raise SkeletonError(f"duplicate segment name {seg.name!r}")
+            by_name[seg.name] = seg
+        roots = [s for s in segments if s.parent is None]
+        if len(roots) != 1:
+            raise SkeletonError(
+                f"skeleton must have exactly one root segment, found {len(roots)}"
+            )
+        for seg in segments:
+            if seg.parent is not None and seg.parent not in by_name:
+                raise SkeletonError(
+                    f"segment {seg.name!r} references unknown parent {seg.parent!r}"
+                )
+        self._by_name = by_name
+        self._root = roots[0]
+        self._children: Dict[str, List[str]] = {name: [] for name in by_name}
+        for seg in segments:
+            if seg.parent is not None:
+                self._children[seg.parent].append(seg.name)
+        # Topological order (parents before children) + cycle/reachability check.
+        order: List[str] = []
+        stack = [self._root.name]
+        while stack:
+            name = stack.pop()
+            order.append(name)
+            stack.extend(reversed(self._children[name]))
+        if len(order) != len(by_name):
+            unreachable = sorted(set(by_name) - set(order))
+            raise SkeletonError(
+                f"segments not reachable from root (cycle?): {unreachable}"
+            )
+        self._order = order
+
+    @property
+    def root(self) -> Segment:
+        """The root segment (pelvis in the default body)."""
+        return self._root
+
+    @property
+    def names(self) -> List[str]:
+        """Segment names in topological order (parents first)."""
+        return list(self._order)
+
+    def __len__(self) -> int:
+        return len(self._by_name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __iter__(self) -> Iterator[Segment]:
+        for name in self._order:
+            yield self._by_name[name]
+
+    def __getitem__(self, name: str) -> Segment:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise SkeletonError(f"unknown segment {name!r}") from None
+
+    def children(self, name: str) -> List[str]:
+        """Names of the segments directly attached to ``name``."""
+        if name not in self._by_name:
+            raise SkeletonError(f"unknown segment {name!r}")
+        return list(self._children[name])
+
+    def chain_to_root(self, name: str) -> List[str]:
+        """Segment names from ``name`` up to (and including) the root."""
+        seg = self[name]
+        chain = [seg.name]
+        while seg.parent is not None:
+            seg = self[seg.parent]
+            chain.append(seg.name)
+        return chain
+
+    def subtree(self, name: str) -> List[str]:
+        """Names of ``name`` and all its descendants, parents first."""
+        if name not in self._by_name:
+            raise SkeletonError(f"unknown segment {name!r}")
+        out: List[str] = []
+        stack = [name]
+        while stack:
+            cur = stack.pop()
+            out.append(cur)
+            stack.extend(reversed(self._children[cur]))
+        return out
+
+    def validate_segment_names(self, names: Sequence[str]) -> None:
+        """Raise :class:`SkeletonError` if any name is not in the skeleton."""
+        missing = [n for n in names if n not in self._by_name]
+        if missing:
+            raise SkeletonError(f"unknown segments: {missing}")

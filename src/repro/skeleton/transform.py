@@ -1,0 +1,71 @@
+"""Local (pelvis-rooted) transformation of motion-capture positions.
+
+Section 3.2 of the paper: "With the global positions, it becomes difficult to
+analyze the motions performed at different locations and in different
+directions.  Thus, we do the local transformation of positional data for each
+body segment by shifting the global origin to the pelvis segment because it
+is the root of all body segments."
+
+The paper shifts the origin (translation); an optional heading alignment is
+provided so that motions performed facing different directions also become
+comparable, which the paper's phrase "in different directions" implies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+import numpy as np
+
+from repro.errors import SkeletonError
+from repro.utils.validation import check_array
+
+__all__ = ["to_pelvis_frame", "heading_rotation"]
+
+
+def heading_rotation(heading_rad: float) -> np.ndarray:
+    """Rotation matrix undoing a heading (rotation about the vertical Z axis)."""
+    c, s = np.cos(-heading_rad), np.sin(-heading_rad)
+    return np.array([[c, -s, 0.0], [s, c, 0.0], [0.0, 0.0, 1.0]])
+
+
+def to_pelvis_frame(
+    positions_mm: Mapping[str, np.ndarray],
+    pelvis_name: str = "pelvis",
+    heading_rad: Optional[float] = None,
+) -> Dict[str, np.ndarray]:
+    """Shift all segment trajectories so the pelvis is the origin.
+
+    Parameters
+    ----------
+    positions_mm:
+        Mapping from segment name to ``(n_frames, 3)`` global positions; must
+        include ``pelvis_name``.
+    pelvis_name:
+        Name of the root segment to subtract.
+    heading_rad:
+        If given, additionally rotate all local positions about Z by
+        ``-heading_rad`` so that a motion performed facing any direction maps
+        onto the canonical facing-forward frame.
+
+    Returns
+    -------
+    dict
+        New mapping with the same keys; the pelvis entry becomes all zeros.
+    """
+    if pelvis_name not in positions_mm:
+        raise SkeletonError(
+            f"positions do not include the root segment {pelvis_name!r}"
+        )
+    pelvis = check_array(positions_mm[pelvis_name], name=pelvis_name, ndim=2)
+    if pelvis.shape[1] != 3:
+        raise SkeletonError(f"positions must be (n_frames, 3), got {pelvis.shape}")
+    rot = heading_rotation(heading_rad) if heading_rad is not None else None
+    out: Dict[str, np.ndarray] = {}
+    for name, pos in positions_mm.items():
+        pos = check_array(pos, name=name, ndim=2, shape=(pelvis.shape[0], 3))
+        local = pos - pelvis
+        if rot is not None:
+            local = local @ rot.T
+        out[name] = local
+    return out

@@ -1,0 +1,18 @@
+"""Synchronized acquisition of motion capture and EMG.
+
+Replaces the paper's parallel-port trigger circuit (Figure 5): a MATLAB
+controller fired a Delsys "Trigger Module" so that the Vicon and Myomonitor
+systems started acquiring at the same instant.  :class:`TriggerModule` models
+the fan-out with per-device latency and jitter, and
+:class:`AcquisitionSession` runs one synchronized trial end to end.
+"""
+
+from repro.sync.trigger import TriggerEvent, TriggerModule
+from repro.sync.session import AcquisitionSession, SynchronizedTrial
+
+__all__ = [
+    "TriggerEvent",
+    "TriggerModule",
+    "AcquisitionSession",
+    "SynchronizedTrial",
+]

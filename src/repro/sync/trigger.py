@@ -1,0 +1,89 @@
+"""Trigger-module simulation.
+
+The paper synchronizes both acquisition systems with a Delsys trigger module
+on the workstation's parallel port (Figure 5): one rising edge starts the
+Vicon and the Myomonitor simultaneously.  Hardware fan-out is never perfect —
+each device sees the edge after its own fixed latency plus a little jitter.
+:class:`TriggerModule` models that, and the acquisition session converts the
+resulting start-time skew into sample offsets between the two streams.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Sequence
+
+from repro.errors import AcquisitionError
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_in_range
+
+__all__ = ["TriggerEvent", "TriggerModule"]
+
+
+@dataclass(frozen=True)
+class TriggerEvent:
+    """The outcome of one trigger firing.
+
+    Attributes
+    ----------
+    start_offsets_s:
+        Per-device acquisition start time relative to the commanded trigger
+        instant, in seconds (always >= 0: devices cannot start early).
+    """
+
+    start_offsets_s: Dict[str, float]
+
+    def offset(self, device: str) -> float:
+        """Start offset of ``device`` in seconds."""
+        try:
+            return self.start_offsets_s[device]
+        except KeyError:
+            raise AcquisitionError(
+                f"device {device!r} was not triggered; "
+                f"have {sorted(self.start_offsets_s)}"
+            ) from None
+
+    def skew_s(self, device_a: str, device_b: str) -> float:
+        """Start-time skew ``offset(a) - offset(b)`` in seconds."""
+        return self.offset(device_a) - self.offset(device_b)
+
+
+@dataclass
+class TriggerModule:
+    """Fan-out trigger with per-device latency and Gaussian jitter.
+
+    Attributes
+    ----------
+    latencies_s:
+        Fixed per-device trigger-to-start latency, seconds.
+    jitter_s:
+        Std of per-firing Gaussian jitter added to every device's latency.
+        The default 0.5 ms is well under one frame at either rate, matching
+        a hardware trigger's behaviour.
+    """
+
+    latencies_s: Mapping[str, float] = field(
+        default_factory=lambda: {"vicon": 0.002, "myomonitor": 0.001}
+    )
+    jitter_s: float = 0.0005
+
+    def __post_init__(self) -> None:
+        if not self.latencies_s:
+            raise AcquisitionError("trigger module needs at least one device")
+        for device, latency in self.latencies_s.items():
+            check_in_range(latency, name=f"latency[{device!r}]", low=0.0, high=1.0)
+        check_in_range(self.jitter_s, name="jitter_s", low=0.0, high=0.1)
+
+    @property
+    def devices(self) -> Sequence[str]:
+        """Devices wired to the module."""
+        return list(self.latencies_s)
+
+    def fire(self, seed: SeedLike = None) -> TriggerEvent:
+        """Fire the trigger once and return the realized start offsets."""
+        rng = as_generator(seed)
+        offsets = {}
+        for device, latency in self.latencies_s.items():
+            jitter = rng.normal(0.0, self.jitter_s) if self.jitter_s > 0 else 0.0
+            offsets[device] = max(0.0, latency + jitter)
+        return TriggerEvent(start_offsets_s=offsets)

@@ -1,0 +1,30 @@
+"""Shared low-level helpers: validation, RNG plumbing, window arithmetic."""
+
+from repro.utils.rng import as_generator, spawn_generators
+from repro.utils.validation import (
+    check_array,
+    check_positive_int,
+    check_probability,
+    check_in_range,
+)
+from repro.utils.windows import (
+    num_windows,
+    window_bounds,
+    iter_windows,
+    sliding_window_view_2d,
+    window_size_frames,
+)
+
+__all__ = [
+    "as_generator",
+    "spawn_generators",
+    "check_array",
+    "check_positive_int",
+    "check_probability",
+    "check_in_range",
+    "num_windows",
+    "window_bounds",
+    "iter_windows",
+    "sliding_window_view_2d",
+    "window_size_frames",
+]

@@ -1,0 +1,52 @@
+"""Random-number-generator plumbing.
+
+Every stochastic component in the library accepts a ``seed`` argument that may
+be ``None``, an integer, or an already-constructed
+:class:`numpy.random.Generator`.  :func:`as_generator` normalizes all three
+into a ``Generator`` so downstream code never touches the legacy
+``numpy.random.*`` global state, keeping experiments reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+SeedLike = Union[None, int, np.random.Generator, np.random.SeedSequence]
+
+__all__ = ["SeedLike", "as_generator", "spawn_generators"]
+
+
+def as_generator(seed: SeedLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` (fresh entropy), an ``int`` seed, a ``SeedSequence``, or an
+        existing ``Generator`` (returned unchanged, so callers can thread one
+        generator through a whole experiment).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if seed is None or isinstance(seed, (int, np.integer, np.random.SeedSequence)):
+        return np.random.default_rng(seed)
+    raise ValidationError(
+        f"seed must be None, an int, a SeedSequence or a Generator, got {type(seed).__name__}"
+    )
+
+
+def spawn_generators(seed: SeedLike, n: int) -> list[np.random.Generator]:
+    """Deterministically derive ``n`` independent generators from ``seed``.
+
+    Used when an experiment fans out over participants/trials and each branch
+    must be reproducible independently of how many branches run before it.
+    """
+    if n < 0:
+        raise ValidationError(f"cannot spawn a negative number of generators: {n}")
+    root = as_generator(seed)
+    child_seeds = root.integers(0, 2**63 - 1, size=n, dtype=np.int64)
+    return [np.random.default_rng(int(s)) for s in child_seeds]

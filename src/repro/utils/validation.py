@@ -1,0 +1,124 @@
+"""Input validation helpers used throughout the library.
+
+These keep the validation wording consistent and make the error paths
+testable: every helper raises :class:`repro.errors.ValidationError` with a
+message naming the offending parameter.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+__all__ = [
+    "check_array",
+    "check_positive_int",
+    "check_probability",
+    "check_in_range",
+]
+
+
+def check_array(
+    value,
+    *,
+    name: str,
+    ndim: Optional[int] = None,
+    dtype=np.float64,
+    min_rows: int = 0,
+    allow_empty: bool = True,
+    shape: Optional[Sequence[Optional[int]]] = None,
+) -> np.ndarray:
+    """Coerce ``value`` to a numpy array and validate its shape.
+
+    Parameters
+    ----------
+    value:
+        Anything ``np.asarray`` accepts.
+    name:
+        Parameter name used in error messages.
+    ndim:
+        Required number of dimensions, if any.
+    dtype:
+        dtype to coerce to (``None`` keeps the input dtype).
+    min_rows:
+        Minimum length along axis 0.
+    allow_empty:
+        If ``False``, reject arrays with zero elements.
+    shape:
+        Optional per-axis size constraints; ``None`` entries are wildcards.
+
+    Returns
+    -------
+    numpy.ndarray
+        The validated (possibly converted) array.
+    """
+    try:
+        arr = np.asarray(value, dtype=dtype)
+    except (TypeError, ValueError) as exc:
+        raise ValidationError(f"{name} could not be converted to an array: {exc}") from exc
+    if not np.issubdtype(arr.dtype, np.number) and not np.issubdtype(arr.dtype, np.bool_):
+        raise ValidationError(f"{name} must be numeric, got dtype {arr.dtype}")
+    if np.issubdtype(arr.dtype, np.floating) and not np.all(np.isfinite(arr)):
+        raise ValidationError(f"{name} contains non-finite values (NaN or inf)")
+    if ndim is not None and arr.ndim != ndim:
+        raise ValidationError(f"{name} must be {ndim}-dimensional, got shape {arr.shape}")
+    if not allow_empty and arr.size == 0:
+        raise ValidationError(f"{name} must not be empty")
+    if arr.ndim >= 1 and arr.shape[0] < min_rows:
+        raise ValidationError(
+            f"{name} must have at least {min_rows} rows, got {arr.shape[0]}"
+        )
+    if shape is not None:
+        if len(shape) != arr.ndim:
+            raise ValidationError(
+                f"{name} must be {len(shape)}-dimensional, got shape {arr.shape}"
+            )
+        for axis, (want, have) in enumerate(zip(shape, arr.shape)):
+            if want is not None and want != have:
+                raise ValidationError(
+                    f"{name} must have size {want} along axis {axis}, got {have}"
+                )
+    return arr
+
+
+def check_positive_int(value, *, name: str, minimum: int = 1) -> int:
+    """Validate that ``value`` is an integer >= ``minimum`` and return it."""
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise ValidationError(f"{name} must be an integer, got {type(value).__name__}")
+    value = int(value)
+    if value < minimum:
+        raise ValidationError(f"{name} must be >= {minimum}, got {value}")
+    return value
+
+
+def check_probability(value, *, name: str) -> float:
+    """Validate that ``value`` lies in [0, 1] and return it as ``float``."""
+    return check_in_range(value, name=name, low=0.0, high=1.0)
+
+
+def check_in_range(
+    value,
+    *,
+    name: str,
+    low: float,
+    high: float,
+    inclusive_low: bool = True,
+    inclusive_high: bool = True,
+) -> float:
+    """Validate that a scalar lies in the given interval and return it."""
+    try:
+        value = float(value)
+    except (TypeError, ValueError) as exc:
+        raise ValidationError(f"{name} must be a real number") from exc
+    if not np.isfinite(value):
+        raise ValidationError(f"{name} must be finite, got {value}")
+    low_ok = value >= low if inclusive_low else value > low
+    high_ok = value <= high if inclusive_high else value < high
+    if not (low_ok and high_ok):
+        lo_b = "[" if inclusive_low else "("
+        hi_b = "]" if inclusive_high else ")"
+        raise ValidationError(f"{name} must be in {lo_b}{low}, {high}{hi_b}, got {value}")
+    return value

@@ -1,0 +1,153 @@
+"""DTW distance, LB_Keogh bound, and the raw-signal baseline classifier."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.dtw import DTWClassifier, dtw_distance, keogh_envelope, lb_keogh
+from repro.errors import NotFittedError, RetrievalError, ValidationError
+
+
+class TestDTWDistance:
+    def test_identical_sequences_zero(self, rng):
+        a = rng.normal(size=(20, 3))
+        assert dtw_distance(a, a) == pytest.approx(0.0)
+
+    def test_symmetry(self, rng):
+        a = rng.normal(size=(15, 2))
+        b = rng.normal(size=(18, 2))
+        assert dtw_distance(a, b, 0.3) == pytest.approx(dtw_distance(b, a, 0.3))
+
+    def test_handles_time_shift_better_than_euclidean(self):
+        t = np.linspace(0, 2 * np.pi, 60)
+        a = np.sin(t)[:, None]
+        b = np.sin(t + 0.4)[:, None]  # phase-shifted copy
+        euclid = float(np.linalg.norm(a - b))
+        warped = dtw_distance(a, b, band_fraction=0.2)
+        assert warped < 0.5 * euclid
+
+    def test_band_zero_is_diagonal_alignment(self, rng):
+        a = rng.normal(size=(10, 2))
+        b = rng.normal(size=(10, 2))
+        d = dtw_distance(a, b, band_fraction=0.0)
+        # With band 1 the result can use minimal warping; it is at most the
+        # rigid alignment cost.
+        rigid = float(np.linalg.norm(a - b))
+        assert d <= rigid + 1e-9
+
+    def test_wider_band_never_increases_distance(self, rng):
+        a = rng.normal(size=(25, 2))
+        b = rng.normal(size=(25, 2))
+        narrow = dtw_distance(a, b, 0.05)
+        wide = dtw_distance(a, b, 0.5)
+        assert wide <= narrow + 1e-9
+
+    def test_different_lengths(self, rng):
+        a = rng.normal(size=(20, 2))
+        b = rng.normal(size=(33, 2))
+        assert np.isfinite(dtw_distance(a, b, 0.1))
+
+    def test_dimension_mismatch_rejected(self, rng):
+        with pytest.raises(ValidationError):
+            dtw_distance(rng.normal(size=(5, 2)), rng.normal(size=(5, 3)))
+
+    def test_triangle_like_sanity(self, rng):
+        """DTW is not a metric, but distances stay non-negative and finite."""
+        seqs = [rng.normal(size=(12, 2)) for _ in range(3)]
+        for a in seqs:
+            for b in seqs:
+                d = dtw_distance(a, b, 0.2)
+                assert d >= 0 and np.isfinite(d)
+
+
+class TestKeoghEnvelope:
+    def test_envelope_contains_sequence(self, rng):
+        seq = rng.normal(size=(30, 3))
+        lower, upper = keogh_envelope(seq, band=3)
+        assert np.all(lower <= seq + 1e-12)
+        assert np.all(seq <= upper + 1e-12)
+
+    def test_band_one_spans_neighbors(self):
+        seq = np.array([[0.0], [10.0], [0.0]])
+        lower, upper = keogh_envelope(seq, band=1)
+        np.testing.assert_array_equal(upper[:, 0], [10.0, 10.0, 10.0])
+        np.testing.assert_array_equal(lower[:, 0], [0.0, 0.0, 0.0])
+
+    def test_wide_band_gives_global_extremes(self, rng):
+        seq = rng.normal(size=(10, 2))
+        lower, upper = keogh_envelope(seq, band=100)
+        np.testing.assert_allclose(lower, np.broadcast_to(seq.min(axis=0), seq.shape))
+        np.testing.assert_allclose(upper, np.broadcast_to(seq.max(axis=0), seq.shape))
+
+
+class TestLBKeogh:
+    @given(seed=st.integers(0, 300))
+    @settings(max_examples=60, deadline=None)
+    def test_lower_bounds_dtw(self, seed):
+        """The defining property: LB_Keogh(q, c) <= DTW(q, c)."""
+        rng = np.random.default_rng(seed)
+        n, d = 24, 2
+        band_fraction = 0.15
+        band = max(1, int(np.ceil(band_fraction * n)))
+        q = rng.normal(size=(n, d))
+        c = rng.normal(size=(n, d))
+        lower, upper = keogh_envelope(c, band)
+        bound = lb_keogh(q, lower, upper)
+        true = dtw_distance(q, c, band_fraction)
+        assert bound <= true + 1e-9
+
+    def test_zero_when_inside_envelope(self, rng):
+        c = rng.normal(size=(20, 2))
+        lower, upper = keogh_envelope(c, band=2)
+        inside = (lower + upper) / 2
+        assert lb_keogh(inside, lower, upper) == pytest.approx(0.0)
+
+    def test_shape_mismatch_rejected(self, rng):
+        c = rng.normal(size=(20, 2))
+        lower, upper = keogh_envelope(c, band=2)
+        with pytest.raises(ValidationError):
+            lb_keogh(rng.normal(size=(19, 2)), lower, upper)
+
+
+class TestDTWClassifier:
+    def test_database_self_classification(self, toy_dataset):
+        clf = DTWClassifier(resample_length=32).fit(toy_dataset)
+        for record in list(toy_dataset)[:4]:
+            key, label, dist = clf.kneighbors(record, k=1)[0]
+            assert key == record.key
+            assert dist == pytest.approx(0.0, abs=1e-9)
+
+    def test_unseen_trial_classified(self, toy_dataset, make_record):
+        clf = DTWClassifier(resample_length=32).fit(toy_dataset)
+        query = make_record(label="beta", trial=42, seed=99, frequency=1.4)
+        assert clf.classify(query) == "beta"
+
+    def test_pruning_preserves_results(self, toy_dataset):
+        pruned = DTWClassifier(resample_length=32, use_lower_bound=True)
+        full = DTWClassifier(resample_length=32, use_lower_bound=False)
+        pruned.fit(toy_dataset)
+        full.fit(toy_dataset)
+        for record in list(toy_dataset)[:4]:
+            a = pruned.kneighbors(record, k=3)
+            b = full.kneighbors(record, k=3)
+            assert [x[0] for x in a] == [x[0] for x in b]
+        # And pruning actually skipped work.
+        pruned.kneighbors(toy_dataset[0], k=1)
+        full.kneighbors(toy_dataset[0], k=1)
+        assert pruned.last_dtw_calls <= full.last_dtw_calls
+
+    def test_unfitted(self, toy_dataset):
+        with pytest.raises(NotFittedError):
+            DTWClassifier().classify(toy_dataset[0])
+
+    def test_k_bounds(self, toy_dataset):
+        clf = DTWClassifier(resample_length=16).fit(toy_dataset)
+        with pytest.raises(RetrievalError):
+            clf.kneighbors(toy_dataset[0], k=len(toy_dataset) + 1)
+
+    def test_empty_database_rejected(self):
+        from repro.data.dataset import MotionDataset
+
+        with pytest.raises(ValidationError):
+            DTWClassifier().fit(MotionDataset(name="empty"))

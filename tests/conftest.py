@@ -1,0 +1,120 @@
+"""Shared fixtures.
+
+Two tiers of test data:
+
+* ``make_record`` — a cheap factory building a :class:`RecordedMotion`
+  directly from arrays (no simulation), for feature/core/retrieval tests;
+* ``small_hand_dataset`` / ``small_leg_dataset`` — session-scoped real
+  acquisition campaigns (tiny but end-to-end) for integration-level tests.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import MotionDataset
+from repro.data.protocol import build_dataset, hand_protocol, leg_protocol
+from repro.data.record import RecordedMotion
+from repro.emg.recording import EMGRecording
+from repro.mocap.trajectory import MotionCaptureData
+
+
+@pytest.fixture
+def rng():
+    """A fresh deterministic generator per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def make_record():
+    """Factory for synthetic :class:`RecordedMotion` objects.
+
+    The streams are smooth deterministic curves plus seeded noise so that
+    different labels produce genuinely different (but reproducible) data.
+    """
+
+    def _make(
+        label: str = "raise_arm",
+        n_frames: int = 120,
+        n_segments: int = 4,
+        n_channels: int = 4,
+        fps: float = 120.0,
+        participant: str = "p0",
+        trial: int = 0,
+        seed: int = 0,
+        frequency: float = 1.0,
+    ) -> RecordedMotion:
+        # Class identity (curve shapes/phases) comes from the label alone;
+        # the per-trial seed only adds noise, so same-label records are
+        # similar and different-label records are not.
+        class_gen = np.random.default_rng(zlib.crc32(label.encode()))
+        gen = np.random.default_rng(seed * 7919 + 13)
+        t = np.arange(n_frames) / fps
+        segments = tuple(f"seg{j}" for j in range(n_segments))
+        channels = tuple(f"ch{j}" for j in range(n_channels))
+        mocap_cols = []
+        for j in range(3 * n_segments):
+            phase = class_gen.uniform(0, 2 * np.pi)
+            amp = 100.0 * (1 + j % 3)
+            mocap_cols.append(
+                amp * np.sin(2 * np.pi * frequency * t + phase)
+                + gen.normal(0, 1.0, n_frames)
+            )
+        emg_cols = []
+        for j in range(n_channels):
+            env = np.abs(
+                np.sin(2 * np.pi * frequency * t + class_gen.uniform(0, np.pi))
+            )
+            emg_cols.append(5e-5 * env + np.abs(gen.normal(0, 2e-6, n_frames)))
+        mocap = MotionCaptureData(
+            segments=segments, matrix_mm=np.stack(mocap_cols, axis=1), fps=fps
+        )
+        emg = EMGRecording(
+            channels=channels, data_volts=np.stack(emg_cols, axis=1), fs=fps
+        )
+        return RecordedMotion(
+            label=label,
+            participant_id=participant,
+            trial_id=trial,
+            mocap=mocap,
+            emg=emg,
+        )
+
+    return _make
+
+
+@pytest.fixture
+def toy_dataset(make_record) -> MotionDataset:
+    """A fast 3-class, 12-record dataset built from the record factory."""
+    records = []
+    for label, freq in [("alpha", 0.7), ("beta", 1.4), ("gamma", 2.4)]:
+        for trial in range(4):
+            records.append(
+                make_record(
+                    label=label,
+                    trial=trial,
+                    seed=trial,
+                    frequency=freq,
+                    participant=f"p{trial % 2}",
+                )
+            )
+    return MotionDataset(name="toy", records=records)
+
+
+@pytest.fixture(scope="session")
+def small_hand_dataset() -> MotionDataset:
+    """A real (simulated end-to-end) hand campaign: 1 participant, 2 trials."""
+    return build_dataset(
+        hand_protocol(), n_participants=1, trials_per_motion=2, seed=7
+    )
+
+
+@pytest.fixture(scope="session")
+def small_leg_dataset() -> MotionDataset:
+    """A real (simulated end-to-end) leg campaign: 1 participant, 2 trials."""
+    return build_dataset(
+        leg_protocol(), n_participants=1, trials_per_motion=2, seed=11
+    )

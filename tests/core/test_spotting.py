@@ -1,0 +1,144 @@
+"""Motion spotting in continuous streams."""
+
+import numpy as np
+import pytest
+
+from repro.core.model import MotionClassifier
+from repro.core.spotting import (
+    ActivityDetector,
+    DetectedMotion,
+    segment_matching_score,
+    spot_and_classify,
+)
+from repro.data.stream import StreamAnnotation, concatenate_records
+from repro.errors import ValidationError
+
+
+def _taper(record):
+    """Return a copy of a toy record whose activity tapers to rest at both
+    ends (the factory's sinusoids otherwise never pause, which would make a
+    concatenated stream active everywhere)."""
+    import numpy as np
+
+    from repro.data.record import RecordedMotion
+    from repro.emg.recording import EMGRecording
+    from repro.mocap.trajectory import MotionCaptureData
+
+    n = record.n_frames
+    envelope = np.sin(np.pi * np.arange(n) / (n - 1)) ** 2
+    mocap = np.asarray(record.mocap.matrix_mm)
+    anchored = mocap[0] + (mocap - mocap[0]) * envelope[:, None]
+    emg = np.asarray(record.emg.data_volts) * envelope[:, None] + 1e-6
+    return RecordedMotion(
+        label=record.label,
+        participant_id=record.participant_id,
+        trial_id=record.trial_id,
+        mocap=MotionCaptureData(segments=record.mocap.segments,
+                                matrix_mm=anchored, fps=record.fps),
+        emg=EMGRecording(channels=record.emg.channels, data_volts=emg,
+                         fs=record.fps),
+    )
+
+
+@pytest.fixture
+def stream(make_record):
+    records = [
+        _taper(make_record(label="alpha", frequency=0.7, seed=0, n_frames=240)),
+        _taper(make_record(label="beta", frequency=1.4, seed=1, n_frames=240)),
+        _taper(make_record(label="gamma", frequency=2.4, seed=2, n_frames=240)),
+    ]
+    return concatenate_records(records, rest_s=1.5, seed=0)
+
+
+class TestActivityDetector:
+    def test_activity_bounded(self, stream):
+        score = ActivityDetector().activity(stream)
+        assert score.shape == (stream.n_frames,)
+        assert np.all((score >= 0) & (score <= 1))
+
+    def test_activity_higher_inside_motions(self, stream):
+        score = ActivityDetector().activity(stream)
+        inside = np.zeros(stream.n_frames, dtype=bool)
+        for ann in stream.annotations:
+            inside[ann.start:ann.stop] = True
+        assert score[inside].mean() > 2 * score[~inside].mean()
+
+    def test_detects_every_annotation(self, stream):
+        detections = ActivityDetector().detect(stream)
+        result = segment_matching_score(stream.annotations, detections)
+        assert result["misses"] == 0
+        assert result["false_alarms"] <= 1
+
+    def test_boundaries_close_to_truth(self, stream):
+        detections = ActivityDetector().detect(stream)
+        assert len(detections) >= len(stream.annotations)
+        tol = int(0.5 * stream.fps)
+        for ann in stream.annotations:
+            best = max(detections, key=lambda d: ann.overlap(d.start, d.stop))
+            assert abs(best.start - ann.start) <= tol
+            assert abs(best.stop - ann.stop) <= tol
+
+    def test_quiet_stream_yields_nothing(self, make_record):
+        rec = make_record(label="alpha")
+        stream = concatenate_records([rec], rest_s=2.0, seed=0)
+        # Restrict to the rest-only prefix.
+        quiet = stream.segment(0, stream.annotations[0].start)
+        quiet_stream = type(stream)(
+            mocap=quiet.mocap, emg=quiet.emg, annotations=()
+        )
+        detections = ActivityDetector(on_threshold=0.9).detect(quiet_stream)
+        assert detections == []
+
+    def test_hysteresis_validation(self):
+        with pytest.raises(ValidationError):
+            ActivityDetector(on_threshold=0.1, off_threshold=0.5)
+
+    def test_min_duration_filters_blips(self, stream):
+        lax = ActivityDetector(min_duration_s=0.0).detect(stream)
+        strict = ActivityDetector(min_duration_s=1.0).detect(stream)
+        assert len(strict) <= len(lax)
+
+
+class TestSpotAndClassify:
+    def test_end_to_end(self, toy_dataset, stream):
+        model = MotionClassifier(n_clusters=4, window_ms=100.0)
+        model.fit(toy_dataset, seed=0)
+        detections = spot_and_classify(stream, model)
+        assert detections
+        assert all(d.label in toy_dataset.labels for d in detections)
+        result = segment_matching_score(stream.annotations, detections)
+        assert result["hits"] == len(stream.annotations)
+        # The toy stream's motions come from the same generator as the
+        # database, so most labels should be right.
+        assert result["label_accuracy"] >= 2 / 3
+
+
+class TestSegmentMatchingScore:
+    def test_perfect_match(self):
+        anns = (StreamAnnotation(0, 100, "a"),)
+        dets = [DetectedMotion(start=0, stop=100, score=1.0, label="a")]
+        result = segment_matching_score(anns, dets)
+        assert result == {"hits": 1, "misses": 0, "false_alarms": 0,
+                          "label_accuracy": 1.0}
+
+    def test_miss_and_false_alarm(self):
+        anns = (StreamAnnotation(0, 100, "a"),)
+        dets = [DetectedMotion(start=500, stop=600, score=1.0, label="a")]
+        result = segment_matching_score(anns, dets)
+        assert result["misses"] == 1
+        assert result["false_alarms"] == 1
+
+    def test_wrong_label_counts_hit_not_accuracy(self):
+        anns = (StreamAnnotation(0, 100, "a"),)
+        dets = [DetectedMotion(start=5, stop=95, score=1.0, label="b")]
+        result = segment_matching_score(anns, dets)
+        assert result["hits"] == 1
+        assert result["label_accuracy"] == 0.0
+
+    def test_detection_not_double_counted(self):
+        anns = (StreamAnnotation(0, 100, "a"), StreamAnnotation(90, 200, "b"))
+        dets = [DetectedMotion(start=0, stop=100, score=1.0, label="a")]
+        result = segment_matching_score(anns, dets)
+        assert result["hits"] == 1
+        assert result["misses"] == 1
+        assert result["false_alarms"] == 0

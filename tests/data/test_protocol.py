@@ -1,0 +1,126 @@
+"""Study protocols and the synthetic capture campaign."""
+
+import pytest
+
+from repro.data.protocol import StudyProtocol, build_dataset, hand_protocol, leg_protocol
+from repro.emg.channels import hand_montage
+from repro.errors import DatasetError
+
+
+class TestProtocols:
+    def test_hand_protocol_matches_paper(self):
+        """Section 5: 4 mocap attributes + 4 EMG channels for the hand."""
+        proto = hand_protocol()
+        assert proto.segments == ("clavicle_r", "humerus_r", "radius_r", "hand_r")
+        assert proto.montage.channels == [
+            "biceps_r", "triceps_r", "upper_forearm_r", "lower_forearm_r",
+        ]
+
+    def test_leg_protocol_matches_paper(self):
+        """Section 5: 3 mocap attributes + 2 EMG channels for the leg."""
+        proto = leg_protocol()
+        assert proto.segments == ("tibia_r", "foot_r", "toe_r")
+        assert proto.montage.channels == ["front_shin_r", "back_shin_r"]
+
+    def test_protocol_motions_match_limb(self):
+        for proto in (hand_protocol(), leg_protocol()):
+            motions = proto.motions()
+            assert motions
+            assert all(m.limb == proto.limb for m in motions)
+
+    def test_empty_segments_rejected(self):
+        with pytest.raises(DatasetError):
+            StudyProtocol(name="x", limb="hand_r", segments=(),
+                          montage=hand_montage("r"))
+
+
+class TestBuildDataset:
+    def test_campaign_size_and_layout(self, small_hand_dataset):
+        proto = hand_protocol()
+        n_classes = len(proto.motions())
+        assert len(small_hand_dataset) == 1 * 2 * n_classes
+        first = small_hand_dataset[0]
+        assert first.mocap.segments == proto.segments
+        assert tuple(first.emg.channels) == tuple(proto.montage.channels)
+
+    def test_streams_are_pelvis_local(self, small_hand_dataset):
+        """Positions are bounded by limb reach, not lab coordinates."""
+        import numpy as np
+
+        for rec in small_hand_dataset:
+            assert np.abs(np.asarray(rec.mocap.matrix_mm)).max() < 2500.0
+
+    def test_reproducible_given_seed(self):
+        a = build_dataset(hand_protocol(), n_participants=1, trials_per_motion=1,
+                          seed=3)
+        b = build_dataset(hand_protocol(), n_participants=1, trials_per_motion=1,
+                          seed=3)
+        assert len(a) == len(b)
+        for ra, rb in zip(a, b):
+            assert ra.mocap == rb.mocap
+            assert ra.emg == rb.emg
+
+    def test_different_seeds_differ(self):
+        a = build_dataset(hand_protocol(), n_participants=1, trials_per_motion=1,
+                          seed=3)
+        b = build_dataset(hand_protocol(), n_participants=1, trials_per_motion=1,
+                          seed=4)
+        assert a[0].mocap != b[0].mocap
+
+    def test_trials_vary_within_class(self, small_hand_dataset):
+        group = small_hand_dataset.by_label("raise_arm")
+        assert group[0].mocap != group[1].mocap
+        assert group[0].emg != group[1].emg
+
+    def test_metadata_records_variation(self, small_hand_dataset):
+        meta = small_hand_dataset[0].metadata
+        assert "amplitude" in meta and "speed" in meta
+
+    def test_invalid_counts_rejected(self):
+        with pytest.raises(Exception):
+            build_dataset(hand_protocol(), n_participants=0)
+
+    def test_leg_campaign(self, small_leg_dataset):
+        proto = leg_protocol()
+        assert set(small_leg_dataset.labels) == {m.name for m in proto.motions()}
+
+
+class TestWholeBodyProtocol:
+    def test_inventory_is_union_of_studies(self):
+        from repro.data.protocol import whole_body_protocol
+
+        proto = whole_body_protocol()
+        assert proto.segments == (
+            "clavicle_r", "humerus_r", "radius_r", "hand_r",
+            "tibia_r", "foot_r", "toe_r",
+        )
+        assert proto.montage.channels == [
+            "biceps_r", "triceps_r", "upper_forearm_r", "lower_forearm_r",
+            "front_shin_r", "back_shin_r",
+        ]
+
+    def test_motions_cover_both_limbs(self):
+        from repro.data.protocol import hand_protocol, leg_protocol, whole_body_protocol
+
+        whole = {m.name for m in whole_body_protocol().motions()}
+        hand = {m.name for m in hand_protocol().motions()}
+        leg = {m.name for m in leg_protocol().motions()}
+        assert whole == hand | leg
+
+    def test_build_pads_idle_limb_channels(self):
+        import numpy as np
+
+        from repro.data.protocol import build_dataset, whole_body_protocol
+
+        ds = build_dataset(whole_body_protocol(), n_participants=1,
+                           trials_per_motion=1, seed=1)
+        assert set(ds.labels) == {
+            m.name for m in whole_body_protocol().motions()
+        }
+        kick = ds.by_label("kick_ball")[0]
+        # During a leg motion, the active shin channel clearly out-drives
+        # the idle biceps, which still carries a non-zero tonic floor.
+        biceps = np.asarray(kick.emg.channel("biceps_r"))
+        shin = np.asarray(kick.emg.channel("front_shin_r"))
+        assert shin.max() > 2 * biceps.max()
+        assert biceps.mean() > 0

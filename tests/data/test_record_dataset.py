@@ -1,0 +1,116 @@
+"""RecordedMotion and MotionDataset semantics."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import MotionDataset
+from repro.data.record import RecordedMotion
+from repro.errors import DatasetError
+
+
+class TestRecordedMotion:
+    def test_key_format(self, make_record):
+        rec = make_record(label="raise_arm", participant="p3", trial=2)
+        assert rec.key == "raise_arm/p3/t2"
+
+    def test_alignment_enforced(self, make_record):
+        good = make_record()
+        bad_emg = good.emg.slice_samples(0, good.n_frames - 5)
+        with pytest.raises(DatasetError, match="misaligned"):
+            RecordedMotion(
+                label=good.label, participant_id="p", trial_id=0,
+                mocap=good.mocap, emg=bad_emg,
+            )
+
+    def test_rate_mismatch_rejected(self, make_record):
+        good = make_record()
+        from repro.emg.recording import EMGRecording
+
+        wrong_rate = EMGRecording(
+            channels=good.emg.channels,
+            data_volts=np.asarray(good.emg.data_volts),
+            fs=60.0,
+        )
+        with pytest.raises(DatasetError, match="rates"):
+            RecordedMotion(label="x", participant_id="p", trial_id=0,
+                           mocap=good.mocap, emg=wrong_rate)
+
+    def test_empty_label_rejected(self, make_record):
+        good = make_record()
+        with pytest.raises(DatasetError, match="label"):
+            RecordedMotion(label="", participant_id="p", trial_id=0,
+                           mocap=good.mocap, emg=good.emg)
+
+    def test_duration(self, make_record):
+        rec = make_record(n_frames=240)
+        assert rec.duration_s == pytest.approx(2.0)
+
+
+class TestMotionDataset:
+    def test_summary_and_counts(self, toy_dataset):
+        assert toy_dataset.counts() == {"alpha": 4, "beta": 4, "gamma": 4}
+        text = toy_dataset.summary()
+        assert "12 trials" in text and "3 classes" in text
+
+    def test_by_label(self, toy_dataset):
+        group = toy_dataset.by_label("beta")
+        assert len(group) == 4
+        assert all(r.label == "beta" for r in group)
+        with pytest.raises(DatasetError, match="alpha"):
+            toy_dataset.by_label("delta")
+
+    def test_layout_consistency_enforced(self, toy_dataset, make_record):
+        odd = make_record(n_segments=2)
+        with pytest.raises(DatasetError, match="segments"):
+            toy_dataset.add(odd)
+
+    def test_add_consistent_record(self, toy_dataset, make_record):
+        n = len(toy_dataset)
+        toy_dataset.add(make_record(label="alpha", trial=99))
+        assert len(toy_dataset) == n + 1
+
+    def test_participants(self, toy_dataset):
+        assert toy_dataset.participants == ["p0", "p1"]
+
+    def test_getitem_and_iter(self, toy_dataset):
+        assert toy_dataset[0] in list(toy_dataset)
+
+
+class TestTrainTestSplit:
+    def test_stratified_and_disjoint(self, toy_dataset):
+        train, test = toy_dataset.train_test_split(test_fraction=0.25, seed=0)
+        assert len(train) + len(test) == len(toy_dataset)
+        assert set(train.labels) == set(test.labels) == {"alpha", "beta", "gamma"}
+        train_keys = {r.key for r in train}
+        assert all(r.key not in train_keys for r in test)
+
+    def test_every_class_on_both_sides_even_for_tiny_fraction(self, toy_dataset):
+        train, test = toy_dataset.train_test_split(test_fraction=0.01, seed=0)
+        assert set(test.labels) == set(toy_dataset.labels)
+
+    def test_deterministic(self, toy_dataset):
+        a = toy_dataset.train_test_split(0.25, seed=5)
+        b = toy_dataset.train_test_split(0.25, seed=5)
+        assert [r.key for r in a[1]] == [r.key for r in b[1]]
+
+    def test_fraction_bounds(self, toy_dataset):
+        with pytest.raises(DatasetError):
+            toy_dataset.train_test_split(0.0)
+        with pytest.raises(DatasetError):
+            toy_dataset.train_test_split(1.0)
+
+    def test_single_trial_class_rejected(self, make_record):
+        ds = MotionDataset(name="tiny", records=[make_record(label="solo")])
+        with pytest.raises(DatasetError, match="solo"):
+            ds.train_test_split(0.5)
+
+
+class TestLeaveOneParticipantOut:
+    def test_partition(self, toy_dataset):
+        train, test = toy_dataset.leave_one_participant_out("p0")
+        assert all(r.participant_id != "p0" for r in train)
+        assert all(r.participant_id == "p0" for r in test)
+
+    def test_unknown_participant(self, toy_dataset):
+        with pytest.raises(DatasetError, match="unknown participant"):
+            toy_dataset.leave_one_participant_out("p9")

@@ -1,0 +1,79 @@
+"""Dataset persistence round-trips."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.data.serialize import load_dataset, save_dataset
+from repro.errors import SerializationError
+
+
+class TestRoundTrip:
+    def test_full_roundtrip(self, toy_dataset, tmp_path):
+        path = save_dataset(toy_dataset, tmp_path / "toy")
+        loaded = load_dataset(path)
+        assert loaded.name == toy_dataset.name
+        assert len(loaded) == len(toy_dataset)
+        for a, b in zip(toy_dataset, loaded):
+            assert a.key == b.key
+            assert a.mocap == b.mocap
+            assert a.emg == b.emg
+            assert a.metadata == b.metadata
+
+    def test_load_by_any_suffix(self, toy_dataset, tmp_path):
+        save_dataset(toy_dataset, tmp_path / "toy")
+        for suffix in ("", ".json", ".npz"):
+            loaded = load_dataset(str(tmp_path / "toy") + suffix)
+            assert len(loaded) == len(toy_dataset)
+
+    def test_save_strips_given_suffix(self, toy_dataset, tmp_path):
+        path = save_dataset(toy_dataset, tmp_path / "toy.npz")
+        assert path.name == "toy.json"
+        assert (tmp_path / "toy.npz").exists()
+
+    def test_overwrites_existing(self, toy_dataset, tmp_path):
+        save_dataset(toy_dataset, tmp_path / "toy")
+        path = save_dataset(toy_dataset, tmp_path / "toy")
+        assert path.exists()
+
+
+class TestErrorPaths:
+    def test_missing_files(self, tmp_path):
+        with pytest.raises(SerializationError, match="not found"):
+            load_dataset(tmp_path / "ghost")
+
+    def test_corrupt_manifest(self, toy_dataset, tmp_path):
+        path = save_dataset(toy_dataset, tmp_path / "toy")
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(SerializationError, match="manifest"):
+            load_dataset(path)
+
+    def test_version_mismatch(self, toy_dataset, tmp_path):
+        path = save_dataset(toy_dataset, tmp_path / "toy")
+        manifest = json.loads(path.read_text())
+        manifest["format_version"] = 999
+        path.write_text(json.dumps(manifest))
+        with pytest.raises(SerializationError, match="version"):
+            load_dataset(path)
+
+    def test_missing_array_detected(self, toy_dataset, tmp_path):
+        path = save_dataset(toy_dataset, tmp_path / "toy")
+        manifest = json.loads(path.read_text())
+        manifest["records"].append(dict(manifest["records"][0]))
+        path.write_text(json.dumps(manifest))
+        with pytest.raises(SerializationError, match="missing record"):
+            load_dataset(path)
+
+    def test_unwritable_target(self, toy_dataset, tmp_path):
+        target = tmp_path / "no_such_dir" / "deep" / "toy"
+        with pytest.raises(SerializationError):
+            save_dataset(toy_dataset, target)
+
+
+def test_manifest_is_human_readable(toy_dataset, tmp_path):
+    path = save_dataset(toy_dataset, tmp_path / "toy")
+    manifest = json.loads(path.read_text())
+    assert manifest["name"] == "toy"
+    rec = manifest["records"][0]
+    assert {"label", "participant_id", "segments", "channels"} <= set(rec)

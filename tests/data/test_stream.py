@@ -1,0 +1,102 @@
+"""Continuous streams built from recorded trials."""
+
+import numpy as np
+import pytest
+
+from repro.data.stream import ContinuousStream, StreamAnnotation, concatenate_records
+from repro.errors import DatasetError
+
+
+class TestStreamAnnotation:
+    def test_basic(self):
+        ann = StreamAnnotation(start=10, stop=30, label="x")
+        assert ann.n_frames == 20
+
+    def test_invalid_range(self):
+        with pytest.raises(DatasetError):
+            StreamAnnotation(start=5, stop=5, label="x")
+        with pytest.raises(DatasetError):
+            StreamAnnotation(start=-1, stop=5, label="x")
+
+    def test_overlap(self):
+        ann = StreamAnnotation(start=10, stop=30, label="x")
+        assert ann.overlap(0, 10) == 0
+        assert ann.overlap(20, 40) == 10
+        assert ann.overlap(0, 100) == 20
+
+
+class TestConcatenateRecords:
+    def test_layout_and_length(self, make_record):
+        records = [make_record(label="a"), make_record(label="b", seed=1)]
+        stream = concatenate_records(records, rest_s=1.0, seed=0)
+        total_motion = sum(r.n_frames for r in records)
+        n_rest = 3 * 120  # rest before, between, after
+        assert stream.n_frames == total_motion + n_rest
+        assert stream.mocap.segments == records[0].mocap.segments
+
+    def test_annotations_aligned_with_content(self, make_record):
+        records = [make_record(label="a"), make_record(label="b", seed=1)]
+        stream = concatenate_records(records, rest_s=0.5, seed=0)
+        assert len(stream.annotations) == 2
+        for ann, rec in zip(stream.annotations, records):
+            assert ann.label == rec.label
+            segment = stream.mocap.matrix_mm[ann.start:ann.stop]
+            np.testing.assert_array_equal(segment, rec.mocap.matrix_mm)
+
+    def test_zero_rest(self, make_record):
+        records = [make_record(label="a"), make_record(label="b", seed=1)]
+        stream = concatenate_records(records, rest_s=0.0, seed=0)
+        assert stream.n_frames == sum(r.n_frames for r in records)
+        assert stream.annotations[1].start == records[0].n_frames
+
+    def test_rest_periods_are_quiet(self, make_record):
+        records = [make_record(label="a")]
+        stream = concatenate_records(records, rest_s=1.0, seed=0)
+        ann = stream.annotations[0]
+        rest_emg = np.asarray(stream.emg.data_volts)[: ann.start]
+        motion_emg = np.asarray(stream.emg.data_volts)[ann.start:ann.stop]
+        assert rest_emg.mean() < motion_emg.mean()
+
+    def test_segment_extraction_roundtrip(self, make_record):
+        records = [make_record(label="a")]
+        stream = concatenate_records(records, rest_s=0.5, seed=0)
+        ann = stream.annotations[0]
+        cut = stream.segment(ann.start, ann.stop, label="a")
+        np.testing.assert_array_equal(cut.mocap.matrix_mm,
+                                      records[0].mocap.matrix_mm)
+
+    def test_layout_mismatch_rejected(self, make_record):
+        with pytest.raises(DatasetError):
+            concatenate_records(
+                [make_record(n_segments=4), make_record(n_segments=2)]
+            )
+
+    def test_empty_rejected(self):
+        with pytest.raises(DatasetError):
+            concatenate_records([])
+
+    def test_deterministic(self, make_record):
+        records = [make_record(label="a")]
+        a = concatenate_records(records, rest_s=1.0, seed=3)
+        b = concatenate_records(records, rest_s=1.0, seed=3)
+        np.testing.assert_array_equal(a.mocap.matrix_mm, b.mocap.matrix_mm)
+
+
+class TestContinuousStream:
+    def test_misaligned_rejected(self, make_record):
+        rec = make_record()
+        with pytest.raises(DatasetError):
+            ContinuousStream(
+                mocap=rec.mocap,
+                emg=rec.emg.slice_samples(0, rec.n_frames - 1),
+                annotations=(),
+            )
+
+    def test_annotation_beyond_stream_rejected(self, make_record):
+        rec = make_record(n_frames=50)
+        with pytest.raises(DatasetError):
+            ContinuousStream(
+                mocap=rec.mocap,
+                emg=rec.emg,
+                annotations=(StreamAnnotation(0, 100, "x"),),
+            )

@@ -1,0 +1,110 @@
+"""EMG analysis: spectral statistics, fatigue trend, onset detection."""
+
+import numpy as np
+import pytest
+
+from repro.emg.analysis import (
+    detect_onsets,
+    fatigue_trend,
+    mean_frequency,
+    median_frequency,
+)
+from repro.errors import SignalError
+from repro.signal.filters import butter_bandpass
+
+FS = 1000.0
+
+
+def band_noise(rng, low, high, n=8000):
+    filt = butter_bandpass(low, high, FS, order=4)
+    return filt.apply_zero_phase(rng.normal(size=n))
+
+
+class TestSpectralStatistics:
+    def test_median_frequency_of_narrow_band(self, rng):
+        x = band_noise(rng, 90, 110)
+        assert 80 < median_frequency(x, FS) < 120
+
+    def test_mean_frequency_of_narrow_band(self, rng):
+        x = band_noise(rng, 90, 110)
+        assert 80 < mean_frequency(x, FS) < 130
+
+    def test_higher_band_gives_higher_statistics(self, rng):
+        low_band = band_noise(rng, 40, 80)
+        high_band = band_noise(rng, 200, 300)
+        assert median_frequency(high_band, FS) > median_frequency(low_band, FS)
+        assert mean_frequency(high_band, FS) > mean_frequency(low_band, FS)
+
+    def test_silent_signal_rejected(self):
+        with pytest.raises(SignalError):
+            median_frequency(np.zeros(1000), FS)
+        with pytest.raises(SignalError):
+            mean_frequency(np.zeros(1000), FS)
+
+
+class TestFatigueTrend:
+    def test_detects_spectral_compression(self, rng):
+        """A signal whose band slides downward shows a negative MDF slope."""
+        epochs = []
+        for i in range(8):
+            center = 180 - 12 * i  # compressing spectrum
+            epochs.append(band_noise(rng, center - 25, center + 25, n=1500))
+        x = np.concatenate(epochs)
+        slope, mdfs = fatigue_trend(x, FS, n_epochs=8)
+        assert slope < -2.0
+        assert len(mdfs) == 8
+
+    def test_stationary_signal_has_flat_trend(self, rng):
+        x = band_noise(rng, 80, 220, n=12000)
+        slope, _ = fatigue_trend(x, FS, n_epochs=8)
+        assert abs(slope) < 3.0
+
+    def test_too_short_rejected(self, rng):
+        with pytest.raises(SignalError):
+            fatigue_trend(rng.normal(size=100), FS, n_epochs=8)
+
+
+class TestDetectOnsets:
+    def make_bursty(self, rng, bursts, n=1200, amp=5e-5, floor=2e-6):
+        x = np.abs(rng.normal(0, floor, size=n))
+        for start, stop in bursts:
+            x[start:stop] += amp * np.abs(np.sin(
+                np.pi * np.arange(stop - start) / (stop - start)
+            ))
+        return x
+
+    def test_finds_all_bursts(self, rng):
+        bursts = [(100, 250), (500, 700), (900, 1100)]
+        x = self.make_bursty(rng, bursts)
+        found = detect_onsets(x, fs=120.0)
+        assert len(found) == 3
+        for burst, (start, stop) in zip(found, bursts):
+            assert abs(burst.onset - start) < 30
+            assert abs(burst.offset - stop) < 30
+            assert burst.peak_volts > 1e-5
+
+    def test_quiet_signal_has_no_bursts(self, rng):
+        x = np.abs(rng.normal(0, 2e-6, size=600))
+        assert detect_onsets(x, fs=120.0) == []
+
+    def test_min_duration_filters(self, rng):
+        x = self.make_bursty(rng, [(100, 104)])  # 4-sample blip
+        assert detect_onsets(x, fs=120.0, min_duration_s=0.2) == []
+
+    def test_burst_running_to_the_end(self, rng):
+        x = self.make_bursty(rng, [(1000, 1200)])
+        found = detect_onsets(x, fs=120.0)
+        assert len(found) == 1
+        assert found[0].offset >= 1150
+
+    def test_negative_signal_rejected(self):
+        with pytest.raises(SignalError):
+            detect_onsets(np.array([-1.0, 1.0]), fs=120.0)
+
+    def test_real_conditioned_channel(self, small_hand_dataset):
+        """On a simulated trial, the biceps bursts during a raise-arm."""
+        record = small_hand_dataset.by_label("raise_arm")[0]
+        biceps = record.emg.channel("biceps_r")
+        found = detect_onsets(biceps, fs=record.fps)
+        assert 1 <= len(found) <= 4
+        assert max(b.peak_volts for b in found) > 5e-6

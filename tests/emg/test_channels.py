@@ -1,0 +1,66 @@
+"""Electrode montages match the paper's Section 5 protocol."""
+
+import pytest
+
+from repro.emg.channels import Electrode, ElectrodeMontage, hand_montage, leg_montage
+from repro.errors import AcquisitionError
+
+
+class TestPaperMontages:
+    def test_hand_has_four_channels(self):
+        """"On each hand, four electrodes ... biceps, triceps, upper
+        forearm, and lower forearm."""
+        montage = hand_montage("r")
+        assert montage.channels == [
+            "biceps_r", "triceps_r", "upper_forearm_r", "lower_forearm_r",
+        ]
+
+    def test_leg_has_two_channels(self):
+        """"On each leg, two electrodes ... front side of shin and on
+        backside of shin."""
+        montage = leg_montage("r")
+        assert montage.channels == ["front_shin_r", "back_shin_r"]
+
+    def test_left_side_variants(self):
+        assert hand_montage("l").channels[0] == "biceps_l"
+        assert leg_montage("l").channels == ["front_shin_l", "back_shin_l"]
+
+    def test_invalid_side_rejected(self):
+        with pytest.raises(AcquisitionError):
+            hand_montage("x")
+        with pytest.raises(AcquisitionError):
+            leg_montage("both")
+
+
+class TestElectrodeMontage:
+    def test_index_lookup(self):
+        montage = hand_montage("r")
+        assert montage.index("triceps_r") == 1
+        with pytest.raises(AcquisitionError, match="not in montage"):
+            montage.index("deltoid_r")
+
+    def test_contains_and_len(self):
+        montage = leg_montage("r")
+        assert "front_shin_r" in montage
+        assert "biceps_r" not in montage
+        assert len(montage) == 2
+
+    def test_duplicate_channels_rejected(self):
+        e = Electrode("c1", "m", "p")
+        with pytest.raises(AcquisitionError, match="duplicate"):
+            ElectrodeMontage("bad", [e, e])
+
+    def test_empty_montage_rejected(self):
+        with pytest.raises(AcquisitionError):
+            ElectrodeMontage("empty", [])
+
+    def test_empty_channel_name_rejected(self):
+        with pytest.raises(AcquisitionError):
+            Electrode("", "m", "p")
+
+    def test_iteration_preserves_order(self):
+        montage = hand_montage("r")
+        assert [e.channel for e in montage] == montage.channels
+
+    def test_repr_mentions_channels(self):
+        assert "biceps_r" in repr(hand_montage("r"))

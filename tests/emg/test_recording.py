@@ -1,0 +1,84 @@
+"""EMGRecording container semantics."""
+
+import numpy as np
+import pytest
+
+from repro.emg.recording import EMGRecording
+from repro.errors import ValidationError
+
+
+@pytest.fixture
+def recording(rng):
+    data = np.abs(rng.normal(size=(100, 3))) * 1e-5
+    return EMGRecording(channels=("a", "b", "c"), data_volts=data, fs=1000.0), data
+
+
+class TestConstruction:
+    def test_from_channel_dict(self, rng):
+        signals = {"x": rng.normal(size=50), "y": rng.normal(size=50)}
+        rec = EMGRecording.from_channel_dict(signals, ["y", "x"], fs=1000.0)
+        assert rec.channels == ("y", "x")
+        np.testing.assert_array_equal(rec.channel("x"), signals["x"])
+
+    def test_missing_channel_rejected(self, rng):
+        with pytest.raises(ValidationError, match="missing"):
+            EMGRecording.from_channel_dict({"x": rng.normal(size=5)}, ["x", "y"], 1000.0)
+
+    def test_length_mismatch_rejected(self, rng):
+        signals = {"x": rng.normal(size=5), "y": rng.normal(size=6)}
+        with pytest.raises(ValidationError, match="samples"):
+            EMGRecording.from_channel_dict(signals, ["x", "y"], 1000.0)
+
+    def test_column_count_enforced(self):
+        with pytest.raises(ValidationError, match="columns"):
+            EMGRecording(channels=("a", "b"), data_volts=np.zeros((5, 3)), fs=1000.0)
+
+    def test_duplicate_channels_rejected(self):
+        with pytest.raises(ValidationError, match="duplicate"):
+            EMGRecording(channels=("a", "a"), data_volts=np.zeros((5, 2)), fs=1000.0)
+
+    def test_immutability(self, recording):
+        rec, _ = recording
+        with pytest.raises(ValueError):
+            rec.data_volts[0, 0] = 1.0
+
+    def test_bad_fs_rejected(self):
+        with pytest.raises(ValidationError):
+            EMGRecording(channels=("a",), data_volts=np.zeros((5, 1)), fs=-1.0)
+
+
+class TestAccessors:
+    def test_properties(self, recording):
+        rec, _ = recording
+        assert rec.n_samples == 100
+        assert rec.n_channels == 3
+        assert rec.duration_s == pytest.approx(0.1)
+
+    def test_channel_and_dict(self, recording):
+        rec, data = recording
+        np.testing.assert_array_equal(rec.channel("b"), data[:, 1])
+        out = rec.to_dict()
+        assert set(out) == {"a", "b", "c"}
+
+    def test_unknown_channel(self, recording):
+        rec, _ = recording
+        with pytest.raises(ValidationError, match="not recorded"):
+            rec.channel("nope")
+
+    def test_slice_samples(self, recording):
+        rec, data = recording
+        part = rec.slice_samples(10, 20)
+        assert part.n_samples == 10
+        np.testing.assert_array_equal(part.data_volts, data[10:20])
+
+    def test_slice_bounds(self, recording):
+        rec, _ = recording
+        with pytest.raises(ValidationError):
+            rec.slice_samples(50, 40)
+
+    def test_equality(self, recording):
+        rec, data = recording
+        same = EMGRecording(channels=rec.channels, data_volts=data, fs=rec.fs)
+        assert rec == same
+        other = EMGRecording(channels=rec.channels, data_volts=data * 2, fs=rec.fs)
+        assert rec != other

@@ -1,0 +1,64 @@
+"""Stratified k-fold cross-validation."""
+
+import pytest
+
+from repro.data.dataset import MotionDataset
+from repro.errors import DatasetError
+from repro.eval.crossval import cross_validate, stratified_folds
+
+
+class TestStratifiedFolds:
+    def test_partition_properties(self, toy_dataset):
+        folds = stratified_folds(toy_dataset, n_folds=4, seed=0)
+        assert len(folds) == 4
+        seen = []
+        for train, test in folds:
+            assert len(train) + len(test) == len(toy_dataset)
+            assert set(test.labels) == set(toy_dataset.labels)
+            train_keys = {r.key for r in train}
+            assert all(r.key not in train_keys for r in test)
+            seen.extend(r.key for r in test)
+        # Every trial tested exactly once.
+        assert sorted(seen) == sorted(r.key for r in toy_dataset)
+
+    def test_too_few_trials_rejected(self, toy_dataset):
+        with pytest.raises(DatasetError, match="need >="):
+            stratified_folds(toy_dataset, n_folds=5)
+
+    def test_deterministic(self, toy_dataset):
+        a = stratified_folds(toy_dataset, n_folds=2, seed=3)
+        b = stratified_folds(toy_dataset, n_folds=2, seed=3)
+        assert [r.key for r in a[0][1]] == [r.key for r in b[0][1]]
+
+    def test_minimum_two_folds(self, toy_dataset):
+        with pytest.raises(Exception):
+            stratified_folds(toy_dataset, n_folds=1)
+
+
+class TestCrossValidate:
+    def test_aggregates_all_folds(self, toy_dataset):
+        result = cross_validate(toy_dataset, n_folds=2, window_ms=100.0,
+                                n_clusters=3, k=3, seed=0)
+        assert result.n_folds == 2
+        assert result.n_queries == len(toy_dataset)
+        assert result.misclassification.low <= result.misclassification.estimate
+        assert result.misclassification.estimate <= result.misclassification.high
+        assert 0.0 <= result.knn_classified.estimate <= 100.0
+
+    def test_toy_classes_learnable_across_folds(self, toy_dataset):
+        result = cross_validate(toy_dataset, n_folds=2, window_ms=100.0,
+                                n_clusters=4, k=3, seed=0)
+        assert result.misclassification.estimate <= 40.0
+
+    def test_classifier_factory_used(self, toy_dataset):
+        from repro.core.model import MotionClassifier
+
+        calls = []
+
+        def factory():
+            calls.append(1)
+            return MotionClassifier(n_clusters=3, window_ms=100.0)
+
+        cross_validate(toy_dataset, n_folds=2, k=2, seed=0,
+                       classifier_factory=factory)
+        assert len(calls) == 2

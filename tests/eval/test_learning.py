@@ -1,0 +1,73 @@
+"""Learning-curve harness."""
+
+import pytest
+
+from repro.data.dataset import MotionDataset
+from repro.errors import DatasetError
+from repro.eval.learning import learning_curve
+
+
+@pytest.fixture
+def split(toy_dataset):
+    return toy_dataset.train_test_split(test_fraction=0.25, seed=0)
+
+
+class TestLearningCurve:
+    def test_point_sizes(self, split):
+        train, test = split
+        points = learning_curve(train, test, trials_per_class=(1, 2, 3),
+                                window_ms=100.0, n_clusters=3, k=2, seed=0)
+        assert [p.trials_per_class for p in points] == [1, 2, 3]
+        n_classes = len(train.labels)
+        assert [p.n_train for p in points] == [
+            1 * n_classes, 2 * n_classes, 3 * n_classes,
+        ]
+
+    def test_oversized_points_skipped(self, split):
+        train, test = split
+        points = learning_curve(train, test, trials_per_class=(1, 50),
+                                window_ms=100.0, n_clusters=3, k=2, seed=0)
+        assert [p.trials_per_class for p in points] == [1]
+
+    def test_more_data_does_not_hurt_much(self, split):
+        """Accuracy at the full size is at least as good as at one trial
+        per class (up to quantization of a small query set)."""
+        train, test = split
+        points = learning_curve(train, test, trials_per_class=(1, 3),
+                                window_ms=100.0, n_clusters=3, k=2, seed=0)
+        small, large = points[0].result, points[-1].result
+        assert large.misclassification_pct <= small.misclassification_pct + 34.0
+
+    def test_all_sizes_unusable_rejected(self, split):
+        train, test = split
+        with pytest.raises(DatasetError, match="no usable"):
+            learning_curve(train, test, trials_per_class=(99,),
+                           window_ms=100.0, n_clusters=3, k=2)
+
+    def test_empty_grid_rejected(self, split):
+        train, test = split
+        with pytest.raises(DatasetError):
+            learning_curve(train, test, trials_per_class=())
+
+    def test_deterministic(self, split):
+        train, test = split
+        a = learning_curve(train, test, trials_per_class=(2,),
+                           window_ms=100.0, n_clusters=3, k=2, seed=5)
+        b = learning_curve(train, test, trials_per_class=(2,),
+                           window_ms=100.0, n_clusters=3, k=2, seed=5)
+        assert (a[0].result.misclassification_pct
+                == b[0].result.misclassification_pct)
+
+    def test_classifier_factory(self, split):
+        from repro.core.model import MotionClassifier
+
+        train, test = split
+        calls = []
+
+        def factory():
+            calls.append(1)
+            return MotionClassifier(n_clusters=3, window_ms=100.0)
+
+        learning_curve(train, test, trials_per_class=(1, 2), k=2, seed=0,
+                       classifier_factory=factory)
+        assert len(calls) == 2

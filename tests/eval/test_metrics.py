@@ -1,0 +1,79 @@
+"""Evaluation metrics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.eval.metrics import (
+    confusion_matrix,
+    knn_classified_percent,
+    misclassification_rate,
+)
+
+
+class TestMisclassificationRate:
+    def test_all_correct(self):
+        assert misclassification_rate(["a", "b"], ["a", "b"]) == 0.0
+
+    def test_all_wrong(self):
+        assert misclassification_rate(["a", "b"], ["b", "a"]) == 100.0
+
+    def test_partial(self):
+        rate = misclassification_rate(["a", "a", "b", "b"], ["a", "b", "b", "b"])
+        assert rate == pytest.approx(25.0)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValidationError):
+            misclassification_rate(["a"], ["a", "b"])
+
+    def test_empty(self):
+        with pytest.raises(ValidationError):
+            misclassification_rate([], [])
+
+
+class TestKnnClassifiedPercent:
+    def test_average(self):
+        assert knn_classified_percent([1.0, 0.6, 0.8]) == pytest.approx(80.0)
+
+    def test_bounds_checked(self):
+        with pytest.raises(ValidationError):
+            knn_classified_percent([1.2])
+        with pytest.raises(ValidationError):
+            knn_classified_percent([-0.1])
+
+    def test_empty(self):
+        with pytest.raises(ValidationError):
+            knn_classified_percent([])
+
+    def test_paper_k5_fractions(self):
+        """Fractions out of k=5 land on multiples of 20%."""
+        assert knn_classified_percent([4 / 5, 4 / 5]) == pytest.approx(80.0)
+
+
+class TestConfusionMatrix:
+    def test_counts(self):
+        labels, matrix = confusion_matrix(
+            ["a", "a", "b", "b", "b"], ["a", "b", "b", "b", "a"]
+        )
+        assert labels == ["a", "b"]
+        np.testing.assert_array_equal(matrix, [[1, 1], [1, 2]])
+
+    def test_diagonal_sum_is_correct_count(self):
+        true = ["a", "b", "c", "a"]
+        pred = ["a", "b", "a", "a"]
+        _, matrix = confusion_matrix(true, pred)
+        correct = sum(t == p for t, p in zip(true, pred))
+        assert matrix.trace() == correct
+
+    def test_explicit_label_order(self):
+        labels, matrix = confusion_matrix(["a", "b"], ["a", "b"], labels=["b", "a"])
+        assert labels == ["b", "a"]
+        np.testing.assert_array_equal(matrix, [[1, 0], [0, 1]])
+
+    def test_missing_label_in_explicit_list(self):
+        with pytest.raises(ValidationError, match="missing classes"):
+            confusion_matrix(["a", "z"], ["a", "z"], labels=["a"])
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValidationError):
+            confusion_matrix(["a"], [])

@@ -1,0 +1,123 @@
+"""Bootstrap intervals and the McNemar paired test."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.eval.stats import (
+    bootstrap_ci,
+    knn_percent_ci,
+    mcnemar_test,
+    misclassification_ci,
+)
+
+
+class TestBootstrapCI:
+    def test_interval_contains_estimate(self, rng):
+        values = rng.normal(10.0, 2.0, size=100)
+        result = bootstrap_ci(values, seed=0)
+        assert result.low <= result.estimate <= result.high
+
+    def test_interval_narrows_with_more_data(self, rng):
+        small = bootstrap_ci(rng.normal(0, 1, size=20), seed=0)
+        large = bootstrap_ci(rng.normal(0, 1, size=2000), seed=0)
+        assert (large.high - large.low) < (small.high - small.low)
+
+    def test_degenerate_data_gives_point_interval(self):
+        result = bootstrap_ci([5.0] * 30, seed=0)
+        assert result.low == result.high == result.estimate == 5.0
+
+    def test_deterministic(self, rng):
+        values = rng.normal(size=50)
+        a = bootstrap_ci(values, seed=3)
+        b = bootstrap_ci(values, seed=3)
+        assert (a.low, a.high) == (b.low, b.high)
+
+    def test_coverage_on_known_distribution(self):
+        """~95% of intervals cover the true mean."""
+        true_mean = 2.0
+        hits = 0
+        master = np.random.default_rng(0)
+        trials = 100
+        for t in range(trials):
+            data = master.normal(true_mean, 1.0, size=60)
+            ci = bootstrap_ci(data, n_resamples=300, seed=t)
+            hits += ci.low <= true_mean <= ci.high
+        assert hits >= 85  # loose: exact coverage isn't the point here
+
+    def test_custom_statistic(self, rng):
+        values = rng.normal(size=200)
+        result = bootstrap_ci(values, statistic=np.median, seed=0)
+        assert result.estimate == pytest.approx(np.median(values))
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            bootstrap_ci([])
+        with pytest.raises(ValidationError):
+            bootstrap_ci([1.0], confidence=1.0)
+
+    def test_str_format(self):
+        result = bootstrap_ci([1.0, 2.0, 3.0], seed=0)
+        text = str(result)
+        assert "95% CI" in text
+
+
+class TestMetricCIs:
+    def test_misclassification_ci(self):
+        true = ["a"] * 8 + ["b"] * 8
+        pred = ["a"] * 6 + ["b"] * 2 + ["b"] * 8
+        result = misclassification_ci(true, pred, seed=0)
+        assert result.estimate == pytest.approx(12.5)
+        assert 0.0 <= result.low <= result.estimate <= result.high <= 100.0
+
+    def test_knn_percent_ci(self):
+        result = knn_percent_ci([0.8, 1.0, 0.6, 0.8], seed=0)
+        assert result.estimate == pytest.approx(80.0)
+
+    def test_knn_fraction_validation(self):
+        with pytest.raises(ValidationError):
+            knn_percent_ci([1.2])
+
+    def test_misclassification_length_check(self):
+        with pytest.raises(ValidationError):
+            misclassification_ci(["a"], ["a", "b"])
+
+
+class TestMcNemar:
+    def test_identical_classifiers(self):
+        true = ["a", "b", "a", "b"]
+        pred = ["a", "b", "b", "b"]
+        p, only_a, only_b = mcnemar_test(true, pred, pred)
+        assert p == 1.0
+        assert only_a == only_b == 0
+
+    def test_one_sided_dominance_is_significant(self):
+        """One classifier fixes 12 errors and introduces none."""
+        true = ["a"] * 20
+        a = ["a"] * 20
+        b = ["b"] * 12 + ["a"] * 8
+        p, only_a, only_b = mcnemar_test(true, a, b)
+        assert only_a == 12 and only_b == 0
+        assert p < 0.01
+
+    def test_balanced_disagreement_not_significant(self):
+        true = ["a"] * 8
+        a = ["a", "a", "a", "a", "b", "b", "a", "a"]
+        b = ["b", "b", "a", "a", "a", "a", "a", "a"]
+        p, only_a, only_b = mcnemar_test(true, a, b)
+        assert only_a == only_b == 2
+        assert p > 0.5
+
+    def test_symmetry(self):
+        true = ["a"] * 10
+        a = ["a"] * 7 + ["b"] * 3
+        b = ["b"] * 2 + ["a"] * 8
+        p_ab = mcnemar_test(true, a, b)[0]
+        p_ba = mcnemar_test(true, b, a)[0]
+        assert p_ab == pytest.approx(p_ba)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            mcnemar_test(["a"], ["a"], ["a", "b"])
+        with pytest.raises(ValidationError):
+            mcnemar_test([], [], [])

@@ -1,0 +1,112 @@
+"""Per-window combined feature vectors (paper Section 3.3)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FeatureError
+from repro.features.combine import WindowFeaturizer
+from repro.features.emg_extra import RMSExtractor
+from repro.features.iav import integral_absolute_value
+from repro.features.svd import weighted_svd_feature
+from repro.utils.windows import window_bounds
+
+
+class TestLayout:
+    def test_dimensions_emg_first_then_mocap(self, make_record):
+        record = make_record(n_segments=4, n_channels=4)
+        wf = WindowFeaturizer(window_ms=100.0)
+        features = wf.features(record)
+        # m = 4 IAV dims, n = 12 SVD dims -> 16 total, as in the paper's
+        # right-hand study.
+        assert features.n_dims == 16
+        assert list(features.names[:4]) == [f"iav:ch{j}" for j in range(4)]
+        assert features.names[4].startswith("svd:seg0")
+
+    def test_window_count_matches_bounds(self, make_record):
+        record = make_record(n_frames=120)
+        wf = WindowFeaturizer(window_ms=100.0)  # 12 frames at 120 Hz
+        features = wf.features(record)
+        assert features.n_windows == len(window_bounds(120, 12))
+        assert features.bounds == tuple(window_bounds(120, 12))
+
+    def test_values_match_manual_extraction(self, make_record):
+        record = make_record(n_segments=2, n_channels=3)
+        wf = WindowFeaturizer(window_ms=100.0)
+        features = wf.features(record)
+        start, stop = features.bounds[0]
+        emg = np.asarray(record.emg.data_volts)[start:stop]
+        mocap = np.asarray(record.mocap.matrix_mm)[start:stop]
+        expected = np.concatenate([
+            integral_absolute_value(emg),
+            weighted_svd_feature(mocap[:, :3]),
+            weighted_svd_feature(mocap[:, 3:]),
+        ])
+        np.testing.assert_allclose(features.matrix[0], expected)
+
+    def test_both_streams_cut_identically(self, make_record):
+        """The critical synchronization property of Section 3.3."""
+        record = make_record(n_frames=100)
+        wf = WindowFeaturizer(window_ms=150.0, stride_ms=50.0)
+        features = wf.features(record)
+        for start, stop in features.bounds:
+            assert 0 <= start < stop <= record.n_frames
+
+
+class TestModalitySwitches:
+    def test_emg_only(self, make_record):
+        record = make_record(n_channels=4)
+        wf = WindowFeaturizer(window_ms=100.0, use_mocap=False)
+        features = wf.features(record)
+        assert features.n_dims == 4
+        assert all(n.startswith("iav:") for n in features.names)
+
+    def test_mocap_only(self, make_record):
+        record = make_record(n_segments=3)
+        wf = WindowFeaturizer(window_ms=100.0, use_emg=False)
+        features = wf.features(record)
+        assert features.n_dims == 9
+        assert all(n.startswith("svd:") for n in features.names)
+
+    def test_both_off_rejected(self):
+        with pytest.raises(FeatureError):
+            WindowFeaturizer(use_emg=False, use_mocap=False)
+
+    def test_fused_is_concatenation_of_single_modalities(self, make_record):
+        record = make_record()
+        both = WindowFeaturizer(window_ms=100.0).features(record)
+        emg = WindowFeaturizer(window_ms=100.0, use_mocap=False).features(record)
+        mocap = WindowFeaturizer(window_ms=100.0, use_emg=False).features(record)
+        np.testing.assert_allclose(
+            both.matrix, np.hstack([emg.matrix, mocap.matrix])
+        )
+
+
+class TestConfiguration:
+    def test_custom_emg_extractor(self, make_record):
+        record = make_record(n_channels=2)
+        wf = WindowFeaturizer(window_ms=100.0, emg_extractor=RMSExtractor(),
+                              use_mocap=False)
+        features = wf.features(record)
+        assert all(n.startswith("rms:") for n in features.names)
+
+    def test_stride_creates_overlapping_windows(self, make_record):
+        record = make_record(n_frames=120)
+        dense = WindowFeaturizer(window_ms=100.0, stride_ms=25.0).features(record)
+        sparse = WindowFeaturizer(window_ms=100.0).features(record)
+        assert dense.n_windows > sparse.n_windows
+
+    def test_window_frames_at_paper_rates(self):
+        wf = WindowFeaturizer(window_ms=50.0)
+        assert wf.window_frames(120.0) == 6
+        assert wf.stride_frames(120.0) == 6
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(Exception):
+            WindowFeaturizer(window_ms=0.0)
+
+    def test_feature_names_align_with_matrix(self, make_record):
+        record = make_record()
+        wf = WindowFeaturizer(window_ms=100.0)
+        features = wf.features(record)
+        assert len(features.names) == features.matrix.shape[1]
+        assert wf.feature_names(record) == list(features.names)

@@ -1,0 +1,127 @@
+"""Baseline EMG features (related-work extractors)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FeatureError
+from repro.features.emg_extra import (
+    ARCoefficientsExtractor,
+    HistogramExtractor,
+    MeanAbsoluteValueExtractor,
+    RMSExtractor,
+    WaveformLengthExtractor,
+    ZeroCrossingExtractor,
+)
+from repro.features.iav import integral_absolute_value
+
+
+class TestZeroCrossing:
+    def test_counts_sine_crossings(self):
+        t = np.linspace(0, 1, 1000, endpoint=False)
+        window = np.sin(2 * np.pi * 5 * t)[:, None]
+        count = ZeroCrossingExtractor().extract(window)[0]
+        assert 9 <= count <= 10  # ~2 crossings per cycle
+
+    def test_threshold_suppresses_chatter(self, rng):
+        noise = 1e-6 * rng.normal(size=(500, 1))
+        loose = ZeroCrossingExtractor(threshold=0.0).extract(noise)[0]
+        strict = ZeroCrossingExtractor(threshold=1e-3).extract(noise)[0]
+        assert strict < loose
+
+    def test_constant_signal_zero_crossings(self):
+        window = np.full((50, 2), 3.3)
+        np.testing.assert_array_equal(
+            ZeroCrossingExtractor().extract(window), [0.0, 0.0]
+        )
+
+    def test_names(self):
+        assert ZeroCrossingExtractor().feature_names(["a"]) == ["zc:a"]
+
+
+class TestHistogram:
+    def test_bins_sum_to_one(self, rng):
+        window = np.abs(rng.normal(size=(40, 2)))
+        ext = HistogramExtractor(n_bins=5)
+        feats = ext.extract(window)
+        assert feats.shape == (10,)
+        np.testing.assert_allclose(feats[:5].sum(), 1.0)
+        np.testing.assert_allclose(feats[5:].sum(), 1.0)
+
+    def test_silent_channel_concentrates_in_first_bin(self):
+        window = np.zeros((20, 1))
+        feats = HistogramExtractor(n_bins=4).extract(window)
+        np.testing.assert_array_equal(feats, [1.0, 0.0, 0.0, 0.0])
+
+    def test_distinguishes_burst_from_steady(self, rng):
+        steady = np.full((100, 1), 0.5)
+        burst = np.zeros((100, 1))
+        burst[45:55] = 1.0
+        ext = HistogramExtractor(n_bins=4)
+        assert not np.allclose(ext.extract(steady), ext.extract(burst))
+
+    def test_min_bins(self):
+        with pytest.raises(Exception):
+            HistogramExtractor(n_bins=1)
+
+    def test_names_layout(self):
+        names = HistogramExtractor(n_bins=3).feature_names(["a", "b"])
+        assert names == ["hist:a:0", "hist:a:1", "hist:a:2",
+                         "hist:b:0", "hist:b:1", "hist:b:2"]
+
+
+class TestARCoefficients:
+    def test_recovers_ar1_pole(self, rng):
+        """Fitting an AR(1) process recovers its coefficient."""
+        phi = 0.7
+        n = 5000
+        x = np.zeros(n)
+        noise = rng.normal(size=n)
+        for i in range(1, n):
+            x[i] = phi * x[i - 1] + noise[i]
+        coef = ARCoefficientsExtractor(order=1).extract(x[:, None])
+        assert abs(coef[0] - phi) < 0.05
+
+    def test_white_noise_has_small_coefficients(self, rng):
+        x = rng.normal(size=(3000, 1))
+        coefs = ARCoefficientsExtractor(order=4).extract(x)
+        assert np.abs(coefs).max() < 0.1
+
+    def test_silent_window_returns_zeros(self):
+        coefs = ARCoefficientsExtractor(order=3).extract(np.zeros((50, 2)))
+        np.testing.assert_array_equal(coefs, np.zeros(6))
+
+    def test_window_must_exceed_order(self):
+        with pytest.raises(FeatureError):
+            ARCoefficientsExtractor(order=8).extract(np.zeros((5, 1)))
+
+    def test_names(self):
+        names = ARCoefficientsExtractor(order=2).feature_names(["a"])
+        assert names == ["ar:a:1", "ar:a:2"]
+
+
+class TestSimpleAmplitudeFeatures:
+    def test_rms_of_known_signal(self):
+        window = np.array([[3.0], [4.0], [0.0], [0.0]])
+        assert RMSExtractor().extract(window)[0] == pytest.approx(2.5)
+
+    def test_mav_is_iav_over_length(self, rng):
+        window = rng.normal(size=(25, 3))
+        np.testing.assert_allclose(
+            MeanAbsoluteValueExtractor().extract(window),
+            integral_absolute_value(window) / 25,
+        )
+
+    def test_waveform_length_of_monotone_ramp(self):
+        window = np.linspace(0, 5, 11)[:, None]
+        assert WaveformLengthExtractor().extract(window)[0] == pytest.approx(5.0)
+
+    def test_waveform_length_single_sample(self):
+        np.testing.assert_array_equal(
+            WaveformLengthExtractor().extract(np.ones((1, 2))), [0.0, 0.0]
+        )
+
+    def test_wl_larger_for_jagged_signal(self, rng):
+        smooth = np.linspace(0, 1, 100)[:, None]
+        jagged = smooth + 0.3 * rng.normal(size=(100, 1))
+        wl = WaveformLengthExtractor()
+        assert wl.extract(jagged)[0] > wl.extract(smooth)[0]

@@ -1,0 +1,75 @@
+"""Integral of Absolute Value (paper Eq. 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis.extra.numpy import arrays
+
+from repro.errors import ValidationError
+from repro.features.iav import IAVExtractor, integral_absolute_value
+
+
+class TestIntegralAbsoluteValue:
+    def test_hand_computation(self):
+        window = np.array([[1.0, -2.0], [3.0, -4.0], [-5.0, 6.0]])
+        np.testing.assert_array_equal(
+            integral_absolute_value(window), [9.0, 12.0]
+        )
+
+    def test_per_channel_independence(self, rng):
+        window = rng.normal(size=(20, 3))
+        full = integral_absolute_value(window)
+        for c in range(3):
+            single = integral_absolute_value(window[:, [c]])
+            assert single[0] == pytest.approx(full[c])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            integral_absolute_value(np.zeros((0, 2)))
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValidationError):
+            integral_absolute_value(np.zeros(5))
+
+    @given(
+        arrays(np.float64, (15, 3), elements={"min_value": -1e3, "max_value": 1e3})
+    )
+    @settings(max_examples=100)
+    def test_properties(self, window):
+        iav = integral_absolute_value(window)
+        # Non-negative, zero iff the channel is silent.
+        assert np.all(iav >= 0)
+        for c in range(3):
+            if np.all(window[:, c] == 0):
+                assert iav[c] == 0
+        # Scale equivariance: IAV(2x) = 2 IAV(x).
+        np.testing.assert_allclose(
+            integral_absolute_value(2.0 * window), 2.0 * iav, rtol=1e-12
+        )
+        # Additivity over window splits.
+        first = integral_absolute_value(window[:7])
+        second = integral_absolute_value(window[7:])
+        np.testing.assert_allclose(first + second, iav, rtol=1e-9, atol=1e-9)
+
+    def test_grows_with_window_size(self, rng):
+        """Longer windows accumulate more absolute area (the reason the
+        feature depends on the paper's window-size parameter)."""
+        signal = np.abs(rng.normal(size=(100, 1))) + 0.1
+        short = integral_absolute_value(signal[:10])
+        long = integral_absolute_value(signal)
+        assert long[0] > short[0]
+
+
+class TestIAVExtractor:
+    def test_extract_matches_function(self, rng):
+        window = rng.normal(size=(12, 4))
+        np.testing.assert_array_equal(
+            IAVExtractor().extract(window), integral_absolute_value(window)
+        )
+
+    def test_feature_names(self):
+        names = IAVExtractor().feature_names(["biceps_r", "triceps_r"])
+        assert names == ["iav:biceps_r", "iav:triceps_r"]
+
+    def test_features_per_channel(self):
+        assert IAVExtractor().features_per_channel == 1

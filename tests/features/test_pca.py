@@ -1,0 +1,73 @@
+"""PCA (MUSE-style) mocap feature baseline."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FeatureError
+from repro.features.pca import PCAJointExtractor, pca_joint_feature
+from repro.features.svd import weighted_svd_feature
+
+
+class TestPCAJointFeature:
+    def test_length_three(self, rng):
+        assert pca_joint_feature(rng.normal(size=(15, 3))).shape == (3,)
+
+    def test_static_window_gives_zero(self):
+        window = np.tile([100.0, 200.0, 300.0], (10, 1))
+        np.testing.assert_allclose(pca_joint_feature(window), 0.0, atol=1e-9)
+
+    def test_translation_invariance(self, rng):
+        """Centering makes PCA features position-free — the key contrast
+        with the paper's Eq. 3."""
+        window = rng.normal(size=(20, 3)) * 10
+        shifted = window + np.array([500.0, -300.0, 1000.0])
+        np.testing.assert_allclose(
+            pca_joint_feature(window), pca_joint_feature(shifted), atol=1e-9
+        )
+
+    def test_svd_feature_is_not_translation_invariant(self, rng):
+        """Eq. 3 keeps position information that PCA discards."""
+        window = rng.normal(size=(20, 3)) * 10
+        shifted = window + np.array([500.0, -300.0, 1000.0])
+        assert not np.allclose(
+            weighted_svd_feature(window), weighted_svd_feature(shifted),
+            atol=1e-3,
+        )
+
+    def test_captures_movement_direction(self):
+        t = np.linspace(0, 1, 40)
+        window = np.stack([50 * t, 0 * t, 0 * t], axis=1) + 1000.0
+        feature = pca_joint_feature(window)
+        assert abs(feature[0]) > abs(feature[1]) + abs(feature[2])
+
+    def test_rejects_wrong_columns(self):
+        with pytest.raises(FeatureError):
+            pca_joint_feature(np.zeros((5, 2)))
+
+    def test_deterministic_signs(self, rng):
+        window = rng.normal(size=(25, 3))
+        base = pca_joint_feature(window)
+        noisy = window + rng.normal(0, 1e-8, size=window.shape)
+        np.testing.assert_allclose(pca_joint_feature(noisy), base, atol=1e-4)
+
+
+class TestPCAJointExtractor:
+    def test_multi_joint_layout(self, rng):
+        window = rng.normal(size=(20, 6))
+        full = PCAJointExtractor().extract(window)
+        np.testing.assert_allclose(full[:3], pca_joint_feature(window[:, :3]))
+        np.testing.assert_allclose(full[3:], pca_joint_feature(window[:, 3:]))
+
+    def test_feature_names(self):
+        names = PCAJointExtractor().feature_names(["hand_r"])
+        assert names == ["pca:hand_r:x", "pca:hand_r:y", "pca:hand_r:z"]
+
+    def test_drop_in_replacement_in_featurizer(self, make_record):
+        from repro.features.combine import WindowFeaturizer
+
+        record = make_record()
+        wf = WindowFeaturizer(window_ms=100.0,
+                              mocap_extractor=PCAJointExtractor())
+        features = wf.features(record)
+        assert features.n_dims == 4 + 12
+        assert any(n.startswith("pca:") for n in features.names)

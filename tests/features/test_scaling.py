@@ -1,0 +1,90 @@
+"""Feature standardization."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FeatureError, NotFittedError
+from repro.features.scaling import FeatureScaler
+
+
+@pytest.fixture
+def matrix(rng):
+    # Mixed scales: a volts-magnitude column next to order-1 columns,
+    # the exact situation that motivates the scaler.
+    cols = [rng.normal(2e-3, 5e-4, 200), rng.normal(0, 1, 200), rng.normal(5, 2, 200)]
+    return np.stack(cols, axis=1)
+
+
+class TestZScore:
+    def test_standardizes_columns(self, matrix):
+        scaled = FeatureScaler("zscore").fit_transform(matrix)
+        np.testing.assert_allclose(scaled.mean(axis=0), 0.0, atol=1e-12)
+        np.testing.assert_allclose(scaled.std(axis=0), 1.0, atol=1e-12)
+
+    def test_transform_uses_fitted_stats(self, matrix, rng):
+        scaler = FeatureScaler("zscore").fit(matrix)
+        query = rng.normal(size=(5, 3))
+        out = scaler.transform(query)
+        np.testing.assert_allclose(
+            out, (query - matrix.mean(axis=0)) / matrix.std(axis=0)
+        )
+
+    def test_inverse_roundtrip(self, matrix):
+        scaler = FeatureScaler("zscore").fit(matrix)
+        np.testing.assert_allclose(
+            scaler.inverse_transform(scaler.transform(matrix)), matrix, atol=1e-9
+        )
+
+    def test_constant_dimension_harmless(self):
+        matrix = np.column_stack([np.ones(10), np.arange(10.0)])
+        scaled = FeatureScaler("zscore").fit_transform(matrix)
+        np.testing.assert_allclose(scaled[:, 0], 0.0)
+        assert np.all(np.isfinite(scaled))
+
+
+class TestMinMax:
+    def test_maps_to_unit_interval(self, matrix):
+        scaled = FeatureScaler("minmax").fit_transform(matrix)
+        np.testing.assert_allclose(scaled.min(axis=0), 0.0, atol=1e-12)
+        np.testing.assert_allclose(scaled.max(axis=0), 1.0, atol=1e-12)
+
+    def test_inverse_roundtrip(self, matrix):
+        scaler = FeatureScaler("minmax").fit(matrix)
+        np.testing.assert_allclose(
+            scaler.inverse_transform(scaler.transform(matrix)), matrix, atol=1e-9
+        )
+
+
+class TestNone:
+    def test_identity(self, matrix):
+        scaler = FeatureScaler("none")
+        out = scaler.fit_transform(matrix)
+        np.testing.assert_array_equal(out, matrix)
+        assert scaler.is_fitted  # "none" needs no statistics
+
+
+class TestErrors:
+    def test_unknown_mode(self):
+        with pytest.raises(FeatureError, match="unknown scaling mode"):
+            FeatureScaler("robust")
+
+    def test_transform_before_fit(self, matrix):
+        with pytest.raises(NotFittedError):
+            FeatureScaler("zscore").transform(matrix)
+
+    def test_inverse_before_fit(self, matrix):
+        with pytest.raises(NotFittedError):
+            FeatureScaler("zscore").inverse_transform(matrix)
+
+    def test_dimension_mismatch(self, matrix, rng):
+        scaler = FeatureScaler("zscore").fit(matrix)
+        with pytest.raises(FeatureError, match="dims"):
+            scaler.transform(rng.normal(size=(4, 5)))
+
+
+def test_scaling_balances_modalities(matrix):
+    """After z-scoring, the microvolt column influences Euclidean distances
+    as much as the order-1 columns — the fusion prerequisite."""
+    scaled = FeatureScaler("zscore").fit_transform(matrix)
+    spread = scaled.std(axis=0)
+    assert spread.max() / spread.min() < 1.0001

@@ -1,0 +1,125 @@
+"""Fuzzy c-means (paper Eq. 4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ClusteringError
+from repro.fuzzy.cmeans import FuzzyCMeans
+
+
+def blobs(rng, centers, n_per=40, spread=0.3):
+    centers = np.asarray(centers, dtype=float)
+    return np.vstack([
+        c + rng.normal(0, spread, size=(n_per, centers.shape[1])) for c in centers
+    ])
+
+
+@pytest.fixture
+def three_blobs(rng):
+    return blobs(rng, [[0, 0], [5, 0], [0, 5]])
+
+
+class TestFit:
+    def test_finds_blob_centers(self, three_blobs):
+        result = FuzzyCMeans(n_clusters=3, n_init=3).fit(three_blobs, seed=0)
+        found = sorted(result.centers.round(0).tolist())
+        assert sorted([[0.0, 0.0], [0.0, 5.0], [5.0, 0.0]]) == found
+
+    def test_membership_rows_sum_to_one(self, three_blobs):
+        result = FuzzyCMeans(n_clusters=3).fit(three_blobs, seed=0)
+        np.testing.assert_allclose(result.membership.sum(axis=1), 1.0, atol=1e-9)
+        assert np.all(result.membership >= 0)
+        assert np.all(result.membership <= 1)
+
+    def test_objective_monotone_decreasing(self, three_blobs):
+        result = FuzzyCMeans(n_clusters=3).fit(three_blobs, seed=0)
+        diffs = np.diff(result.objective_history)
+        assert np.all(diffs <= 1e-8)
+
+    def test_converges_on_easy_data(self, three_blobs):
+        result = FuzzyCMeans(n_clusters=3).fit(three_blobs, seed=0)
+        assert result.converged
+        assert result.n_iter < 200
+
+    def test_deterministic_given_seed(self, three_blobs):
+        a = FuzzyCMeans(n_clusters=3).fit(three_blobs, seed=1)
+        b = FuzzyCMeans(n_clusters=3).fit(three_blobs, seed=1)
+        np.testing.assert_array_equal(a.centers, b.centers)
+        np.testing.assert_array_equal(a.membership, b.membership)
+
+    def test_blob_points_assigned_to_own_center(self, rng):
+        x = blobs(rng, [[0, 0], [8, 8]], n_per=30)
+        result = FuzzyCMeans(n_clusters=2).fit(x, seed=0)
+        labels = result.hard_labels()
+        # All points of each blob share one label.
+        assert len(set(labels[:30])) == 1
+        assert len(set(labels[30:])) == 1
+        assert labels[0] != labels[-1]
+
+    def test_n_init_picks_best_objective(self, rng):
+        x = blobs(rng, [[0, 0], [3, 0], [0, 3], [3, 3]], n_per=25)
+        single = FuzzyCMeans(n_clusters=4, n_init=1).fit(x, seed=2)
+        multi = FuzzyCMeans(n_clusters=4, n_init=8).fit(x, seed=2)
+        assert multi.objective_history[-1] <= single.objective_history[-1] + 1e-9
+
+
+class TestFuzzifier:
+    def test_high_m_gives_fuzzier_partition(self, three_blobs):
+        crisp = FuzzyCMeans(n_clusters=3, m=1.2).fit(three_blobs, seed=0)
+        fuzzy = FuzzyCMeans(n_clusters=3, m=4.0).fit(three_blobs, seed=0)
+        # Mean max-membership drops as m grows.
+        assert fuzzy.membership.max(axis=1).mean() < crisp.membership.max(axis=1).mean()
+
+    def test_paper_default_m2(self):
+        assert FuzzyCMeans(n_clusters=3).m == 2.0
+
+    def test_m_must_exceed_one(self):
+        with pytest.raises(Exception):
+            FuzzyCMeans(n_clusters=3, m=1.0)
+
+
+class TestEdgeCases:
+    def test_point_on_center_gets_full_membership(self):
+        x = np.array([[0.0, 0.0], [0.0, 0.0], [10.0, 10.0], [10.0, 10.0],
+                      [0.0, 0.0], [10.0, 10.0]])
+        result = FuzzyCMeans(n_clusters=2).fit(x, seed=0)
+        assert np.allclose(result.membership.max(axis=1), 1.0, atol=1e-6)
+
+    def test_fewer_points_than_clusters(self, rng):
+        with pytest.raises(ClusteringError, match="cannot form"):
+            FuzzyCMeans(n_clusters=10).fit(rng.normal(size=(4, 2)), seed=0)
+
+    def test_needs_at_least_two_clusters(self):
+        with pytest.raises(Exception):
+            FuzzyCMeans(n_clusters=1)
+
+    def test_empty_input(self):
+        with pytest.raises(Exception):
+            FuzzyCMeans(n_clusters=2).fit(np.zeros((0, 3)), seed=0)
+
+    def test_identical_points(self):
+        x = np.ones((20, 3))
+        result = FuzzyCMeans(n_clusters=2).fit(x, seed=0)
+        assert np.all(np.isfinite(result.centers))
+        np.testing.assert_allclose(result.membership.sum(axis=1), 1.0)
+
+    @given(
+        n=st.integers(10, 60),
+        c=st.integers(2, 5),
+        d=st.integers(1, 6),
+        seed=st.integers(0, 100),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_membership_contract_on_random_data(self, n, c, d, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(n, d))
+        result = FuzzyCMeans(n_clusters=c, max_iter=50).fit(x, seed=seed)
+        assert result.membership.shape == (n, c)
+        assert result.centers.shape == (c, d)
+        np.testing.assert_allclose(result.membership.sum(axis=1), 1.0, atol=1e-8)
+        assert np.all(result.membership >= -1e-12)
+        # Centers live inside the data's bounding box (convex combinations).
+        assert np.all(result.centers >= x.min(axis=0) - 1e-6)
+        assert np.all(result.centers <= x.max(axis=0) + 1e-6)

@@ -1,0 +1,118 @@
+"""Hard k-means baseline and cluster-validity indices."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ClusteringError
+from repro.fuzzy.cmeans import FuzzyCMeans
+from repro.fuzzy.kmeans import KMeans
+from repro.fuzzy.validity import (
+    partition_coefficient,
+    partition_entropy,
+    xie_beni_index,
+)
+
+
+def blobs(rng, centers, n_per=40, spread=0.3):
+    centers = np.asarray(centers, dtype=float)
+    return np.vstack([
+        c + rng.normal(0, spread, size=(n_per, centers.shape[1])) for c in centers
+    ])
+
+
+class TestKMeans:
+    def test_finds_blob_centers(self, rng):
+        x = blobs(rng, [[0, 0], [6, 0], [0, 6]])
+        result = KMeans(n_clusters=3, n_init=3).fit(x, seed=0)
+        found = sorted(result.centers.round(0).tolist())
+        assert found == sorted([[0.0, 0.0], [0.0, 6.0], [6.0, 0.0]])
+
+    def test_membership_is_one_hot(self, rng):
+        x = blobs(rng, [[0, 0], [6, 0]])
+        result = KMeans(n_clusters=2).fit(x, seed=0)
+        assert set(np.unique(result.membership)) == {0.0, 1.0}
+        np.testing.assert_array_equal(result.membership.sum(axis=1), 1.0)
+
+    def test_inertia_decreases_with_more_clusters(self, rng):
+        x = blobs(rng, [[0, 0], [4, 0], [0, 4], [4, 4]], n_per=25)
+        i2 = KMeans(n_clusters=2, n_init=3).fit(x, seed=0).inertia
+        i4 = KMeans(n_clusters=4, n_init=3).fit(x, seed=0).inertia
+        assert i4 < i2
+
+    def test_deterministic(self, rng):
+        x = blobs(rng, [[0, 0], [6, 6]])
+        a = KMeans(n_clusters=2).fit(x, seed=3)
+        b = KMeans(n_clusters=2).fit(x, seed=3)
+        np.testing.assert_array_equal(a.centers, b.centers)
+
+    def test_no_empty_clusters_on_duplicate_data(self):
+        x = np.vstack([np.zeros((30, 2)), np.ones((2, 2)) * 9])
+        result = KMeans(n_clusters=2).fit(x, seed=0)
+        counts = result.membership.sum(axis=0)
+        assert np.all(counts > 0)
+
+    def test_fewer_points_than_clusters(self, rng):
+        with pytest.raises(ClusteringError):
+            KMeans(n_clusters=5).fit(rng.normal(size=(3, 2)), seed=0)
+
+    def test_hard_labels(self, rng):
+        x = blobs(rng, [[0, 0], [6, 6]], n_per=10)
+        result = KMeans(n_clusters=2).fit(x, seed=0)
+        labels = result.hard_labels()
+        assert labels.shape == (20,)
+        assert set(labels) == {0, 1}
+
+
+class TestValidityIndices:
+    @pytest.fixture
+    def fitted(self, rng):
+        x = blobs(rng, [[0, 0], [6, 0], [0, 6]])
+        result = FuzzyCMeans(n_clusters=3).fit(x, seed=0)
+        return x, result
+
+    def test_pc_bounds(self, fitted):
+        _, result = fitted
+        pc = partition_coefficient(result.membership)
+        assert 1.0 / 3.0 <= pc <= 1.0
+
+    def test_pc_of_crisp_partition_is_one(self):
+        u = np.eye(3)[np.array([0, 1, 2, 0, 1])]
+        assert partition_coefficient(u) == pytest.approx(1.0)
+
+    def test_pe_of_crisp_partition_is_zero(self):
+        u = np.eye(2)[np.array([0, 1, 0])]
+        assert partition_entropy(u) == pytest.approx(0.0)
+
+    def test_pe_of_uniform_partition_is_log_c(self):
+        u = np.full((10, 4), 0.25)
+        assert partition_entropy(u) == pytest.approx(np.log(4))
+
+    def test_well_separated_data_scores_well(self, fitted):
+        x, result = fitted
+        assert partition_coefficient(result.membership) > 0.85
+        assert xie_beni_index(x, result.centers, result.membership) < 0.2
+
+    def test_xb_worse_for_overclustered_data(self, rng):
+        """Splitting one real blob into two clusters hurts separation."""
+        x = blobs(rng, [[0, 0], [8, 8]], n_per=50)
+        good = FuzzyCMeans(n_clusters=2).fit(x, seed=0)
+        bad = FuzzyCMeans(n_clusters=6, n_init=3).fit(x, seed=0)
+        xb_good = xie_beni_index(x, good.centers, good.membership)
+        xb_bad = xie_beni_index(x, bad.centers, bad.membership)
+        assert xb_good < xb_bad
+
+    def test_membership_validation(self):
+        with pytest.raises(ClusteringError):
+            partition_coefficient(np.array([[0.5, 0.6]]))  # rows must sum to 1
+        with pytest.raises(ClusteringError):
+            partition_entropy(np.array([[1.5, -0.5]]))
+
+    def test_xb_shape_validation(self, rng):
+        with pytest.raises(ClusteringError):
+            xie_beni_index(rng.normal(size=(5, 2)), rng.normal(size=(2, 2)),
+                           np.full((4, 2), 0.5))
+
+    def test_xb_needs_two_centers(self, rng):
+        with pytest.raises(ClusteringError):
+            xie_beni_index(rng.normal(size=(5, 2)), rng.normal(size=(1, 2)),
+                           np.ones((5, 1)))

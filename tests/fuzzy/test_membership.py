@@ -1,0 +1,69 @@
+"""Closed-form membership for new points (paper Eq. 9)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ClusteringError
+from repro.fuzzy.cmeans import FuzzyCMeans
+from repro.fuzzy.membership import membership_matrix
+
+
+@pytest.fixture
+def centers():
+    return np.array([[0.0, 0.0], [10.0, 0.0], [0.0, 10.0]])
+
+
+class TestMembershipMatrix:
+    def test_rows_sum_to_one(self, centers, rng):
+        pts = rng.normal(size=(20, 2)) * 5
+        u = membership_matrix(pts, centers)
+        np.testing.assert_allclose(u.sum(axis=1), 1.0, atol=1e-12)
+
+    def test_closer_center_gets_higher_membership(self, centers):
+        u = membership_matrix(np.array([[1.0, 0.0]]), centers)
+        assert u[0, 0] > u[0, 1] and u[0, 0] > u[0, 2]
+
+    def test_point_on_center_is_crisp(self, centers):
+        u = membership_matrix(np.array([[10.0, 0.0]]), centers)
+        np.testing.assert_allclose(u[0], [0.0, 1.0, 0.0], atol=1e-12)
+
+    def test_equidistant_point_uniform(self):
+        centers = np.array([[-1.0, 0.0], [1.0, 0.0]])
+        u = membership_matrix(np.array([[0.0, 5.0]]), centers)
+        np.testing.assert_allclose(u[0], [0.5, 0.5], atol=1e-12)
+
+    def test_matches_eq9_formula(self, centers, rng):
+        """Direct check against the paper's Eq. 9 with m = 2."""
+        q = rng.normal(size=2) * 4
+        d = np.linalg.norm(centers - q, axis=1)
+        expected = np.array([
+            1.0 / np.sum((d[i] / d) ** 2) for i in range(len(centers))
+        ])
+        u = membership_matrix(q[None, :], centers, m=2.0)
+        np.testing.assert_allclose(u[0], expected, atol=1e-12)
+
+    def test_consistent_with_fcm_internal_memberships(self, rng):
+        """Eq. 9 on the training points reproduces the FCM's own U."""
+        x = np.vstack([rng.normal(0, 0.3, (30, 2)), rng.normal(5, 0.3, (30, 2))])
+        result = FuzzyCMeans(n_clusters=2, m=2.0).fit(x, seed=0)
+        u = membership_matrix(x, result.centers, m=2.0)
+        np.testing.assert_allclose(u, result.membership, atol=1e-6)
+
+    def test_m_changes_sharpness(self, centers):
+        pts = np.array([[2.0, 1.0]])
+        sharp = membership_matrix(pts, centers, m=1.5)
+        soft = membership_matrix(pts, centers, m=4.0)
+        assert sharp.max() > soft.max()
+
+    def test_dimension_mismatch(self, centers, rng):
+        with pytest.raises(ClusteringError, match="dims"):
+            membership_matrix(rng.normal(size=(3, 5)), centers)
+
+    def test_invalid_m(self, centers):
+        with pytest.raises(Exception):
+            membership_matrix(np.zeros((1, 2)), centers, m=1.0)
+
+    def test_far_point_memberships_approach_uniform(self, centers):
+        """Very distant queries see all centers as equally (un)similar."""
+        u = membership_matrix(np.array([[1e6, 1e6]]), centers)
+        assert u.max() - u.min() < 0.01

@@ -1,0 +1,55 @@
+"""Unsupervised cluster-count selection."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ClusteringError
+from repro.fuzzy.selection import select_cluster_count
+
+
+def blobs(rng, n_blobs, per=40, dim=3, spacing=8.0, spread=0.4):
+    centers = rng.normal(size=(n_blobs, dim)) * spacing
+    return np.vstack([
+        c + rng.normal(0, spread, size=(per, dim)) for c in centers
+    ])
+
+
+class TestSelectClusterCount:
+    def test_recovers_true_blob_count(self, rng):
+        x = blobs(rng, n_blobs=4)
+        best, scores = select_cluster_count(
+            x, candidates=(2, 3, 4, 5, 6, 8), n_init=3, seed=0
+        )
+        assert best == 4
+
+    def test_score_table_covers_candidates(self, rng):
+        x = blobs(rng, n_blobs=3)
+        _, scores = select_cluster_count(x, candidates=(2, 3, 4), seed=0)
+        assert [s.n_clusters for s in scores] == [2, 3, 4]
+        for s in scores:
+            assert s.xie_beni >= 0
+            assert 1.0 / s.n_clusters <= s.partition_coefficient <= 1.0 + 1e-9
+            assert s.objective >= 0
+
+    def test_best_has_minimal_xie_beni(self, rng):
+        x = blobs(rng, n_blobs=3)
+        best, scores = select_cluster_count(x, candidates=(2, 3, 4, 6), seed=0)
+        best_score = min(scores, key=lambda s: s.xie_beni)
+        assert best == best_score.n_clusters
+
+    def test_oversized_candidates_skipped(self, rng):
+        x = rng.normal(size=(10, 2))
+        best, scores = select_cluster_count(x, candidates=(2, 50), seed=0)
+        assert [s.n_clusters for s in scores] == [2]
+        assert best == 2
+
+    def test_no_usable_candidates(self, rng):
+        with pytest.raises(ClusteringError):
+            select_cluster_count(rng.normal(size=(3, 2)), candidates=(10,))
+
+    def test_deterministic(self, rng):
+        x = blobs(rng, n_blobs=3)
+        a = select_cluster_count(x, candidates=(2, 3, 4), seed=7)
+        b = select_cluster_count(x, candidates=(2, 3, 4), seed=7)
+        assert a[0] == b[0]
+        assert [s.xie_beni for s in a[1]] == [s.xie_beni for s in b[1]]

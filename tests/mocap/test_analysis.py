@@ -1,0 +1,110 @@
+"""Kinematic analysis utilities."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.mocap.analysis import (
+    joint_angle_series,
+    mean_speed,
+    path_length,
+    range_of_motion,
+    smoothness_sal,
+)
+from repro.mocap.trajectory import MotionCaptureData
+
+
+def capture_from(positions, fps=120.0):
+    return MotionCaptureData.from_positions(
+        positions, list(positions), fps=fps
+    )
+
+
+class TestJointAngleSeries:
+    def test_straight_chain_reads_pi(self):
+        n = 10
+        pos = {
+            "a": np.tile([0.0, 0.0, 2.0], (n, 1)),
+            "b": np.tile([0.0, 0.0, 1.0], (n, 1)),
+            "c": np.tile([0.0, 0.0, 0.0], (n, 1)),
+        }
+        angles = joint_angle_series(capture_from(pos), "a", "b", "c")
+        np.testing.assert_allclose(angles, np.pi, atol=1e-9)
+
+    def test_right_angle(self):
+        n = 5
+        pos = {
+            "a": np.tile([0.0, 0.0, 1.0], (n, 1)),
+            "b": np.tile([0.0, 0.0, 0.0], (n, 1)),
+            "c": np.tile([1.0, 0.0, 0.0], (n, 1)),
+        }
+        angles = joint_angle_series(capture_from(pos), "a", "b", "c")
+        np.testing.assert_allclose(angles, np.pi / 2, atol=1e-9)
+
+    def test_elbow_flexion_on_simulated_capture(self, small_hand_dataset):
+        """During a drink-from-cup trial the elbow angle decreases from
+        near-extension to deep flexion and comes back."""
+        record = small_hand_dataset.by_label("drink_from_cup")[0]
+        angles = joint_angle_series(
+            record.mocap, "clavicle_r", "humerus_r", "radius_r"
+        )
+        assert angles.min() < angles[0] - 0.5  # flexes substantially
+        assert abs(angles[-1] - angles[0]) < 0.6  # returns near the start
+
+    def test_degenerate_chain_rejected(self):
+        n = 4
+        pos = {
+            "a": np.zeros((n, 3)),
+            "b": np.zeros((n, 3)),
+            "c": np.ones((n, 3)),
+        }
+        with pytest.raises(ValidationError):
+            joint_angle_series(capture_from(pos), "a", "b", "c")
+
+
+class TestTrajectoryMetrics:
+    def test_range_of_motion(self):
+        t = np.linspace(0, 1, 50)
+        pos = {"p": np.stack([100 * t, -50 * t, 0 * t], axis=1)}
+        rom = range_of_motion(capture_from(pos), "p")
+        assert rom == pytest.approx({"x": 100.0, "y": 50.0, "z": 0.0})
+
+    def test_path_length_of_line(self):
+        t = np.linspace(0, 1, 100)
+        pos = {"p": np.stack([300 * t, 0 * t, 400 * t], axis=1)}
+        assert path_length(capture_from(pos), "p") == pytest.approx(500.0)
+
+    def test_mean_speed(self):
+        t = np.linspace(0, 1, 121)  # 1 s at 120 fps
+        pos = {"p": np.stack([120 * t, 0 * t, 0 * t], axis=1)}
+        cap = capture_from(pos)
+        assert mean_speed(cap, "p") == pytest.approx(
+            path_length(cap, "p") / cap.duration_s
+        )
+
+    def test_static_segment(self):
+        pos = {"p": np.tile([1.0, 2.0, 3.0], (30, 1))}
+        assert path_length(capture_from(pos), "p") == pytest.approx(0.0)
+
+
+class TestSmoothness:
+    def test_smooth_beats_jerky(self, rng):
+        t = np.linspace(0, 1, 240)
+        smooth_traj = {"p": np.stack(
+            [200 * (10 * t**3 - 15 * t**4 + 6 * t**5), 0 * t, 0 * t], axis=1
+        )}
+        jerky = smooth_traj["p"] + rng.normal(0, 3.0, size=(240, 3))
+        jerky_traj = {"p": jerky}
+        s_smooth = smoothness_sal(capture_from(smooth_traj), "p")
+        s_jerky = smoothness_sal(capture_from(jerky_traj), "p")
+        assert s_smooth > s_jerky  # both negative; smoother is nearer zero
+
+    def test_static_segment_rejected(self):
+        pos = {"p": np.tile([0.0, 0.0, 0.0], (50, 1))}
+        with pytest.raises(ValidationError):
+            smoothness_sal(capture_from(pos), "p")
+
+    def test_too_short_rejected(self):
+        pos = {"p": np.random.default_rng(0).normal(size=(4, 3))}
+        with pytest.raises(ValidationError):
+            smoothness_sal(capture_from(pos), "p")

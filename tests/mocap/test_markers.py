@@ -1,0 +1,152 @@
+"""Marker clusters, placement, and joint reconstruction."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SkeletonError, ValidationError
+from repro.mocap.markers import (
+    MarkerCluster,
+    default_marker_set,
+    marker_positions,
+    reconstruct_joints,
+)
+from repro.mocap.vicon import ViconSystem
+from repro.mocap.noise import MarkerNoiseModel
+from repro.motions.base import get_motion_class
+from repro.skeleton.body import default_body
+from repro.skeleton.kinematics import forward_kinematics
+
+
+@pytest.fixture
+def plan():
+    return get_motion_class("raise_arm").plan(fps=120.0, seed=0)
+
+
+@pytest.fixture
+def body():
+    return default_body()
+
+
+class TestMarkerCluster:
+    def test_valid_cluster(self):
+        offsets = np.array([[40.0, 0, 0], [-20.0, 34.6, 0], [-20.0, -34.6, 0]])
+        cluster = MarkerCluster(segment="hand_r", offsets_mm=offsets)
+        assert cluster.n_markers == 3
+
+    def test_non_centred_rejected(self):
+        with pytest.raises(ValidationError, match="not centred"):
+            MarkerCluster(segment="x", offsets_mm=np.array([[1.0, 0, 0],
+                                                            [1.0, 0, 0]]))
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(ValidationError):
+            MarkerCluster(segment="x", offsets_mm=np.zeros((3, 2)))
+
+
+class TestDefaultMarkerSet:
+    def test_centred_clusters_for_all_segments(self):
+        clusters = default_marker_set(["hand_r", "radius_r"], n_markers=4)
+        assert set(clusters) == {"hand_r", "radius_r"}
+        for cluster in clusters.values():
+            assert cluster.n_markers == 4
+            np.testing.assert_allclose(
+                np.asarray(cluster.offsets_mm).mean(axis=0), 0.0, atol=1e-9
+            )
+
+    def test_markers_at_requested_radius(self):
+        clusters = default_marker_set(["hand_r"], radius_mm=40.0)
+        radii = np.linalg.norm(np.asarray(clusters["hand_r"].offsets_mm), axis=1)
+        np.testing.assert_allclose(radii, 40.0)
+
+    def test_minimum_two_markers(self):
+        with pytest.raises(Exception):
+            default_marker_set(["hand_r"], n_markers=1)
+
+
+class TestMarkerPositionsAndReconstruction:
+    def test_noiseless_reconstruction_is_exact(self, body, plan):
+        """Cluster centroids equal the true joint trajectories."""
+        clusters = default_marker_set(["hand_r", "radius_r"], seed=3)
+        clouds = marker_positions(body, plan.animation, clusters)
+        joints = reconstruct_joints(clouds)
+        truth = forward_kinematics(body, plan.animation, ["hand_r", "radius_r"])
+        for segment in joints:
+            np.testing.assert_allclose(joints[segment], truth[segment],
+                                       atol=1e-9)
+
+    def test_markers_ride_rigidly(self, body, plan):
+        """Inter-marker distances stay constant through the motion."""
+        clusters = default_marker_set(["hand_r"], seed=0)
+        cloud = marker_positions(body, plan.animation, clusters)["hand_r"]
+        d01 = np.linalg.norm(cloud[:, 0] - cloud[:, 1], axis=1)
+        np.testing.assert_allclose(d01, d01[0], atol=1e-9)
+
+    def test_averaging_beats_single_marker_noise(self, body, plan, rng):
+        """Reconstruction error < raw marker noise (the 1/sqrt(k) win)."""
+        clusters = default_marker_set(["hand_r"], n_markers=4, seed=1)
+        cloud = marker_positions(body, plan.animation, clusters)["hand_r"]
+        sigma = 1.0
+        noisy = cloud + rng.normal(0, sigma, size=cloud.shape)
+        joints = reconstruct_joints({"hand_r": noisy})
+        truth = forward_kinematics(body, plan.animation, ["hand_r"])["hand_r"]
+        err = np.linalg.norm(joints["hand_r"] - truth, axis=1)
+        # Expected per-axis error sigma/2 for k=4.
+        assert err.mean() < 0.75 * sigma * np.sqrt(3)
+
+    def test_occluded_markers_ignored_framewise(self, body, plan):
+        clusters = default_marker_set(["hand_r"], n_markers=3, seed=0)
+        cloud = marker_positions(body, plan.animation, clusters)["hand_r"].copy()
+        cloud[10:14, 1, :] = np.nan  # one marker drops for 4 frames
+        joints = reconstruct_joints({"hand_r": cloud})
+        assert np.all(np.isfinite(joints["hand_r"]))
+
+    def test_fully_occluded_frame_rejected(self, body, plan):
+        clusters = default_marker_set(["hand_r"], n_markers=2, seed=0)
+        cloud = marker_positions(body, plan.animation, clusters)["hand_r"].copy()
+        cloud[5, :, :] = np.nan
+        with pytest.raises(SkeletonError, match="occluded"):
+            reconstruct_joints({"hand_r": cloud})
+
+    def test_unknown_segment_rejected(self, body, plan):
+        clusters = default_marker_set(["ghost"], seed=0)
+        with pytest.raises(Exception):
+            marker_positions(body, plan.animation, clusters)
+
+
+class TestViconMarkerLevelCapture:
+    def test_matches_joint_level_when_clean(self, body, plan):
+        joint_level = ViconSystem(noise=None, occlusion=None)
+        marker_level = ViconSystem(noise=None, occlusion=None,
+                                   markers_per_joint=3)
+        a = joint_level.capture(body, plan.animation, ["hand_r"], seed=0)
+        b = marker_level.capture(body, plan.animation, ["hand_r"], seed=0)
+        np.testing.assert_allclose(
+            a.joint_matrix("hand_r"), b.joint_matrix("hand_r"), atol=1e-6
+        )
+
+    def test_cluster_averaging_reduces_noise(self, body, plan):
+        truth = forward_kinematics(body, plan.animation, ["hand_r"])["hand_r"]
+        noise = MarkerNoiseModel(sigma_mm=2.0)
+        errs = {}
+        for markers in (0, 4):
+            vicon = ViconSystem(noise=noise, occlusion=None,
+                                markers_per_joint=markers)
+            data = vicon.capture(body, plan.animation, ["hand_r"], seed=0)
+            errs[markers] = np.abs(
+                data.joint_matrix("hand_r") - truth
+            ).std()
+        assert errs[4] < 0.75 * errs[0]
+
+    def test_marker_level_with_occlusion_stays_finite(self, body, plan):
+        from repro.mocap.noise import OcclusionModel
+
+        vicon = ViconSystem(
+            occlusion=OcclusionModel(dropout_rate_per_s=5.0),
+            markers_per_joint=3,
+        )
+        data = vicon.capture(body, plan.animation, ["hand_r"], seed=0)
+        assert np.all(np.isfinite(data.matrix_mm))
+
+    def test_single_marker_per_joint_rejected(self):
+        with pytest.raises(Exception):
+            ViconSystem(markers_per_joint=1)

@@ -1,0 +1,127 @@
+"""Marker noise, occlusion, and gap-filling."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SignalError
+from repro.mocap.gapfill import fill_gaps, gap_statistics
+from repro.mocap.noise import MarkerNoiseModel, OcclusionModel
+
+
+class TestMarkerNoise:
+    def test_jitter_magnitude(self, rng):
+        pos = np.zeros((5000, 3))
+        out = MarkerNoiseModel(sigma_mm=0.8).apply(pos, seed=0)
+        assert abs(out.std() - 0.8) < 0.05
+
+    def test_zero_sigma_is_copy(self, rng):
+        pos = rng.normal(size=(10, 3))
+        out = MarkerNoiseModel(sigma_mm=0.0).apply(pos, seed=0)
+        np.testing.assert_array_equal(out, pos)
+        assert out is not pos
+
+    def test_deterministic(self, rng):
+        pos = rng.normal(size=(20, 6))
+        a = MarkerNoiseModel().apply(pos, seed=5)
+        b = MarkerNoiseModel().apply(pos, seed=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(Exception):
+            MarkerNoiseModel(sigma_mm=-1.0)
+
+
+class TestOcclusion:
+    def test_produces_nan_gaps(self, rng):
+        pos = rng.normal(size=(600, 6))
+        out = OcclusionModel(dropout_rate_per_s=5.0, max_gap_frames=4).apply(
+            pos, fps=120.0, seed=0
+        )
+        assert np.isnan(out).any()
+
+    def test_gaps_affect_whole_marker_triples(self, rng):
+        pos = rng.normal(size=(600, 6))
+        out = OcclusionModel(dropout_rate_per_s=5.0).apply(pos, fps=120.0, seed=0)
+        nan_mask = np.isnan(out)
+        for marker in range(2):
+            cols = nan_mask[:, 3 * marker : 3 * marker + 3]
+            # All three coordinates of a marker drop together.
+            assert np.all(cols.all(axis=1) == cols.any(axis=1))
+
+    def test_first_and_last_frames_never_dropped(self, rng):
+        pos = rng.normal(size=(200, 3))
+        for seed in range(10):
+            out = OcclusionModel(dropout_rate_per_s=20.0, max_gap_frames=8).apply(
+                pos, fps=120.0, seed=seed
+            )
+            assert not np.isnan(out[0]).any()
+            assert not np.isnan(out[-1]).any()
+
+    def test_zero_rate_is_clean(self, rng):
+        pos = rng.normal(size=(100, 3))
+        out = OcclusionModel(dropout_rate_per_s=0.0).apply(pos, fps=120.0, seed=0)
+        np.testing.assert_array_equal(out, pos)
+
+    def test_gap_lengths_bounded(self, rng):
+        """Single events are capped; independent events may merge, so the
+        observed longest run is bounded by a small multiple of the cap."""
+        pos = rng.normal(size=(1000, 3))
+        out = OcclusionModel(dropout_rate_per_s=10.0, max_gap_frames=3).apply(
+            pos, fps=120.0, seed=1
+        )
+        stats = gap_statistics(out)
+        assert 0 < stats["longest_gap"] <= 3 * 3
+
+
+class TestFillGaps:
+    def test_linear_interpolation_exact_on_lines(self):
+        t = np.arange(20, dtype=float)
+        pos = np.stack([2 * t, -t], axis=1)
+        gappy = pos.copy()
+        gappy[5:8, 0] = np.nan
+        gappy[12, 1] = np.nan
+        filled = fill_gaps(gappy)
+        np.testing.assert_allclose(filled, pos, atol=1e-12)
+
+    def test_leading_gap_extrapolates_nearest(self):
+        col = np.array([np.nan, np.nan, 3.0, 4.0])
+        filled = fill_gaps(col[:, None])
+        np.testing.assert_allclose(filled[:, 0], [3.0, 3.0, 3.0, 4.0])
+
+    def test_no_gaps_is_unchanged(self, rng):
+        pos = rng.normal(size=(10, 3))
+        np.testing.assert_array_equal(fill_gaps(pos), pos)
+
+    def test_all_nan_column_rejected(self):
+        with pytest.raises(SignalError, match="entirely NaN"):
+            fill_gaps(np.full((5, 2), np.nan))
+
+    def test_rejects_1d(self):
+        with pytest.raises(SignalError):
+            fill_gaps(np.zeros(5))
+
+    def test_roundtrip_with_occlusion(self, rng):
+        """Occlude then fill: result is finite and close to the original."""
+        t = np.linspace(0, 2 * np.pi, 400)
+        pos = np.stack([np.sin(t) * 100, np.cos(t) * 100, t * 10], axis=1)
+        gappy = OcclusionModel(dropout_rate_per_s=5.0, max_gap_frames=5).apply(
+            pos, fps=120.0, seed=3
+        )
+        filled = fill_gaps(gappy)
+        assert np.all(np.isfinite(filled))
+        assert np.abs(filled - pos).max() < 1.0  # short gaps on a smooth curve
+
+
+class TestGapStatistics:
+    def test_counts_runs(self):
+        col = np.array([1.0, np.nan, np.nan, 2.0, np.nan, 3.0])
+        stats = gap_statistics(col[:, None])
+        assert stats == {"n_gaps": 2, "n_nan_samples": 3, "longest_gap": 2}
+
+    def test_trailing_run_counted(self):
+        col = np.array([1.0, 2.0, np.nan])
+        assert gap_statistics(col[:, None])["n_gaps"] == 1
+
+    def test_clean_data(self, rng):
+        stats = gap_statistics(rng.normal(size=(10, 4)))
+        assert stats == {"n_gaps": 0, "n_nan_samples": 0, "longest_gap": 0}

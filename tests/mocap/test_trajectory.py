@@ -1,0 +1,111 @@
+"""MotionCaptureData container semantics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.mocap.trajectory import MotionCaptureData
+
+
+@pytest.fixture
+def capture(rng):
+    pos = {
+        "pelvis": rng.normal(size=(10, 3)) * 10 + 1000,
+        "hand_r": rng.normal(size=(10, 3)) * 10 + 1200,
+        "radius_r": rng.normal(size=(10, 3)) * 10 + 1100,
+    }
+    return MotionCaptureData.from_positions(pos, ["pelvis", "hand_r", "radius_r"]), pos
+
+
+class TestConstruction:
+    def test_from_positions_column_order(self, capture):
+        data, pos = capture
+        np.testing.assert_array_equal(data.joint_matrix("hand_r"), pos["hand_r"])
+        assert data.segments == ("pelvis", "hand_r", "radius_r")
+
+    def test_column_count_enforced(self):
+        with pytest.raises(ValidationError, match="columns"):
+            MotionCaptureData(segments=("a",), matrix_mm=np.zeros((5, 4)))
+
+    def test_duplicate_segments_rejected(self):
+        with pytest.raises(ValidationError, match="duplicate"):
+            MotionCaptureData(segments=("a", "a"), matrix_mm=np.zeros((5, 6)))
+
+    def test_missing_position_rejected(self):
+        with pytest.raises(ValidationError, match="missing"):
+            MotionCaptureData.from_positions({"a": np.zeros((5, 3))}, ["a", "b"])
+
+    def test_frame_count_mismatch_rejected(self):
+        pos = {"a": np.zeros((5, 3)), "b": np.zeros((6, 3))}
+        with pytest.raises(ValidationError, match="frames"):
+            MotionCaptureData.from_positions(pos, ["a", "b"])
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValidationError, match="non-finite"):
+            MotionCaptureData(segments=("a",), matrix_mm=np.full((5, 3), np.nan))
+
+    def test_matrix_is_immutable(self, capture):
+        data, _ = capture
+        with pytest.raises(ValueError):
+            data.matrix_mm[0, 0] = 99.0
+
+    def test_bad_fps_rejected(self):
+        with pytest.raises(ValidationError):
+            MotionCaptureData(segments=("a",), matrix_mm=np.zeros((5, 3)), fps=0.0)
+
+
+class TestAccessors:
+    def test_basic_properties(self, capture):
+        data, _ = capture
+        assert data.n_frames == 10
+        assert data.n_segments == 3
+        assert data.duration_s == pytest.approx(10 / 120.0)
+
+    def test_unknown_segment(self, capture):
+        data, _ = capture
+        with pytest.raises(ValidationError, match="not captured"):
+            data.joint_matrix("ghost")
+
+    def test_positions_roundtrip(self, capture):
+        data, pos = capture
+        out = data.positions()
+        for name in pos:
+            np.testing.assert_array_equal(out[name], pos[name])
+
+
+class TestTransforms:
+    def test_select_reorders(self, capture):
+        data, pos = capture
+        sub = data.select(["radius_r", "hand_r"])
+        assert sub.segments == ("radius_r", "hand_r")
+        np.testing.assert_array_equal(sub.joint_matrix("hand_r"), pos["hand_r"])
+
+    def test_to_pelvis_local(self, capture):
+        data, pos = capture
+        local = data.to_pelvis_local()
+        np.testing.assert_allclose(local.joint_matrix("pelvis"), 0.0)
+        np.testing.assert_allclose(
+            local.joint_matrix("hand_r"), pos["hand_r"] - pos["pelvis"]
+        )
+
+    def test_slice_frames(self, capture):
+        data, pos = capture
+        window = data.slice_frames(2, 6)
+        assert window.n_frames == 4
+        np.testing.assert_array_equal(
+            window.joint_matrix("hand_r"), pos["hand_r"][2:6]
+        )
+
+    def test_slice_frames_bounds_checked(self, capture):
+        data, _ = capture
+        with pytest.raises(ValidationError):
+            data.slice_frames(5, 3)
+        with pytest.raises(ValidationError):
+            data.slice_frames(0, 99)
+
+    def test_equality(self, capture):
+        data, pos = capture
+        same = MotionCaptureData.from_positions(pos, list(data.segments))
+        assert data == same
+        assert data != same.select(["pelvis", "hand_r"])
+        assert data.__eq__(42) is NotImplemented

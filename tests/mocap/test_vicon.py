@@ -1,0 +1,75 @@
+"""The Vicon-like capture simulator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AcquisitionError
+from repro.mocap.noise import MarkerNoiseModel, OcclusionModel
+from repro.mocap.vicon import ViconSystem
+from repro.motions.base import get_motion_class
+from repro.skeleton.body import default_body
+from repro.skeleton.kinematics import forward_kinematics
+
+
+@pytest.fixture
+def plan():
+    return get_motion_class("raise_arm").plan(fps=120.0, seed=0)
+
+
+@pytest.fixture
+def body():
+    return default_body()
+
+
+class TestViconSystem:
+    def test_default_rate_matches_paper(self):
+        assert ViconSystem().fps == 120.0
+
+    def test_rejects_bad_fps(self):
+        with pytest.raises(AcquisitionError):
+            ViconSystem(fps=0.0)
+
+    def test_capture_shape(self, body, plan):
+        vicon = ViconSystem()
+        data = vicon.capture(body, plan.animation, ["hand_r"], seed=0)
+        assert data.n_frames == plan.n_frames
+        assert data.fps == 120.0
+
+    def test_root_always_appended(self, body, plan):
+        data = ViconSystem().capture(body, plan.animation, ["hand_r"], seed=0)
+        assert "pelvis" in data.segments
+
+    def test_all_segments_by_default(self, body, plan):
+        data = ViconSystem().capture(body, plan.animation, seed=0)
+        assert set(data.segments) == set(body.names)
+
+    def test_noiseless_capture_equals_fk(self, body, plan):
+        vicon = ViconSystem(noise=None, occlusion=None)
+        data = vicon.capture(body, plan.animation, ["hand_r"], seed=0)
+        truth = forward_kinematics(body, plan.animation, ["hand_r"])["hand_r"]
+        np.testing.assert_allclose(data.joint_matrix("hand_r"), truth)
+
+    def test_noise_perturbs_at_expected_scale(self, body, plan):
+        vicon = ViconSystem(noise=MarkerNoiseModel(sigma_mm=0.8), occlusion=None)
+        data = vicon.capture(body, plan.animation, ["hand_r"], seed=0)
+        truth = forward_kinematics(body, plan.animation, ["hand_r"])["hand_r"]
+        err = data.joint_matrix("hand_r") - truth
+        assert 0.4 < err.std() < 1.6
+
+    def test_occlusion_output_is_gap_filled(self, body, plan):
+        vicon = ViconSystem(
+            noise=None,
+            occlusion=OcclusionModel(dropout_rate_per_s=10.0, max_gap_frames=5),
+        )
+        data = vicon.capture(body, plan.animation, ["hand_r"], seed=0)
+        assert np.all(np.isfinite(data.matrix_mm))
+
+    def test_capture_deterministic_given_seed(self, body, plan):
+        vicon = ViconSystem()
+        a = vicon.capture(body, plan.animation, ["hand_r"], seed=4)
+        b = vicon.capture(body, plan.animation, ["hand_r"], seed=4)
+        assert a == b
+
+    def test_unknown_segment_rejected(self, body, plan):
+        with pytest.raises(Exception, match="ghost"):
+            ViconSystem().capture(body, plan.animation, ["ghost"], seed=0)

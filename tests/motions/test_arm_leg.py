@@ -1,0 +1,98 @@
+"""The concrete arm and leg motion classes."""
+
+import numpy as np
+import pytest
+
+from repro.emg.channels import hand_montage, leg_montage
+from repro.motions.arm import ARM_MOTIONS, ARM_MUSCLES
+from repro.motions.base import motions_for_limb
+from repro.motions.leg import LEG_MOTIONS, LEG_MUSCLES
+
+ALL_MOTIONS = ARM_MOTIONS + LEG_MOTIONS
+
+
+def test_arm_muscles_match_paper_montage():
+    """Section 5: biceps, triceps, upper forearm, lower forearm."""
+    assert set(ARM_MUSCLES) == set(hand_montage("r").channels)
+
+
+def test_leg_muscles_match_paper_montage():
+    """Section 5: front shin, back shin."""
+    assert set(LEG_MUSCLES) == set(leg_montage("r").channels)
+
+
+def test_registry_has_all_defined_motions():
+    assert {m.name for m in motions_for_limb("hand_r")} == {m.name for m in ARM_MOTIONS}
+    assert {m.name for m in motions_for_limb("leg_r")} == {m.name for m in LEG_MOTIONS}
+
+
+@pytest.mark.parametrize("motion", ALL_MOTIONS, ids=lambda m: m.name)
+class TestEveryMotion:
+    def test_plan_produces_valid_plan(self, motion):
+        plan = motion.plan(fps=120.0, seed=0)
+        assert plan.label == motion.name
+        assert plan.n_frames >= 8
+        assert set(plan.activations) == set(motion.muscles)
+
+    def test_activations_non_negative_and_bounded(self, motion):
+        plan = motion.plan(fps=120.0, seed=0)
+        for muscle, env in plan.activations.items():
+            assert np.all(env >= 0), muscle
+            assert env.max() < 3.0, muscle
+
+    def test_every_muscle_actually_activates(self, motion):
+        """No dead channels: each montage muscle fires above the tonic floor."""
+        plan = motion.plan(fps=120.0, seed=0)
+        for muscle, env in plan.activations.items():
+            assert env.max() > 0.1, f"{motion.name}/{muscle} never activates"
+
+    def test_angles_are_finite_and_bounded(self, motion):
+        plan = motion.plan(fps=120.0, seed=0)
+        for seg, arr in plan.animation.angles_rad.items():
+            assert np.all(np.isfinite(arr)), seg
+            assert np.abs(arr).max() < np.pi, f"{motion.name}/{seg} exceeds pi rad"
+
+    def test_peak_excursion_exceeds_endpoints(self, motion):
+        """Motions move: the largest excursion happens mid-motion, not at the
+        endpoints (some classes legitimately start from a guard pose or end
+        in a follow-through, so endpoints need not be the bind pose)."""
+        plan = motion.plan(fps=120.0, seed=0)
+        peak = max(np.abs(arr).max() for arr in plan.animation.angles_rad.values())
+        endpoint = max(
+            max(np.abs(arr[0]).max(), np.abs(arr[-1]).max())
+            for arr in plan.animation.angles_rad.values()
+        )
+        assert peak > 0.2, f"{motion.name} barely moves"
+        assert peak >= endpoint - 1e-9
+
+    def test_nominal_duration_plausible(self, motion):
+        assert 0.5 <= motion.nominal_duration_s <= 5.0
+
+
+def test_classes_are_mutually_distinguishable_kinematically():
+    """Distinct classes must produce distinct hand/toe trajectories."""
+    from repro.skeleton.body import default_body
+    from repro.skeleton.kinematics import forward_kinematics
+
+    body = default_body()
+    trajectories = {}
+    for motion in ALL_MOTIONS:
+        plan = motion.plan(fps=120.0, seed=0)
+        tip = "hand_r" if motion.limb == "hand_r" else "toe_r"
+        pos = forward_kinematics(body, plan.animation, [tip])[tip]
+        # Normalize length for comparison.
+        idx = np.linspace(0, len(pos) - 1, 50).astype(int)
+        trajectories[motion.name] = pos[idx]
+    names = list(trajectories)
+    for i, a in enumerate(names):
+        for b in names[i + 1:]:
+            diff = np.abs(trajectories[a] - trajectories[b]).max()
+            assert diff > 1.0, f"{a} and {b} are kinematically identical"
+
+
+def test_ballistic_vs_slow_classes_differ_in_duration():
+    from repro.motions.base import get_motion_class
+
+    throw = get_motion_class("throw_ball").nominal_duration_s
+    reach = get_motion_class("reach_forward").nominal_duration_s
+    assert throw < reach

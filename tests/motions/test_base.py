@@ -1,0 +1,158 @@
+"""Motion-class base machinery and registry."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.motions.base import (
+    MotionClass,
+    MotionPlan,
+    available_motions,
+    get_motion_class,
+    motions_for_limb,
+    register_motion_class,
+)
+from repro.motions.variation import TrialVariation
+from repro.skeleton.kinematics import JointAngles
+
+
+class _Dummy(MotionClass):
+    name = "test_dummy_motion"
+    limb = "hand_r"
+    nominal_duration_s = 1.0
+    muscles = ("m1", "m2")
+    animated_segments = ("humerus_r",)
+
+    def _angles(self, s, amplitude):
+        return {"humerus_r": np.stack([amplitude * s, 0 * s, 0 * s], axis=1)}
+
+    def _activations(self, s, amplitude):
+        return {"m1": amplitude * s, "m2": amplitude * (1 - s)}
+
+
+class _Incomplete(_Dummy):
+    name = "test_incomplete_motion"
+
+    def _activations(self, s, amplitude):
+        return {"m1": amplitude * s}  # m2 missing
+
+
+@pytest.fixture
+def dummy():
+    return _Dummy()
+
+
+class TestMotionPlan:
+    def test_basic_properties(self, dummy):
+        plan = dummy.plan(fps=120.0, seed=0)
+        assert plan.n_frames == 120
+        assert plan.duration_s == pytest.approx(1.0)
+        assert plan.muscles == ["m1", "m2"]
+        assert plan.limb == "hand_r"
+
+    def test_activation_length_must_match(self):
+        anim = JointAngles(n_frames=10, angles_rad={})
+        with pytest.raises(ValidationError, match="frames"):
+            MotionPlan(label="x", limb="hand_r", fps=120.0, animation=anim,
+                       activations={"m": np.zeros(5)})
+
+    def test_negative_activation_rejected(self):
+        anim = JointAngles(n_frames=4, angles_rad={})
+        with pytest.raises(ValidationError, match="non-negative"):
+            MotionPlan(label="x", limb="hand_r", fps=120.0, animation=anim,
+                       activations={"m": np.array([0.1, -0.2, 0.0, 0.0])})
+
+
+class TestMotionClassPlan:
+    def test_speed_variation_changes_duration(self, dummy):
+        slow = dummy.plan(TrialVariation(speed=0.5), seed=0)
+        fast = dummy.plan(TrialVariation(speed=2.0), seed=0)
+        assert slow.n_frames > fast.n_frames
+        assert slow.duration_s == pytest.approx(2.0)
+        assert fast.duration_s == pytest.approx(0.5)
+
+    def test_amplitude_variation_scales_angles(self, dummy):
+        small = dummy.plan(TrialVariation(amplitude=0.5), seed=0)
+        big = dummy.plan(TrialVariation(amplitude=1.5), seed=0)
+        a_small = small.animation.angles_rad["humerus_r"][-1, 0]
+        a_big = big.animation.angles_rad["humerus_r"][-1, 0]
+        assert a_big == pytest.approx(3 * a_small)
+
+    def test_activation_gains_applied(self, dummy):
+        var = TrialVariation(activation_gains={"m1": 2.0, "m2": 0.5})
+        plan = dummy.plan(var, seed=0)
+        base = dummy.plan(seed=0)
+        np.testing.assert_allclose(
+            plan.activations["m1"], 2.0 * base.activations["m1"]
+        )
+        np.testing.assert_allclose(
+            plan.activations["m2"], 0.5 * base.activations["m2"]
+        )
+
+    def test_angle_noise_perturbs_angles(self, dummy):
+        noisy = dummy.plan(TrialVariation(angle_noise_rad=0.1), seed=0)
+        clean = dummy.plan(TrialVariation(angle_noise_rad=0.0), seed=0)
+        assert not np.allclose(
+            noisy.animation.angles_rad["humerus_r"],
+            clean.animation.angles_rad["humerus_r"],
+        )
+
+    def test_deterministic_given_seed(self, dummy):
+        a = dummy.plan(TrialVariation(angle_noise_rad=0.05), seed=9)
+        b = dummy.plan(TrialVariation(angle_noise_rad=0.05), seed=9)
+        np.testing.assert_array_equal(
+            a.animation.angles_rad["humerus_r"],
+            b.animation.angles_rad["humerus_r"],
+        )
+
+    def test_missing_muscle_activation_rejected(self):
+        with pytest.raises(ValidationError, match="m2"):
+            _Incomplete().plan(seed=0)
+
+    def test_rejects_bad_fps(self, dummy):
+        with pytest.raises(ValidationError):
+            dummy.plan(fps=0.0)
+
+    def test_minimum_frame_floor(self, dummy):
+        plan = dummy.plan(TrialVariation(speed=1.6), fps=5.0, seed=0)
+        assert plan.n_frames >= 8
+
+
+class TestRegistry:
+    def test_paper_motions_registered(self):
+        names = available_motions()
+        assert "raise_arm" in names
+        assert "throw_ball" in names
+
+    def test_get_unknown_raises_with_choices(self):
+        with pytest.raises(ValidationError, match="raise_arm"):
+            get_motion_class("no_such_motion")
+
+    def test_limb_partition(self):
+        hand = {m.name for m in motions_for_limb("hand_r")}
+        leg = {m.name for m in motions_for_limb("leg_r")}
+        assert hand and leg
+        assert not hand & leg
+
+    def test_unknown_limb_raises(self):
+        with pytest.raises(ValidationError):
+            motions_for_limb("tail")
+
+    def test_reregistering_same_class_is_idempotent(self):
+        before = available_motions()
+        register_motion_class(get_motion_class("raise_arm"))
+        assert available_motions() == before
+
+    def test_conflicting_name_rejected(self):
+        class Imposter(_Dummy):
+            name = "raise_arm"
+
+        with pytest.raises(ValidationError, match="already registered"):
+            register_motion_class(Imposter())
+
+    def test_unnamed_motion_rejected(self):
+        class NoName(_Dummy):
+            name = ""
+
+        with pytest.raises(ValidationError):
+            register_motion_class(NoName())

@@ -1,0 +1,92 @@
+"""Session-plan composition."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.motions.base import get_motion_class
+from repro.motions.composer import compose_plans
+
+
+@pytest.fixture
+def plans():
+    return [
+        get_motion_class("raise_arm").plan(fps=120.0, seed=0),
+        get_motion_class("throw_ball").plan(fps=120.0, seed=1),
+    ]
+
+
+class TestComposePlans:
+    def test_total_length(self, plans):
+        composed, annotations = compose_plans(plans, rest_s=1.0)
+        rests = 3 * 120  # before, between, after
+        assert composed.n_frames == sum(p.n_frames for p in plans) + rests
+        assert len(annotations) == 2
+
+    def test_annotations_cover_original_content(self, plans):
+        composed, annotations = compose_plans(plans, rest_s=0.5)
+        for (start, stop, label), plan in zip(annotations, plans):
+            assert label == plan.label
+            assert stop - start == plan.n_frames
+            for seg, angles in plan.animation.angles_rad.items():
+                np.testing.assert_array_equal(
+                    composed.animation.angles_rad[seg][start:stop], angles
+                )
+            for muscle, env in plan.activations.items():
+                np.testing.assert_array_equal(
+                    composed.activations[muscle][start:stop], env
+                )
+
+    def test_rest_periods_idle_muscles(self, plans):
+        composed, annotations = compose_plans(plans, rest_s=1.0)
+        first_start = annotations[0][0]
+        for env in composed.activations.values():
+            np.testing.assert_allclose(env[:first_start], 0.05)
+
+    def test_rest_blends_poses_smoothly(self, plans):
+        composed, annotations = compose_plans(plans, rest_s=1.0)
+        stop_first = annotations[0][1]
+        start_second = annotations[1][0]
+        for seg in composed.animation.angles_rad:
+            gap = composed.animation.angles_rad[seg][stop_first:start_second]
+            # Blend endpoints equal the adjacent motion poses.
+            np.testing.assert_allclose(
+                gap[0],
+                composed.animation.angles_rad[seg][stop_first - 1], atol=1e-9,
+            )
+            np.testing.assert_allclose(
+                gap[-1],
+                composed.animation.angles_rad[seg][start_second], atol=0.05,
+            )
+            # No jumps larger than within-motion steps.
+            assert np.abs(np.diff(gap, axis=0)).max() < 0.2
+
+    def test_zero_rest(self, plans):
+        composed, annotations = compose_plans(plans, rest_s=0.0)
+        assert composed.n_frames == sum(p.n_frames for p in plans)
+        assert annotations[0][0] == 0
+
+    def test_acquirable_through_real_session(self, plans):
+        """The composed plan runs through the full acquisition chain."""
+        from repro.data.protocol import hand_protocol
+        from repro.emg.channels import hand_montage
+        from repro.skeleton.body import default_body
+        from repro.sync.session import AcquisitionSession
+
+        composed, annotations = compose_plans(plans, rest_s=0.5)
+        trial = AcquisitionSession().record_trial(
+            default_body(), composed,
+            segments=list(hand_protocol().segments),
+            montage=hand_montage("r"), seed=0,
+        )
+        assert trial.n_frames == composed.n_frames
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            compose_plans([])
+
+    def test_rate_mismatch_rejected(self):
+        a = get_motion_class("raise_arm").plan(fps=120.0, seed=0)
+        b = get_motion_class("raise_arm").plan(fps=60.0, seed=0)
+        with pytest.raises(ValidationError, match="rates"):
+            compose_plans([a, b])

@@ -1,0 +1,97 @@
+"""Left/right mirroring of motion plans."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ValidationError
+from repro.motions.base import get_motion_class
+from repro.motions.mirror import mirror_name, mirror_plan
+from repro.skeleton.body import default_body
+from repro.skeleton.kinematics import forward_kinematics
+
+MIRROR_XYZ = np.array([-1.0, 1.0, 1.0])
+
+
+class TestMirrorName:
+    def test_right_to_left(self):
+        assert mirror_name("hand_r") == "hand_l"
+
+    def test_left_to_right(self):
+        assert mirror_name("biceps_l") == "biceps_r"
+
+    def test_unsided_passthrough(self):
+        assert mirror_name("pelvis") == "pelvis"
+
+    def test_involution(self):
+        for name in ("hand_r", "toe_l", "spine"):
+            assert mirror_name(mirror_name(name)) == name
+
+
+class TestMirrorPlan:
+    @pytest.fixture
+    def plan(self):
+        return get_motion_class("raise_arm").plan(fps=120.0, seed=0)
+
+    def test_metadata_carries_over(self, plan):
+        mirrored = mirror_plan(plan)
+        assert mirrored.label == plan.label
+        assert mirrored.limb == "hand_l"
+        assert mirrored.n_frames == plan.n_frames
+        assert mirrored.metadata == plan.metadata
+
+    def test_muscles_swap_side(self, plan):
+        mirrored = mirror_plan(plan)
+        assert set(mirrored.activations) == {
+            "biceps_l", "triceps_l", "upper_forearm_l", "lower_forearm_l",
+        }
+        np.testing.assert_array_equal(
+            mirrored.activations["biceps_l"], plan.activations["biceps_r"]
+        )
+
+    def test_double_mirror_is_identity(self, plan):
+        twice = mirror_plan(mirror_plan(plan))
+        assert twice.limb == plan.limb
+        for segment, angles in plan.animation.angles_rad.items():
+            np.testing.assert_allclose(
+                twice.animation.angles_rad[segment], angles
+            )
+
+    def test_unsided_limb_rejected(self, plan):
+        plan.limb = "torso"
+        with pytest.raises(ValidationError):
+            mirror_plan(plan)
+
+    @pytest.mark.parametrize(
+        "motion_name", ["raise_arm", "throw_ball", "kick_ball", "squat"]
+    )
+    def test_kinematics_are_the_mirror_image(self, motion_name):
+        """FK of the mirrored plan equals the mirrored FK of the original —
+        the defining property of the transformation."""
+        body = default_body()
+        plan = get_motion_class(motion_name).plan(fps=120.0, seed=0)
+        mirrored = mirror_plan(plan)
+        original_pos = forward_kinematics(body, plan.animation)
+        mirrored_pos = forward_kinematics(body, mirrored.animation)
+        for segment, positions in original_pos.items():
+            twin = mirror_name(segment)
+            np.testing.assert_allclose(
+                mirrored_pos[twin], positions * MIRROR_XYZ, atol=1e-9,
+                err_msg=f"{motion_name}: {segment} -> {twin}",
+            )
+
+    @given(seed=st.integers(0, 50))
+    @settings(max_examples=10, deadline=None)
+    def test_mirror_property_under_variation(self, seed):
+        from repro.motions.variation import VariationModel
+
+        body = default_body()
+        vm = VariationModel()
+        var = vm.sample_trial(["biceps_r", "triceps_r", "upper_forearm_r",
+                               "lower_forearm_r"], seed=seed)
+        plan = get_motion_class("wave_hand").plan(variation=var, seed=seed)
+        mirrored = mirror_plan(plan)
+        pos = forward_kinematics(body, plan.animation, ["hand_r"])["hand_r"]
+        twin = forward_kinematics(body, mirrored.animation, ["hand_l"])["hand_l"]
+        np.testing.assert_allclose(twin, pos * MIRROR_XYZ, atol=1e-9)

@@ -1,0 +1,150 @@
+"""Smooth time-profile primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.motions.profiles import (
+    bell,
+    minimum_jerk,
+    oscillation,
+    raised_cosine_pulse,
+    ramp_hold,
+    smooth_noise,
+)
+
+
+class TestMinimumJerk:
+    def test_endpoints(self):
+        assert minimum_jerk(np.array([0.0]))[0] == 0.0
+        assert minimum_jerk(np.array([1.0]))[0] == 1.0
+
+    def test_midpoint(self):
+        assert abs(minimum_jerk(np.array([0.5]))[0] - 0.5) < 1e-12
+
+    def test_monotone_increasing(self):
+        s = np.linspace(0, 1, 200)
+        assert np.all(np.diff(minimum_jerk(s)) >= 0)
+
+    def test_clamps_outside_unit_interval(self):
+        out = minimum_jerk(np.array([-0.5, 1.5]))
+        np.testing.assert_array_equal(out, [0.0, 1.0])
+
+    def test_zero_end_velocities(self):
+        s = np.linspace(0, 1, 10001)
+        v = np.gradient(minimum_jerk(s), s)
+        assert abs(v[0]) < 1e-3 and abs(v[-1]) < 1e-3
+
+
+class TestBell:
+    def test_unit_peak_at_center(self):
+        s = np.linspace(0, 1, 101)
+        out = bell(s, 0.5, 0.1)
+        assert abs(out.max() - 1.0) < 1e-12
+        assert s[np.argmax(out)] == 0.5
+
+    def test_symmetric(self):
+        s = np.linspace(0, 1, 101)
+        out = bell(s, 0.5, 0.1)
+        np.testing.assert_allclose(out, out[::-1], atol=1e-12)
+
+    def test_rejects_nonpositive_width(self):
+        with pytest.raises(ValueError):
+            bell(np.array([0.5]), 0.5, 0.0)
+
+
+class TestRaisedCosinePulse:
+    def test_zero_outside_support(self):
+        s = np.linspace(0, 1, 101)
+        out = raised_cosine_pulse(s, 0.3, 0.7)
+        assert np.all(out[s < 0.3] == 0.0)
+        assert np.all(out[s > 0.7] == 0.0)
+
+    def test_unit_peak_at_support_center(self):
+        s = np.linspace(0, 1, 1001)
+        out = raised_cosine_pulse(s, 0.2, 0.6)
+        assert abs(out.max() - 1.0) < 1e-6
+        assert abs(s[np.argmax(out)] - 0.4) < 1e-2
+
+    def test_rejects_degenerate_support(self):
+        with pytest.raises(ValueError):
+            raised_cosine_pulse(np.array([0.5]), 0.7, 0.7)
+
+
+class TestRampHold:
+    def test_holds_at_one(self):
+        s = np.linspace(0, 1, 101)
+        out = ramp_hold(s, 0.3, 0.7)
+        hold = out[(s > 0.31) & (s < 0.69)]
+        np.testing.assert_allclose(hold, 1.0, atol=1e-9)
+
+    def test_starts_and_ends_at_zero(self):
+        s = np.linspace(0, 1, 101)
+        out = ramp_hold(s, 0.3, 0.7)
+        assert out[0] == 0.0
+        assert out[-1] < 1e-9
+
+    def test_bounded(self):
+        s = np.linspace(0, 1, 500)
+        out = ramp_hold(s, 0.4, 0.6)
+        assert np.all((out >= 0) & (out <= 1))
+
+    def test_rejects_bad_breakpoints(self):
+        s = np.linspace(0, 1, 10)
+        with pytest.raises(ValueError):
+            ramp_hold(s, 0.7, 0.3)
+        with pytest.raises(ValueError):
+            ramp_hold(s, 0.0, 0.5)
+
+
+class TestOscillation:
+    def test_cycle_count(self):
+        s = np.linspace(0, 1, 10000, endpoint=False)
+        wave = oscillation(s, cycles=3.0)
+        crossings = np.sum(np.diff(np.signbit(wave)))
+        # Two sign changes per cycle; the crossing at s=0 may or may not be
+        # counted depending on the sampling grid.
+        assert crossings in (5, 6)
+
+    def test_envelope_applied(self):
+        s = np.linspace(0, 1, 100)
+        env = np.zeros(100)
+        assert np.all(oscillation(s, 2.0, envelope=env) == 0.0)
+
+
+class TestSmoothNoise:
+    def test_deterministic_with_seed(self):
+        a = smooth_noise(100, np.random.default_rng(3), 0.1)
+        b = smooth_noise(100, np.random.default_rng(3), 0.1)
+        np.testing.assert_array_equal(a, b)
+
+    def test_scale_and_mean(self):
+        out = smooth_noise(5000, np.random.default_rng(0), 0.25)
+        assert abs(out.mean()) < 1e-9
+        assert abs(out.std() - 0.25) < 1e-9
+
+    def test_smoother_than_white_noise(self):
+        rng = np.random.default_rng(1)
+        out = smooth_noise(2000, rng, 1.0, smoothness=20)
+        white = np.random.default_rng(2).normal(size=2000)
+        # Lag-1 autocorrelation should be much higher than white noise's ~0.
+        def lag1(x):
+            return np.corrcoef(x[:-1], x[1:])[0, 1]
+        assert lag1(out) > 0.8 > abs(lag1(white)) + 0.5
+
+    def test_zero_scale_gives_zeros(self):
+        np.testing.assert_array_equal(
+            smooth_noise(50, np.random.default_rng(0), 0.0), np.zeros(50)
+        )
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            smooth_noise(0, np.random.default_rng(0), 0.1)
+
+    @given(n=st.integers(1, 300), scale=st.floats(0.01, 2.0))
+    @settings(max_examples=50)
+    def test_length_contract(self, n, scale):
+        out = smooth_noise(n, np.random.default_rng(0), scale)
+        assert out.shape == (n,)
+        assert np.all(np.isfinite(out))

@@ -1,0 +1,88 @@
+"""Inter-trial / inter-participant variability models."""
+
+import numpy as np
+import pytest
+
+from repro.motions.variation import ParticipantProfile, TrialVariation, VariationModel
+
+MUSCLES = ["biceps_r", "triceps_r"]
+
+
+class TestTrialVariation:
+    def test_defaults_are_identity(self):
+        var = TrialVariation()
+        assert var.amplitude == 1.0
+        assert var.speed == 1.0
+        assert var.gain_for("anything") == 1.0
+
+    def test_gain_lookup(self):
+        var = TrialVariation(activation_gains={"biceps_r": 1.5})
+        assert var.gain_for("biceps_r") == 1.5
+        assert var.gain_for("triceps_r") == 1.0
+
+
+class TestParticipantProfile:
+    def test_strength_lookup(self):
+        p = ParticipantProfile("p0", strength_gains={"biceps_r": 0.8})
+        assert p.strength_for("biceps_r") == 0.8
+        assert p.strength_for("unknown") == 1.0
+
+
+class TestVariationModel:
+    def test_rejects_negative_sigmas(self):
+        with pytest.raises(ValueError):
+            VariationModel(amplitude_sigma=-0.1)
+
+    def test_sample_trial_deterministic(self):
+        vm = VariationModel()
+        a = vm.sample_trial(MUSCLES, seed=3)
+        b = vm.sample_trial(MUSCLES, seed=3)
+        assert a == b
+
+    def test_sample_trial_draws_all_muscles(self):
+        var = VariationModel().sample_trial(MUSCLES, seed=0)
+        assert set(var.activation_gains) == set(MUSCLES)
+
+    def test_trial_draws_are_clipped(self):
+        vm = VariationModel(amplitude_sigma=5.0, speed_sigma=5.0)
+        for seed in range(30):
+            var = vm.sample_trial(MUSCLES, seed=seed)
+            assert 0.5 <= var.amplitude <= 1.6
+            assert 0.5 <= var.speed <= 1.6
+
+    def test_zero_sigma_model_is_deterministic_identity(self):
+        vm = VariationModel(
+            amplitude_sigma=0.0, speed_sigma=0.0, angle_noise_rad=0.0,
+            activation_gain_log_sigma=0.0, timing_jitter_fraction=0.0,
+        )
+        var = vm.sample_trial(MUSCLES, seed=1)
+        assert var.amplitude == pytest.approx(1.0)
+        assert var.speed == pytest.approx(1.0)
+        assert all(g == pytest.approx(1.0) for g in var.activation_gains.values())
+        assert var.timing_shift == 0.0
+
+    def test_participant_style_folds_into_trials(self):
+        vm = VariationModel(amplitude_sigma=0.0, speed_sigma=0.0,
+                            activation_gain_log_sigma=0.0)
+        strong = ParticipantProfile("p", style_amplitude=1.2,
+                                    strength_gains={"biceps_r": 2.0, "triceps_r": 1.0})
+        var = vm.sample_trial(MUSCLES, seed=0, participant=strong)
+        assert var.amplitude == pytest.approx(1.2)
+        assert var.activation_gains["biceps_r"] == pytest.approx(2.0)
+
+    def test_sample_participant_covers_muscles(self):
+        p = VariationModel().sample_participant("p0", MUSCLES, seed=0)
+        assert set(p.strength_gains) == set(MUSCLES)
+        assert 0.75 <= p.body_scale <= 1.25
+
+    def test_emg_varies_more_than_kinematics(self):
+        """The calibrated defaults encode the paper's core observation."""
+        vm = VariationModel()
+        amps, gains = [], []
+        for seed in range(300):
+            var = vm.sample_trial(["m"], seed=seed)
+            amps.append(var.amplitude)
+            gains.append(var.activation_gains["m"])
+        cv_amp = np.std(amps) / np.mean(amps)
+        cv_gain = np.std(gains) / np.mean(gains)
+        assert cv_gain > 2 * cv_amp

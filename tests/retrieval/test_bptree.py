@@ -1,0 +1,158 @@
+"""B+-tree: ordering, range scans, rebalancing, invariants under churn."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import RetrievalError
+from repro.retrieval.bptree import BPlusTree
+
+
+class TestBasics:
+    def test_empty_tree(self):
+        tree = BPlusTree()
+        assert len(tree) == 0
+        assert list(tree.items()) == []
+        assert tree.range_search(-1e9, 1e9) == []
+
+    def test_insert_and_iterate_sorted(self, rng):
+        tree = BPlusTree(branching=4)
+        keys = rng.permutation(50).astype(float)
+        for k in keys:
+            tree.insert(k, int(k))
+        assert len(tree) == 50
+        got = [k for k, _ in tree.items()]
+        assert got == sorted(keys.tolist())
+
+    def test_duplicate_keys_kept(self):
+        tree = BPlusTree(branching=4)
+        for v in range(5):
+            tree.insert(7.0, v)
+        pairs = tree.range_search(7.0, 7.0)
+        assert sorted(v for _, v in pairs) == [0, 1, 2, 3, 4]
+
+    def test_nan_key_rejected(self):
+        with pytest.raises(RetrievalError):
+            BPlusTree().insert(float("nan"), 0)
+
+    def test_min_branching(self):
+        with pytest.raises(Exception):
+            BPlusTree(branching=2)
+
+    def test_height_grows_logarithmically(self, rng):
+        tree = BPlusTree(branching=8)
+        for k in rng.permutation(1000).astype(float):
+            tree.insert(k, None)
+        assert tree.height() <= 5
+
+
+class TestRangeSearch:
+    @pytest.fixture
+    def tree(self, rng):
+        tree = BPlusTree(branching=5)
+        for k in rng.permutation(200).astype(float):
+            tree.insert(k, f"v{int(k)}")
+        return tree
+
+    def test_inclusive_bounds(self, tree):
+        pairs = tree.range_search(10.0, 20.0)
+        assert [k for k, _ in pairs] == list(map(float, range(10, 21)))
+
+    def test_empty_range(self, tree):
+        assert tree.range_search(10.5, 10.6) == []
+        assert tree.range_search(20.0, 10.0) == []
+
+    def test_range_covers_everything(self, tree):
+        assert len(tree.range_search(-1.0, 1000.0)) == 200
+
+    def test_open_ended_ranges(self, tree):
+        assert len(tree.range_search(-np.inf, 49.0)) == 50
+        assert len(tree.range_search(150.0, np.inf)) == 50
+
+
+class TestDeletion:
+    def test_delete_existing(self):
+        tree = BPlusTree(branching=4)
+        for k in range(20):
+            tree.insert(float(k), k)
+        assert tree.delete(7.0, 7)
+        assert len(tree) == 19
+        assert tree.range_search(7.0, 7.0) == []
+        tree.check_invariants()
+
+    def test_delete_missing_value(self):
+        tree = BPlusTree()
+        tree.insert(1.0, "a")
+        assert not tree.delete(1.0, "b")
+        assert not tree.delete(2.0, "a")
+        assert len(tree) == 1
+
+    def test_delete_one_duplicate(self):
+        tree = BPlusTree(branching=4)
+        for v in range(6):
+            tree.insert(3.0, v)
+        assert tree.delete(3.0, 4)
+        remaining = sorted(v for _, v in tree.range_search(3.0, 3.0))
+        assert remaining == [0, 1, 2, 3, 5]
+        tree.check_invariants()
+
+    def test_delete_everything(self, rng):
+        tree = BPlusTree(branching=4)
+        keys = rng.permutation(60).astype(float)
+        for k in keys:
+            tree.insert(k, int(k))
+        for k in rng.permutation(keys):
+            assert tree.delete(k, int(k))
+            tree.check_invariants()
+        assert len(tree) == 0
+
+    def test_duplicates_straddling_separators(self):
+        """Mass-duplicate keys force duplicates across leaf boundaries."""
+        tree = BPlusTree(branching=4)
+        for v in range(30):
+            tree.insert(5.0, v)
+        for v in range(30):
+            assert tree.delete(5.0, v), v
+            tree.check_invariants()
+        assert len(tree) == 0
+
+
+class TestInvariantsUnderChurn:
+    @given(seed=st.integers(0, 500), branching=st.integers(3, 16))
+    @settings(max_examples=40, deadline=None)
+    def test_random_workload(self, seed, branching):
+        rng = np.random.default_rng(seed)
+        tree = BPlusTree(branching=branching)
+        alive = []
+        for step in range(300):
+            if alive and rng.random() < 0.4:
+                idx = rng.integers(len(alive))
+                key, value = alive.pop(int(idx))
+                assert tree.delete(key, value)
+            else:
+                key = float(rng.integers(0, 50))
+                value = step
+                tree.insert(key, value)
+                alive.append((key, value))
+        tree.check_invariants()
+        assert len(tree) == len(alive)
+        expected = sorted(k for k, _ in alive)
+        assert [k for k, _ in tree.items()] == expected
+
+    @given(seed=st.integers(0, 200))
+    @settings(max_examples=30, deadline=None)
+    def test_range_search_matches_naive(self, seed):
+        rng = np.random.default_rng(seed)
+        tree = BPlusTree(branching=5)
+        pairs = []
+        for i in range(150):
+            key = float(np.round(rng.uniform(0, 30), 1))
+            tree.insert(key, i)
+            pairs.append((key, i))
+        low, high = sorted(rng.uniform(0, 30, size=2))
+        expected = sorted(
+            [(k, v) for k, v in pairs if low <= k <= high]
+        )
+        got = sorted(tree.range_search(low, high))
+        assert got == expected

@@ -1,0 +1,132 @@
+"""Dynamic (B+-tree-backed) iDistance: exactness under churn."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import NotFittedError, RetrievalError
+from repro.retrieval.dynamic import DynamicIDistanceIndex
+from repro.retrieval.linear import LinearScanIndex
+
+
+def clustered(rng, n_clusters=5, per=30, dim=6):
+    centers = rng.normal(size=(n_clusters, dim)) * 4
+    return np.vstack([
+        c + rng.normal(0, 0.3, size=(per, dim)) for c in centers
+    ])
+
+
+class TestStaticBehaviour:
+    def test_matches_linear_scan(self, rng):
+        vectors = clustered(rng)
+        dyn = DynamicIDistanceIndex(n_partitions=5).fit(vectors)
+        lin = LinearScanIndex().fit(vectors)
+        for _ in range(25):
+            q = rng.normal(size=6) * 3
+            di, dd = dyn.query(q, k=5)
+            li, ld = lin.query(q, k=5)
+            np.testing.assert_array_equal(di, li)
+            np.testing.assert_allclose(dd, ld)
+
+    def test_ids_are_row_indices_after_fit(self, rng):
+        vectors = clustered(rng)
+        dyn = DynamicIDistanceIndex(n_partitions=4).fit(vectors)
+        ids, dists = dyn.query(vectors[13], k=1)
+        assert ids[0] == 13
+        assert dists[0] == pytest.approx(0.0)
+
+    def test_unfitted(self, rng):
+        with pytest.raises(NotFittedError):
+            DynamicIDistanceIndex().query(rng.normal(size=3), k=1)
+        with pytest.raises(NotFittedError):
+            DynamicIDistanceIndex().insert(rng.normal(size=3))
+
+
+class TestInsertion:
+    def test_inserted_vector_found(self, rng):
+        vectors = clustered(rng)
+        dyn = DynamicIDistanceIndex(n_partitions=5).fit(vectors)
+        new = vectors[3] + 0.01
+        vid = dyn.insert(new)
+        ids, dists = dyn.query(new, k=1)
+        assert ids[0] == vid
+        assert dists[0] == pytest.approx(0.0)
+        assert dyn.n_indexed == len(vectors) + 1
+
+    def test_insert_matches_linear_after_growth(self, rng):
+        base = clustered(rng)
+        dyn = DynamicIDistanceIndex(n_partitions=5).fit(base)
+        extra = clustered(np.random.default_rng(7), n_clusters=5, per=5)
+        for row in extra:
+            dyn.insert(row)
+        all_vectors = np.vstack([base, extra])
+        lin = LinearScanIndex().fit(all_vectors)
+        for _ in range(15):
+            q = rng.normal(size=6) * 3
+            di, _ = dyn.query(q, k=4)
+            li, _ = lin.query(q, k=4)
+            np.testing.assert_array_equal(di, li)
+
+    def test_headroom_violation_rejected(self, rng):
+        vectors = rng.normal(size=(30, 4))
+        dyn = DynamicIDistanceIndex(n_partitions=3, headroom=1.0).fit(vectors)
+        with pytest.raises(RetrievalError, match="rebuild"):
+            dyn.insert(np.full(4, 1e6))
+
+    def test_dimension_mismatch(self, rng):
+        dyn = DynamicIDistanceIndex(n_partitions=3).fit(rng.normal(size=(20, 4)))
+        with pytest.raises(RetrievalError, match="dims"):
+            dyn.insert(rng.normal(size=5))
+
+
+class TestDeletion:
+    def test_removed_vector_not_returned(self, rng):
+        vectors = clustered(rng)
+        dyn = DynamicIDistanceIndex(n_partitions=5).fit(vectors)
+        assert dyn.remove(10)
+        ids, _ = dyn.query(vectors[10], k=3)
+        assert 10 not in ids
+        assert dyn.n_indexed == len(vectors) - 1
+
+    def test_remove_missing_id(self, rng):
+        dyn = DynamicIDistanceIndex(n_partitions=3).fit(rng.normal(size=(10, 3)))
+        assert not dyn.remove(999)
+
+    def test_remove_twice(self, rng):
+        dyn = DynamicIDistanceIndex(n_partitions=3).fit(rng.normal(size=(10, 3)))
+        assert dyn.remove(4)
+        assert not dyn.remove(4)
+
+
+class TestChurn:
+    @given(seed=st.integers(0, 100))
+    @settings(max_examples=15, deadline=None)
+    def test_exactness_under_mixed_workload(self, seed):
+        rng = np.random.default_rng(seed)
+        base = clustered(rng, n_clusters=4, per=15, dim=5)
+        dyn = DynamicIDistanceIndex(n_partitions=4, headroom=6.0).fit(base)
+        alive = {i: base[i] for i in range(len(base))}
+        for _ in range(60):
+            if len(alive) > 8 and rng.random() < 0.45:
+                vid = int(rng.choice(list(alive)))
+                assert dyn.remove(vid)
+                del alive[vid]
+            else:
+                vec = clustered(rng, n_clusters=4, per=1, dim=5)[
+                    rng.integers(4)
+                ]
+                vid = dyn.insert(vec)
+                alive[vid] = vec
+        # Compare against brute force over the survivors.
+        ids = list(alive)
+        matrix = np.vstack([alive[i] for i in ids])
+        q = rng.normal(size=5) * 2
+        truth_order = np.argsort(np.linalg.norm(matrix - q, axis=1))[:5]
+        truth_ids = {ids[i] for i in truth_order}
+        got_ids, got_d = dyn.query(q, k=5)
+        got_sorted = np.sort(got_d)
+        np.testing.assert_allclose(got_d, got_sorted)
+        truth_d = np.sort(np.linalg.norm(matrix - q, axis=1))[:5]
+        np.testing.assert_allclose(np.sort(got_d), truth_d, atol=1e-9)
+        assert set(got_ids) <= set(ids)

@@ -1,0 +1,87 @@
+"""Linear-scan k-NN and the voting helper."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NotFittedError, RetrievalError
+from repro.retrieval.knn import knn_vote
+from repro.retrieval.linear import LinearScanIndex
+
+
+@pytest.fixture
+def index(rng):
+    vectors = rng.normal(size=(50, 6))
+    return LinearScanIndex().fit(vectors), vectors
+
+
+class TestLinearScan:
+    def test_nearest_is_exact_match(self, index):
+        idx, vectors = index
+        indices, distances = idx.query(vectors[17], k=1)
+        assert indices[0] == 17
+        assert distances[0] == pytest.approx(0.0)
+
+    def test_results_sorted(self, index, rng):
+        idx, _ = index
+        _, distances = idx.query(rng.normal(size=6), k=10)
+        assert np.all(np.diff(distances) >= 0)
+
+    def test_matches_brute_force(self, index, rng):
+        idx, vectors = index
+        q = rng.normal(size=6)
+        truth = np.argsort(np.linalg.norm(vectors - q, axis=1))[:5]
+        got, _ = idx.query(q, k=5)
+        np.testing.assert_array_equal(got, truth)
+
+    def test_ties_broken_by_index(self):
+        vectors = np.zeros((4, 2))
+        idx = LinearScanIndex().fit(vectors)
+        got, _ = idx.query(np.zeros(2), k=4)
+        np.testing.assert_array_equal(got, [0, 1, 2, 3])
+
+    def test_k_bounds(self, index, rng):
+        idx, _ = index
+        with pytest.raises(RetrievalError, match="exceeds"):
+            idx.query(rng.normal(size=6), k=51)
+        with pytest.raises(Exception):
+            idx.query(rng.normal(size=6), k=0)
+
+    def test_dimension_mismatch(self, index, rng):
+        idx, _ = index
+        with pytest.raises(RetrievalError, match="dims"):
+            idx.query(rng.normal(size=7), k=1)
+
+    def test_unfitted(self, rng):
+        with pytest.raises(NotFittedError):
+            LinearScanIndex().query(rng.normal(size=3), k=1)
+        with pytest.raises(NotFittedError):
+            LinearScanIndex().n_indexed
+
+    def test_n_indexed(self, index):
+        idx, vectors = index
+        assert idx.n_indexed == len(vectors)
+
+
+class TestKnnVote:
+    def test_simple_majority(self):
+        label = knn_vote(["a", "b", "a"], np.array([0.1, 0.2, 0.3]))
+        assert label == "a"
+
+    def test_tie_goes_to_nearest(self):
+        label = knn_vote(["b", "a", "a", "b"], np.array([0.1, 0.2, 0.3, 0.4]))
+        assert label == "b"
+
+    def test_single_neighbor(self):
+        assert knn_vote(["x"], np.array([0.5])) == "x"
+
+    def test_empty_rejected(self):
+        with pytest.raises(RetrievalError):
+            knn_vote([], np.array([]))
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(RetrievalError):
+            knn_vote(["a"], np.array([0.1, 0.2]))
+
+    def test_three_way_tie(self):
+        label = knn_vote(["c", "a", "b"], np.array([0.1, 0.2, 0.3]))
+        assert label == "c"

@@ -1,0 +1,65 @@
+"""Moving average and linear-envelope extraction."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.signal.envelope import linear_envelope, moving_average
+
+
+class TestMovingAverage:
+    def test_constant_signal_unchanged(self):
+        x = np.full(50, 3.5)
+        np.testing.assert_allclose(moving_average(x, 7), x)
+
+    def test_width_one_is_identity(self, rng):
+        x = rng.normal(size=30)
+        np.testing.assert_allclose(moving_average(x, 1), x)
+
+    def test_smooths_noise(self, rng):
+        x = rng.normal(size=2000)
+        assert moving_average(x, 50).std() < 0.3 * x.std()
+
+    def test_preserves_shape_2d(self, rng):
+        x = rng.normal(size=(40, 3))
+        assert moving_average(x, 5).shape == (40, 3)
+
+    def test_width_longer_than_signal_is_clipped(self):
+        x = np.array([1.0, 2.0, 3.0])
+        out = moving_average(x, 100)
+        assert out.shape == (3,)
+        assert np.all(np.isfinite(out))
+
+    def test_mean_preserved_in_interior(self, rng):
+        x = rng.normal(loc=2.0, size=500)
+        out = moving_average(x, 9)
+        assert abs(out[50:-50].mean() - x.mean()) < 0.1
+
+    def test_rejects_bad_width(self, rng):
+        with pytest.raises(ValidationError):
+            moving_average(rng.normal(size=10), 0)
+
+
+class TestLinearEnvelope:
+    def test_tracks_amplitude_modulation(self, rng):
+        """The envelope of AM noise recovers the modulator."""
+        fs = 1000.0
+        t = np.arange(4000) / fs
+        modulator = 0.5 * (1 + np.sin(2 * np.pi * 0.5 * t))
+        carrier = rng.normal(size=len(t))
+        env = linear_envelope(modulator * carrier, fs, cutoff_hz=4.0)
+        # Correlation with the true modulator should be strong.
+        rho = np.corrcoef(env[200:-200], modulator[200:-200])[0, 1]
+        assert rho > 0.9
+
+    def test_non_negative(self, rng):
+        env = linear_envelope(rng.normal(size=2000), 1000.0)
+        assert np.all(env >= 0)
+
+    def test_silence_gives_near_zero(self):
+        env = linear_envelope(np.zeros(500), 1000.0)
+        np.testing.assert_allclose(env, 0.0, atol=1e-12)
+
+    def test_2d_input(self, rng):
+        env = linear_envelope(rng.normal(size=(1000, 2)), 1000.0)
+        assert env.shape == (1000, 2)

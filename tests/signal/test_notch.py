@@ -1,0 +1,63 @@
+"""The IIR notch filter, validated against scipy."""
+
+import numpy as np
+import pytest
+import scipy.signal as ss
+
+from repro.signal.notch import notch_filter
+from repro.signal.spectral import band_power
+
+FS = 1000.0
+
+
+class TestDesign:
+    @pytest.mark.parametrize("freq", [50.0, 60.0, 120.0])
+    @pytest.mark.parametrize("quality", [10.0, 30.0])
+    def test_matches_scipy_iirnotch(self, freq, quality):
+        mine = notch_filter(freq, FS, quality)
+        b_ref, a_ref = ss.iirnotch(freq, quality, fs=FS)
+        np.testing.assert_allclose(mine.b, b_ref, atol=1e-12)
+        np.testing.assert_allclose(mine.a, a_ref, atol=1e-12)
+
+    def test_null_at_center_unit_gain_elsewhere(self):
+        filt = notch_filter(60.0, FS, quality=30.0)
+        # Exact response at the notch frequency (off the FFT grid).
+        w0 = 2 * np.pi * 60.0 / FS
+        z = np.exp(-1j * w0)
+        h0 = np.polyval(filt.b[::-1], z) / np.polyval(filt.a[::-1], z)
+        assert abs(h0) < 1e-10  # a true null
+        freqs, resp = filt.frequency_response(4096, fs=FS)
+        mag = np.abs(resp)
+        far = mag[(freqs < 40) | (freqs > 90)]
+        assert far.min() > 0.9
+
+    def test_rejects_out_of_band_frequency(self):
+        with pytest.raises(Exception):
+            notch_filter(600.0, FS)
+        with pytest.raises(Exception):
+            notch_filter(0.0, FS)
+
+
+class TestApplication:
+    def test_removes_hum_keeps_signal(self, rng):
+        t = np.arange(8000) / FS
+        signal = np.sin(2 * np.pi * 110 * t)
+        hum = 0.8 * np.sin(2 * np.pi * 60 * t)
+        filt = notch_filter(60.0, FS, quality=30.0)
+        cleaned = filt.apply_zero_phase(signal + hum)
+        assert band_power(cleaned, FS, 55, 65, nperseg=2048) < 0.02
+        assert band_power(cleaned, FS, 100, 120, nperseg=2048) > 0.9
+
+    def test_cleans_contaminated_synthetic_emg(self, rng):
+        """End-to-end with the library's own artifact model."""
+        from repro.emg.artifacts import PowerlineInterference
+
+        emg = rng.normal(0, 1e-5, size=6000)
+        dirty = PowerlineInterference(amplitude_volts=3e-5).apply(emg, FS, seed=0)
+        cleaned = notch_filter(60.0, FS).apply_zero_phase(dirty)
+        assert band_power(dirty, FS, 55, 65, nperseg=2048) > 0.2
+        assert band_power(cleaned, FS, 55, 65, nperseg=2048) < 0.05
+        # The broadband EMG content survives.
+        rms_before = np.sqrt(np.mean(emg**2))
+        rms_after = np.sqrt(np.mean(cleaned**2))
+        assert abs(rms_after - rms_before) / rms_before < 0.1

@@ -1,0 +1,39 @@
+"""Full-wave rectification."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis.extra.numpy import arrays
+
+from repro.errors import ValidationError
+from repro.signal.rectify import full_wave_rectify
+
+
+def test_rectifies_negative_values():
+    out = full_wave_rectify(np.array([-1.0, 2.0, -3.0]))
+    np.testing.assert_array_equal(out, [1.0, 2.0, 3.0])
+
+
+def test_preserves_shape_2d(rng):
+    x = rng.normal(size=(10, 4))
+    assert full_wave_rectify(x).shape == (10, 4)
+
+
+def test_rejects_nan():
+    with pytest.raises(ValidationError):
+        full_wave_rectify(np.array([1.0, np.nan]))
+
+
+@given(
+    arrays(
+        dtype=np.float64,
+        shape=(20,),
+        elements={"min_value": -1e6, "max_value": 1e6},
+    )
+)
+def test_output_non_negative_and_idempotent(x):
+    once = full_wave_rectify(x)
+    assert np.all(once >= 0)
+    np.testing.assert_array_equal(full_wave_rectify(once), once)
+    # Magnitude is preserved.
+    np.testing.assert_array_equal(once, np.abs(x))

@@ -1,0 +1,62 @@
+"""Welch PSD estimation and band power."""
+
+import numpy as np
+import pytest
+import scipy.signal as ss
+
+from repro.errors import SignalError, ValidationError
+from repro.signal.spectral import band_power, welch_psd
+
+
+class TestWelchPSD:
+    def test_peak_at_sinusoid_frequency(self):
+        fs = 1000.0
+        t = np.arange(8000) / fs
+        x = np.sin(2 * np.pi * 80 * t)
+        freqs, psd = welch_psd(x, fs, nperseg=512)
+        assert abs(freqs[np.argmax(psd)] - 80.0) < 4.0
+
+    def test_total_power_parseval(self, rng):
+        """Integrated PSD approximates the signal variance."""
+        x = rng.normal(size=20000)
+        freqs, psd = welch_psd(x, 1000.0, nperseg=1024)
+        total = np.trapezoid(psd, freqs)
+        assert abs(total - x.var()) / x.var() < 0.15
+
+    def test_close_to_scipy_welch(self, rng):
+        x = rng.normal(size=4096)
+        f1, p1 = welch_psd(x, 1000.0, nperseg=256, overlap=0.5)
+        f2, p2 = ss.welch(x, fs=1000.0, nperseg=256, noverlap=128,
+                          window="hann", detrend="constant")
+        np.testing.assert_allclose(f1, f2)
+        # Same estimator family; allow a modest overall tolerance.
+        np.testing.assert_allclose(p1[2:-2], p2[2:-2], rtol=0.3)
+
+    def test_rejects_2d(self, rng):
+        with pytest.raises(ValidationError):
+            welch_psd(rng.normal(size=(10, 2)), 1000.0)
+
+    def test_short_signal_uses_one_segment(self, rng):
+        freqs, psd = welch_psd(rng.normal(size=100), 1000.0, nperseg=256)
+        assert len(freqs) == 100 // 2 + 1
+
+
+class TestBandPower:
+    def test_sinusoid_power_in_band(self):
+        fs = 1000.0
+        t = np.arange(8000) / fs
+        x = np.sin(2 * np.pi * 100 * t)
+        assert band_power(x, fs, 80, 120) > 0.95
+        assert band_power(x, fs, 300, 450) < 0.05
+
+    def test_zero_signal(self):
+        assert band_power(np.zeros(1000), 1000.0, 20, 450) == 0.0
+
+    def test_rejects_bad_band(self, rng):
+        with pytest.raises(SignalError):
+            band_power(rng.normal(size=100), 1000.0, 450, 20)
+
+    def test_empty_band_returns_zero(self, rng):
+        x = rng.normal(size=2000)
+        # Band between two adjacent bins may contain no frequency sample.
+        assert band_power(x, 1000.0, 499.7, 499.9, nperseg=64) == 0.0

@@ -1,0 +1,85 @@
+"""The default body model and its protocol segment inventories."""
+
+import numpy as np
+import pytest
+
+from repro.skeleton.body import (
+    DEFAULT_SEGMENT_OFFSETS,
+    HAND_SEGMENTS,
+    LEG_SEGMENTS,
+    default_body,
+    scaled_body,
+)
+
+
+def test_paper_hand_inventory():
+    """Section 5: clavicle, humerus, radius, hand."""
+    assert HAND_SEGMENTS == ("clavicle_r", "humerus_r", "radius_r", "hand_r")
+
+
+def test_paper_leg_inventory():
+    """Section 5: tibia, foot, toe."""
+    assert LEG_SEGMENTS == ("tibia_r", "foot_r", "toe_r")
+
+
+def test_root_is_pelvis():
+    assert default_body().root.name == "pelvis"
+
+
+def test_protocol_segments_exist_in_body():
+    body = default_body()
+    body.validate_segment_names(HAND_SEGMENTS)
+    body.validate_segment_names(LEG_SEGMENTS)
+
+
+def test_hand_chain_reaches_pelvis_through_arm():
+    chain = default_body().chain_to_root("hand_r")
+    assert chain == [
+        "hand_r", "radius_r", "humerus_r", "clavicle_r", "thorax", "spine", "pelvis",
+    ]
+
+
+def test_leg_chain_reaches_pelvis():
+    chain = default_body().chain_to_root("toe_r")
+    assert chain == ["toe_r", "foot_r", "tibia_r", "femur_r", "pelvis"]
+
+
+def test_body_is_left_right_symmetric():
+    body = default_body()
+    for right in ("clavicle_r", "humerus_r", "radius_r", "hand_r",
+                  "femur_r", "tibia_r", "foot_r", "toe_r"):
+        left = right[:-2] + "_l"
+        r_off = body[right].offset
+        l_off = body[left].offset
+        # Mirror across the X (right/left) axis.
+        np.testing.assert_allclose(l_off, r_off * np.array([-1.0, 1.0, 1.0]))
+
+
+def test_scaled_body_scales_all_lengths():
+    base = default_body()
+    small = scaled_body(0.8)
+    for seg in base:
+        np.testing.assert_allclose(small[seg.name].offset, 0.8 * seg.offset)
+
+
+def test_scaled_body_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        scaled_body(0.0)
+    with pytest.raises(ValueError):
+        scaled_body(-1.0)
+
+
+def test_all_offsets_have_parents_defined():
+    names = set(DEFAULT_SEGMENT_OFFSETS)
+    for name, (parent, _) in DEFAULT_SEGMENT_OFFSETS.items():
+        if parent:
+            assert parent in names, f"{name} references missing {parent}"
+
+
+def test_anthropometry_plausible():
+    """Arm (shoulder to hand) is longer than the forearm alone, legs longer than arms."""
+    body = default_body()
+    arm = sum(body[s].length_mm for s in ("humerus_r", "radius_r", "hand_r"))
+    leg = sum(body[s].length_mm for s in ("femur_r", "tibia_r", "foot_r"))
+    assert 500 < arm < 1000
+    assert leg > arm

@@ -1,0 +1,126 @@
+"""Forward kinematics: rotation math and hierarchical composition."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SkeletonError
+from repro.skeleton.body import default_body
+from repro.skeleton.kinematics import JointAngles, euler_to_matrix, forward_kinematics
+from repro.skeleton.model import Segment, Skeleton
+
+
+class TestEulerToMatrix:
+    def test_identity_at_zero(self):
+        np.testing.assert_allclose(euler_to_matrix(np.zeros(3)), np.eye(3), atol=1e-15)
+
+    def test_single_axis_rotations(self):
+        a = np.pi / 2
+        rx = euler_to_matrix(np.array([a, 0, 0]))
+        np.testing.assert_allclose(rx @ [0, 1, 0], [0, 0, 1], atol=1e-12)
+        ry = euler_to_matrix(np.array([0, a, 0]))
+        np.testing.assert_allclose(ry @ [0, 0, 1], [1, 0, 0], atol=1e-12)
+        rz = euler_to_matrix(np.array([0, 0, a]))
+        np.testing.assert_allclose(rz @ [1, 0, 0], [0, 1, 0], atol=1e-12)
+
+    def test_orthonormality(self, rng):
+        angles = rng.uniform(-np.pi, np.pi, size=(50, 3))
+        mats = euler_to_matrix(angles)
+        prods = mats @ np.transpose(mats, (0, 2, 1))
+        np.testing.assert_allclose(prods, np.broadcast_to(np.eye(3), prods.shape),
+                                   atol=1e-12)
+        np.testing.assert_allclose(np.linalg.det(mats), 1.0, atol=1e-12)
+
+    def test_composition_order_xyz(self, rng):
+        """R = Rx @ Ry @ Rz by definition."""
+        a = rng.uniform(-1, 1, size=3)
+        rx = euler_to_matrix(np.array([a[0], 0, 0]))
+        ry = euler_to_matrix(np.array([0, a[1], 0]))
+        rz = euler_to_matrix(np.array([0, 0, a[2]]))
+        np.testing.assert_allclose(euler_to_matrix(a), rx @ ry @ rz, atol=1e-12)
+
+    def test_rejects_wrong_last_dim(self):
+        with pytest.raises(SkeletonError):
+            euler_to_matrix(np.zeros((5, 2)))
+
+
+class TestJointAngles:
+    def test_validates_shapes(self):
+        with pytest.raises(Exception):
+            JointAngles(n_frames=10, angles_rad={"a": np.zeros((5, 3))})
+
+    def test_angles_for_missing_returns_zeros(self):
+        anim = JointAngles(n_frames=4, angles_rad={})
+        np.testing.assert_array_equal(anim.angles_for("anything"), np.zeros((4, 3)))
+
+    def test_root_position_validated(self):
+        with pytest.raises(Exception):
+            JointAngles(n_frames=4, angles_rad={}, root_position_mm=np.zeros((3, 3)))
+
+    def test_rejects_zero_frames(self):
+        with pytest.raises(SkeletonError):
+            JointAngles(n_frames=0, angles_rad={})
+
+
+class TestForwardKinematics:
+    def test_bind_pose_matches_offsets(self):
+        body = default_body()
+        anim = JointAngles(n_frames=1, angles_rad={})
+        pos = forward_kinematics(body, anim)
+        # Pelvis at origin; spine directly above it by its offset.
+        np.testing.assert_allclose(pos["pelvis"][0], [0, 0, 0])
+        np.testing.assert_allclose(pos["spine"][0], body["spine"].offset)
+
+    def test_chain_lengths_preserved_under_rotation(self, rng):
+        """Rotations never change segment lengths."""
+        body = default_body()
+        n = 20
+        angles = {
+            "humerus_r": rng.uniform(-1, 1, size=(n, 3)),
+            "radius_r": rng.uniform(-1, 1, size=(n, 3)),
+        }
+        pos = forward_kinematics(body, JointAngles(n_frames=n, angles_rad=angles))
+        forearm = np.linalg.norm(pos["radius_r"] - pos["humerus_r"], axis=1)
+        np.testing.assert_allclose(forearm, body["radius_r"].length_mm, atol=1e-9)
+
+    def test_shoulder_flexion_raises_hand(self):
+        body = default_body()
+        n = 2
+        angles = {"humerus_r": np.array([[0.0, 0, 0], [np.pi / 2, 0, 0]])}
+        pos = forward_kinematics(body, JointAngles(n_frames=n, angles_rad=angles))
+        hand = pos["hand_r"]
+        assert hand[1, 2] > hand[0, 2]  # hand goes up
+        assert hand[1, 1] > hand[0, 1]  # and forward
+
+    def test_root_translation_moves_everything(self):
+        body = default_body()
+        n = 3
+        shift = np.array([[0, 0, 0], [100, 0, 0], [200, 0, 0]], dtype=float)
+        anim = JointAngles(n_frames=n, angles_rad={}, root_position_mm=shift)
+        pos = forward_kinematics(body, anim)
+        for seg in ("hand_r", "toe_l", "head"):
+            np.testing.assert_allclose(pos[seg][1] - pos[seg][0], [100, 0, 0])
+
+    def test_parent_rotation_carries_children(self):
+        """Rotating the humerus moves the hand but not the clavicle."""
+        body = default_body()
+        angles = {"humerus_r": np.array([[0.5, 0, 0]])}
+        moved = forward_kinematics(body, JointAngles(1, angles))
+        rest = forward_kinematics(body, JointAngles(1, {}))
+        assert not np.allclose(moved["hand_r"], rest["hand_r"])
+        np.testing.assert_allclose(moved["clavicle_r"], rest["clavicle_r"])
+
+    def test_segments_filter(self):
+        body = default_body()
+        pos = forward_kinematics(body, JointAngles(1, {}), segments=["hand_r"])
+        assert set(pos) == {"hand_r"}
+
+    def test_unknown_animated_segment_rejected(self):
+        body = default_body()
+        anim = JointAngles(1, {"ghost": np.zeros((1, 3))})
+        with pytest.raises(SkeletonError, match="ghost"):
+            forward_kinematics(body, anim)
+
+    def test_unknown_output_segment_rejected(self):
+        body = default_body()
+        with pytest.raises(SkeletonError):
+            forward_kinematics(body, JointAngles(1, {}), segments=["ghost"])

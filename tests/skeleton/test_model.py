@@ -1,0 +1,106 @@
+"""Skeleton data-model invariants."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SkeletonError
+from repro.skeleton.model import Segment, Skeleton
+
+
+def make_chain():
+    return [
+        Segment("root", None, (0, 0, 0)),
+        Segment("a", "root", (0, 0, 10)),
+        Segment("b", "a", (0, 0, 10)),
+        Segment("c", "root", (10, 0, 0)),
+    ]
+
+
+class TestSegment:
+    def test_offset_as_array(self):
+        seg = Segment("x", None, (1, 2, 3))
+        np.testing.assert_array_equal(seg.offset, [1.0, 2.0, 3.0])
+
+    def test_length(self):
+        assert Segment("x", None, (3, 4, 0)).length_mm == 5.0
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(SkeletonError):
+            Segment("", None, (0, 0, 0))
+
+    def test_rejects_self_parent(self):
+        with pytest.raises(SkeletonError):
+            Segment("x", "x", (0, 0, 0))
+
+    def test_rejects_wrong_offset_shape(self):
+        with pytest.raises(SkeletonError):
+            Segment("x", None, (1, 2))  # type: ignore[arg-type]
+
+
+class TestSkeleton:
+    def test_topological_order_parents_first(self):
+        sk = Skeleton(make_chain())
+        names = sk.names
+        assert names.index("root") < names.index("a") < names.index("b")
+
+    def test_single_root_enforced(self):
+        with pytest.raises(SkeletonError, match="exactly one root"):
+            Skeleton([Segment("r1", None, (0, 0, 0)), Segment("r2", None, (0, 0, 0))])
+
+    def test_unknown_parent_rejected(self):
+        with pytest.raises(SkeletonError, match="unknown parent"):
+            Skeleton([Segment("root", None, (0, 0, 0)), Segment("a", "ghost", (0, 0, 1))])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SkeletonError, match="duplicate"):
+            Skeleton([Segment("root", None, (0, 0, 0)),
+                      Segment("a", "root", (0, 0, 1)),
+                      Segment("a", "root", (0, 0, 2))])
+
+    def test_cycle_detected(self):
+        # a <-> b cycle disconnected from root.
+        with pytest.raises(SkeletonError, match="not reachable"):
+            Skeleton([
+                Segment("root", None, (0, 0, 0)),
+                Segment("a", "b", (0, 0, 1)),
+                Segment("b", "a", (0, 0, 1)),
+            ])
+
+    def test_empty_rejected(self):
+        with pytest.raises(SkeletonError):
+            Skeleton([])
+
+    def test_lookup_and_contains(self):
+        sk = Skeleton(make_chain())
+        assert "a" in sk
+        assert sk["a"].parent == "root"
+        with pytest.raises(SkeletonError, match="unknown segment"):
+            sk["nope"]
+
+    def test_children(self):
+        sk = Skeleton(make_chain())
+        assert sorted(sk.children("root")) == ["a", "c"]
+        assert sk.children("b") == []
+        with pytest.raises(SkeletonError):
+            sk.children("nope")
+
+    def test_chain_to_root(self):
+        sk = Skeleton(make_chain())
+        assert sk.chain_to_root("b") == ["b", "a", "root"]
+        assert sk.chain_to_root("root") == ["root"]
+
+    def test_subtree(self):
+        sk = Skeleton(make_chain())
+        assert set(sk.subtree("root")) == {"root", "a", "b", "c"}
+        assert sk.subtree("a") == ["a", "b"]
+
+    def test_validate_segment_names(self):
+        sk = Skeleton(make_chain())
+        sk.validate_segment_names(["a", "b"])  # no raise
+        with pytest.raises(SkeletonError, match="ghost"):
+            sk.validate_segment_names(["a", "ghost"])
+
+    def test_len_and_iter(self):
+        sk = Skeleton(make_chain())
+        assert len(sk) == 4
+        assert [s.name for s in sk] == sk.names

@@ -1,0 +1,68 @@
+"""Pelvis-local transformation (paper Section 3.2)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SkeletonError
+from repro.skeleton.transform import heading_rotation, to_pelvis_frame
+
+
+def make_positions(n=5, shift=(0.0, 0.0, 0.0)):
+    shift = np.asarray(shift)
+    pelvis = np.tile(shift, (n, 1)) + np.linspace(0, 10, n)[:, None]
+    hand = pelvis + np.array([100.0, 50.0, 200.0])
+    return {"pelvis": pelvis, "hand_r": hand}
+
+
+class TestToPelvisFrame:
+    def test_pelvis_becomes_origin(self):
+        local = to_pelvis_frame(make_positions())
+        np.testing.assert_allclose(local["pelvis"], 0.0)
+
+    def test_relative_geometry_preserved(self):
+        local = to_pelvis_frame(make_positions())
+        np.testing.assert_allclose(local["hand_r"], [[100.0, 50.0, 200.0]] * 5)
+
+    def test_translation_invariance(self):
+        """The paper's motivation: motions at different locations compare equal."""
+        a = to_pelvis_frame(make_positions(shift=(0, 0, 0)))
+        b = to_pelvis_frame(make_positions(shift=(5000.0, -3000.0, 10.0)))
+        np.testing.assert_allclose(a["hand_r"], b["hand_r"], atol=1e-9)
+
+    def test_requires_pelvis(self):
+        with pytest.raises(SkeletonError, match="pelvis"):
+            to_pelvis_frame({"hand_r": np.zeros((5, 3))})
+
+    def test_custom_root_name(self):
+        pos = {"hips": np.ones((4, 3)), "knee": np.ones((4, 3)) * 2}
+        local = to_pelvis_frame(pos, pelvis_name="hips")
+        np.testing.assert_allclose(local["knee"], 1.0)
+
+    def test_frame_count_mismatch_rejected(self):
+        pos = {"pelvis": np.zeros((5, 3)), "hand_r": np.zeros((4, 3))}
+        with pytest.raises(Exception):
+            to_pelvis_frame(pos)
+
+    def test_heading_alignment(self):
+        """Rotating the whole scene about Z is undone by heading_rad."""
+        base = make_positions()
+        theta = 0.7
+        c, s = np.cos(theta), np.sin(theta)
+        rot = np.array([[c, -s, 0], [s, c, 0], [0, 0, 1]])
+        rotated = {k: v @ rot.T for k, v in base.items()}
+        aligned = to_pelvis_frame(rotated, heading_rad=theta)
+        plain = to_pelvis_frame(base)
+        np.testing.assert_allclose(aligned["hand_r"], plain["hand_r"], atol=1e-9)
+
+
+class TestHeadingRotation:
+    def test_zero_heading_is_identity(self):
+        np.testing.assert_allclose(heading_rotation(0.0), np.eye(3))
+
+    def test_preserves_vertical(self):
+        rot = heading_rotation(1.2)
+        np.testing.assert_allclose(rot @ [0, 0, 1], [0, 0, 1], atol=1e-12)
+
+    def test_orthonormal(self):
+        rot = heading_rotation(-0.4)
+        np.testing.assert_allclose(rot @ rot.T, np.eye(3), atol=1e-12)

@@ -1,0 +1,109 @@
+"""Synchronized acquisition sessions."""
+
+import numpy as np
+import pytest
+
+from repro.emg.channels import hand_montage
+from repro.errors import AcquisitionError
+from repro.mocap.vicon import ViconSystem
+from repro.motions.base import get_motion_class
+from repro.skeleton.body import default_body
+from repro.sync.session import AcquisitionSession, SynchronizedTrial
+from repro.sync.trigger import TriggerModule
+
+
+@pytest.fixture
+def session():
+    return AcquisitionSession()
+
+
+@pytest.fixture
+def plan():
+    return get_motion_class("raise_arm").plan(fps=120.0, seed=0)
+
+
+class TestRecordTrial:
+    def test_streams_aligned(self, session, plan):
+        trial = session.record_trial(
+            default_body(), plan, segments=["hand_r"], montage=hand_montage("r"),
+            seed=0,
+        )
+        assert trial.mocap.n_frames == trial.emg.n_samples
+        assert trial.mocap.fps == trial.emg.fs == 120.0
+
+    def test_montage_required(self, session, plan):
+        with pytest.raises(AcquisitionError, match="montage"):
+            session.record_trial(default_body(), plan, segments=["hand_r"], seed=0)
+
+    def test_plan_rate_must_match(self, session):
+        plan = get_motion_class("raise_arm").plan(fps=60.0, seed=0)
+        with pytest.raises(AcquisitionError, match="rate"):
+            session.record_trial(
+                default_body(), plan, montage=hand_montage("r"), seed=0
+            )
+
+    def test_deterministic(self, session, plan):
+        a = session.record_trial(default_body(), plan, segments=["hand_r"],
+                                 montage=hand_montage("r"), seed=9)
+        b = session.record_trial(default_body(), plan, segments=["hand_r"],
+                                 montage=hand_montage("r"), seed=9)
+        assert a.mocap == b.mocap
+        assert a.emg == b.emg
+
+    def test_large_skew_is_trimmed(self, plan):
+        """A slow device shifts both streams onto the overlapping frames."""
+        session = AcquisitionSession(
+            trigger=TriggerModule(
+                latencies_s={"vicon": 0.10, "myomonitor": 0.0}, jitter_s=0.0
+            )
+        )
+        trial = session.record_trial(
+            default_body(), plan, segments=["hand_r"], montage=hand_montage("r"),
+            seed=0,
+        )
+        expected_skew_frames = round(0.10 * 120)
+        assert trial.n_frames == plan.n_frames - expected_skew_frames
+
+    def test_extreme_skew_rejected(self, plan):
+        session = AcquisitionSession(
+            trigger=TriggerModule(
+                latencies_s={"vicon": 0.99, "myomonitor": 0.0}, jitter_s=0.0
+            )
+        )
+        class Blink(type(get_motion_class("throw_ball"))):
+            name = "blink_test_motion"
+            nominal_duration_s = 0.05  # 8 frames: shorter than the skew
+
+        tiny_plan = Blink().plan(fps=120.0, seed=0)
+        # A ~1 s skew on an 8-frame motion leaves nothing to align.
+        with pytest.raises(AcquisitionError, match="skew"):
+            session.record_trial(
+                default_body(), tiny_plan, segments=["hand_r"],
+                montage=hand_montage("r"), seed=0,
+            )
+
+
+class TestSessionValidation:
+    def test_rate_mismatch_rejected(self):
+        with pytest.raises(AcquisitionError, match="120"):
+            AcquisitionSession(vicon=ViconSystem(fps=100.0))
+
+    def test_trigger_must_know_both_devices(self):
+        with pytest.raises(AcquisitionError, match="not wired"):
+            AcquisitionSession(
+                trigger=TriggerModule(latencies_s={"vicon": 0.001})
+            )
+
+
+class TestSynchronizedTrial:
+    def test_misaligned_streams_rejected(self, session, plan):
+        trial = session.record_trial(
+            default_body(), plan, segments=["hand_r"], montage=hand_montage("r"),
+            seed=0,
+        )
+        with pytest.raises(AcquisitionError, match="misaligned"):
+            SynchronizedTrial(
+                mocap=trial.mocap.slice_frames(0, 10),
+                emg=trial.emg,
+                trigger=trial.trigger,
+            )

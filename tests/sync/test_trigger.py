@@ -1,0 +1,55 @@
+"""Trigger-module fan-out."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AcquisitionError
+from repro.sync.trigger import TriggerModule
+
+
+class TestTriggerModule:
+    def test_default_devices(self):
+        module = TriggerModule()
+        assert set(module.devices) == {"vicon", "myomonitor"}
+
+    def test_offsets_nonnegative(self):
+        module = TriggerModule(jitter_s=0.01)
+        for seed in range(20):
+            event = module.fire(seed=seed)
+            assert all(v >= 0 for v in event.start_offsets_s.values())
+
+    def test_zero_jitter_reproduces_latencies(self):
+        module = TriggerModule(
+            latencies_s={"vicon": 0.002, "myomonitor": 0.001}, jitter_s=0.0
+        )
+        event = module.fire(seed=0)
+        assert event.offset("vicon") == 0.002
+        assert event.offset("myomonitor") == 0.001
+        assert event.skew_s("vicon", "myomonitor") == pytest.approx(0.001)
+
+    def test_jitter_spreads_offsets(self):
+        module = TriggerModule(jitter_s=0.001)
+        offsets = [module.fire(seed=s).offset("vicon") for s in range(100)]
+        assert np.std(offsets) > 1e-4
+
+    def test_deterministic(self):
+        module = TriggerModule()
+        assert module.fire(seed=3) == module.fire(seed=3)
+
+    def test_unknown_device_raises(self):
+        event = TriggerModule().fire(seed=0)
+        with pytest.raises(AcquisitionError, match="not triggered"):
+            event.offset("forceplate")
+
+    def test_empty_module_rejected(self):
+        with pytest.raises(AcquisitionError):
+            TriggerModule(latencies_s={})
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(Exception):
+            TriggerModule(latencies_s={"vicon": -0.1})
+
+
+def test_skew_is_antisymmetric():
+    event = TriggerModule(jitter_s=0.0).fire(seed=0)
+    assert event.skew_s("vicon", "myomonitor") == -event.skew_s("myomonitor", "vicon")

@@ -1,0 +1,105 @@
+"""The repro-motions command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.data.serialize import save_dataset
+
+
+@pytest.fixture
+def saved_toy(toy_dataset, tmp_path):
+    save_dataset(toy_dataset, tmp_path / "toy")
+    return str(tmp_path / "toy")
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_build_defaults(self):
+        args = build_parser().parse_args(["build", "-o", "/tmp/x"])
+        assert args.study == "hand"
+        assert args.participants == 2
+
+    def test_evaluate_defaults(self):
+        args = build_parser().parse_args(["evaluate", "ds"])
+        assert args.clusters == 15
+        assert args.window_ms == 100.0
+        assert args.k == 5
+
+    def test_sweep_grid_arguments(self):
+        args = build_parser().parse_args(
+            ["sweep", "ds", "--clusters", "2", "4", "--windows-ms", "50"]
+        )
+        assert args.clusters == [2, 4]
+        assert args.windows_ms == [50.0]
+
+
+class TestCommands:
+    def test_info(self, saved_toy, capsys):
+        assert main(["info", saved_toy]) == 0
+        out = capsys.readouterr().out
+        assert "3 classes" in out
+        assert "alpha" in out
+
+    def test_info_missing_dataset_is_graceful(self, tmp_path, capsys):
+        code = main(["info", str(tmp_path / "ghost")])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_evaluate(self, saved_toy, capsys):
+        code = main([
+            "evaluate", saved_toy, "--clusters", "3", "--window-ms", "100",
+            "--k", "3", "--test-fraction", "0.25",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "misclassification" in out
+        assert "kNN classified" in out
+
+    def test_evaluate_with_kmeans_and_stride(self, saved_toy, capsys):
+        code = main([
+            "evaluate", saved_toy, "--clusters", "3", "--clusterer", "kmeans",
+            "--stride-ms", "50", "--k", "2",
+        ])
+        assert code == 0
+
+    def test_sweep(self, saved_toy, capsys):
+        code = main([
+            "sweep", saved_toy, "--windows-ms", "100", "--clusters", "2", "4",
+            "--k", "2", "--stride-ms", "50",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Misclassification rate" in out
+        assert "kNN classified percent" in out
+
+    def test_build_and_info_roundtrip(self, tmp_path, capsys):
+        stem = str(tmp_path / "built")
+        code = main([
+            "build", "--study", "leg", "--participants", "1", "--trials", "1",
+            "--seed", "5", "-o", stem,
+        ])
+        assert code == 0
+        assert main(["info", stem]) == 0
+        out = capsys.readouterr().out
+        assert "right_leg" in out
+
+
+def test_sweep_csv_export(tmp_path, toy_dataset):
+    from repro.data.serialize import save_dataset
+
+    save_dataset(toy_dataset, tmp_path / "toy")
+    prefix = str(tmp_path / "out")
+    code = main([
+        "sweep", str(tmp_path / "toy"), "--windows-ms", "100",
+        "--clusters", "2", "4", "--k", "2", "--stride-ms", "50",
+        "--csv", prefix,
+    ])
+    assert code == 0
+    mis = (tmp_path / "out_misclassification.csv").read_text()
+    knn = (tmp_path / "out_knn.csv").read_text()
+    assert mis.startswith("window_ms,clusters,misclassification")
+    assert knn.startswith("window_ms,clusters,knn")
+    assert len(mis.strip().splitlines()) == 3  # header + 2 grid points

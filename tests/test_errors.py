@@ -1,0 +1,32 @@
+"""The exception hierarchy contract."""
+
+import pytest
+
+from repro import errors
+
+
+def test_all_errors_derive_from_repro_error():
+    for name in errors.__all__:
+        cls = getattr(errors, name)
+        assert issubclass(cls, errors.ReproError)
+
+
+def test_validation_error_is_value_error():
+    assert issubclass(errors.ValidationError, ValueError)
+    with pytest.raises(ValueError):
+        raise errors.ValidationError("bad input")
+
+
+def test_not_fitted_is_clustering_error():
+    assert issubclass(errors.NotFittedError, errors.ClusteringError)
+
+
+def test_catching_base_catches_all():
+    for name in errors.__all__:
+        cls = getattr(errors, name)
+        if cls is errors.ReproError:
+            continue
+        try:
+            raise cls("boom")
+        except errors.ReproError as exc:
+            assert "boom" in str(exc)

@@ -1,0 +1,83 @@
+"""End-to-end integration: full simulated lab → classifier → retrieval.
+
+Uses the session-scoped small campaigns (1 participant, 2 trials per motion)
+so the whole acquisition-to-classification path is exercised exactly once.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    MotionClassifier,
+    load_dataset,
+    membership_matrix,
+    run_experiment,
+    save_dataset,
+)
+from repro.features.combine import WindowFeaturizer
+
+
+class TestHandPipeline:
+    def test_paper_dimensionality(self, small_hand_dataset):
+        """Right hand: 4 EMG + 4 joints x 3 = 16-dimensional window space."""
+        wf = WindowFeaturizer(window_ms=100.0)
+        features = wf.features(small_hand_dataset[0])
+        assert features.n_dims == 4 + 12
+
+    def test_database_trials_self_classify(self, small_hand_dataset):
+        model = MotionClassifier(n_clusters=8, window_ms=100.0)
+        model.fit(small_hand_dataset, seed=0)
+        for record in small_hand_dataset:
+            top = model.kneighbors(record, k=1)[0]
+            assert top.key == record.key
+
+    def test_held_out_trials_mostly_classify(self, small_hand_dataset):
+        train, test = small_hand_dataset.train_test_split(0.5, seed=1)
+        result = run_experiment(train, test, window_ms=100.0, n_clusters=6, seed=0)
+        # 1 trial per class in the database: still beats chance (7/8 wrong).
+        assert result.misclassification_pct < 60.0
+
+    def test_signature_reflects_eq9_membership(self, small_hand_dataset):
+        model = MotionClassifier(n_clusters=5, window_ms=100.0)
+        model.fit(small_hand_dataset, seed=0)
+        record = small_hand_dataset[0]
+        features = model.featurizer.features(record)
+        scaled = model.scaler.transform(features.matrix)
+        u = membership_matrix(scaled, model.centers, m=2.0)
+        sig = model.signature(record)
+        np.testing.assert_allclose(sig.window_memberships, u.max(axis=1))
+
+
+class TestLegPipeline:
+    def test_paper_dimensionality(self, small_leg_dataset):
+        """Right leg: 2 EMG + 3 joints x 3 = 11-dimensional window space."""
+        wf = WindowFeaturizer(window_ms=100.0)
+        features = wf.features(small_leg_dataset[0])
+        assert features.n_dims == 2 + 9
+
+    def test_leg_classifier_runs(self, small_leg_dataset):
+        model = MotionClassifier(n_clusters=6, window_ms=150.0)
+        model.fit(small_leg_dataset, seed=0)
+        record = small_leg_dataset[0]
+        neighbors = model.kneighbors(record, k=3)
+        assert neighbors[0].key == record.key
+
+
+class TestPersistenceIntegration:
+    def test_classify_after_reload(self, small_hand_dataset, tmp_path):
+        """Training on a reloaded dataset gives identical signatures."""
+        path = save_dataset(small_hand_dataset, tmp_path / "hand")
+        reloaded = load_dataset(path)
+        a = MotionClassifier(n_clusters=5).fit(small_hand_dataset, seed=3)
+        b = MotionClassifier(n_clusters=5).fit(reloaded, seed=3)
+        np.testing.assert_allclose(
+            a.database_signatures, b.database_signatures, atol=1e-12
+        )
+
+
+class TestCrossWindowSizes:
+    @pytest.mark.parametrize("window_ms", [50.0, 100.0, 200.0])
+    def test_all_paper_window_sizes_run(self, small_hand_dataset, window_ms):
+        model = MotionClassifier(n_clusters=4, window_ms=window_ms)
+        model.fit(small_hand_dataset, seed=0)
+        assert model.classify(small_hand_dataset[0]) in small_hand_dataset.labels

@@ -1,0 +1,64 @@
+"""RNG plumbing: normalization and deterministic spawning."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.utils.rng import as_generator, spawn_generators
+
+
+def test_as_generator_from_int_is_deterministic():
+    a = as_generator(42).normal(size=5)
+    b = as_generator(42).normal(size=5)
+    np.testing.assert_array_equal(a, b)
+
+
+def test_as_generator_passes_generator_through():
+    g = np.random.default_rng(0)
+    assert as_generator(g) is g
+
+
+def test_as_generator_accepts_none():
+    g = as_generator(None)
+    assert isinstance(g, np.random.Generator)
+
+
+def test_as_generator_accepts_seed_sequence():
+    g = as_generator(np.random.SeedSequence(7))
+    assert isinstance(g, np.random.Generator)
+
+
+def test_as_generator_rejects_strings():
+    with pytest.raises(ValidationError):
+        as_generator("not a seed")
+
+
+def test_spawn_generators_deterministic():
+    a = [g.normal() for g in spawn_generators(1, 4)]
+    b = [g.normal() for g in spawn_generators(1, 4)]
+    assert a == b
+
+
+def test_spawn_generators_independent_streams():
+    gens = spawn_generators(0, 3)
+    draws = [g.normal(size=8) for g in gens]
+    assert not np.allclose(draws[0], draws[1])
+    assert not np.allclose(draws[1], draws[2])
+
+
+def test_spawn_generators_count():
+    assert len(spawn_generators(0, 0)) == 0
+    assert len(spawn_generators(0, 7)) == 7
+
+
+def test_spawn_generators_negative_rejected():
+    with pytest.raises(ValidationError):
+        spawn_generators(0, -1)
+
+
+def test_spawn_consumes_root_state():
+    """Spawning from the same Generator twice yields different children."""
+    root = np.random.default_rng(5)
+    first = spawn_generators(root, 2)
+    second = spawn_generators(root, 2)
+    assert first[0].normal() != second[0].normal()

@@ -1,0 +1,102 @@
+"""Validation helpers: acceptance, rejection and message quality."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.utils.validation import (
+    check_array,
+    check_in_range,
+    check_positive_int,
+    check_probability,
+)
+
+
+class TestCheckArray:
+    def test_converts_lists(self):
+        out = check_array([[1, 2], [3, 4]], name="x", ndim=2)
+        assert out.dtype == np.float64
+        assert out.shape == (2, 2)
+
+    def test_rejects_wrong_ndim(self):
+        with pytest.raises(ValidationError, match="x must be 2-dimensional"):
+            check_array([1, 2, 3], name="x", ndim=2)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValidationError, match="non-finite"):
+            check_array([1.0, np.nan], name="x")
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValidationError, match="non-finite"):
+            check_array([1.0, np.inf], name="x")
+
+    def test_rejects_non_numeric(self):
+        with pytest.raises(ValidationError):
+            check_array(["a", "b"], name="x")
+
+    def test_min_rows(self):
+        with pytest.raises(ValidationError, match="at least 5 rows"):
+            check_array(np.zeros((3, 2)), name="x", min_rows=5)
+
+    def test_allow_empty_false(self):
+        with pytest.raises(ValidationError, match="must not be empty"):
+            check_array(np.zeros((0, 3)), name="x", allow_empty=False)
+
+    def test_shape_wildcards(self):
+        out = check_array(np.zeros((4, 3)), name="x", shape=(None, 3))
+        assert out.shape == (4, 3)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValidationError, match="size 3 along axis 1"):
+            check_array(np.zeros((4, 2)), name="x", shape=(None, 3))
+
+    def test_shape_rank_mismatch(self):
+        with pytest.raises(ValidationError, match="must be 2-dimensional"):
+            check_array(np.zeros(4), name="x", shape=(None, 3))
+
+    def test_error_names_parameter(self):
+        with pytest.raises(ValidationError, match="my_matrix"):
+            check_array(np.zeros(3), name="my_matrix", ndim=2)
+
+
+class TestCheckPositiveInt:
+    def test_accepts_numpy_int(self):
+        assert check_positive_int(np.int64(4), name="n") == 4
+
+    def test_rejects_bool(self):
+        with pytest.raises(ValidationError):
+            check_positive_int(True, name="n")
+
+    def test_rejects_float(self):
+        with pytest.raises(ValidationError):
+            check_positive_int(2.0, name="n")
+
+    def test_minimum(self):
+        assert check_positive_int(0, name="n", minimum=0) == 0
+        with pytest.raises(ValidationError, match=">= 2"):
+            check_positive_int(1, name="n", minimum=2)
+
+
+class TestCheckInRange:
+    def test_inclusive_bounds(self):
+        assert check_in_range(0.0, name="p", low=0.0, high=1.0) == 0.0
+        assert check_in_range(1.0, name="p", low=0.0, high=1.0) == 1.0
+
+    def test_exclusive_bounds(self):
+        with pytest.raises(ValidationError):
+            check_in_range(0.0, name="p", low=0.0, high=1.0, inclusive_low=False)
+        with pytest.raises(ValidationError):
+            check_in_range(1.0, name="p", low=0.0, high=1.0, inclusive_high=False)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValidationError, match="finite"):
+            check_in_range(float("nan"), name="p", low=0.0, high=1.0)
+
+    def test_rejects_non_number(self):
+        with pytest.raises(ValidationError):
+            check_in_range(object(), name="p", low=0.0, high=1.0)
+
+    def test_probability_shortcut(self):
+        assert check_probability(0.5, name="p") == 0.5
+        with pytest.raises(ValidationError):
+            check_probability(1.5, name="p")
