@@ -11,6 +11,8 @@ Four subcommands cover the library's workflow without writing Python:
     Run the paper's Figure 6–9 grid on a saved dataset and print the series.
 ``repro-motions info``
     Describe a saved dataset.
+``repro-motions lint``
+    Run the repo-specific static-analysis rules (see :mod:`repro.lint`).
 
 Example
 -------
@@ -84,6 +86,15 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_info = sub.add_parser("info", help="describe a saved dataset")
     p_info.add_argument("dataset", help="dataset path stem")
+
+    p_lint = sub.add_parser("lint", help="run the repo's static-analysis rules")
+    p_lint.add_argument("paths", nargs="*",
+                        help="files or directories to lint "
+                             "(default: the installed repro package)")
+    p_lint.add_argument("--format", choices=("text", "json"), default="text",
+                        help="report format (default: text)")
+    p_lint.add_argument("--select", nargs="+", metavar="RULE", default=None,
+                        help="run only these rules (e.g. R1 R4)")
     return parser
 
 
@@ -177,6 +188,12 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from repro.lint.cli import run as lint_run
+
+    return lint_run(args.paths, fmt=args.format, select=args.select)
+
+
 def _cmd_info(args) -> int:
     dataset = load_dataset(args.dataset)
     print(dataset.summary())
@@ -190,6 +207,7 @@ _COMMANDS = {
     "evaluate": _cmd_evaluate,
     "sweep": _cmd_sweep,
     "info": _cmd_info,
+    "lint": _cmd_lint,
 }
 
 

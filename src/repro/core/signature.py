@@ -24,7 +24,7 @@ from typing import Tuple
 import numpy as np
 
 from repro.errors import FeatureError
-from repro.utils.validation import check_array
+from repro.utils.validation import check_array, shapes
 
 __all__ = ["MotionSignature", "motion_signature"]
 
@@ -86,6 +86,7 @@ class MotionSignature:
         return tuple(int(i) for i in np.unique(self.window_clusters))
 
 
+@shapes(membership="(w, c)")
 def motion_signature(membership: np.ndarray, n_clusters: int | None = None) -> MotionSignature:
     """Build the Eq. 5–8 signature from a motion's window membership matrix.
 

@@ -37,7 +37,8 @@ __all__ = [
 
 def median_frequency(x: np.ndarray, fs: float, nperseg: int = 256) -> float:
     """Frequency splitting the PSD's power into equal halves, in Hz."""
-    freqs, psd = welch_psd(np.asarray(x, dtype=np.float64), fs, nperseg=nperseg)
+    x = check_array(x, name="x", ndim=1, dtype=np.float64)
+    freqs, psd = welch_psd(x, fs, nperseg=nperseg)
     total = psd.sum()
     if total <= 0:
         raise SignalError("cannot compute the median frequency of a silent signal")
@@ -48,7 +49,8 @@ def median_frequency(x: np.ndarray, fs: float, nperseg: int = 256) -> float:
 
 def mean_frequency(x: np.ndarray, fs: float, nperseg: int = 256) -> float:
     """Power-weighted mean frequency of the PSD, in Hz."""
-    freqs, psd = welch_psd(np.asarray(x, dtype=np.float64), fs, nperseg=nperseg)
+    x = check_array(x, name="x", ndim=1, dtype=np.float64)
+    freqs, psd = welch_psd(x, fs, nperseg=nperseg)
     total = psd.sum()
     if total <= 0:
         raise SignalError("cannot compute the mean frequency of a silent signal")

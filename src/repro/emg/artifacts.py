@@ -27,6 +27,7 @@ __all__ = [
     "PowerlineInterference",
     "FatigueDrift",
     "CompositeArtifacts",
+    "default_artifacts",
 ]
 
 

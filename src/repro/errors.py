@@ -20,6 +20,7 @@ __all__ = [
     "DatasetError",
     "RetrievalError",
     "SerializationError",
+    "LintError",
 ]
 
 
@@ -69,3 +70,7 @@ class RetrievalError(ReproError):
 
 class SerializationError(ReproError):
     """Saving or loading a dataset/model artifact failed."""
+
+
+class LintError(ReproError):
+    """The static-analysis runner could not lint a target (bad path, syntax)."""

@@ -17,7 +17,7 @@ from typing import List, Sequence
 import numpy as np
 
 from repro.features.base import EMGFeatureExtractor
-from repro.utils.validation import check_array
+from repro.utils.validation import check_array, shapes
 
 __all__ = ["integral_absolute_value", "IAVExtractor"]
 
@@ -37,6 +37,7 @@ class IAVExtractor(EMGFeatureExtractor):
 
     features_per_channel = 1
 
+    @shapes(window="(w, c)")
     def extract(self, window: np.ndarray) -> np.ndarray:
         """IAV per channel for one window."""
         return integral_absolute_value(self._validated(window))

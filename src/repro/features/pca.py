@@ -22,7 +22,7 @@ import numpy as np
 from repro.errors import FeatureError
 from repro.features.base import MocapFeatureExtractor
 from repro.features.svd import stabilize_signs
-from repro.utils.validation import check_array
+from repro.utils.validation import check_array, shapes
 
 __all__ = ["PCAJointExtractor", "pca_joint_feature"]
 
@@ -52,6 +52,7 @@ class PCAJointExtractor(MocapFeatureExtractor):
 
     features_per_joint = 3
 
+    @shapes(window="(w, 3)")
     def extract_joint(self, window: np.ndarray) -> np.ndarray:
         """Variance-weighted principal directions of one joint window."""
         return pca_joint_feature(window)

@@ -20,7 +20,7 @@ from typing import Optional
 import numpy as np
 
 from repro.errors import FeatureError, NotFittedError
-from repro.utils.validation import check_array
+from repro.utils.validation import check_array, shapes
 
 __all__ = ["FeatureScaler"]
 
@@ -79,6 +79,7 @@ class FeatureScaler:
             )
         return (matrix - self._shift) / self._scale
 
+    @shapes(matrix="(n, d)")
     def fit_transform(self, matrix: np.ndarray) -> np.ndarray:
         """:meth:`fit` then :meth:`transform` in one call."""
         return self.fit(matrix).transform(matrix)

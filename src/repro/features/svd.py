@@ -31,7 +31,7 @@ import numpy as np
 
 from repro.errors import FeatureError
 from repro.features.base import MocapFeatureExtractor
-from repro.utils.validation import check_array
+from repro.utils.validation import check_array, shapes
 
 __all__ = ["weighted_svd_feature", "stabilize_signs", "WeightedSVDExtractor"]
 
@@ -45,7 +45,7 @@ def stabilize_signs(vt: np.ndarray) -> np.ndarray:
         The ``Vᵀ`` factor from ``numpy.linalg.svd`` (rows are right singular
         vectors).
     """
-    vt = np.asarray(vt, dtype=np.float64).copy()
+    vt = check_array(vt, name="vt", ndim=2).copy()
     for i in range(vt.shape[0]):
         row = vt[i]
         dominant = int(np.argmax(np.abs(row)))
@@ -82,6 +82,7 @@ class WeightedSVDExtractor(MocapFeatureExtractor):
 
     features_per_joint = 3
 
+    @shapes(window="(w, 3)")
     def extract_joint(self, window: np.ndarray) -> np.ndarray:
         """Eq. 3 feature for one joint window."""
         return weighted_svd_feature(window)

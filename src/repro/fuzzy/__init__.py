@@ -10,7 +10,12 @@ Implemented from scratch on numpy:
   cluster-validity indices.
 """
 
-from repro.fuzzy.cmeans import FCMResult, FuzzyCMeans
+from repro.fuzzy.cmeans import (
+    FCMResult,
+    FuzzyCMeans,
+    membership_from_distances,
+    squared_distances,
+)
 from repro.fuzzy.kmeans import KMeans, KMeansResult
 from repro.fuzzy.membership import membership_matrix
 from repro.fuzzy.selection import ClusterCountScore, select_cluster_count
@@ -19,6 +24,8 @@ from repro.fuzzy.validity import partition_coefficient, partition_entropy, xie_b
 __all__ = [
     "FCMResult",
     "FuzzyCMeans",
+    "squared_distances",
+    "membership_from_distances",
     "KMeans",
     "KMeansResult",
     "membership_matrix",

@@ -29,9 +29,9 @@ import numpy as np
 
 from repro.errors import ClusteringError
 from repro.utils.rng import SeedLike, as_generator
-from repro.utils.validation import check_array, check_in_range, check_positive_int
+from repro.utils.validation import check_array, check_in_range, check_positive_int, shapes
 
-__all__ = ["FCMResult", "FuzzyCMeans"]
+__all__ = ["FCMResult", "FuzzyCMeans", "squared_distances", "membership_from_distances"]
 
 #: Distances below this are treated as "point sits on a center".
 _EPS = 1e-12
@@ -171,23 +171,25 @@ class FuzzyCMeans:
         return (weights.T @ x) / denom[:, None]
 
     def _memberships(self, x: np.ndarray, centers: np.ndarray) -> np.ndarray:
-        d2 = _squared_distances(x, centers)
-        return _membership_from_distances(d2, self.m)
+        d2 = squared_distances(x, centers)
+        return membership_from_distances(d2, self.m)
 
     def _objective(
         self, x: np.ndarray, centers: np.ndarray, membership: np.ndarray
     ) -> float:
-        d2 = _squared_distances(x, centers)
+        d2 = squared_distances(x, centers)
         return float(np.sum((membership**self.m) * d2))
 
 
-def _squared_distances(x: np.ndarray, centers: np.ndarray) -> np.ndarray:
+@shapes(x="(n, d)", centers="(c, d)")
+def squared_distances(x: np.ndarray, centers: np.ndarray) -> np.ndarray:
     """Pairwise squared Euclidean distances, shape ``(n, c)``."""
     diff = x[:, None, :] - centers[None, :, :]
     return np.einsum("ncd,ncd->nc", diff, diff)
 
 
-def _membership_from_distances(d2: np.ndarray, m: float) -> np.ndarray:
+@shapes(d2="(n, c)")
+def membership_from_distances(d2: np.ndarray, m: float) -> np.ndarray:
     """Standard FCM membership update from squared distances.
 
     Points coinciding with one or more centers get membership split equally

@@ -15,7 +15,7 @@ from typing import Optional
 import numpy as np
 
 from repro.errors import ClusteringError
-from repro.fuzzy.cmeans import _squared_distances
+from repro.fuzzy.cmeans import squared_distances
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.validation import check_array, check_in_range, check_positive_int
 
@@ -98,7 +98,7 @@ class KMeans:
         converged = False
         iteration = 0
         for iteration in range(1, self.max_iter + 1):
-            d2 = _squared_distances(x, centers)
+            d2 = squared_distances(x, centers)
             new_labels = np.argmin(d2, axis=1)
             if np.array_equal(new_labels, labels):
                 converged = True
@@ -112,7 +112,7 @@ class KMeans:
                     # Re-seed an empty cluster at the worst-served point.
                     worst = int(np.argmax(np.min(d2, axis=1)))
                     centers[i] = x[worst]
-        d2 = _squared_distances(x, centers)
+        d2 = squared_distances(x, centers)
         labels = np.argmin(d2, axis=1)
         inertia = float(d2[np.arange(len(labels)), labels].sum())
         membership = np.zeros((x.shape[0], self.n_clusters))

@@ -20,7 +20,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ClusteringError
-from repro.fuzzy.cmeans import _membership_from_distances, _squared_distances
+from repro.fuzzy.cmeans import membership_from_distances, squared_distances
 from repro.utils.validation import check_array, check_in_range
 
 __all__ = ["membership_matrix"]
@@ -52,5 +52,5 @@ def membership_matrix(
             f"points have {points.shape[1]} dims, centers have {centers.shape[1]}"
         )
     m = check_in_range(m, name="m", low=1.0, high=float("inf"), inclusive_low=False)
-    d2 = _squared_distances(points, centers)
-    return _membership_from_distances(d2, m)
+    d2 = squared_distances(points, centers)
+    return membership_from_distances(d2, m)

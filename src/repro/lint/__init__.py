@@ -1,0 +1,41 @@
+"""Repo-specific static analysis for the ``repro`` source tree.
+
+The reproduction's correctness rests on conventions the paper makes
+explicit — seeded FCM runs, per-window feature shapes, a single error
+hierarchy — that ordinary linters cannot check.  This package parses the
+tree with :mod:`ast` and enforces them:
+
+========  ==============================================================
+``R1``    ``np.random.*`` global-state calls only in ``utils/rng.py``
+``R2``    only ``repro.errors`` classes are raised, never bare builtins
+``R3``    every public module declares a complete ``__all__`` and
+          cross-module imports respect the target's export surface
+``R4``    no mutable default args, no float-literal ``==``, no
+          wall-clock reads in core numeric paths
+``R5``    public array-taking functions validate via ``check_array`` or
+          declare a :func:`repro.utils.validation.shapes` contract
+========  ==============================================================
+
+Violations suppress per line with ``# lint: ignore[R2]`` (see
+:mod:`repro.lint.suppressions`).  Run it as ``python -m repro.lint
+src/repro`` or ``repro-motions lint``; the library API is
+:func:`lint_paths`, which returns a :class:`LintReport`.  The full rule
+catalogue is documented in ``docs/LINTING.md``.
+"""
+
+from repro.lint.rules import ALL_RULES, RULE_IDS, Rule, rules_by_id
+from repro.lint.runner import LintReport, iter_python_files, lint_paths
+from repro.lint.violations import Violation
+from repro.lint.cli import main
+
+__all__ = [
+    "ALL_RULES",
+    "RULE_IDS",
+    "Rule",
+    "rules_by_id",
+    "LintReport",
+    "iter_python_files",
+    "lint_paths",
+    "Violation",
+    "main",
+]

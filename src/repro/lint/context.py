@@ -1,0 +1,117 @@
+"""Per-module context shared by all lint rules."""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Tuple
+
+from repro.lint.suppressions import SuppressionIndex
+
+__all__ = ["ModuleContext", "PACKAGE_DIR_NAME", "CORE_NUMERIC_DIRS"]
+
+#: The package directory the repo-specific rules anchor on.
+PACKAGE_DIR_NAME = "repro"
+
+#: Sub-trees holding the numeric pipeline, where wall-clock reads are banned
+#: (they make runs irreproducible and sneak into benchmark arithmetic).
+CORE_NUMERIC_DIRS = ("core", "features", "fuzzy", "signal")
+
+
+def _relative_parts(path: Path, root: Optional[Path]) -> Tuple[str, ...]:
+    """Path parts relative to the ``repro`` package (or the lint root).
+
+    ``.../src/repro/utils/rng.py`` → ``("utils", "rng.py")`` whatever the
+    checkout location; fixture trees without a ``repro`` ancestor fall back
+    to the path relative to the root the runner was given.
+    """
+    parts = path.parts
+    if PACKAGE_DIR_NAME in parts:
+        cut = len(parts) - 1 - parts[::-1].index(PACKAGE_DIR_NAME)
+        rel = parts[cut + 1:]
+        if rel:
+            return rel
+    if root is not None:
+        try:
+            rel = path.relative_to(root).parts
+            if rel and rel[0] == PACKAGE_DIR_NAME:
+                rel = rel[1:]
+            if rel:
+                return rel
+        except ValueError:
+            pass
+    return (path.name,)
+
+
+@dataclass(frozen=True)
+class ModuleContext:
+    """Everything a rule needs to know about one parsed module.
+
+    Attributes
+    ----------
+    path:
+        The file's path as given to the runner (used in reports).
+    rel:
+        Parts relative to the ``repro`` package root, e.g.
+        ``("utils", "rng.py")``.
+    tree:
+        The parsed :class:`ast.Module`.
+    source:
+        Raw source text.
+    suppressions:
+        Parsed ``# lint: ignore[...]`` markers.
+    """
+
+    path: Path
+    rel: Tuple[str, ...]
+    tree: ast.Module
+    source: str
+    suppressions: SuppressionIndex = field(repr=False)
+
+    @classmethod
+    def parse(cls, path: Path, root: Optional[Path] = None) -> "ModuleContext":
+        """Read and parse ``path`` (raises ``SyntaxError`` on bad source)."""
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=str(path))
+        return cls(
+            path=path,
+            rel=_relative_parts(path, root),
+            tree=tree,
+            source=source,
+            suppressions=SuppressionIndex.from_source(source),
+        )
+
+    @property
+    def filename(self) -> str:
+        """Base filename, e.g. ``"rng.py"``."""
+        return self.rel[-1]
+
+    @property
+    def is_package_init(self) -> bool:
+        """Whether this module is a package ``__init__.py``."""
+        return self.filename == "__init__.py"
+
+    @property
+    def is_private_module(self) -> bool:
+        """Leading-underscore modules are internal and exempt from R3."""
+        return self.filename.startswith("_") and not self.is_package_init
+
+    @property
+    def in_core_numeric_path(self) -> bool:
+        """Whether the module lives under a core numeric sub-tree."""
+        return len(self.rel) > 1 and self.rel[0] in CORE_NUMERIC_DIRS
+
+    @property
+    def module_key(self) -> Tuple[str, ...]:
+        """Dotted-module key relative to the package: ``("utils", "rng")``.
+
+        Package ``__init__`` files key to the package itself.
+        """
+        parts = list(self.rel)
+        last = parts[-1]
+        if last == "__init__.py":
+            parts.pop()
+        elif last.endswith(".py"):
+            parts[-1] = last[:-3]
+        return tuple(parts)

@@ -1,0 +1,96 @@
+"""Cross-module checks (the project-wide half of rule R3).
+
+Re-export consistency cannot be judged one file at a time: when
+``repro/features/__init__.py`` does ``from repro.features.svd import
+WeightedSVDExtractor``, the imported name must be part of ``svd``'s declared
+export surface (its ``__all__``).  This module builds the export map of the
+whole linted tree and flags imports of names a sibling module never
+exported — the classic silent-breakage path during aggressive refactors.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.lint.context import ModuleContext, PACKAGE_DIR_NAME
+from repro.lint.rules import literal_all_names
+from repro.lint.violations import Violation
+
+__all__ = ["check_cross_module_exports"]
+
+
+def _export_map(contexts: Sequence[ModuleContext]) -> Dict[Tuple[str, ...], Optional[Set[str]]]:
+    """Module key → declared ``__all__`` names (None when undeclared)."""
+    exports: Dict[Tuple[str, ...], Optional[Set[str]]] = {}
+    for ctx in contexts:
+        found = literal_all_names(ctx.tree)
+        names = set(found[1]) if found is not None and found[1] is not None else None
+        exports[ctx.module_key] = names
+    return exports
+
+
+def _resolve_import(ctx: ModuleContext, node: ast.ImportFrom) -> Optional[Tuple[str, ...]]:
+    """Module key the import targets, or None when outside the tree."""
+    if node.level == 0:
+        if node.module is None:
+            return None
+        parts = node.module.split(".")
+        if parts[0] != PACKAGE_DIR_NAME:
+            return None
+        return tuple(parts[1:])
+    # Relative import: anchor on the importing module's package.
+    package = list(ctx.module_key)
+    if not ctx.is_package_init and package:
+        package.pop()  # plain modules import relative to their package
+    hops = node.level - 1
+    if hops > len(package):
+        return None
+    anchor = package[:len(package) - hops] if hops else package
+    if node.module:
+        anchor = anchor + node.module.split(".")
+    return tuple(anchor)
+
+
+def check_cross_module_exports(
+    contexts: Sequence[ModuleContext],
+) -> Iterator[Violation]:
+    """Yield R3 violations for imports of names absent from ``__all__``.
+
+    Imports of whole submodules (``from repro.features import svd``) are
+    allowed; only object imports are checked, and only when the target
+    module lives in the linted tree and declares a literal ``__all__``.
+    """
+    exports = _export_map(contexts)
+    modules = set(exports)
+    for ctx in contexts:
+        for stmt in ast.walk(ctx.tree):
+            if not isinstance(stmt, ast.ImportFrom):
+                continue
+            target = _resolve_import(ctx, stmt)
+            if target is None or target not in modules:
+                continue
+            target_exports = exports[target]
+            if target_exports is None:
+                continue  # target's own R3 violation already covers this
+            missing: List[str] = []
+            for alias in stmt.names:
+                if alias.name == "*":
+                    continue
+                if alias.name in target_exports:
+                    continue
+                if target + (alias.name,) in modules:
+                    continue  # importing a submodule, not an object
+                missing.append(alias.name)
+            for name in missing:
+                dotted = ".".join((PACKAGE_DIR_NAME,) + target)
+                yield Violation(
+                    rule="R3",
+                    path=str(ctx.path),
+                    line=stmt.lineno,
+                    col=stmt.col_offset,
+                    message=(
+                        f"imports '{name}' from {dotted}, which does not list "
+                        f"it in __all__; export it there or import a public name"
+                    ),
+                )

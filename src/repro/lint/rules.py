@@ -1,0 +1,492 @@
+"""The repo-specific rules R1–R5.
+
+Each rule walks one module's AST (see :class:`repro.lint.context.ModuleContext`)
+and yields :class:`repro.lint.violations.Violation` records.  The rules encode
+conventions the library's docstrings only *state*:
+
+R1
+    No ``np.random.*`` calls outside ``utils/rng.py`` — stochastic APIs take
+    a ``SeedLike`` and route through :func:`repro.utils.rng.as_generator`.
+R2
+    No bare builtin raises (``ValueError``, ``RuntimeError``, ...) inside the
+    library — every intentional error derives from ``repro.errors.ReproError``.
+R3
+    Every public module defines a literal ``__all__`` whose names all exist.
+    (The cross-module re-export half of R3 lives in :mod:`repro.lint.project`.)
+R4
+    Numeric hygiene: no mutable default arguments, no float-literal ``==`` /
+    ``!=`` comparisons, and no wall-clock reads (``time.time()``,
+    ``datetime.now()``...) in the core numeric sub-trees.
+R5
+    Public functions taking ``np.ndarray`` parameters must validate them via
+    ``check_array`` (or a ``_check*``/``_validate*`` helper) or declare a
+    :func:`repro.utils.validation.shapes` contract; declared contracts are
+    cross-checked statically (parameter names exist, specs parse).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import ValidationError
+from repro.lint.context import ModuleContext
+from repro.lint.violations import Violation
+from repro.utils.validation import parse_shape_spec
+
+__all__ = [
+    "Rule",
+    "NoGlobalNumpyRandom",
+    "ErrorsHierarchyOnly",
+    "ExportsComplete",
+    "NumericHygiene",
+    "ShapeContracts",
+    "ALL_RULES",
+    "RULE_IDS",
+    "rules_by_id",
+    "collect_module_bindings",
+    "literal_all_names",
+]
+
+
+class Rule:
+    """Base class: one statically checkable repo convention."""
+
+    #: Short identifier used in reports and suppression comments.
+    id: str = ""
+    #: One-line summary shown by ``--list-rules``.
+    title: str = ""
+
+    def check(self, ctx: ModuleContext) -> Iterator[Violation]:
+        """Yield violations of this rule in one module."""
+        raise NotImplementedError  # subclasses override
+
+    def _violation(self, ctx: ModuleContext, node: Optional[ast.AST],
+                   message: str) -> Violation:
+        line = getattr(node, "lineno", 1) if node is not None else 1
+        col = getattr(node, "col_offset", 0) if node is not None else 0
+        return Violation(rule=self.id, path=str(ctx.path), line=line,
+                         col=col, message=message)
+
+
+def _dotted_name(node: ast.AST) -> str:
+    """``np.random.default_rng`` for a Name/Attribute chain, else ``""``."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+# ----------------------------------------------------------------------
+# R1
+# ----------------------------------------------------------------------
+
+
+class NoGlobalNumpyRandom(Rule):
+    """R1: legacy/global numpy RNG use is confined to ``utils/rng.py``."""
+
+    id = "R1"
+    title = "np.random.* calls only in utils/rng.py; thread SeedLike through as_generator"
+
+    _ALLOWED_REL = ("utils", "rng.py")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Violation]:
+        if ctx.rel == self._ALLOWED_REL:
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                dotted = _dotted_name(node.func)
+                if dotted.startswith("np.random.") or dotted.startswith("numpy.random."):
+                    yield self._violation(
+                        ctx, node,
+                        f"call to '{dotted}' outside utils/rng.py; accept a "
+                        "SeedLike parameter and use repro.utils.rng.as_generator",
+                    )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "numpy.random" and node.level == 0:
+                    names = ", ".join(alias.name for alias in node.names)
+                    yield self._violation(
+                        ctx, node,
+                        f"import from numpy.random ({names}) outside utils/rng.py; "
+                        "route randomness through repro.utils.rng",
+                    )
+
+
+# ----------------------------------------------------------------------
+# R2
+# ----------------------------------------------------------------------
+
+
+class ErrorsHierarchyOnly(Rule):
+    """R2: intentional errors derive from ``repro.errors.ReproError``."""
+
+    id = "R2"
+    title = "raise repro.errors classes, not bare builtin exceptions"
+
+    _BANNED = frozenset({
+        "Exception", "BaseException", "ValueError", "TypeError",
+        "RuntimeError", "KeyError", "IndexError", "LookupError",
+        "ArithmeticError", "ZeroDivisionError", "OSError", "IOError",
+        "StopIteration", "AssertionError",
+    })
+
+    def check(self, ctx: ModuleContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Raise) or node.exc is None:
+                continue
+            exc = node.exc
+            func = exc.func if isinstance(exc, ast.Call) else exc
+            if isinstance(func, ast.Name) and func.id in self._BANNED:
+                yield self._violation(
+                    ctx, node,
+                    f"bare 'raise {func.id}'; raise a repro.errors class "
+                    "(e.g. ValidationError) so callers can catch ReproError",
+                )
+
+
+# ----------------------------------------------------------------------
+# R3 (per-module half)
+# ----------------------------------------------------------------------
+
+
+def _iter_top_level(body: Sequence[ast.stmt]) -> Iterator[ast.stmt]:
+    """Module statements, descending into top-level ``if``/``try`` blocks."""
+    for stmt in body:
+        yield stmt
+        if isinstance(stmt, ast.If):
+            yield from _iter_top_level(stmt.body)
+            yield from _iter_top_level(stmt.orelse)
+        elif isinstance(stmt, ast.Try):
+            yield from _iter_top_level(stmt.body)
+            yield from _iter_top_level(stmt.orelse)
+            yield from _iter_top_level(stmt.finalbody)
+            for handler in stmt.handlers:
+                yield from _iter_top_level(handler.body)
+
+
+def collect_module_bindings(tree: ast.Module) -> Tuple[Set[str], bool]:
+    """Names bound at module scope, and whether a ``*`` import occurred."""
+    bound: Set[str] = set()
+    star = False
+    for stmt in _iter_top_level(tree.body):
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            bound.add(stmt.name)
+        elif isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                for node in ast.walk(target):
+                    if isinstance(node, ast.Name):
+                        bound.add(node.id)
+        elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+            if isinstance(stmt.target, ast.Name):
+                bound.add(stmt.target.id)
+        elif isinstance(stmt, ast.Import):
+            for alias in stmt.names:
+                bound.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(stmt, ast.ImportFrom):
+            for alias in stmt.names:
+                if alias.name == "*":
+                    star = True
+                else:
+                    bound.add(alias.asname or alias.name)
+    return bound, star
+
+
+def literal_all_names(tree: ast.Module):
+    """``(node, names)`` for a literal module-level ``__all__``, else ``None``.
+
+    ``names`` is ``None`` when ``__all__`` exists but is not a literal
+    list/tuple of strings.
+    """
+    for stmt in _iter_top_level(tree.body):
+        value = None
+        if isinstance(stmt, ast.Assign):
+            if any(isinstance(t, ast.Name) and t.id == "__all__"
+                   for t in stmt.targets):
+                value = stmt.value
+        elif isinstance(stmt, ast.AnnAssign):
+            if isinstance(stmt.target, ast.Name) and stmt.target.id == "__all__":
+                value = stmt.value
+        if value is None:
+            continue
+        if isinstance(value, (ast.List, ast.Tuple)) and all(
+            isinstance(e, ast.Constant) and isinstance(e.value, str)
+            for e in value.elts
+        ):
+            return stmt, [e.value for e in value.elts]
+        return stmt, None
+    return None
+
+
+class ExportsComplete(Rule):
+    """R3: public modules declare a complete, resolvable ``__all__``."""
+
+    id = "R3"
+    title = "every public module defines __all__ and every listed name exists"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Violation]:
+        if ctx.is_private_module or ctx.filename == "__main__.py":
+            return
+        found = literal_all_names(ctx.tree)
+        if found is None:
+            yield self._violation(
+                ctx, None,
+                "public module defines no __all__; declare its export surface",
+            )
+            return
+        node, names = found
+        if names is None:
+            yield self._violation(
+                ctx, node,
+                "__all__ must be a literal list/tuple of string names",
+            )
+            return
+        bound, star = collect_module_bindings(ctx.tree)
+        if star:
+            return  # cannot verify names through a * import
+        for name in names:
+            if name not in bound:
+                yield self._violation(
+                    ctx, node,
+                    f"__all__ lists '{name}' but the module never binds it",
+                )
+        seen: Set[str] = set()
+        for name in names:
+            if name in seen:
+                yield self._violation(
+                    ctx, node, f"__all__ lists '{name}' more than once",
+                )
+            seen.add(name)
+
+
+# ----------------------------------------------------------------------
+# R4
+# ----------------------------------------------------------------------
+
+
+class NumericHygiene(Rule):
+    """R4: mutable defaults, float-literal equality, wall-clock reads."""
+
+    id = "R4"
+    title = "no mutable defaults, float == literals, or wall-clock in numeric paths"
+
+    _MUTABLE_CALLS = frozenset({"list", "dict", "set", "bytearray"})
+    _CLOCK_SUFFIXES = (
+        "time.time", "time.perf_counter", "time.perf_counter_ns",
+        "time.monotonic", "time.monotonic_ns", "time.process_time",
+        "datetime.now", "datetime.utcnow", "date.today",
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Violation]:
+        in_numeric = ctx.in_core_numeric_path
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_defaults(ctx, node)
+            elif isinstance(node, ast.Compare):
+                yield from self._check_float_eq(ctx, node)
+            elif in_numeric and isinstance(node, ast.Call):
+                dotted = _dotted_name(node.func)
+                if dotted and any(dotted == s or dotted.endswith("." + s)
+                                  for s in self._CLOCK_SUFFIXES):
+                    yield self._violation(
+                        ctx, node,
+                        f"wall-clock read '{dotted}()' in a core numeric path; "
+                        "pass timestamps in explicitly to keep runs reproducible",
+                    )
+
+    def _check_defaults(self, ctx: ModuleContext, fn) -> Iterator[Violation]:
+        defaults = list(fn.args.defaults)
+        defaults += [d for d in fn.args.kw_defaults if d is not None]
+        for default in defaults:
+            mutable = isinstance(
+                default,
+                (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp,
+                 ast.SetComp),
+            )
+            if (isinstance(default, ast.Call)
+                    and isinstance(default.func, ast.Name)
+                    and default.func.id in self._MUTABLE_CALLS):
+                mutable = True
+            if mutable:
+                yield self._violation(
+                    ctx, default,
+                    f"mutable default argument in '{fn.name}'; default to "
+                    "None and build the container in the body",
+                )
+
+    def _check_float_eq(self, ctx: ModuleContext, node: ast.Compare) -> Iterator[Violation]:
+        operands = [node.left] + list(node.comparators)
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            for side in (left, right):
+                if isinstance(side, ast.Constant) and isinstance(side.value, float):
+                    yield self._violation(
+                        ctx, node,
+                        f"float literal compared with '=='/'!=' ({side.value!r}); "
+                        "use an inequality or an explicit tolerance",
+                    )
+                    break
+
+
+# ----------------------------------------------------------------------
+# R5
+# ----------------------------------------------------------------------
+
+
+def _is_array_annotation(ann: Optional[ast.AST]) -> bool:
+    """Whether an annotation denotes ``np.ndarray`` (possibly Optional)."""
+    if ann is None:
+        return False
+    if isinstance(ann, ast.Constant) and isinstance(ann.value, str):
+        try:
+            ann = ast.parse(ann.value, mode="eval").body
+        except SyntaxError:
+            return False
+    if isinstance(ann, ast.Attribute) and ann.attr == "ndarray":
+        return True
+    if isinstance(ann, ast.Name) and ann.id == "ndarray":
+        return True
+    if isinstance(ann, ast.BinOp) and isinstance(ann.op, ast.BitOr):
+        return _is_array_annotation(ann.left) or _is_array_annotation(ann.right)
+    if isinstance(ann, ast.Subscript):
+        base = ann.value
+        base_name = getattr(base, "id", None) or getattr(base, "attr", None)
+        if base_name == "Optional":
+            return _is_array_annotation(ann.slice)
+    return False
+
+
+def _is_abstract_or_stub(fn) -> bool:
+    for deco in fn.decorator_list:
+        if "abstractmethod" in ast.dump(deco):
+            return True
+    body = [stmt for stmt in fn.body
+            if not (isinstance(stmt, ast.Expr)
+                    and isinstance(stmt.value, ast.Constant)
+                    and isinstance(stmt.value.value, (str, type(Ellipsis))))]
+    if not body:
+        return True
+    if len(body) == 1 and isinstance(body[0], ast.Pass):
+        return True
+    if (len(body) == 1 and isinstance(body[0], ast.Raise)
+            and isinstance(body[0].exc, (ast.Call, ast.Name))):
+        exc = body[0].exc
+        func = exc.func if isinstance(exc, ast.Call) else exc
+        if isinstance(func, ast.Name) and func.id == "NotImplementedError":
+            return True
+    return False
+
+
+def _shapes_decorator(fn) -> Optional[ast.Call]:
+    for deco in fn.decorator_list:
+        if isinstance(deco, ast.Call):
+            name = _dotted_name(deco.func).split(".")[-1]
+            if name == "shapes":
+                return deco
+    return None
+
+
+def _calls_validator(fn) -> bool:
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Call):
+            name = _dotted_name(node.func).split(".")[-1]
+            if (name == "check_array" or name.startswith("_check")
+                    or name.startswith("_validate")):
+                return True
+    return False
+
+
+class ShapeContracts(Rule):
+    """R5: array-taking public functions validate or declare their shapes."""
+
+    id = "R5"
+    title = "ndarray parameters go through check_array or a @shapes contract"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Violation]:
+        yield from self._walk(ctx, ctx.tree.body)
+
+    def _walk(self, ctx: ModuleContext, body: Sequence[ast.stmt]) -> Iterator[Violation]:
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_function(ctx, stmt)
+                # Nested defs are implementation details; do not descend.
+            elif isinstance(stmt, ast.ClassDef):
+                yield from self._walk(ctx, stmt.body)
+            elif isinstance(stmt, (ast.If, ast.Try)):
+                yield from self._walk(ctx, stmt.body)
+
+    def _check_function(self, ctx: ModuleContext, fn) -> Iterator[Violation]:
+        decorator = _shapes_decorator(fn)
+        if decorator is not None:
+            yield from self._check_contract(ctx, fn, decorator)
+        if fn.name.startswith("_"):
+            return
+        array_params = [
+            arg.arg
+            for arg in list(fn.args.args) + list(fn.args.kwonlyargs)
+            if _is_array_annotation(arg.annotation)
+        ]
+        if not array_params or _is_abstract_or_stub(fn):
+            return
+        if decorator is not None or _calls_validator(fn):
+            return
+        names = ", ".join(f"'{p}'" for p in array_params)
+        yield self._violation(
+            ctx, fn,
+            f"public function '{fn.name}' takes array parameter(s) {names} "
+            "but neither calls check_array nor declares a @shapes contract",
+        )
+
+    def _check_contract(self, ctx: ModuleContext, fn,
+                        decorator: ast.Call) -> Iterator[Violation]:
+        param_names = {arg.arg for arg in
+                       list(fn.args.args) + list(fn.args.kwonlyargs)
+                       + list(filter(None, [fn.args.vararg, fn.args.kwarg]))}
+        for keyword in decorator.keywords:
+            if keyword.arg is None:
+                continue  # **kwargs expansion: nothing to check statically
+            if keyword.arg not in param_names:
+                yield self._violation(
+                    ctx, decorator,
+                    f"@shapes on '{fn.name}' names unknown parameter "
+                    f"'{keyword.arg}'",
+                )
+            value = keyword.value
+            if isinstance(value, ast.Constant) and isinstance(value.value, str):
+                try:
+                    parse_shape_spec(value.value)
+                except ValidationError as exc:
+                    yield self._violation(
+                        ctx, decorator,
+                        f"@shapes on '{fn.name}': {exc}",
+                    )
+
+
+#: Rule instances in report order.
+ALL_RULES: Tuple[Rule, ...] = (
+    NoGlobalNumpyRandom(),
+    ErrorsHierarchyOnly(),
+    ExportsComplete(),
+    NumericHygiene(),
+    ShapeContracts(),
+)
+
+#: Known rule identifiers (used by the CLI's ``--select`` validation).
+RULE_IDS: Tuple[str, ...] = tuple(rule.id for rule in ALL_RULES)
+
+
+def rules_by_id(select: Optional[Iterable[str]] = None) -> Tuple[Rule, ...]:
+    """Resolve a ``--select`` list to rule instances (all rules when None)."""
+    if select is None:
+        return ALL_RULES
+    wanted = {token.upper() for token in select}
+    unknown = wanted - set(RULE_IDS)
+    if unknown:
+        raise ValidationError(
+            f"unknown rule id(s) {sorted(unknown)}; known: {list(RULE_IDS)}"
+        )
+    return tuple(rule for rule in ALL_RULES if rule.id in wanted)

@@ -1,0 +1,116 @@
+"""File collection and rule execution."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import LintError
+from repro.lint.context import ModuleContext
+from repro.lint.project import check_cross_module_exports
+from repro.lint.rules import Rule, rules_by_id
+from repro.lint.suppressions import SuppressionIndex
+from repro.lint.violations import Violation, sort_violations
+
+__all__ = ["LintReport", "iter_python_files", "lint_paths"]
+
+
+@dataclass(frozen=True)
+class LintReport:
+    """The outcome of one lint run."""
+
+    violations: Tuple[Violation, ...]
+    n_files: int
+
+    @property
+    def ok(self) -> bool:
+        """Whether the tree is clean."""
+        return not self.violations
+
+    def to_dict(self) -> dict:
+        """JSON-friendly representation for ``--format json``."""
+        return {
+            "files_checked": self.n_files,
+            "ok": self.ok,
+            "violations": [v.to_dict() for v in self.violations],
+        }
+
+
+def iter_python_files(paths: Iterable) -> List[Tuple[Path, Path]]:
+    """Expand files/directories into ``(file, root)`` pairs, sorted.
+
+    ``root`` is the directory argument a file was found under (the file's
+    parent for file arguments); rules use it to compute package-relative
+    paths for trees living outside a ``repro`` directory.
+    """
+    out: List[Tuple[Path, Path]] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_file():
+            out.append((path, path.parent))
+        elif path.is_dir():
+            out.extend((f, path) for f in sorted(path.rglob("*.py")))
+        else:
+            raise LintError(f"no such file or directory: {path}")
+    # De-duplicate while keeping order stable.
+    seen = set()
+    unique: List[Tuple[Path, Path]] = []
+    for pair in out:
+        key = pair[0].resolve()
+        if key not in seen:
+            seen.add(key)
+            unique.append(pair)
+    return unique
+
+
+def lint_paths(
+    paths: Sequence,
+    select: Optional[Sequence[str]] = None,
+) -> LintReport:
+    """Lint files/directories and return the report.
+
+    Parameters
+    ----------
+    paths:
+        Files and/or directories (directories are walked recursively).
+    select:
+        Optional subset of rule ids to run (default: all rules).  The
+        cross-module export check runs with R3.
+    """
+    rules: Tuple[Rule, ...] = rules_by_id(select)
+    files = iter_python_files(paths)
+    contexts: List[ModuleContext] = []
+    violations: List[Violation] = []
+    for path, root in files:
+        try:
+            ctx = ModuleContext.parse(path, root)
+        except (SyntaxError, UnicodeDecodeError) as exc:
+            line = getattr(exc, "lineno", 1) or 1
+            suppressions = _best_effort_suppressions(path)
+            if not suppressions.is_suppressed("E0", line):
+                violations.append(Violation(
+                    rule="E0", path=str(path), line=line, col=0,
+                    message=f"could not parse file: {exc}",
+                ))
+            continue
+        contexts.append(ctx)
+        for rule in rules:
+            for violation in rule.check(ctx):
+                if not ctx.suppressions.is_suppressed(violation.rule,
+                                                      violation.line):
+                    violations.append(violation)
+    if select is None or "R3" in {token.upper() for token in select}:
+        by_path = {str(ctx.path): ctx for ctx in contexts}
+        for violation in check_cross_module_exports(contexts):
+            ctx = by_path[violation.path]
+            if not ctx.suppressions.is_suppressed(violation.rule, violation.line):
+                violations.append(violation)
+    return LintReport(violations=sort_violations(violations), n_files=len(files))
+
+
+def _best_effort_suppressions(path: Path) -> SuppressionIndex:
+    try:
+        return SuppressionIndex.from_source(path.read_text(encoding="utf-8"))
+    except (OSError, UnicodeDecodeError):
+        return SuppressionIndex({}, frozenset())

@@ -1,0 +1,100 @@
+"""Per-line suppression comments.
+
+A violation reported on line ``L`` is suppressed when line ``L`` carries a
+comment of the form::
+
+    # lint: ignore[R2]          suppress rule R2 on this line
+    # lint: ignore[R1, R4]      suppress several rules
+    # lint: ignore              suppress every rule on this line
+
+and a whole file can opt out of specific rules anywhere in the file with::
+
+    # lint: ignore-file[R3]
+
+Comments are found with :mod:`tokenize` so the marker inside a string
+literal does not suppress anything; files that fail to tokenize fall back
+to a plain per-line scan (the runner reports their syntax error anyway).
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from typing import Dict, FrozenSet, List, Tuple
+
+__all__ = ["SuppressionIndex", "parse_suppression_comment"]
+
+_PATTERN = re.compile(
+    r"#\s*lint:\s*ignore(?P<file>-file)?\s*(?:\[(?P<rules>[A-Za-z0-9,\s]*)\])?"
+)
+
+#: Sentinel meaning "every rule" (a bare ``# lint: ignore``).
+_ALL = frozenset({"*"})
+
+
+def parse_suppression_comment(comment: str) -> Tuple[FrozenSet[str], bool]:
+    """Parse one comment string.
+
+    Returns ``(rule_ids, file_wide)`` where ``rule_ids`` is a frozenset of
+    rule names (``{"*"}`` for an unqualified ignore) and ``file_wide`` marks
+    the ``ignore-file`` form.  Returns ``(frozenset(), False)`` when the
+    comment is not a suppression marker.
+    """
+    match = _PATTERN.search(comment)
+    if match is None:
+        return frozenset(), False
+    file_wide = match.group("file") is not None
+    rules_text = match.group("rules")
+    if rules_text is None:
+        return _ALL, file_wide
+    rules = frozenset(
+        token.strip().upper() for token in rules_text.split(",") if token.strip()
+    )
+    return (rules or _ALL), file_wide
+
+
+class SuppressionIndex:
+    """All suppression markers of one source file, queryable by line."""
+
+    def __init__(self, by_line: Dict[int, FrozenSet[str]],
+                 file_wide: FrozenSet[str]):
+        self._by_line = by_line
+        self._file_wide = file_wide
+
+    @classmethod
+    def from_source(cls, source: str) -> "SuppressionIndex":
+        """Build the index from a file's source text."""
+        comments: List[Tuple[int, str]] = []
+        try:
+            tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+            for token in tokens:
+                if token.type == tokenize.COMMENT:
+                    comments.append((token.start[0], token.string))
+        except (tokenize.TokenError, IndentationError, SyntaxError):
+            # Unparseable file: approximate with a physical-line scan so the
+            # syntax-error report itself stays suppressible.
+            for lineno, line in enumerate(source.splitlines(), start=1):
+                if "#" in line:
+                    comments.append((lineno, line[line.index("#"):]))
+        by_line: Dict[int, FrozenSet[str]] = {}
+        file_wide: FrozenSet[str] = frozenset()
+        for lineno, text in comments:
+            rules, is_file_wide = parse_suppression_comment(text)
+            if not rules:
+                continue
+            if is_file_wide:
+                file_wide = file_wide | rules
+            else:
+                by_line[lineno] = by_line.get(lineno, frozenset()) | rules
+        return cls(by_line, file_wide)
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        """Whether ``rule`` is suppressed for a violation on ``line``."""
+        rule = rule.upper()
+        if "*" in self._file_wide or rule in self._file_wide:
+            return True
+        rules = self._by_line.get(line)
+        if rules is None:
+            return False
+        return "*" in rules or rule in rules

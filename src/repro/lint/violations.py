@@ -1,0 +1,53 @@
+"""The violation record produced by every lint rule."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+__all__ = ["Violation", "sort_violations"]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule violation at one source location.
+
+    Attributes
+    ----------
+    rule:
+        Rule identifier (``"R1"`` ... ``"R5"``, or ``"E0"`` for files the
+        runner could not parse).
+    path:
+        Path of the offending file, as given to the runner.
+    line:
+        1-based line number.
+    col:
+        0-based column offset.
+    message:
+        Human-readable description of what fired and how to fix it.
+    """
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def format_text(self) -> str:
+        """``path:line:col: RULE message`` — the text-mode report line."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def to_dict(self) -> dict:
+        """JSON-friendly representation used by ``--format json``."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+def sort_violations(violations) -> Tuple[Violation, ...]:
+    """Deterministic report order: by path, then line, column and rule."""
+    return tuple(sorted(violations, key=lambda v: (v.path, v.line, v.col, v.rule)))

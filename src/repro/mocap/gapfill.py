@@ -11,6 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import SignalError
+from repro.utils.validation import check_array
 
 __all__ = ["fill_gaps", "gap_statistics"]
 
@@ -23,7 +24,8 @@ def fill_gaps(positions_mm: np.ndarray) -> np.ndarray:
     SignalError
         If any column is entirely NaN (nothing to interpolate from).
     """
-    positions = np.asarray(positions_mm, dtype=np.float64)
+    positions = check_array(positions_mm, name="positions_mm",
+                            allow_non_finite=True)
     if positions.ndim != 2:
         raise SignalError(f"positions must be 2-D, got shape {positions.shape}")
     out = positions.copy()
@@ -47,7 +49,8 @@ def gap_statistics(positions_mm: np.ndarray) -> dict:
     Useful for acquisition-quality reporting and tested independently of the
     filler.
     """
-    positions = np.asarray(positions_mm, dtype=np.float64)
+    positions = check_array(positions_mm, name="positions_mm",
+                            allow_non_finite=True)
     if positions.ndim != 2:
         raise SignalError(f"positions must be 2-D, got shape {positions.shape}")
     mask = np.isnan(positions)

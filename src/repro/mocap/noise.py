@@ -40,7 +40,7 @@ class MarkerNoiseModel:
     def apply(self, positions_mm: np.ndarray, seed: SeedLike = None) -> np.ndarray:
         """Return a jittered copy of an ``(n_frames, k)`` position array."""
         positions = check_array(positions_mm, name="positions_mm", ndim=2)
-        if self.sigma_mm == 0.0:
+        if self.sigma_mm <= 0.0:
             return positions.copy()
         rng = as_generator(seed)
         return positions + rng.normal(0.0, self.sigma_mm, size=positions.shape)
@@ -77,7 +77,7 @@ class OcclusionModel:
         """
         positions = check_array(positions_mm, name="positions_mm", ndim=2)
         out = positions.copy()
-        if self.dropout_rate_per_s == 0.0:
+        if self.dropout_rate_per_s <= 0.0:
             return out
         rng = as_generator(seed)
         n = positions.shape[0]

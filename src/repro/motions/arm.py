@@ -19,10 +19,13 @@ from typing import Dict, Tuple
 
 import numpy as np
 
+from repro.errors import ValidationError
 from repro.motions.base import MotionClass, register_motion_class
 from repro.motions.profiles import bell, minimum_jerk, oscillation, ramp_hold, raised_cosine_pulse
+from repro.utils.validation import check_array
 
 __all__ = [
+    "xyz_curves",
     "RaiseArm",
     "ThrowBall",
     "WaveHand",
@@ -46,17 +49,17 @@ _ARM_SEGMENTS: Tuple[str, ...] = ("clavicle_r", "humerus_r", "radius_r", "hand_r
 _TONIC = 0.05
 
 
-def _xyz(x: np.ndarray, y: np.ndarray | float = 0.0, z: np.ndarray | float = 0.0) -> np.ndarray:
+def xyz_curves(x: np.ndarray, y: np.ndarray | float = 0.0, z: np.ndarray | float = 0.0) -> np.ndarray:
     """Stack X/Y/Z angle curves (scalars broadcast) into an (n, 3) array."""
     lengths = [len(v) for v in (x, y, z) if not np.isscalar(v)]
     if not lengths:
-        raise ValueError("_xyz needs at least one array-valued component")
+        raise ValidationError("xyz_curves needs at least one array-valued component")
     n = lengths[0]
 
     def column(v) -> np.ndarray:
         if np.isscalar(v):
             return np.full(n, v, dtype=np.float64)
-        return np.asarray(v, dtype=np.float64)
+        return check_array(v, name="xyz_curves component", ndim=1, dtype=np.float64)
 
     return np.stack([column(x), column(y), column(z)], axis=1)
 
@@ -79,9 +82,9 @@ class RaiseArm(MotionClass):
         shoulder_flex = amplitude * 2.2 * lift
         elbow_flex = amplitude * 0.25 * lift
         return {
-            "humerus_r": _xyz(shoulder_flex),
-            "radius_r": _xyz(elbow_flex),
-            "hand_r": _xyz(amplitude * 0.1 * lift),
+            "humerus_r": xyz_curves(shoulder_flex),
+            "radius_r": xyz_curves(elbow_flex),
+            "hand_r": xyz_curves(amplitude * 0.1 * lift),
         }
 
     def _activations(self, s: np.ndarray, amplitude: float) -> Dict[str, np.ndarray]:
@@ -118,10 +121,10 @@ class ThrowBall(MotionClass):
         shoulder_abduct = amplitude * 0.5 * bell(s, 0.4, 0.2)
         elbow_flex = amplitude * (1.6 * windup + 0.3 * (1.0 - strike))
         return {
-            "clavicle_r": _xyz(amplitude * 0.15 * strike),
-            "humerus_r": _xyz(shoulder_flex, shoulder_abduct),
-            "radius_r": _xyz(elbow_flex),
-            "hand_r": _xyz(amplitude * -0.6 * bell(s, 0.55, 0.08)),
+            "clavicle_r": xyz_curves(amplitude * 0.15 * strike),
+            "humerus_r": xyz_curves(shoulder_flex, shoulder_abduct),
+            "radius_r": xyz_curves(elbow_flex),
+            "hand_r": xyz_curves(amplitude * -0.6 * bell(s, 0.55, 0.08)),
         }
 
     def _activations(self, s: np.ndarray, amplitude: float) -> Dict[str, np.ndarray]:
@@ -150,9 +153,9 @@ class WaveHand(MotionClass):
         wave_env = raised_cosine_pulse(s, 0.2, 0.85)
         wave = oscillation(s, cycles=3.0, envelope=wave_env)
         return {
-            "humerus_r": _xyz(amplitude * 1.2 * hold, amplitude * 0.25 * wave),
-            "radius_r": _xyz(amplitude * 1.5 * hold, 0.0, amplitude * 0.5 * wave),
-            "hand_r": _xyz(0.0, 0.0, amplitude * 0.4 * wave),
+            "humerus_r": xyz_curves(amplitude * 1.2 * hold, amplitude * 0.25 * wave),
+            "radius_r": xyz_curves(amplitude * 1.5 * hold, 0.0, amplitude * 0.5 * wave),
+            "hand_r": xyz_curves(0.0, 0.0, amplitude * 0.4 * wave),
         }
 
     def _activations(self, s: np.ndarray, amplitude: float) -> Dict[str, np.ndarray]:
@@ -180,9 +183,9 @@ class PunchForward(MotionClass):
         jab = raised_cosine_pulse(s, 0.25, 0.75)
         guard_elbow = 1.8 * (1.0 - jab * 0.9)
         return {
-            "humerus_r": _xyz(amplitude * 1.3 * jab, amplitude * -0.2 * jab),
-            "radius_r": _xyz(amplitude * guard_elbow),
-            "hand_r": _xyz(0.0, 0.0, amplitude * 0.2 * jab),
+            "humerus_r": xyz_curves(amplitude * 1.3 * jab, amplitude * -0.2 * jab),
+            "radius_r": xyz_curves(amplitude * guard_elbow),
+            "hand_r": xyz_curves(0.0, 0.0, amplitude * 0.2 * jab),
         }
 
     def _activations(self, s: np.ndarray, amplitude: float) -> Dict[str, np.ndarray]:
@@ -209,10 +212,10 @@ class ReachForward(MotionClass):
     def _angles(self, s: np.ndarray, amplitude: float) -> Dict[str, np.ndarray]:
         reach = ramp_hold(s, up_end=0.45, down_start=0.62)
         return {
-            "clavicle_r": _xyz(amplitude * 0.1 * reach),
-            "humerus_r": _xyz(amplitude * 1.1 * reach),
-            "radius_r": _xyz(amplitude * -0.3 * reach + 0.35 * (1.0 - reach)),
-            "hand_r": _xyz(amplitude * 0.15 * reach),
+            "clavicle_r": xyz_curves(amplitude * 0.1 * reach),
+            "humerus_r": xyz_curves(amplitude * 1.1 * reach),
+            "radius_r": xyz_curves(amplitude * -0.3 * reach + 0.35 * (1.0 - reach)),
+            "hand_r": xyz_curves(amplitude * 0.15 * reach),
         }
 
     def _activations(self, s: np.ndarray, amplitude: float) -> Dict[str, np.ndarray]:
@@ -244,9 +247,9 @@ class LiftObject(MotionClass):
     def _angles(self, s: np.ndarray, amplitude: float) -> Dict[str, np.ndarray]:
         lift = ramp_hold(s, up_end=0.45, down_start=0.65)
         return {
-            "humerus_r": _xyz(amplitude * 1.0 * lift),
-            "radius_r": _xyz(amplitude * 1.1 * lift),
-            "hand_r": _xyz(amplitude * -0.2 * lift),
+            "humerus_r": xyz_curves(amplitude * 1.0 * lift),
+            "radius_r": xyz_curves(amplitude * 1.1 * lift),
+            "hand_r": xyz_curves(amplitude * -0.2 * lift),
         }
 
     def _activations(self, s: np.ndarray, amplitude: float) -> Dict[str, np.ndarray]:
@@ -279,9 +282,9 @@ class DrinkFromCup(MotionClass):
         raise_cup = ramp_hold(s, up_end=0.35, down_start=0.7)
         tip = bell(s, 0.5, 0.09)
         return {
-            "humerus_r": _xyz(amplitude * 0.6 * raise_cup),
-            "radius_r": _xyz(amplitude * 1.9 * raise_cup),
-            "hand_r": _xyz(amplitude * 0.5 * tip, 0.0, amplitude * 0.2 * raise_cup),
+            "humerus_r": xyz_curves(amplitude * 0.6 * raise_cup),
+            "radius_r": xyz_curves(amplitude * 1.9 * raise_cup),
+            "hand_r": xyz_curves(amplitude * 0.5 * tip, 0.0, amplitude * 0.2 * raise_cup),
         }
 
     def _activations(self, s: np.ndarray, amplitude: float) -> Dict[str, np.ndarray]:
@@ -313,9 +316,9 @@ class PushForward(MotionClass):
         push = ramp_hold(s, up_end=0.5, down_start=0.7)
         guard_elbow = 1.6 * (1.0 - 0.85 * push)
         return {
-            "humerus_r": _xyz(amplitude * 1.1 * push),
-            "radius_r": _xyz(amplitude * guard_elbow),
-            "hand_r": _xyz(amplitude * -0.15 * push),
+            "humerus_r": xyz_curves(amplitude * 1.1 * push),
+            "radius_r": xyz_curves(amplitude * guard_elbow),
+            "hand_r": xyz_curves(amplitude * -0.15 * push),
         }
 
     def _activations(self, s: np.ndarray, amplitude: float) -> Dict[str, np.ndarray]:

@@ -13,7 +13,7 @@ from typing import Dict, Tuple
 
 import numpy as np
 
-from repro.motions.arm import _xyz
+from repro.motions.arm import xyz_curves
 from repro.motions.base import MotionClass, register_motion_class
 from repro.motions.profiles import bell, oscillation, ramp_hold, raised_cosine_pulse
 
@@ -52,10 +52,10 @@ class KickBall(MotionClass):
         knee_flex = amplitude * (-1.3 * backswing - 0.2 * swing)
         ankle = amplitude * 0.4 * swing  # dorsiflexed toes during the strike
         return {
-            "femur_r": _xyz(hip_flex),
-            "tibia_r": _xyz(knee_flex),
-            "foot_r": _xyz(ankle),
-            "toe_r": _xyz(amplitude * 0.15 * swing),
+            "femur_r": xyz_curves(hip_flex),
+            "tibia_r": xyz_curves(knee_flex),
+            "foot_r": xyz_curves(ankle),
+            "toe_r": xyz_curves(amplitude * 0.15 * swing),
         }
 
     def _activations(self, s: np.ndarray, amplitude: float) -> Dict[str, np.ndarray]:
@@ -83,10 +83,10 @@ class StepForward(MotionClass):
         knee_flex = amplitude * (-0.9 * swing * bell(s, 0.3, 0.12) - 0.1 * stance)
         ankle = amplitude * (0.35 * swing - 0.45 * stance)
         return {
-            "femur_r": _xyz(hip_flex),
-            "tibia_r": _xyz(knee_flex),
-            "foot_r": _xyz(ankle),
-            "toe_r": _xyz(amplitude * -0.3 * stance),
+            "femur_r": xyz_curves(hip_flex),
+            "tibia_r": xyz_curves(knee_flex),
+            "foot_r": xyz_curves(ankle),
+            "toe_r": xyz_curves(amplitude * -0.3 * stance),
         }
 
     def _activations(self, s: np.ndarray, amplitude: float) -> Dict[str, np.ndarray]:
@@ -110,10 +110,10 @@ class Squat(MotionClass):
     def _angles(self, s: np.ndarray, amplitude: float) -> Dict[str, np.ndarray]:
         depth = ramp_hold(s, up_end=0.4, down_start=0.6)
         return {
-            "femur_r": _xyz(amplitude * 1.4 * depth),
-            "tibia_r": _xyz(amplitude * -1.8 * depth),
-            "foot_r": _xyz(amplitude * 0.45 * depth),
-            "toe_r": _xyz(amplitude * 0.1 * depth),
+            "femur_r": xyz_curves(amplitude * 1.4 * depth),
+            "tibia_r": xyz_curves(amplitude * -1.8 * depth),
+            "foot_r": xyz_curves(amplitude * 0.45 * depth),
+            "toe_r": xyz_curves(amplitude * 0.1 * depth),
         }
 
     def _activations(self, s: np.ndarray, amplitude: float) -> Dict[str, np.ndarray]:
@@ -140,10 +140,10 @@ class ToeTap(MotionClass):
         taps = oscillation(s, cycles=4.0, envelope=env)
         lifted = np.maximum(taps, 0.0)
         return {
-            "femur_r": _xyz(amplitude * 0.05 * env),
-            "tibia_r": _xyz(amplitude * -0.05 * env),
-            "foot_r": _xyz(amplitude * 0.5 * lifted),
-            "toe_r": _xyz(amplitude * 0.25 * lifted),
+            "femur_r": xyz_curves(amplitude * 0.05 * env),
+            "tibia_r": xyz_curves(amplitude * -0.05 * env),
+            "foot_r": xyz_curves(amplitude * 0.5 * lifted),
+            "toe_r": xyz_curves(amplitude * 0.25 * lifted),
         }
 
     def _activations(self, s: np.ndarray, amplitude: float) -> Dict[str, np.ndarray]:
@@ -167,10 +167,10 @@ class HeelRaise(MotionClass):
     def _angles(self, s: np.ndarray, amplitude: float) -> Dict[str, np.ndarray]:
         rise = ramp_hold(s, up_end=0.35, down_start=0.65)
         return {
-            "femur_r": _xyz(amplitude * -0.05 * rise),
-            "tibia_r": _xyz(amplitude * 0.1 * rise),
-            "foot_r": _xyz(amplitude * -0.6 * rise),
-            "toe_r": _xyz(amplitude * 0.3 * rise),
+            "femur_r": xyz_curves(amplitude * -0.05 * rise),
+            "tibia_r": xyz_curves(amplitude * 0.1 * rise),
+            "foot_r": xyz_curves(amplitude * -0.6 * rise),
+            "toe_r": xyz_curves(amplitude * 0.3 * rise),
         }
 
     def _activations(self, s: np.ndarray, amplitude: float) -> Dict[str, np.ndarray]:
@@ -199,10 +199,10 @@ class Stomp(MotionClass):
     def _angles(self, s: np.ndarray, amplitude: float) -> Dict[str, np.ndarray]:
         lift = raised_cosine_pulse(s, 0.1, 0.6)
         return {
-            "femur_r": _xyz(amplitude * 1.0 * lift),
-            "tibia_r": _xyz(amplitude * -1.0 * lift),
-            "foot_r": _xyz(amplitude * 0.3 * lift),
-            "toe_r": _xyz(amplitude * 0.1 * lift),
+            "femur_r": xyz_curves(amplitude * 1.0 * lift),
+            "tibia_r": xyz_curves(amplitude * -1.0 * lift),
+            "foot_r": xyz_curves(amplitude * 0.3 * lift),
+            "toe_r": xyz_curves(amplitude * 0.1 * lift),
         }
 
     def _activations(self, s: np.ndarray, amplitude: float) -> Dict[str, np.ndarray]:
@@ -231,10 +231,10 @@ class LegSwing(MotionClass):
         env = raised_cosine_pulse(s, 0.08, 0.92)
         swing = oscillation(s, cycles=2.5, envelope=env)
         return {
-            "femur_r": _xyz(amplitude * 0.7 * swing),
-            "tibia_r": _xyz(amplitude * -0.25 * np.abs(swing)),
-            "foot_r": _xyz(amplitude * 0.15 * swing),
-            "toe_r": _xyz(amplitude * 0.05 * swing),
+            "femur_r": xyz_curves(amplitude * 0.7 * swing),
+            "tibia_r": xyz_curves(amplitude * -0.25 * np.abs(swing)),
+            "foot_r": xyz_curves(amplitude * 0.15 * swing),
+            "toe_r": xyz_curves(amplitude * 0.05 * swing),
         }
 
     def _activations(self, s: np.ndarray, amplitude: float) -> Dict[str, np.ndarray]:

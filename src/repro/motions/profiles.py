@@ -9,6 +9,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.errors import ValidationError
+from repro.utils.validation import check_array
+
 __all__ = [
     "minimum_jerk",
     "bell",
@@ -25,23 +28,23 @@ def minimum_jerk(s: np.ndarray) -> np.ndarray:
     The classical ``10 s^3 − 15 s^4 + 6 s^5`` polynomial; values outside
     [0, 1] are clamped to the endpoints.
     """
-    s = np.clip(np.asarray(s, dtype=np.float64), 0.0, 1.0)
+    s = np.clip(check_array(s, name="s", dtype=np.float64), 0.0, 1.0)
     return 10.0 * s**3 - 15.0 * s**4 + 6.0 * s**5
 
 
 def bell(s: np.ndarray, center: float, width: float) -> np.ndarray:
     """Gaussian bump with unit peak at ``center`` and std ``width``."""
-    s = np.asarray(s, dtype=np.float64)
+    s = check_array(s, name="s", dtype=np.float64)
     if width <= 0:
-        raise ValueError(f"width must be positive, got {width}")
+        raise ValidationError(f"width must be positive, got {width}")
     return np.exp(-0.5 * ((s - center) / width) ** 2)
 
 
 def raised_cosine_pulse(s: np.ndarray, start: float, stop: float) -> np.ndarray:
     """Smooth 0→1→0 pulse supported on [start, stop] (raised cosine)."""
-    s = np.asarray(s, dtype=np.float64)
+    s = check_array(s, name="s", dtype=np.float64)
     if not stop > start:
-        raise ValueError(f"pulse needs stop > start, got [{start}, {stop}]")
+        raise ValidationError(f"pulse needs stop > start, got [{start}, {stop}]")
     u = (s - start) / (stop - start)
     out = np.where((u >= 0) & (u <= 1), 0.5 * (1.0 - np.cos(2.0 * np.pi * np.clip(u, 0, 1))), 0.0)
     return out
@@ -52,9 +55,9 @@ def ramp_hold(s: np.ndarray, up_end: float, down_start: float) -> np.ndarray:
 
     Uses minimum-jerk ramps on both sides so velocities are zero at the ends.
     """
-    s = np.asarray(s, dtype=np.float64)
+    s = check_array(s, name="s", dtype=np.float64)
     if not 0.0 < up_end <= down_start < 1.0:
-        raise ValueError(
+        raise ValidationError(
             f"need 0 < up_end <= down_start < 1, got up_end={up_end}, down_start={down_start}"
         )
     rise = minimum_jerk(s / up_end)
@@ -65,10 +68,10 @@ def ramp_hold(s: np.ndarray, up_end: float, down_start: float) -> np.ndarray:
 
 def oscillation(s: np.ndarray, cycles: float, envelope: np.ndarray | None = None) -> np.ndarray:
     """Sine oscillation over [0, 1] with ``cycles`` periods, optional envelope."""
-    s = np.asarray(s, dtype=np.float64)
+    s = check_array(s, name="s", dtype=np.float64)
     wave = np.sin(2.0 * np.pi * cycles * s)
     if envelope is not None:
-        wave = wave * np.asarray(envelope, dtype=np.float64)
+        wave = wave * check_array(envelope, name="envelope", dtype=np.float64)
     return wave
 
 
@@ -82,8 +85,8 @@ def smooth_noise(
     wobble for joint angles.
     """
     if n < 1:
-        raise ValueError(f"n must be >= 1, got {n}")
-    if scale == 0.0:
+        raise ValidationError(f"n must be >= 1, got {n}")
+    if scale <= 0.0:
         return np.zeros(n)
     raw = rng.normal(size=n + 2 * smoothness)
     kernel = np.ones(smoothness) / smoothness

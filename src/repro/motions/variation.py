@@ -21,6 +21,7 @@ from typing import Dict, Optional, Sequence
 
 import numpy as np
 
+from repro.errors import ValidationError
 from repro.utils.rng import SeedLike, as_generator
 
 __all__ = ["TrialVariation", "ParticipantProfile", "VariationModel"]
@@ -137,7 +138,7 @@ class VariationModel:
             ("style_sigma", style_sigma),
         ]:
             if value < 0:
-                raise ValueError(f"{name} must be non-negative, got {value}")
+                raise ValidationError(f"{name} must be non-negative, got {value}")
         self.amplitude_sigma = amplitude_sigma
         self.speed_sigma = speed_sigma
         self.angle_noise_rad = angle_noise_rad

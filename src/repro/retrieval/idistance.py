@@ -29,7 +29,7 @@ from repro.errors import NotFittedError, RetrievalError
 from repro.fuzzy.kmeans import KMeans
 from repro.retrieval.knn import NearestNeighborIndex
 from repro.utils.rng import SeedLike
-from repro.utils.validation import check_array, check_positive_int
+from repro.utils.validation import check_array, check_positive_int, shapes
 
 __all__ = ["IDistanceIndex"]
 
@@ -83,6 +83,7 @@ class IDistanceIndex(NearestNeighborIndex):
 
     # ------------------------------------------------------------------
 
+    @shapes(vectors="(n, d)")
     def fit(self, vectors: np.ndarray) -> "IDistanceIndex":
         """Build reference points, keys and the sorted key array."""
         x = check_array(vectors, name="vectors", ndim=2, allow_empty=False)
@@ -124,6 +125,7 @@ class IDistanceIndex(NearestNeighborIndex):
 
     # ------------------------------------------------------------------
 
+    @shapes(vector="(d,)")
     def query(self, vector: np.ndarray, k: int) -> Tuple[np.ndarray, np.ndarray]:
         """Exact k-NN by expanding annulus search over the key array."""
         if (

@@ -51,6 +51,7 @@ def knn_vote(labels: Sequence[str], distances: np.ndarray) -> str:
     distances:
         Matching distances (used only for tie-breaking sanity).
     """
+    distances = check_array(distances, name="distances", ndim=1)
     if not labels:
         raise RetrievalError("cannot vote on an empty neighbour list")
     if len(labels) != len(distances):

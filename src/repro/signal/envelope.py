@@ -63,6 +63,7 @@ def linear_envelope(x: np.ndarray, fs: float, cutoff_hz: float = 6.0) -> np.ndar
         Smoothing cutoff; 3–10 Hz is conventional for movement studies.
     """
     fs = check_in_range(fs, name="fs", low=0.0, high=float("inf"), inclusive_low=False)
+    x = check_array(x, name="x", dtype=np.float64)
     rectified = full_wave_rectify(x)
     filt = butter_lowpass(cutoff_hz, fs, order=4)
     env = filt.apply_zero_phase(rectified, axis=0)

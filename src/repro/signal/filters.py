@@ -28,7 +28,7 @@ from typing import Tuple
 import numpy as np
 
 from repro.errors import SignalError
-from repro.utils.validation import check_in_range, check_positive_int
+from repro.utils.validation import check_array, check_in_range, check_positive_int
 
 __all__ = [
     "IIRFilter",
@@ -97,11 +97,11 @@ class IIRFilter:
         """Filter order (denominator degree)."""
         return len(self.a) - 1
 
-    def apply(self, x: np.ndarray, axis: int = 0) -> np.ndarray:
+    def apply(self, x: np.ndarray, axis: int = 0) -> np.ndarray:  # lint: ignore[R5]
         """Causal filtering along ``axis`` (direct form II transposed)."""
         return lfilter(self.b, self.a, x, axis=axis)
 
-    def apply_zero_phase(self, x: np.ndarray, axis: int = 0) -> np.ndarray:
+    def apply_zero_phase(self, x: np.ndarray, axis: int = 0) -> np.ndarray:  # lint: ignore[R5]
         """Zero-phase forward-backward filtering along ``axis``."""
         return filtfilt(self.b, self.a, x, axis=axis)
 
@@ -205,9 +205,9 @@ def butter_bandpass(
                    f"butterworth bandpass {low_hz:g}-{high_hz:g}Hz order {order}")
 
 
-def _normalize_ba(b: np.ndarray, a: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
-    b = np.atleast_1d(np.asarray(b, dtype=np.float64))
-    a = np.atleast_1d(np.asarray(a, dtype=np.float64))
+def _validate_ba(b: np.ndarray, a: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    b = np.atleast_1d(check_array(b, name="b", dtype=np.float64))
+    a = np.atleast_1d(check_array(a, name="a", dtype=np.float64))
     if a[0] == 0:
         raise SignalError("a[0] must be nonzero")
     return b / a[0], a / a[0]
@@ -220,7 +220,7 @@ def lfilter_zi(b: np.ndarray, a: np.ndarray) -> np.ndarray:
     response start at its final value, used by :func:`filtfilt` to suppress
     edge transients (the same construction as ``scipy.signal.lfilter_zi``).
     """
-    b, a = _normalize_ba(b, a)
+    b, a = _validate_ba(b, a)
     n = max(len(a), len(b))
     if n == 1:
         return np.zeros(0)
@@ -256,7 +256,7 @@ def lfilter(
         Optional initial state of shape ``(n_taps - 1,)`` or
         ``(n_taps - 1, n_signals)``; defaults to rest (all zeros).
     """
-    b, a = _normalize_ba(b, a)
+    b, a = _validate_ba(b, a)
     x = np.asarray(x, dtype=np.float64)
     if x.size == 0:
         return x.copy()
@@ -303,7 +303,7 @@ def filtfilt(b: np.ndarray, a: np.ndarray, x: np.ndarray, axis: int = 0) -> np.n
     initial conditions (:func:`lfilter_zi`) scaled by the first/last sample —
     the same transient-suppression strategy as ``scipy.signal.filtfilt``.
     """
-    b, a = _normalize_ba(b, a)
+    b, a = _validate_ba(b, a)
     x = np.asarray(x, dtype=np.float64)
     if x.size == 0:
         return x.copy()

@@ -12,7 +12,7 @@ from typing import Tuple
 import numpy as np
 
 from repro.errors import SignalError
-from repro.utils.validation import check_array, check_in_range, check_positive_int
+from repro.utils.validation import check_array, check_in_range, check_positive_int, shapes
 
 __all__ = ["welch_psd", "band_power"]
 
@@ -67,6 +67,7 @@ def welch_psd(
     return freqs, psd
 
 
+@shapes(x="(n,)")
 def band_power(
     x: np.ndarray, fs: float, low_hz: float, high_hz: float, nperseg: int = 256
 ) -> float:

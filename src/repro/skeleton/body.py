@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Dict, Tuple
 
+from repro.errors import ValidationError
 from repro.skeleton.model import Segment, Skeleton
 
 __all__ = [
@@ -77,7 +78,7 @@ def scaled_body(scale: float) -> Skeleton:
     body is a smaller participant performing the same motions).
     """
     if not scale > 0:
-        raise ValueError(f"scale must be positive, got {scale}")
+        raise ValidationError(f"scale must be positive, got {scale}")
     segments = []
     for name, (parent, offset) in DEFAULT_SEGMENT_OFFSETS.items():
         scaled = tuple(scale * v for v in offset)

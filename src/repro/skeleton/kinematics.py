@@ -39,7 +39,7 @@ def euler_to_matrix(angles_rad: np.ndarray) -> np.ndarray:
         Rotation matrices of shape ``(..., 3, 3)``, computed as
         ``R = Rx @ Ry @ Rz``.
     """
-    angles = np.asarray(angles_rad, dtype=np.float64)
+    angles = check_array(angles_rad, name="angles_rad", dtype=np.float64)
     if angles.shape[-1] != 3:
         raise SkeletonError(f"angles must have last dimension 3, got {angles.shape}")
     ax, ay, az = angles[..., 0], angles[..., 1], angles[..., 2]

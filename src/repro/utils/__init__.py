@@ -6,6 +6,8 @@ from repro.utils.validation import (
     check_positive_int,
     check_probability,
     check_in_range,
+    parse_shape_spec,
+    shapes,
 )
 from repro.utils.windows import (
     num_windows,
@@ -22,6 +24,8 @@ __all__ = [
     "check_positive_int",
     "check_probability",
     "check_in_range",
+    "parse_shape_spec",
+    "shapes",
     "num_windows",
     "window_bounds",
     "iter_windows",

@@ -23,7 +23,7 @@ from typing import Iterator, Optional, Tuple
 import numpy as np
 
 from repro.errors import ValidationError
-from repro.utils.validation import check_in_range, check_positive_int
+from repro.utils.validation import check_in_range, check_positive_int, shapes
 
 __all__ = [
     "num_windows",
@@ -104,6 +104,7 @@ def num_windows(
     return len(window_bounds(n_frames, window, stride, min_fraction))
 
 
+@shapes(data="(n, ...)")
 def iter_windows(
     data: np.ndarray,
     window: int,
@@ -118,6 +119,7 @@ def iter_windows(
         yield data[start:stop]
 
 
+@shapes(data="(n, d)")
 def sliding_window_view_2d(data: np.ndarray, window: int, stride: int) -> np.ndarray:
     """Strided view of shape ``(n_windows, window, n_cols)`` over a 2-D array.
 

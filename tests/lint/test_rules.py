@@ -1,0 +1,432 @@
+"""Fixture tests: each rule fires on violating code and stays quiet on clean code.
+
+Fixtures are written to ``tmp_path`` and linted through the public API, so
+these tests exercise file collection, path relativization, suppression
+parsing and the CLI exactly as a real run would.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import LintError, ValidationError
+from repro.lint import RULE_IDS, lint_paths, rules_by_id
+from repro.lint.cli import main as lint_main
+
+
+def write_tree(root, files):
+    for rel, source in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source)
+    return root
+
+
+def lint(root, files, select=None):
+    write_tree(root, files)
+    return lint_paths([root], select=select)
+
+
+def rules_of(report):
+    return [v.rule for v in report.violations]
+
+
+# ----------------------------------------------------------------------
+# R1 — global numpy RNG confinement
+# ----------------------------------------------------------------------
+
+
+class TestR1:
+    def test_fires_on_np_random_call(self, tmp_path):
+        report = lint(tmp_path, {
+            "mod.py": "import numpy as np\nx = np.random.default_rng()\n",
+        }, select=["R1"])
+        assert rules_of(report) == ["R1"]
+        assert "utils/rng.py" in report.violations[0].message
+
+    def test_fires_on_numpy_random_import(self, tmp_path):
+        report = lint(tmp_path, {
+            "mod.py": "from numpy.random import default_rng\n",
+        }, select=["R1"])
+        assert rules_of(report) == ["R1"]
+
+    def test_allowed_inside_utils_rng(self, tmp_path):
+        report = lint(tmp_path, {
+            "utils/rng.py": "import numpy as np\nx = np.random.default_rng()\n",
+        }, select=["R1"])
+        assert report.ok
+
+    def test_quiet_on_generator_use(self, tmp_path):
+        report = lint(tmp_path, {
+            "mod.py": "def draw(rng):\n    return rng.normal()\n",
+        }, select=["R1"])
+        assert report.ok
+
+
+# ----------------------------------------------------------------------
+# R2 — errors hierarchy
+# ----------------------------------------------------------------------
+
+
+class TestR2:
+    def test_fires_on_bare_builtin_raise(self, tmp_path):
+        report = lint(tmp_path, {
+            "mod.py": "def f(x):\n    raise ValueError('bad')\n",
+        }, select=["R2"])
+        assert rules_of(report) == ["R2"]
+
+    def test_fires_on_uncalled_exception(self, tmp_path):
+        report = lint(tmp_path, {
+            "mod.py": "def f():\n    raise RuntimeError\n",
+        }, select=["R2"])
+        assert rules_of(report) == ["R2"]
+
+    def test_allows_repro_errors_and_reraise(self, tmp_path):
+        report = lint(tmp_path, {
+            "mod.py": (
+                "from repro.errors import ValidationError\n"
+                "def f(x):\n"
+                "    try:\n"
+                "        raise ValidationError('bad')\n"
+                "    except ValidationError:\n"
+                "        raise\n"
+            ),
+        }, select=["R2"])
+        assert report.ok
+
+    def test_allows_not_implemented_error(self, tmp_path):
+        report = lint(tmp_path, {
+            "mod.py": "def f():\n    raise NotImplementedError\n",
+        }, select=["R2"])
+        assert report.ok
+
+
+# ----------------------------------------------------------------------
+# R3 — export surfaces
+# ----------------------------------------------------------------------
+
+
+class TestR3:
+    def test_missing_all(self, tmp_path):
+        report = lint(tmp_path, {"mod.py": "x = 1\n"}, select=["R3"])
+        assert rules_of(report) == ["R3"]
+        assert "__all__" in report.violations[0].message
+
+    def test_non_literal_all(self, tmp_path):
+        report = lint(tmp_path, {
+            "mod.py": "names = ['x']\n__all__ = names\nx = 1\n",
+        }, select=["R3"])
+        assert rules_of(report) == ["R3"]
+        assert "literal" in report.violations[0].message
+
+    def test_unbound_name(self, tmp_path):
+        report = lint(tmp_path, {
+            "mod.py": "__all__ = ['ghost']\n",
+        }, select=["R3"])
+        assert rules_of(report) == ["R3"]
+        assert "ghost" in report.violations[0].message
+
+    def test_duplicate_name(self, tmp_path):
+        report = lint(tmp_path, {
+            "mod.py": "__all__ = ['x', 'x']\nx = 1\n",
+        }, select=["R3"])
+        assert rules_of(report) == ["R3"]
+        assert "more than once" in report.violations[0].message
+
+    def test_private_module_exempt(self, tmp_path):
+        report = lint(tmp_path, {"_mod.py": "x = 1\n"}, select=["R3"])
+        assert report.ok
+
+    def test_clean_module(self, tmp_path):
+        report = lint(tmp_path, {
+            "mod.py": "__all__ = ['f']\ndef f():\n    return 1\n",
+        }, select=["R3"])
+        assert report.ok
+
+    def test_cross_module_private_import(self, tmp_path):
+        report = lint(tmp_path, {
+            "repro/__init__.py": "__all__ = []\n",
+            "repro/a.py": "__all__ = ['f']\ndef f():\n    return 1\n"
+                          "def _hidden():\n    return 2\n",
+            "repro/b.py": "from repro.a import _hidden\n"
+                          "__all__ = ['g']\ndef g():\n    return _hidden()\n",
+        }, select=["R3"])
+        assert rules_of(report) == ["R3"]
+        assert "_hidden" in report.violations[0].message
+        assert report.violations[0].path.endswith("b.py")
+
+    def test_cross_module_submodule_import_allowed(self, tmp_path):
+        report = lint(tmp_path, {
+            "repro/__init__.py": "__all__ = []\n",
+            "repro/pkg/__init__.py": "__all__ = []\n",
+            "repro/pkg/a.py": "__all__ = ['f']\ndef f():\n    return 1\n",
+            "repro/b.py": "from repro.pkg import a\n"
+                          "__all__ = ['g']\ndef g():\n    return a.f()\n",
+        }, select=["R3"])
+        assert report.ok
+
+    def test_cross_module_relative_import(self, tmp_path):
+        report = lint(tmp_path, {
+            "repro/__init__.py": "__all__ = []\n",
+            "repro/a.py": "__all__ = []\ndef _hidden():\n    return 1\n",
+            "repro/b.py": "from .a import _hidden\n"
+                          "__all__ = ['g']\ndef g():\n    return _hidden()\n",
+        }, select=["R3"])
+        assert rules_of(report) == ["R3"]
+
+
+# ----------------------------------------------------------------------
+# R4 — numeric hygiene
+# ----------------------------------------------------------------------
+
+
+class TestR4:
+    def test_mutable_default(self, tmp_path):
+        report = lint(tmp_path, {
+            "mod.py": "def f(x, acc=[]):\n    return acc\n",
+        }, select=["R4"])
+        assert rules_of(report) == ["R4"]
+        assert "mutable default" in report.violations[0].message
+
+    def test_mutable_default_call(self, tmp_path):
+        report = lint(tmp_path, {
+            "mod.py": "def f(x, acc=dict()):\n    return acc\n",
+        }, select=["R4"])
+        assert rules_of(report) == ["R4"]
+
+    def test_float_literal_equality(self, tmp_path):
+        report = lint(tmp_path, {
+            "mod.py": "def f(x):\n    return x == 0.5\n",
+        }, select=["R4"])
+        assert rules_of(report) == ["R4"]
+        assert "tolerance" in report.violations[0].message
+
+    def test_float_inequality_allowed(self, tmp_path):
+        report = lint(tmp_path, {
+            "mod.py": "def f(x):\n    return x <= 0.5 or x == 3\n",
+        }, select=["R4"])
+        assert report.ok
+
+    def test_wall_clock_in_core_path(self, tmp_path):
+        report = lint(tmp_path, {
+            "core/mod.py": "import time\ndef f():\n    return time.time()\n",
+        }, select=["R4"])
+        assert rules_of(report) == ["R4"]
+        assert "wall-clock" in report.violations[0].message
+
+    def test_wall_clock_outside_core_path(self, tmp_path):
+        report = lint(tmp_path, {
+            "io/mod.py": "import time\ndef f():\n    return time.time()\n",
+        }, select=["R4"])
+        assert report.ok
+
+
+# ----------------------------------------------------------------------
+# R5 — shape discipline
+# ----------------------------------------------------------------------
+
+_ARRAY_FN = (
+    "import numpy as np\n"
+    "def f(x: np.ndarray) -> np.ndarray:\n"
+    "    return x * 2\n"
+)
+
+
+class TestR5:
+    def test_fires_on_unvalidated_array_param(self, tmp_path):
+        report = lint(tmp_path, {"mod.py": _ARRAY_FN}, select=["R5"])
+        assert rules_of(report) == ["R5"]
+        assert "'x'" in report.violations[0].message
+
+    def test_check_array_satisfies(self, tmp_path):
+        report = lint(tmp_path, {
+            "mod.py": (
+                "import numpy as np\n"
+                "from repro.utils.validation import check_array\n"
+                "def f(x: np.ndarray) -> np.ndarray:\n"
+                "    x = check_array(x, name='x')\n"
+                "    return x * 2\n"
+            ),
+        }, select=["R5"])
+        assert report.ok
+
+    def test_shapes_contract_satisfies(self, tmp_path):
+        report = lint(tmp_path, {
+            "mod.py": (
+                "import numpy as np\n"
+                "from repro.utils.validation import shapes\n"
+                "@shapes(x='(n, d)')\n"
+                "def f(x: np.ndarray) -> np.ndarray:\n"
+                "    return x * 2\n"
+            ),
+        }, select=["R5"])
+        assert report.ok
+
+    def test_private_function_exempt(self, tmp_path):
+        report = lint(tmp_path, {
+            "mod.py": "import numpy as np\ndef _f(x: np.ndarray):\n    return x\n",
+        }, select=["R5"])
+        assert report.ok
+
+    def test_abstract_method_exempt(self, tmp_path):
+        report = lint(tmp_path, {
+            "mod.py": (
+                "import abc\nimport numpy as np\n"
+                "class A(abc.ABC):\n"
+                "    @abc.abstractmethod\n"
+                "    def f(self, x: np.ndarray) -> np.ndarray:\n"
+                "        ...\n"
+            ),
+        }, select=["R5"])
+        assert report.ok
+
+    def test_non_array_annotations_ignored(self, tmp_path):
+        report = lint(tmp_path, {
+            "mod.py": (
+                "import numpy as np\n"
+                "from typing import Callable, Mapping\n"
+                "def f(fn: Callable[[np.ndarray], float],\n"
+                "      table: Mapping[str, np.ndarray]) -> float:\n"
+                "    return 0.0\n"
+            ),
+        }, select=["R5"])
+        assert report.ok
+
+    def test_contract_unknown_parameter(self, tmp_path):
+        report = lint(tmp_path, {
+            "mod.py": (
+                "import numpy as np\n"
+                "from repro.utils.validation import shapes\n"
+                "@shapes(y='(n,)')\n"
+                "def f(x: np.ndarray) -> np.ndarray:\n"
+                "    return x\n"
+            ),
+        }, select=["R5"])
+        assert "unknown parameter 'y'" in report.violations[0].message
+
+    def test_contract_bad_spec(self, tmp_path):
+        report = lint(tmp_path, {
+            "mod.py": (
+                "import numpy as np\n"
+                "from repro.utils.validation import shapes\n"
+                "@shapes(x='n, d')\n"
+                "def f(x: np.ndarray) -> np.ndarray:\n"
+                "    return x\n"
+            ),
+        }, select=["R5"])
+        assert rules_of(report) == ["R5"]
+
+
+# ----------------------------------------------------------------------
+# Suppressions, parse errors, selection
+# ----------------------------------------------------------------------
+
+
+class TestSuppressions:
+    def test_line_suppression(self, tmp_path):
+        report = lint(tmp_path, {
+            "mod.py": "def f(x):\n"
+                      "    raise ValueError('bad')  # lint: ignore[R2]\n",
+        }, select=["R2"])
+        assert report.ok
+
+    def test_line_suppression_is_rule_specific(self, tmp_path):
+        report = lint(tmp_path, {
+            "mod.py": "def f(x):\n"
+                      "    raise ValueError('bad')  # lint: ignore[R1]\n",
+        }, select=["R2"])
+        assert rules_of(report) == ["R2"]
+
+    def test_bare_ignore_suppresses_all_rules(self, tmp_path):
+        report = lint(tmp_path, {
+            "mod.py": "def f(x):\n"
+                      "    raise ValueError('bad')  # lint: ignore\n",
+        }, select=["R2"])
+        assert report.ok
+
+    def test_file_wide_suppression(self, tmp_path):
+        report = lint(tmp_path, {
+            "mod.py": "# lint: ignore-file[R2]\n"
+                      "def f(x):\n"
+                      "    raise ValueError('one')\n"
+                      "def g(x):\n"
+                      "    raise ValueError('two')\n",
+        }, select=["R2"])
+        assert report.ok
+
+
+class TestRunner:
+    def test_syntax_error_reports_e0(self, tmp_path):
+        report = lint(tmp_path, {"mod.py": "def broken(:\n"})
+        assert rules_of(report) == ["E0"]
+        assert not report.ok
+
+    def test_missing_path_raises(self, tmp_path):
+        with pytest.raises(LintError):
+            lint_paths([tmp_path / "nope"])
+
+    def test_select_unknown_rule_raises(self, tmp_path):
+        write_tree(tmp_path, {"mod.py": "__all__ = []\n"})
+        with pytest.raises(ValidationError):
+            lint_paths([tmp_path], select=["R9"])
+
+    def test_violations_sorted_by_path_then_line(self, tmp_path):
+        report = lint(tmp_path, {
+            "a.py": "def f(x):\n    raise ValueError('a')\n"
+                    "def g(x):\n    raise ValueError('b')\n",
+            "b.py": "def h(x):\n    raise ValueError('c')\n",
+        }, select=["R2"])
+        keys = [(v.path, v.line) for v in report.violations]
+        assert keys == sorted(keys)
+
+
+class TestCli:
+    def test_exit_zero_on_clean_tree(self, tmp_path, capsys):
+        write_tree(tmp_path, {"mod.py": "__all__ = []\n"})
+        assert lint_main([str(tmp_path)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_exit_one_on_violations(self, tmp_path, capsys):
+        write_tree(tmp_path, {"mod.py": "x = 1\n"})
+        assert lint_main([str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "R3" in out
+
+    def test_exit_two_on_missing_path(self, tmp_path, capsys):
+        assert lint_main([str(tmp_path / "nope")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_json_format(self, tmp_path, capsys):
+        write_tree(tmp_path, {"mod.py": "x = 1\n"})
+        assert lint_main([str(tmp_path), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        assert payload["violations"][0]["rule"] == "R3"
+        assert {"rule", "path", "line", "col", "message"} <= set(
+            payload["violations"][0]
+        )
+
+    def test_select_limits_rules(self, tmp_path, capsys):
+        write_tree(tmp_path, {"mod.py": "x = 1\n"})  # violates R3 only
+        assert lint_main([str(tmp_path), "--select", "R1"]) == 0
+        capsys.readouterr()
+
+    def test_list_rules(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in RULE_IDS:
+            assert rule_id in out
+
+    def test_umbrella_cli_has_lint_subcommand(self, tmp_path, capsys):
+        from repro.cli import main as repro_main
+
+        write_tree(tmp_path, {"mod.py": "__all__ = []\n"})
+        assert repro_main(["lint", str(tmp_path)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+
+def test_rules_by_id_roundtrip():
+    assert [r.id for r in rules_by_id(None)] == list(RULE_IDS)
+    assert [r.id for r in rules_by_id(["r2", "R5"])] == ["R2", "R5"]

@@ -62,3 +62,17 @@ def test_spawn_consumes_root_state():
     first = spawn_generators(root, 2)
     second = spawn_generators(root, 2)
     assert first[0].normal() != second[0].normal()
+
+
+def test_spawn_generators_children_independent_of_sibling_consumption():
+    """Draws from one child do not perturb another child's stream."""
+    a1, b1 = spawn_generators(9, 2)
+    a2, b2 = spawn_generators(9, 2)
+    a1.normal(size=100)  # consume heavily from the first child
+    np.testing.assert_array_equal(b1.normal(size=8), b2.normal(size=8))
+
+
+def test_spawn_generators_distinct_seeds_distinct_streams():
+    a = spawn_generators(0, 1)[0].normal(size=8)
+    b = spawn_generators(1, 1)[0].normal(size=8)
+    assert not np.allclose(a, b)
