@@ -14,6 +14,11 @@ Protocol choices (documented in EXPERIMENTS.md):
   the stride ablation benchmark compares this against non-overlapping
   windows);
 * k = 5 for the retrieval metric, as in the paper.
+
+Every benchmark session also runs with observability enabled in
+aggregate-only mode (``max_spans=0`` — exact per-stage totals, no
+individual span records) and dumps the ``repro.obs/v1`` payload to
+``benchmarks/_cache/obs_metrics.json`` on exit.
 """
 
 from __future__ import annotations
@@ -33,8 +38,30 @@ from repro.data.serialize import load_dataset, save_dataset
 from repro.eval.experiments import ExperimentResult, SweepResult, run_experiment
 from repro.features.combine import WindowFeaturizer
 from repro.core.model import MotionClassifier
+from repro.obs.config import configure
+from repro.obs.export import collect_payload, write_json
 
 CACHE_DIR = Path(__file__).parent / "_cache"
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _obs_session():
+    """Collect per-stage telemetry for the whole benchmark session.
+
+    ``max_spans=0`` keeps exact per-stage aggregates and counters without
+    retaining individual span records, so memory stays flat over long
+    sweeps.  The payload lands in ``benchmarks/_cache/obs_metrics.json``.
+    """
+    state = configure(enabled=True, reset=True, max_spans=0)
+    try:
+        yield state
+    finally:
+        configure(enabled=False)
+        CACHE_DIR.mkdir(exist_ok=True)
+        write_json(
+            CACHE_DIR / "obs_metrics.json",
+            collect_payload(state, meta={"source": "benchmarks"}),
+        )
 
 #: Campaign size (per study).
 N_PARTICIPANTS = 4

@@ -8,11 +8,14 @@ minute:
 2. split it into a motion database and held-out queries;
 3. fit the classifier: IAV + weighted-SVD window features, fuzzy c-means,
    2c max/min membership signatures;
-4. classify the queries by nearest neighbour and retrieve k-NN matches.
+4. classify the queries by nearest neighbour and retrieve k-NN matches;
+5. profile the query path with the built-in observability layer
+   (docs/OBSERVABILITY.md).
 
 Run:  python examples/quickstart.py
 """
 
+import repro.obs as obs
 from repro import MotionClassifier, WindowFeaturizer, build_dataset, hand_protocol
 from repro.eval.metrics import misclassification_rate
 
@@ -52,6 +55,21 @@ def main() -> None:
     for neighbor in model.kneighbors(query, k=5):
         print(f"  {neighbor.key:32s} label={neighbor.label:16s} "
               f"distance={neighbor.distance:.3f}")
+
+    # ------------------------------------------------------------------
+    # Profiling your pipeline.  Observability is off by default (the
+    # instrumented code paths pay a single flag check); obs.capture()
+    # enables it with fresh recorders for the duration of the block.
+    # ------------------------------------------------------------------
+    print("\nProfiling the query path (obs.capture)...")
+    with obs.capture() as state:
+        for record in test:
+            model.classify(record)
+    payload = obs.collect_payload(state, meta={"n_queries": len(test)})
+    print(obs.format_stage_table(payload["stages"]))
+    print("(per-stage wall time of Eq. 9 membership, signature building "
+          "and k-NN search; run `repro-motions profile` for the full "
+          "pipeline, acquisition and FCM included)")
 
 
 if __name__ == "__main__":

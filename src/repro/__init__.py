@@ -27,6 +27,7 @@ Quickstart
 >>> prediction = model.classify(test[0])
 """
 
+from repro import obs
 from repro.baselines.dtw import DTWClassifier
 from repro.core.model import MotionClassifier, RetrievedNeighbor
 from repro.core.signature import MotionSignature, motion_signature
@@ -59,6 +60,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
+    "obs",
     "DTWClassifier",
     "ActivityDetector",
     "spot_and_classify",

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Four subcommands cover the library's workflow without writing Python:
+Six subcommands cover the library's workflow without writing Python:
 
 ``repro-motions build``
     Simulate a capture campaign and save it to disk.
@@ -10,17 +10,25 @@ Four subcommands cover the library's workflow without writing Python:
 ``repro-motions sweep``
     Run the paper's Figure 6–9 grid on a saved dataset and print the series.
 ``repro-motions info``
-    Describe a saved dataset.
+    Describe the environment (and, optionally, a saved dataset).
+``repro-motions profile``
+    Profile one synthetic end-to-end run with observability enabled and
+    report the per-stage breakdown (see docs/OBSERVABILITY.md).
 ``repro-motions lint``
     Run the repo-specific static-analysis rules (see :mod:`repro.lint`).
+
+``build`` and ``evaluate`` additionally accept ``--trace`` (print a
+per-stage timing table after the run) and ``--metrics-out PATH`` (write the
+``repro.obs/v1`` telemetry payload as JSON).
 
 Example
 -------
 ::
 
     repro-motions build --study hand --participants 2 --trials 3 -o /tmp/hand
-    repro-motions evaluate /tmp/hand --clusters 15 --window-ms 100
+    repro-motions evaluate /tmp/hand --clusters 15 --window-ms 100 --trace
     repro-motions sweep /tmp/hand --clusters 2 5 10 20 40
+    repro-motions profile --clusters 8 -o /tmp/profile.json
 """
 
 from __future__ import annotations
@@ -49,6 +57,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_obs_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--trace", action="store_true",
+                       help="print a per-stage timing table after the run")
+        p.add_argument("--metrics-out", metavar="PATH", default=None,
+                       help="write the repro.obs/v1 telemetry payload as JSON")
+
     p_build = sub.add_parser("build", help="simulate and save a capture campaign")
     p_build.add_argument("--study", choices=("hand", "leg"), default="hand")
     p_build.add_argument("--participants", type=int, default=2)
@@ -57,6 +71,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_build.add_argument("--seed", type=int, default=0)
     p_build.add_argument("-o", "--output", required=True,
                          help="output path stem (writes <stem>.json/.npz)")
+    add_obs_flags(p_build)
 
     p_eval = sub.add_parser("evaluate", help="evaluate one configuration")
     p_eval.add_argument("dataset", help="dataset path stem")
@@ -69,6 +84,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_eval.add_argument("--scaler", choices=("zscore", "minmax", "none"),
                         default="zscore")
     p_eval.add_argument("--clusterer", choices=("fcm", "kmeans"), default="fcm")
+    add_obs_flags(p_eval)
 
     p_sweep = sub.add_parser("sweep", help="run the paper's figure grid")
     p_sweep.add_argument("dataset", help="dataset path stem")
@@ -84,8 +100,28 @@ def build_parser() -> argparse.ArgumentParser:
                          help="also write <PREFIX>_misclassification.csv and "
                               "<PREFIX>_knn.csv in long format")
 
-    p_info = sub.add_parser("info", help="describe a saved dataset")
-    p_info.add_argument("dataset", help="dataset path stem")
+    p_info = sub.add_parser(
+        "info", help="describe the environment and (optionally) a dataset"
+    )
+    p_info.add_argument("dataset", nargs="?", default=None,
+                        help="dataset path stem (omit for environment info only)")
+
+    p_prof = sub.add_parser(
+        "profile",
+        help="profile a synthetic end-to-end run (observability enabled)",
+    )
+    p_prof.add_argument("--study", choices=("hand", "leg"), default="hand")
+    p_prof.add_argument("--participants", type=int, default=1)
+    p_prof.add_argument("--trials", type=int, default=2,
+                        help="trials per motion class per participant")
+    p_prof.add_argument("--clusters", type=int, default=8)
+    p_prof.add_argument("--window-ms", type=float, default=100.0)
+    p_prof.add_argument("--stride-ms", type=float, default=None)
+    p_prof.add_argument("--k", type=int, default=5)
+    p_prof.add_argument("--test-fraction", type=float, default=0.25)
+    p_prof.add_argument("--seed", type=int, default=0)
+    p_prof.add_argument("-o", "--output", default="profile.json",
+                        help="JSON payload output path (default: profile.json)")
 
     p_lint = sub.add_parser("lint", help="run the repo's static-analysis rules")
     p_lint.add_argument("paths", nargs="*",
@@ -194,11 +230,79 @@ def _cmd_lint(args) -> int:
     return lint_run(args.paths, fmt=args.format, select=args.select)
 
 
+#: Optional extras probed by ``repro-motions info`` (import name, extra).
+_OPTIONAL_EXTRAS = (
+    ("pytest", "test"),
+    ("pytest_benchmark", "test"),
+    ("hypothesis", "test"),
+    ("scipy", "test"),
+    ("ruff", "lint"),
+)
+
+
 def _cmd_info(args) -> int:
-    dataset = load_dataset(args.dataset)
-    print(dataset.summary())
-    rows = [[label, count] for label, count in sorted(dataset.counts().items())]
-    print(format_table(["motion class", "trials"], rows))
+    import importlib.util
+
+    from repro import __version__
+    from repro.obs.config import current_state
+
+    print(f"repro-motions {__version__} (python {sys.version.split()[0]})")
+    rows = []
+    for module, extra in _OPTIONAL_EXTRAS:
+        found = importlib.util.find_spec(module) is not None
+        rows.append([module, extra, "installed" if found else "missing"])
+    print(format_table(["optional module", "extra", "status"], rows))
+    state = current_state()
+    print(f"observability: {'enabled' if state.enabled else 'disabled'} "
+          f"(spans collected: {len(state.collector.records())})")
+    if args.dataset is not None:
+        dataset = load_dataset(args.dataset)
+        print()
+        print(dataset.summary())
+        rows = [[label, count]
+                for label, count in sorted(dataset.counts().items())]
+        print(format_table(["motion class", "trials"], rows))
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    from repro.obs.export import format_stage_table, write_json
+    from repro.obs.profile import run_profile
+
+    payload = run_profile(
+        study=args.study,
+        participants=args.participants,
+        trials=args.trials,
+        clusters=args.clusters,
+        window_ms=args.window_ms,
+        stride_ms=args.stride_ms,
+        k=args.k,
+        test_fraction=args.test_fraction,
+        seed=args.seed,
+    )
+    meta = payload["meta"]
+    print(f"profiled {args.study} study: {meta['n_train']} database motions, "
+          f"{meta['n_queries']} queries, c={meta['n_clusters']}, "
+          f"window {meta['window_ms']:g} ms")
+    print()
+    print(format_stage_table(payload["stages"]))
+    objective = payload["series"].get("fcm.objective", [])
+    shift = payload["series"].get("fcm.membership_shift", [])
+    if objective:
+        reasons = sorted(
+            key.rsplit(".", 1)[-1]
+            for key in payload["counters"]
+            if key.startswith("fcm.converged.")
+        )
+        print()
+        line = (f"FCM: {len(objective)} iterations "
+                f"(stopped by: {', '.join(reasons) or 'unknown'}), "
+                f"objective {objective[0]:.6g} -> {objective[-1]:.6g}")
+        if shift:
+            line += f", final membership shift {shift[-1]:.3g}"
+        print(line)
+    path = write_json(args.output, payload)
+    print(f"wrote {path}")
     return 0
 
 
@@ -207,6 +311,7 @@ _COMMANDS = {
     "evaluate": _cmd_evaluate,
     "sweep": _cmd_sweep,
     "info": _cmd_info,
+    "profile": _cmd_profile,
     "lint": _cmd_lint,
 }
 
@@ -215,8 +320,28 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    trace = bool(getattr(args, "trace", False))
+    metrics_out = getattr(args, "metrics_out", None)
     try:
-        return _COMMANDS[args.command](args)
+        if not (trace or metrics_out):
+            return _COMMANDS[args.command](args)
+        from repro.obs.config import capture
+        from repro.obs.export import (
+            collect_payload,
+            format_stage_table,
+            write_json,
+        )
+
+        with capture() as state:
+            code = _COMMANDS[args.command](args)
+        payload = collect_payload(state, meta={"command": args.command})
+        if trace:
+            print()
+            print(format_stage_table(payload["stages"]))
+        if metrics_out:
+            path = write_json(metrics_out, payload)
+            print(f"wrote metrics to {path}")
+        return code
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

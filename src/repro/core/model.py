@@ -36,6 +36,7 @@ from repro.features.scaling import FeatureScaler
 from repro.fuzzy.cmeans import FuzzyCMeans
 from repro.fuzzy.kmeans import KMeans
 from repro.fuzzy.membership import membership_matrix
+from repro.obs.config import record_gauge, span
 from repro.retrieval.knn import NearestNeighborIndex, knn_vote
 from repro.retrieval.linear import LinearScanIndex
 from repro.utils.rng import SeedLike
@@ -137,39 +138,46 @@ class MotionClassifier:
         """Fit the whole pipeline on the motion database."""
         if len(database) == 0:
             raise ClusteringError("cannot fit on an empty database")
-        per_motion = [self.featurizer.features(rec) for rec in database]
-        all_windows = np.vstack([wf.matrix for wf in per_motion])
-        if all_windows.shape[0] < self.n_clusters:
-            raise ClusteringError(
-                f"database yields {all_windows.shape[0]} windows, fewer than "
-                f"c={self.n_clusters} clusters; use a smaller window or more data"
+        with span("model.fit", n_motions=len(database),
+                  n_clusters=self.n_clusters) as sp:
+            per_motion = [self.featurizer.features(rec) for rec in database]
+            all_windows = np.vstack([wf.matrix for wf in per_motion])
+            if all_windows.shape[0] < self.n_clusters:
+                raise ClusteringError(
+                    f"database yields {all_windows.shape[0]} windows, fewer than "
+                    f"c={self.n_clusters} clusters; use a smaller window or more data"
+                )
+            scaled = self.scaler.fit(all_windows).transform(all_windows)
+
+            estimator = self._make_clusterer()
+            result = estimator.fit(scaled, seed=seed)
+            self._centers = result.centers
+            # Fit-time coverage statistic: how confidently the cluster
+            # vocabulary describes its own training windows (used by the
+            # incremental maintainer's drift tracking).
+            self._mean_highest_membership = float(
+                result.membership.max(axis=1).mean()
             )
-        scaled = self.scaler.fit(all_windows).transform(all_windows)
+            self._soft_memberships = isinstance(estimator, FuzzyCMeans) or not isinstance(
+                estimator, KMeans
+            )
 
-        estimator = self._make_clusterer()
-        result = estimator.fit(scaled, seed=seed)
-        self._centers = result.centers
-        # Fit-time coverage statistic: how confidently the cluster
-        # vocabulary describes its own training windows (used by the
-        # incremental maintainer's drift tracking).
-        self._mean_highest_membership = float(
-            result.membership.max(axis=1).mean()
-        )
-        self._soft_memberships = isinstance(estimator, FuzzyCMeans) or not isinstance(
-            estimator, KMeans
-        )
-
-        signatures = []
-        start = 0
-        for wf in per_motion:
-            stop = start + wf.n_windows
-            sig = motion_signature(result.membership[start:stop], self.n_clusters)
-            signatures.append(sig.vector)
-            start = stop
-        self._signatures = np.vstack(signatures)
-        self._labels = [rec.label for rec in database]
-        self._keys = [rec.key for rec in database]
-        self._index = self.index_factory().fit(self._signatures)
+            signatures = []
+            start = 0
+            for wf in per_motion:
+                stop = start + wf.n_windows
+                sig = motion_signature(result.membership[start:stop], self.n_clusters)
+                signatures.append(sig.vector)
+                start = stop
+            self._signatures = np.vstack(signatures)
+            self._labels = [rec.label for rec in database]
+            self._keys = [rec.key for rec in database]
+            index = self.index_factory()
+            with span("retrieval.index_build", backend=type(index).__name__):
+                self._index = index.fit(self._signatures)
+            sp.set(n_windows=all_windows.shape[0], n_dims=all_windows.shape[1])
+            record_gauge("model.n_windows", all_windows.shape[0])
+            record_gauge("model.n_dims", all_windows.shape[1])
         return self
 
     @property
@@ -220,24 +228,27 @@ class MotionClassifier:
         """The 2c signature of a (query) motion against the fitted clusters."""
         if self._centers is None:
             raise NotFittedError("MotionClassifier used before fit")
-        features = self.featurizer.features(record)
-        scaled = self.scaler.transform(features.matrix)
-        if self._soft_memberships:
-            memberships = membership_matrix(scaled, self._centers, m=self.m)
-        else:
-            # Crisp ablation: one-hot membership of the nearest center.
-            diff = scaled[:, None, :] - self._centers[None, :, :]
-            d2 = np.einsum("ncd,ncd->nc", diff, diff)
-            memberships = np.zeros_like(d2)
-            memberships[np.arange(d2.shape[0]), np.argmin(d2, axis=1)] = 1.0
-        return motion_signature(memberships, self.n_clusters)
+        with span("model.signature"):
+            features = self.featurizer.features(record)
+            scaled = self.scaler.transform(features.matrix)
+            if self._soft_memberships:
+                memberships = membership_matrix(scaled, self._centers, m=self.m)
+            else:
+                # Crisp ablation: one-hot membership of the nearest center.
+                diff = scaled[:, None, :] - self._centers[None, :, :]
+                d2 = np.einsum("ncd,ncd->nc", diff, diff)
+                memberships = np.zeros_like(d2)
+                memberships[np.arange(d2.shape[0]), np.argmin(d2, axis=1)] = 1.0
+            return motion_signature(memberships, self.n_clusters)
 
     def kneighbors(self, record: RecordedMotion, k: int = 5) -> List[RetrievedNeighbor]:
         """The ``k`` nearest database motions to ``record``."""
         if self._index is None:
             raise NotFittedError("MotionClassifier used before fit")
         vector = self.signature(record).vector
-        indices, distances = self._index.query(vector, k)
+        with span("retrieval.knn_query", k=k,
+                  backend=type(self._index).__name__):
+            indices, distances = self._index.query(vector, k)
         return [
             RetrievedNeighbor(
                 key=self._keys[i], label=self._labels[i], distance=float(d)

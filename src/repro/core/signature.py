@@ -24,6 +24,7 @@ from typing import Tuple
 import numpy as np
 
 from repro.errors import FeatureError
+from repro.obs.config import span
 from repro.utils.validation import check_array, shapes
 
 __all__ = ["MotionSignature", "motion_signature"]
@@ -109,18 +110,19 @@ def motion_signature(membership: np.ndarray, n_clusters: int | None = None) -> M
     if np.any(u < -1e-9) or np.any(u > 1 + 1e-9):
         raise FeatureError("membership values must lie in [0, 1]")
 
-    highest = u.max(axis=1)  # Eq. 5
-    winners = u.argmax(axis=1)  # Eq. 6
-    minima = np.zeros(c)
-    maxima = np.zeros(c)
-    for cluster in range(c):
-        won = highest[winners == cluster]
-        if won.size:
-            minima[cluster] = won.min()  # Eq. 8
-            maxima[cluster] = won.max()  # Eq. 7
-    return MotionSignature(
-        minima=minima,
-        maxima=maxima,
-        window_clusters=winners.astype(np.int64),
-        window_memberships=highest,
-    )
+    with span("signature.build", n_windows=u.shape[0], n_clusters=c):
+        highest = u.max(axis=1)  # Eq. 5
+        winners = u.argmax(axis=1)  # Eq. 6
+        minima = np.zeros(c)
+        maxima = np.zeros(c)
+        for cluster in range(c):
+            won = highest[winners == cluster]
+            if won.size:
+                minima[cluster] = won.min()  # Eq. 8
+                maxima[cluster] = won.max()  # Eq. 7
+        return MotionSignature(
+            minima=minima,
+            maxima=maxima,
+            window_clusters=winners.astype(np.int64),
+            window_memberships=highest,
+        )

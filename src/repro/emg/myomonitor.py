@@ -25,6 +25,7 @@ from repro.emg.channels import ElectrodeMontage
 from repro.emg.recording import EMGRecording
 from repro.emg.synthesis import SurfaceEMGSynthesizer
 from repro.errors import AcquisitionError
+from repro.obs.config import span
 from repro.signal.filters import butter_bandpass
 from repro.signal.rectify import full_wave_rectify
 from repro.signal.resample import downsample_to_rate
@@ -96,15 +97,19 @@ class Myomonitor:
         missing = [c for c in montage.channels if c not in activations]
         if missing:
             raise AcquisitionError(f"activations missing channels: {missing}")
-        rngs = spawn_generators(as_generator(seed), len(montage))
-        band = butter_bandpass(*self.band_hz, self.fs, order=4)
-        signals: Dict[str, np.ndarray] = {}
-        for channel, rng in zip(montage.channels, rngs):
-            raw = self.synthesizer.synthesize(
-                activations[channel], activation_fs, duration_s=duration_s, seed=rng
+        with span("signal.acquire", n_channels=len(montage), fs=self.fs):
+            rngs = spawn_generators(as_generator(seed), len(montage))
+            band = butter_bandpass(*self.band_hz, self.fs, order=4)
+            signals: Dict[str, np.ndarray] = {}
+            for channel, rng in zip(montage.channels, rngs):
+                raw = self.synthesizer.synthesize(
+                    activations[channel], activation_fs, duration_s=duration_s,
+                    seed=rng,
+                )
+                signals[channel] = band.apply_zero_phase(raw)
+            return EMGRecording.from_channel_dict(
+                signals, montage.channels, fs=self.fs
             )
-            signals[channel] = band.apply_zero_phase(raw)
-        return EMGRecording.from_channel_dict(signals, montage.channels, fs=self.fs)
 
     def condition(
         self, recording: EMGRecording, n_out: Optional[int] = None
@@ -122,15 +127,17 @@ class Myomonitor:
             raise AcquisitionError(
                 f"recording rate {recording.fs} != device rate {self.fs}"
             )
-        rectified = full_wave_rectify(recording.data_volts)
-        down = downsample_to_rate(
-            rectified, self.fs, self.output_fs, antialias=True, n_out=n_out
-        )
-        # Rectified EMG is non-negative; the anti-alias filter may ring
-        # slightly below zero at burst edges.
-        down = np.maximum(down, 0.0)
-        return EMGRecording(channels=recording.channels, data_volts=down,
-                            fs=self.output_fs)
+        with span("signal.preprocess", n_channels=len(recording.channels),
+                  fs_in=self.fs, fs_out=self.output_fs):
+            rectified = full_wave_rectify(recording.data_volts)
+            down = downsample_to_rate(
+                rectified, self.fs, self.output_fs, antialias=True, n_out=n_out
+            )
+            # Rectified EMG is non-negative; the anti-alias filter may ring
+            # slightly below zero at burst edges.
+            down = np.maximum(down, 0.0)
+            return EMGRecording(channels=recording.channels, data_volts=down,
+                                fs=self.output_fs)
 
     def acquire_conditioned(
         self,

@@ -26,6 +26,7 @@ from repro.features.base import (
 )
 from repro.features.iav import IAVExtractor
 from repro.features.svd import WeightedSVDExtractor
+from repro.obs.config import span
 from repro.utils.validation import check_in_range
 from repro.utils.windows import window_bounds, window_size_frames
 
@@ -104,23 +105,27 @@ class WindowFeaturizer:
         appended first, then the mocap block, matching the paper's (m+n)
         layout.
         """
-        fps = record.fps
-        window = self.window_frames(fps)
-        stride = self.stride_frames(fps)
-        bounds = window_bounds(record.n_frames, window, stride)
-        emg_data = np.asarray(record.emg.data_volts)
-        mocap_data = np.asarray(record.mocap.matrix_mm)
-        rows = []
-        for start, stop in bounds:
-            parts = []
-            if self.use_emg:
-                parts.append(self.emg_extractor.extract(emg_data[start:stop]))
-            if self.use_mocap:
-                parts.append(self.mocap_extractor.extract(mocap_data[start:stop]))
-            rows.append(np.concatenate(parts))
-        matrix = np.vstack(rows)
-        return WindowFeatures(
-            matrix=matrix,
-            bounds=tuple(bounds),
-            names=tuple(self.feature_names(record)),
-        )
+        with span("features.extract", key=record.key) as sp:
+            fps = record.fps
+            window = self.window_frames(fps)
+            stride = self.stride_frames(fps)
+            with span("features.windowing", n_frames=record.n_frames,
+                      window=window, stride=stride):
+                bounds = window_bounds(record.n_frames, window, stride)
+            emg_data = np.asarray(record.emg.data_volts)
+            mocap_data = np.asarray(record.mocap.matrix_mm)
+            rows = []
+            for start, stop in bounds:
+                parts = []
+                if self.use_emg:
+                    parts.append(self.emg_extractor.extract(emg_data[start:stop]))
+                if self.use_mocap:
+                    parts.append(self.mocap_extractor.extract(mocap_data[start:stop]))
+                rows.append(np.concatenate(parts))
+            matrix = np.vstack(rows)
+            sp.set(n_windows=matrix.shape[0], n_dims=matrix.shape[1])
+            return WindowFeatures(
+                matrix=matrix,
+                bounds=tuple(bounds),
+                names=tuple(self.feature_names(record)),
+            )

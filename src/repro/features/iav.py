@@ -17,6 +17,7 @@ from typing import List, Sequence
 import numpy as np
 
 from repro.features.base import EMGFeatureExtractor
+from repro.obs.config import span
 from repro.utils.validation import check_array, shapes
 
 __all__ = ["integral_absolute_value", "IAVExtractor"]
@@ -40,7 +41,8 @@ class IAVExtractor(EMGFeatureExtractor):
     @shapes(window="(w, c)")
     def extract(self, window: np.ndarray) -> np.ndarray:
         """IAV per channel for one window."""
-        return integral_absolute_value(self._validated(window))
+        with span("features.iav"):
+            return integral_absolute_value(self._validated(window))
 
     def feature_names(self, channels: Sequence[str]) -> List[str]:
         """``iav:<channel>`` per channel."""

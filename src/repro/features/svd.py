@@ -31,6 +31,7 @@ import numpy as np
 
 from repro.errors import FeatureError
 from repro.features.base import MocapFeatureExtractor
+from repro.obs.config import span
 from repro.utils.validation import check_array, shapes
 
 __all__ = ["weighted_svd_feature", "stabilize_signs", "WeightedSVDExtractor"]
@@ -81,6 +82,12 @@ class WeightedSVDExtractor(MocapFeatureExtractor):
     """Weighted-SVD feature: 3 values per joint per window (Eqs. 2–3)."""
 
     features_per_joint = 3
+
+    @shapes(window="(w, d)")
+    def extract(self, window: np.ndarray) -> np.ndarray:
+        """Features for an ``(w, 3k)`` multi-joint window, joint-major."""
+        with span("features.svd"):
+            return super().extract(window)
 
     @shapes(window="(w, 3)")
     def extract_joint(self, window: np.ndarray) -> np.ndarray:

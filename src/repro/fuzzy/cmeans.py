@@ -28,6 +28,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.errors import ClusteringError
+from repro.obs.config import is_enabled, record_counter, record_series, span
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.validation import check_array, check_in_range, check_positive_int, shapes
 
@@ -54,6 +55,9 @@ class FCMResult:
         Iterations actually run.
     converged:
         Whether the tolerance was reached before ``max_iter``.
+    convergence_reason:
+        Why iteration stopped: ``"tol"`` (objective improvement fell below
+        the tolerance) or ``"max_iter"`` (iteration cap reached).
     """
 
     centers: np.ndarray
@@ -61,11 +65,17 @@ class FCMResult:
     objective_history: np.ndarray
     n_iter: int
     converged: bool
+    convergence_reason: str = "max_iter"
 
     @property
     def n_clusters(self) -> int:
         """Number of clusters ``c``."""
         return self.centers.shape[0]
+
+    @property
+    def objective(self) -> float:
+        """The final objective value ``J_m`` (last entry of the history)."""
+        return float(self.objective_history[-1])
 
     def hard_labels(self) -> np.ndarray:
         """Arg-max defuzzification: each point's best cluster index."""
@@ -123,13 +133,22 @@ class FuzzyCMeans:
             )
         rng = as_generator(seed)
         best: Optional[FCMResult] = None
-        for _ in range(self.n_init):
-            result = self._fit_once(x, rng)
-            if best is None or (
-                result.objective_history[-1] < best.objective_history[-1]
-            ):
-                best = result
-        assert best is not None
+        with span("fcm.fit", n_points=n, n_clusters=self.n_clusters,
+                  m=self.m, n_init=self.n_init) as sp:
+            for restart in range(self.n_init):
+                with span("fcm.restart", restart=restart):
+                    result = self._fit_once(x, rng)
+                if best is None or (
+                    result.objective_history[-1] < best.objective_history[-1]
+                ):
+                    best = result
+            assert best is not None
+            sp.set(n_iter=best.n_iter, converged=best.converged,
+                   reason=best.convergence_reason, objective=best.objective)
+        if is_enabled():
+            record_counter("fcm.fits")
+            record_counter("fcm.iterations", best.n_iter)
+            record_counter(f"fcm.converged.{best.convergence_reason}")
         return best
 
     def _fit_once(self, x: np.ndarray, rng: np.random.Generator) -> FCMResult:
@@ -143,9 +162,19 @@ class FuzzyCMeans:
         converged = False
         iteration = 0
         for iteration in range(1, self.max_iter + 1):
-            centers = self._centers(x, membership)
-            membership = self._memberships(x, centers)
-            objective = self._objective(x, centers, membership)
+            with span("fcm.iterate", iteration=iteration) as sp:
+                previous = membership
+                centers = self._centers(x, membership)
+                membership = self._memberships(x, centers)
+                objective = self._objective(x, centers, membership)
+                if is_enabled():
+                    # Membership shift is pure telemetry (the stopping rule is
+                    # the objective), so the extra O(nc) pass only runs when
+                    # observability is on.
+                    shift = float(np.abs(membership - previous).max())
+                    record_series("fcm.objective", objective)
+                    record_series("fcm.membership_shift", shift)
+                    sp.set(objective=objective, shift=shift)
             history.append(objective)
             if len(history) >= 2 and abs(history[-2] - history[-1]) <= self.tol:
                 converged = True
@@ -156,6 +185,7 @@ class FuzzyCMeans:
             objective_history=np.asarray(history),
             n_iter=iteration,
             converged=converged,
+            convergence_reason="tol" if converged else "max_iter",
         )
 
     # ------------------------------------------------------------------

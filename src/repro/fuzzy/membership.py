@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.errors import ClusteringError
 from repro.fuzzy.cmeans import membership_from_distances, squared_distances
+from repro.obs.config import span
 from repro.utils.validation import check_array, check_in_range
 
 __all__ = ["membership_matrix"]
@@ -52,5 +53,7 @@ def membership_matrix(
             f"points have {points.shape[1]} dims, centers have {centers.shape[1]}"
         )
     m = check_in_range(m, name="m", low=1.0, high=float("inf"), inclusive_low=False)
-    d2 = squared_distances(points, centers)
-    return membership_from_distances(d2, m)
+    with span("fcm.membership_query", n_points=points.shape[0],
+              n_clusters=centers.shape[0]):
+        d2 = squared_distances(points, centers)
+        return membership_from_distances(d2, m)

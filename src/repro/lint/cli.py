@@ -29,7 +29,7 @@ def build_parser() -> argparse.ArgumentParser:
     """Argument parser (exposed for testing and for the umbrella CLI)."""
     parser = argparse.ArgumentParser(
         prog="repro.lint",
-        description="Repo-specific static analysis: rules R1-R5 over the "
+        description="Repo-specific static analysis: rules R1-R6 over the "
                     "repro source tree",
     )
     parser.add_argument("paths", nargs="*",

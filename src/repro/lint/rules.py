@@ -22,6 +22,10 @@ R5
     ``check_array`` (or a ``_check*``/``_validate*`` helper) or declare a
     :func:`repro.utils.validation.shapes` contract; declared contracts are
     cross-checked statically (parameter names exist, specs parse).
+R6
+    No ad-hoc clock reads (``time.time()``, ``time.perf_counter()``...)
+    anywhere outside :mod:`repro.obs` — timing goes through spans and
+    metric timers so it is injectable and deterministic in tests.
 """
 
 from __future__ import annotations
@@ -41,6 +45,7 @@ __all__ = [
     "ExportsComplete",
     "NumericHygiene",
     "ShapeContracts",
+    "ClockDiscipline",
     "ALL_RULES",
     "RULE_IDS",
     "rules_by_id",
@@ -466,6 +471,51 @@ class ShapeContracts(Rule):
                     )
 
 
+# ----------------------------------------------------------------------
+# R6
+# ----------------------------------------------------------------------
+
+
+class ClockDiscipline(Rule):
+    """R6: clock reads are confined to ``repro.obs``."""
+
+    id = "R6"
+    title = "time.time()/perf_counter() etc. only inside repro.obs; use spans"
+
+    _ALLOWED_PREFIX = ("obs",)
+    _CLOCK_FUNCS = frozenset({
+        "time", "time_ns", "perf_counter", "perf_counter_ns",
+        "monotonic", "monotonic_ns", "process_time", "process_time_ns",
+    })
+
+    def check(self, ctx: ModuleContext) -> Iterator[Violation]:
+        if ctx.rel[: len(self._ALLOWED_PREFIX)] == self._ALLOWED_PREFIX:
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                dotted = _dotted_name(node.func)
+                parts = dotted.split(".")
+                if (len(parts) >= 2 and parts[-2] == "time"
+                        and parts[-1] in self._CLOCK_FUNCS):
+                    yield self._violation(
+                        ctx, node,
+                        f"ad-hoc clock read '{dotted}()' outside repro.obs; "
+                        "wrap the block in repro.obs.span(...) or a registry "
+                        "timer so timing stays injectable",
+                    )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "time" and node.level == 0:
+                    names = [alias.name for alias in node.names
+                             if alias.name in self._CLOCK_FUNCS]
+                    if names:
+                        yield self._violation(
+                            ctx, node,
+                            f"import of clock function(s) {', '.join(names)} "
+                            "from time outside repro.obs; use repro.obs spans "
+                            "and timers instead",
+                        )
+
+
 #: Rule instances in report order.
 ALL_RULES: Tuple[Rule, ...] = (
     NoGlobalNumpyRandom(),
@@ -473,6 +523,7 @@ ALL_RULES: Tuple[Rule, ...] = (
     ExportsComplete(),
     NumericHygiene(),
     ShapeContracts(),
+    ClockDiscipline(),
 )
 
 #: Known rule identifiers (used by the CLI's ``--select`` validation).

@@ -1,0 +1,85 @@
+"""End-to-end pipeline observability: spans, metrics, deterministic export.
+
+Zero-dependency, off-by-default telemetry for the reproduction pipeline:
+
+* :func:`~repro.obs.config.span` / :func:`~repro.obs.config.traced` —
+  nestable tracing spans feeding a thread-safe in-process collector;
+* :class:`~repro.obs.metrics.MetricsRegistry` — counters, gauges, histogram
+  timers and per-iteration value series;
+* :func:`~repro.obs.config.configure` — the one switch
+  (``repro.obs.configure(enabled=True)``); every recorder accepts an
+  injected :class:`~repro.obs.clock.Clock` so tests pin exact output;
+* :mod:`repro.obs.export` — the stable ``repro.obs/v1`` JSON schema and the
+  per-stage text breakdown used by ``repro-motions profile``.
+
+When disabled (the default), instrumented code receives the shared
+:data:`~repro.obs.trace.NOOP_SPAN` and metric writes no-op — the hot paths
+pay one flag check.  See docs/OBSERVABILITY.md for the span/metric naming
+scheme and the export schema; the profiling pipeline itself lives in
+:mod:`repro.obs.profile` (imported separately to keep this package free of
+pipeline dependencies).
+"""
+
+from repro.obs.clock import Clock, ManualClock, MonotonicClock
+from repro.obs.config import (
+    DEFAULT_MAX_SPANS,
+    ObsState,
+    capture,
+    configure,
+    current_state,
+    is_enabled,
+    record_counter,
+    record_gauge,
+    record_series,
+    span,
+    traced,
+)
+from repro.obs.export import (
+    SCHEMA_VERSION,
+    collect_payload,
+    format_stage_table,
+    to_json,
+    write_json,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry, Series
+from repro.obs.trace import (
+    NOOP_SPAN,
+    NoOpSpan,
+    Span,
+    SpanRecord,
+    StageStat,
+    TraceCollector,
+)
+
+__all__ = [
+    "Clock",
+    "ManualClock",
+    "MonotonicClock",
+    "DEFAULT_MAX_SPANS",
+    "ObsState",
+    "capture",
+    "configure",
+    "current_state",
+    "is_enabled",
+    "record_counter",
+    "record_gauge",
+    "record_series",
+    "span",
+    "traced",
+    "SCHEMA_VERSION",
+    "collect_payload",
+    "format_stage_table",
+    "to_json",
+    "write_json",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Series",
+    "NOOP_SPAN",
+    "NoOpSpan",
+    "Span",
+    "SpanRecord",
+    "StageStat",
+    "TraceCollector",
+]

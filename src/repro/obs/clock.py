@@ -1,0 +1,69 @@
+"""Injectable clocks — the only place the library reads wall time.
+
+Every recorder in :mod:`repro.obs` takes a :class:`Clock` so that tests can
+pin exact timings with a :class:`ManualClock` while production runs use the
+process-monotonic :class:`MonotonicClock`.  Rule R6 of :mod:`repro.lint`
+enforces the discipline statically: ``time.time()`` / ``time.perf_counter()``
+calls outside ``repro/obs`` are flagged, so all timing flows through here.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Protocol, runtime_checkable
+
+from repro.errors import ValidationError
+
+__all__ = ["Clock", "MonotonicClock", "ManualClock"]
+
+
+@runtime_checkable
+class Clock(Protocol):
+    """Anything with a ``now() -> float`` method (seconds, monotonic)."""
+
+    def now(self) -> float:
+        """Current time in seconds; only differences are meaningful."""
+        ...
+
+
+class MonotonicClock:
+    """Real process-monotonic readings (``time.perf_counter``)."""
+
+    def now(self) -> float:
+        """Seconds from an arbitrary epoch, monotonically increasing."""
+        return time.perf_counter()
+
+
+class ManualClock:
+    """A deterministic clock for tests: advances only when told to.
+
+    Parameters
+    ----------
+    start:
+        Initial reading.
+    auto_advance:
+        Seconds the clock moves forward *after* every :meth:`now` call.
+        With ``auto_advance=1.0`` the first read returns ``start``, the
+        second ``start + 1``, and so on — so every span gets a duration of
+        exactly one "tick" and exports are byte-for-byte reproducible.
+    """
+
+    def __init__(self, start: float = 0.0, auto_advance: float = 0.0):
+        if auto_advance < 0:
+            raise ValidationError(
+                f"auto_advance must be non-negative, got {auto_advance}"
+            )
+        self._now = float(start)
+        self.auto_advance = float(auto_advance)
+
+    def now(self) -> float:
+        """The current manual reading (then auto-advance, if configured)."""
+        value = self._now
+        self._now += self.auto_advance
+        return value
+
+    def advance(self, seconds: float) -> None:
+        """Move the clock forward by ``seconds``."""
+        if seconds < 0:
+            raise ValidationError(f"cannot move a clock backwards ({seconds})")
+        self._now += float(seconds)

@@ -1,0 +1,202 @@
+"""Global observability state and the instrumentation entry points.
+
+One process holds one :class:`ObsState` — an enabled flag, a clock, a span
+collector and a metrics registry.  :func:`configure` is the single entry
+point that mutates it; everything else is a cheap read:
+
+* :func:`span` — returns a live :class:`~repro.obs.trace.Span` when enabled,
+  the shared no-op singleton otherwise (the disabled path is one attribute
+  read and one truth test; no allocation);
+* :func:`traced` — decorator form of :func:`span`;
+* :func:`record_counter` / :func:`record_gauge` / :func:`record_series` —
+  metric writes that silently no-op while disabled;
+* :func:`capture` — context manager for profiling sessions: fresh recorders,
+  enabled inside the block, disabled (data retained) after.
+
+Observability is **off by default**; nothing is recorded until
+``repro.obs.configure(enabled=True)`` (or :func:`capture`) is called.
+"""
+
+from __future__ import annotations
+
+import functools
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, Optional
+
+from repro.obs.clock import Clock, MonotonicClock
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NOOP_SPAN, TraceCollector
+
+__all__ = [
+    "DEFAULT_MAX_SPANS",
+    "ObsState",
+    "configure",
+    "current_state",
+    "is_enabled",
+    "span",
+    "traced",
+    "record_counter",
+    "record_gauge",
+    "record_series",
+    "capture",
+]
+
+#: Default bound on individually retained span records.
+DEFAULT_MAX_SPANS = 100_000
+
+
+@dataclass
+class ObsState:
+    """The process-wide observability session."""
+
+    enabled: bool
+    clock: Clock
+    collector: TraceCollector
+    registry: MetricsRegistry
+    max_spans: int = DEFAULT_MAX_SPANS
+
+
+def _fresh_state(enabled: bool, clock: Optional[Clock],
+                 max_spans: int) -> ObsState:
+    resolved: Clock = clock if clock is not None else MonotonicClock()
+    return ObsState(
+        enabled=enabled,
+        clock=resolved,
+        collector=TraceCollector(resolved, max_spans=max_spans),
+        registry=MetricsRegistry(resolved),
+        max_spans=max_spans,
+    )
+
+
+_LOCK = threading.Lock()
+_STATE = _fresh_state(enabled=False, clock=None, max_spans=DEFAULT_MAX_SPANS)
+
+
+def configure(
+    enabled: Optional[bool] = None,
+    clock: Optional[Clock] = None,
+    reset: bool = False,
+    max_spans: Optional[int] = None,
+) -> ObsState:
+    """(Re)configure the process-wide observability state.
+
+    Parameters
+    ----------
+    enabled:
+        Turn recording on/off; ``None`` leaves the flag unchanged.
+    clock:
+        Inject a time source (implies fresh, empty recorders bound to it).
+    reset:
+        Discard all collected spans and metrics.
+    max_spans:
+        New bound on retained span records (implies fresh recorders).
+
+    Returns
+    -------
+    ObsState
+        The active state after the change (useful for later export).
+    """
+    global _STATE
+    with _LOCK:
+        prev = _STATE
+        new_enabled = prev.enabled if enabled is None else bool(enabled)
+        if reset or clock is not None or max_spans is not None:
+            _STATE = _fresh_state(
+                enabled=new_enabled,
+                clock=clock if clock is not None else prev.clock,
+                max_spans=max_spans if max_spans is not None else prev.max_spans,
+            )
+        else:
+            prev.enabled = new_enabled
+        return _STATE
+
+
+def current_state() -> ObsState:
+    """The active :class:`ObsState` (for export and inspection)."""
+    return _STATE
+
+
+def is_enabled() -> bool:
+    """Whether observability is currently recording."""
+    return _STATE.enabled
+
+
+def span(name: str, **attrs: Any):
+    """A span named ``name`` — live when enabled, the no-op singleton otherwise.
+
+    Use as a context manager around the instrumented block::
+
+        with span("fcm.iterate", iteration=i) as sp:
+            ...
+            sp.set(objective=objective)
+    """
+    state = _STATE
+    if not state.enabled:
+        return NOOP_SPAN
+    return state.collector.start(name, attrs)
+
+
+def traced(name: Optional[str] = None, **attrs: Any) -> Callable:
+    """Decorator: run the wrapped function inside a span.
+
+    ``name`` defaults to the function's qualified name.  The disabled path
+    adds a flag check per call and nothing else.
+    """
+
+    def decorate(func: Callable) -> Callable:
+        span_name = name if name is not None else func.__qualname__
+
+        @functools.wraps(func)
+        def wrapper(*args: Any, **kwargs: Any):
+            state = _STATE
+            if not state.enabled:
+                return func(*args, **kwargs)
+            with state.collector.start(span_name, dict(attrs)):
+                return func(*args, **kwargs)
+
+        return wrapper
+
+    return decorate
+
+
+def record_counter(name: str, amount: float = 1.0) -> None:
+    """Increment counter ``name`` (no-op while disabled)."""
+    state = _STATE
+    if state.enabled:
+        state.registry.counter(name).inc(amount)
+
+
+def record_gauge(name: str, value: float) -> None:
+    """Set gauge ``name`` (no-op while disabled)."""
+    state = _STATE
+    if state.enabled:
+        state.registry.gauge(name).set(value)
+
+
+def record_series(name: str, value: float) -> None:
+    """Append ``value`` to series ``name`` (no-op while disabled)."""
+    state = _STATE
+    if state.enabled:
+        state.registry.series(name).append(value)
+
+
+@contextmanager
+def capture(clock: Optional[Clock] = None,
+            max_spans: Optional[int] = None) -> Iterator[ObsState]:
+    """Profiling session: fresh recorders, enabled inside, disabled after.
+
+    The yielded state retains its data after the block exits, so callers
+    export from it::
+
+        with capture() as state:
+            model.fit(train)
+        payload = collect_payload(state)
+    """
+    state = configure(enabled=True, clock=clock, reset=True,
+                      max_spans=max_spans)
+    try:
+        yield state
+    finally:
+        configure(enabled=False)

@@ -1,0 +1,257 @@
+"""Metrics registry: counters, gauges, histograms and value series.
+
+All metric types share one registry-level lock, so concurrent pipeline
+threads can record safely; exports are sorted by name so two runs with the
+same injected clock produce byte-identical JSON (see
+:mod:`repro.obs.export` for the schema).
+
+Metric kinds
+------------
+* :class:`Counter` — monotonically increasing total (windows produced,
+  candidates scanned, FCM iterations...).
+* :class:`Gauge` — last-write-wins scalar (pruning ratio of the latest
+  query, training-window count of the latest fit...).
+* :class:`Histogram` — summary statistics (count/total/min/max/mean) of an
+  observed value, with a :meth:`MetricsRegistry.timer` helper that observes
+  elapsed seconds.
+* :class:`Series` — an append-only list of values, used for per-iteration
+  telemetry such as the FCM objective trace.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.errors import ValidationError
+from repro.obs.clock import Clock, MonotonicClock
+
+__all__ = ["Counter", "Gauge", "Histogram", "Series", "MetricsRegistry"]
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str, lock: threading.Lock):
+        self.name = name
+        self._value = 0.0
+        self._lock = lock
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative) to the counter."""
+        if amount < 0:
+            raise ValidationError(
+                f"counter {self.name!r} cannot decrease (inc by {amount})"
+            )
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        """Current total."""
+        return self._value
+
+
+class Gauge:
+    """A last-write-wins scalar."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str, lock: threading.Lock):
+        self.name = name
+        self._value = 0.0
+        self._lock = lock
+
+    def set(self, value: float) -> None:
+        """Record the latest value."""
+        with self._lock:
+            self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        """Most recently set value."""
+        return self._value
+
+
+class Histogram:
+    """Streaming summary statistics of an observed value."""
+
+    __slots__ = ("name", "count", "total", "min", "max", "_lock")
+
+    def __init__(self, name: str, lock: threading.Lock):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self._lock = lock
+
+    def observe(self, value: float) -> None:
+        """Fold one observation into the summary."""
+        value = float(value)
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+
+    def summary(self) -> Dict[str, float]:
+        """``{count, total, min, max, mean}`` (zeros when empty)."""
+        if self.count == 0:
+            return {"count": 0, "total": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.total / self.count,
+        }
+
+
+class Series:
+    """An append-only list of values (per-iteration telemetry)."""
+
+    __slots__ = ("name", "_values", "_lock")
+
+    def __init__(self, name: str, lock: threading.Lock):
+        self.name = name
+        self._values: List[float] = []
+        self._lock = lock
+
+    def append(self, value: float) -> None:
+        """Append one value."""
+        with self._lock:
+            self._values.append(float(value))
+
+    @property
+    def values(self) -> List[float]:
+        """A copy of the recorded values, in append order."""
+        with self._lock:
+            return list(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+
+class _HistogramTimer:
+    """Context manager observing elapsed clock seconds into a histogram."""
+
+    __slots__ = ("_histogram", "_clock", "_start")
+
+    def __init__(self, histogram: Histogram, clock: Clock):
+        self._histogram = histogram
+        self._clock = clock
+        self._start = 0.0
+
+    def __enter__(self) -> "_HistogramTimer":
+        self._start = self._clock.now()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._histogram.observe(self._clock.now() - self._start)
+        return False
+
+
+class MetricsRegistry:
+    """Create-or-get home for all metrics of one observability session.
+
+    Parameters
+    ----------
+    clock:
+        Clock used by :meth:`timer`; defaults to the monotonic clock.
+    """
+
+    def __init__(self, clock: Optional[Clock] = None):
+        self._clock: Clock = clock if clock is not None else MonotonicClock()
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._series: Dict[str, Series] = {}
+
+    # -- create-or-get accessors ---------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        """The counter called ``name`` (created on first use)."""
+        with self._lock:
+            if name not in self._counters:
+                self._counters[name] = Counter(name, self._lock)
+            return self._counters[name]
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge called ``name`` (created on first use)."""
+        with self._lock:
+            if name not in self._gauges:
+                self._gauges[name] = Gauge(name, self._lock)
+            return self._gauges[name]
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram called ``name`` (created on first use)."""
+        with self._lock:
+            if name not in self._histograms:
+                self._histograms[name] = Histogram(name, self._lock)
+            return self._histograms[name]
+
+    def series(self, name: str) -> Series:
+        """The series called ``name`` (created on first use)."""
+        with self._lock:
+            if name not in self._series:
+                self._series[name] = Series(name, self._lock)
+            return self._series[name]
+
+    def timer(self, name: str) -> _HistogramTimer:
+        """Context manager timing its body into histogram ``name``."""
+        return _HistogramTimer(self.histogram(name), self._clock)
+
+    # -- export / merge ------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Deterministic snapshot: name-sorted plain dicts per metric kind."""
+        with self._lock:
+            return {
+                "counters": {k: self._counters[k].value
+                             for k in sorted(self._counters)},
+                "gauges": {k: self._gauges[k].value
+                           for k in sorted(self._gauges)},
+                "histograms": {k: self._histograms[k].summary()
+                               for k in sorted(self._histograms)},
+                "series": {k: list(self._series[k]._values)
+                           for k in sorted(self._series)},
+            }
+
+    def merge(self, other: Mapping[str, Any]) -> None:
+        """Fold another registry's :meth:`to_dict` snapshot into this one.
+
+        Counters add, gauges take the incoming value, histogram summaries
+        combine, series extend.  Merging is snapshot-based so two live
+        registries can be merged without lock-ordering hazards.
+        """
+        for name, value in other.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in other.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, summary in other.get("histograms", {}).items():
+            hist = self.histogram(name)
+            if summary.get("count", 0) <= 0:
+                continue
+            with self._lock:
+                hist.count += int(summary["count"])
+                hist.total += float(summary["total"])
+                hist.min = min(hist.min, float(summary["min"]))
+                hist.max = max(hist.max, float(summary["max"]))
+        for name, values in other.get("series", {}).items():
+            series = self.series(name)
+            for value in values:
+                series.append(value)
+
+    def reset(self) -> None:
+        """Drop every metric."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+            self._series.clear()

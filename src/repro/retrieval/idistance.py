@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.errors import NotFittedError, RetrievalError
 from repro.fuzzy.kmeans import KMeans
+from repro.obs.config import is_enabled, record_counter, record_gauge, span
 from repro.retrieval.knn import NearestNeighborIndex
 from repro.utils.rng import SeedLike
 from repro.utils.validation import check_array, check_positive_int, shapes
@@ -138,7 +139,24 @@ class IDistanceIndex(NearestNeighborIndex):
             raise NotFittedError("IDistanceIndex used before fit")
         x = self._vectors
         vector = self._check_query(vector, k, x.shape[0], x.shape[1])
+        with span("retrieval.idistance_query", k=k, n_indexed=x.shape[0]) as sp:
+            result = self._search(x, vector, k)
+            if is_enabled():
+                pruning = 1.0 - self.last_candidates / x.shape[0]
+                record_counter("retrieval.idistance.queries")
+                record_counter("retrieval.idistance.candidates",
+                               self.last_candidates)
+                record_counter("retrieval.idistance.rounds", self.last_rounds)
+                record_gauge("retrieval.idistance.pruning_ratio", pruning)
+                sp.set(candidates=self.last_candidates,
+                       rounds=self.last_rounds, pruning_ratio=pruning)
+        return result
 
+    def _search(
+        self, x: np.ndarray, vector: np.ndarray, k: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        assert self._refs is not None and self._r_max is not None
+        assert self._keys is not None and self._order is not None
         ref_diff = self._refs - vector
         ref_dist = np.sqrt(np.einsum("pd,pd->p", ref_diff, ref_diff))
         max_possible = float(ref_dist.max() + self._r_max.max())

@@ -7,6 +7,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.errors import NotFittedError
+from repro.obs.config import is_enabled, record_counter
 from repro.retrieval.knn import NearestNeighborIndex
 from repro.utils.validation import check_array
 
@@ -43,6 +44,9 @@ class LinearScanIndex(NearestNeighborIndex):
             raise NotFittedError("LinearScanIndex used before fit")
         x = self._vectors
         vector = self._check_query(vector, k, x.shape[0], x.shape[1])
+        if is_enabled():
+            record_counter("retrieval.linear.queries")
+            record_counter("retrieval.linear.scanned", x.shape[0])
         diff = x - vector
         distances = np.sqrt(np.einsum("nd,nd->n", diff, diff))
         # Stable lexicographic order (distance, index) makes results

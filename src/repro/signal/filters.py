@@ -28,6 +28,7 @@ from typing import Tuple
 import numpy as np
 
 from repro.errors import SignalError
+from repro.obs.config import span
 from repro.utils.validation import check_array, check_in_range, check_positive_int
 
 __all__ = [
@@ -307,21 +308,22 @@ def filtfilt(b: np.ndarray, a: np.ndarray, x: np.ndarray, axis: int = 0) -> np.n
     x = np.asarray(x, dtype=np.float64)
     if x.size == 0:
         return x.copy()
-    moved = np.moveaxis(x, axis, 0)
-    n = moved.shape[0]
-    pad = 3 * max(len(a), len(b))
-    if n <= pad:
-        pad = max(0, n - 1)
-    if pad > 0:
-        head = 2 * moved[0] - moved[pad:0:-1]
-        tail = 2 * moved[-1] - moved[-2 : -pad - 2 : -1]
-        ext = np.concatenate([head, moved, tail], axis=0)
-    else:
-        ext = moved
-    zi = lfilter_zi(b, a)
-    ext_flat = ext.reshape(ext.shape[0], -1)
-    fwd = lfilter(b, a, ext_flat, axis=0, zi=np.outer(zi, ext_flat[0]))
-    rev = fwd[::-1]
-    bwd = lfilter(b, a, rev, axis=0, zi=np.outer(zi, rev[0]))[::-1]
-    out = (bwd[pad : pad + n] if pad > 0 else bwd).reshape(moved.shape)
-    return np.moveaxis(out, 0, axis)
+    with span("signal.filtfilt", n_frames=x.shape[0], order=len(a) - 1):
+        moved = np.moveaxis(x, axis, 0)
+        n = moved.shape[0]
+        pad = 3 * max(len(a), len(b))
+        if n <= pad:
+            pad = max(0, n - 1)
+        if pad > 0:
+            head = 2 * moved[0] - moved[pad:0:-1]
+            tail = 2 * moved[-1] - moved[-2 : -pad - 2 : -1]
+            ext = np.concatenate([head, moved, tail], axis=0)
+        else:
+            ext = moved
+        zi = lfilter_zi(b, a)
+        ext_flat = ext.reshape(ext.shape[0], -1)
+        fwd = lfilter(b, a, ext_flat, axis=0, zi=np.outer(zi, ext_flat[0]))
+        rev = fwd[::-1]
+        bwd = lfilter(b, a, rev, axis=0, zi=np.outer(zi, rev[0]))[::-1]
+        out = (bwd[pad : pad + n] if pad > 0 else bwd).reshape(moved.shape)
+        return np.moveaxis(out, 0, axis)

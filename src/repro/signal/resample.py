@@ -14,6 +14,7 @@ from typing import Optional
 import numpy as np
 
 from repro.errors import SignalError
+from repro.obs.config import span
 from repro.signal.filters import butter_lowpass
 from repro.utils.validation import check_array, check_in_range, check_positive_int
 
@@ -89,21 +90,22 @@ def downsample_to_rate(
     if n_in < 2:
         raise SignalError("need at least two samples to resample")
 
-    y = x
-    if antialias and fs_out < fs_in:
-        cutoff = 0.8 * fs_out / 2.0
-        filt = butter_lowpass(cutoff, fs_in, order=8)
-        y = filt.apply_zero_phase(x, axis=0)
+    with span("signal.resample", n_in=n_in, fs_in=fs_in, fs_out=fs_out):
+        y = x
+        if antialias and fs_out < fs_in:
+            cutoff = 0.8 * fs_out / 2.0
+            filt = butter_lowpass(cutoff, fs_in, order=8)
+            y = filt.apply_zero_phase(x, axis=0)
 
-    duration = (n_in - 1) / fs_in
-    if n_out is None:
-        n_out = int(np.floor(duration * fs_out)) + 1
-    else:
-        n_out = check_positive_int(n_out, name="n_out")
-    t_out = np.arange(n_out) / fs_out
-    t_out = np.clip(t_out, 0.0, duration)
-    t_in = np.arange(n_in) / fs_in
-    if y.ndim == 1:
-        return np.interp(t_out, t_in, y)
-    cols = [np.interp(t_out, t_in, y[:, j]) for j in range(y.shape[1])]
-    return np.stack(cols, axis=1)
+        duration = (n_in - 1) / fs_in
+        if n_out is None:
+            n_out = int(np.floor(duration * fs_out)) + 1
+        else:
+            n_out = check_positive_int(n_out, name="n_out")
+        t_out = np.arange(n_out) / fs_out
+        t_out = np.clip(t_out, 0.0, duration)
+        t_in = np.arange(n_in) / fs_in
+        if y.ndim == 1:
+            return np.interp(t_out, t_in, y)
+        cols = [np.interp(t_out, t_in, y[:, j]) for j in range(y.shape[1])]
+        return np.stack(cols, axis=1)

@@ -23,6 +23,7 @@ from typing import Iterator, Optional, Tuple
 import numpy as np
 
 from repro.errors import ValidationError
+from repro.obs.config import is_enabled, record_counter
 from repro.utils.validation import check_in_range, check_positive_int, shapes
 
 __all__ = [
@@ -91,6 +92,8 @@ def window_bounds(
         # Stream shorter than the minimum partial window: use it whole rather
         # than silently producing a featureless motion.
         bounds.append((0, n_frames))
+    if is_enabled():
+        record_counter("utils.windows.produced", len(bounds))
     return bounds
 
 

@@ -43,6 +43,22 @@ class TestFit:
         assert result.converged
         assert result.n_iter < 200
 
+    def test_result_exposes_final_objective(self, three_blobs):
+        result = FuzzyCMeans(n_clusters=3).fit(three_blobs, seed=0)
+        assert result.objective == result.objective_history[-1]
+        assert isinstance(result.objective, float)
+
+    def test_convergence_reason_matches_flag(self, three_blobs):
+        tol_result = FuzzyCMeans(n_clusters=3).fit(three_blobs, seed=0)
+        assert tol_result.converged
+        assert tol_result.convergence_reason == "tol"
+        capped = FuzzyCMeans(n_clusters=3, max_iter=2, tol=0.0).fit(
+            three_blobs, seed=0
+        )
+        assert not capped.converged
+        assert capped.convergence_reason == "max_iter"
+        assert capped.n_iter == 2
+
     def test_deterministic_given_seed(self, three_blobs):
         a = FuzzyCMeans(n_clusters=3).fit(three_blobs, seed=1)
         b = FuzzyCMeans(n_clusters=3).fit(three_blobs, seed=1)

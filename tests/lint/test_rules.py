@@ -320,6 +320,52 @@ class TestR5:
 
 
 # ----------------------------------------------------------------------
+# R6 — clock discipline (ad-hoc time reads only inside repro.obs)
+# ----------------------------------------------------------------------
+
+
+class TestR6:
+    def test_fires_on_perf_counter_call(self, tmp_path):
+        report = lint(tmp_path, {
+            "mod.py": "import time\nstart = time.perf_counter()\n",
+        }, select=["R6"])
+        assert rules_of(report) == ["R6"]
+        assert "repro.obs" in report.violations[0].message
+
+    def test_fires_on_time_time_call(self, tmp_path):
+        report = lint(tmp_path, {
+            "mod.py": "import time\nstamp = time.time()\n",
+        }, select=["R6"])
+        assert rules_of(report) == ["R6"]
+
+    def test_fires_on_clock_import(self, tmp_path):
+        report = lint(tmp_path, {
+            "mod.py": "from time import perf_counter, monotonic\n",
+        }, select=["R6"])
+        assert rules_of(report) == ["R6"]
+
+    def test_allowed_inside_obs(self, tmp_path):
+        report = lint(tmp_path, {
+            "obs/clock.py": "import time\nnow = time.perf_counter()\n",
+        }, select=["R6"])
+        assert report.ok
+
+    def test_quiet_on_non_clock_time_use(self, tmp_path):
+        report = lint(tmp_path, {
+            "mod.py": "import time\ntime.sleep(0.1)\n"
+                      "from time import sleep\n",
+        }, select=["R6"])
+        assert report.ok
+
+    def test_suppressible(self, tmp_path):
+        report = lint(tmp_path, {
+            "mod.py": "import time\n"
+                      "t = time.time()  # lint: ignore[R6]\n",
+        }, select=["R6"])
+        assert report.ok
+
+
+# ----------------------------------------------------------------------
 # Suppressions, parse errors, selection
 # ----------------------------------------------------------------------
 

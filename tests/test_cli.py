@@ -43,6 +43,13 @@ class TestCommands:
         assert "3 classes" in out
         assert "alpha" in out
 
+    def test_info_without_dataset_reports_environment(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "repro-motions" in out
+        assert "module" in out  # optional-extras table
+        assert "observability:" in out
+
     def test_info_missing_dataset_is_graceful(self, tmp_path, capsys):
         code = main(["info", str(tmp_path / "ghost")])
         assert code == 2
