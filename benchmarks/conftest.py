@@ -83,7 +83,9 @@ def _dataset(study: str):
     stem = CACHE_DIR / (
         f"{study}_p{N_PARTICIPANTS}_t{TRIALS_PER_MOTION}_s{DATASET_SEED}"
     )
-    if stem.with_suffix(".json").exists():
+    if stem.with_suffix(".json").exists() and stem.with_suffix(".npz").exists():
+        # Both halves must be present: the manifest is committed but the
+        # array bundle may be absent on a fresh checkout.
         return load_dataset(stem)
     protocols = {
         "hand": hand_protocol,

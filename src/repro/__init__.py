@@ -54,6 +54,8 @@ from repro.mocap.trajectory import MotionCaptureData
 from repro.mocap.vicon import ViconSystem
 from repro.motions.base import available_motions, get_motion_class
 from repro.motions.variation import VariationModel
+from repro.parallel.cache import FeatureCache
+from repro.parallel.runner import featurize_records
 from repro.sync.session import AcquisitionSession
 
 __version__ = "1.0.0"
@@ -95,5 +97,7 @@ __all__ = [
     "available_motions",
     "get_motion_class",
     "VariationModel",
+    "FeatureCache",
+    "featurize_records",
     "AcquisitionSession",
 ]

@@ -63,6 +63,21 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--metrics-out", metavar="PATH", default=None,
                        help="write the repro.obs/v1 telemetry payload as JSON")
 
+    def add_parallel_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--n-jobs", type=int, default=1,
+                       help="feature-pipeline workers (1 = serial, -1 = all "
+                            "CPUs); results are byte-identical for every "
+                            "setting")
+        p.add_argument("--backend",
+                       choices=("auto", "serial", "thread", "process"),
+                       default="auto",
+                       help="parallel backend (auto picks by n_jobs and "
+                            "payload picklability)")
+        p.add_argument("--cache-dir", metavar="DIR", default=None,
+                       help="content-addressed feature cache directory; "
+                            "cached features are byte-identical to "
+                            "recomputed ones (default: caching off)")
+
     p_build = sub.add_parser("build", help="simulate and save a capture campaign")
     p_build.add_argument("--study", choices=("hand", "leg"), default="hand")
     p_build.add_argument("--participants", type=int, default=2)
@@ -71,6 +86,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_build.add_argument("--seed", type=int, default=0)
     p_build.add_argument("-o", "--output", required=True,
                          help="output path stem (writes <stem>.json/.npz)")
+    p_build.add_argument("--window-ms", type=float, default=100.0,
+                         help="window size used when warming the feature "
+                              "cache (only with --cache-dir)")
+    p_build.add_argument("--stride-ms", type=float, default=None,
+                         help="window stride used when warming the feature "
+                              "cache (only with --cache-dir)")
+    add_parallel_flags(p_build)
     add_obs_flags(p_build)
 
     p_eval = sub.add_parser("evaluate", help="evaluate one configuration")
@@ -84,6 +106,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_eval.add_argument("--scaler", choices=("zscore", "minmax", "none"),
                         default="zscore")
     p_eval.add_argument("--clusterer", choices=("fcm", "kmeans"), default="fcm")
+    add_parallel_flags(p_eval)
     add_obs_flags(p_eval)
 
     p_sweep = sub.add_parser("sweep", help="run the paper's figure grid")
@@ -99,6 +122,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--csv", metavar="PREFIX", default=None,
                          help="also write <PREFIX>_misclassification.csv and "
                               "<PREFIX>_knn.csv in long format")
+    add_parallel_flags(p_sweep)
 
     p_info = sub.add_parser(
         "info", help="describe the environment and (optionally) a dataset"
@@ -122,6 +146,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_prof.add_argument("--seed", type=int, default=0)
     p_prof.add_argument("-o", "--output", default="profile.json",
                         help="JSON payload output path (default: profile.json)")
+    add_parallel_flags(p_prof)
 
     p_lint = sub.add_parser("lint", help="run the repo's static-analysis rules")
     p_lint.add_argument("paths", nargs="*",
@@ -145,6 +170,21 @@ def _cmd_build(args) -> int:
     path = save_dataset(dataset, args.output)
     print(dataset.summary())
     print(f"saved to {path.with_suffix('')}.{{json,npz}}")
+    if args.cache_dir is not None:
+        from repro.parallel.cache import FeatureCache
+        from repro.parallel.runner import featurize_records
+
+        featurizer = WindowFeaturizer(window_ms=args.window_ms,
+                                      stride_ms=args.stride_ms)
+        cache = FeatureCache(args.cache_dir)
+        featurize_records(featurizer, dataset.records, n_jobs=args.n_jobs,
+                          backend=args.backend, cache=cache)
+        stats = cache.stats
+        print(f"warmed feature cache in {args.cache_dir}: "
+              f"{len(dataset)} motions, {stats.hits} hits, "
+              f"{stats.stores} new entries "
+              f"(window {args.window_ms:g} ms, stride "
+              f"{'window' if args.stride_ms is None else f'{args.stride_ms:g} ms'})")
     return 0
 
 
@@ -158,6 +198,9 @@ def _cmd_evaluate(args) -> int:
         featurizer=featurizer,
         scaler_mode=args.scaler,
         clusterer=args.clusterer,
+        n_jobs=args.n_jobs,
+        backend=args.backend,
+        cache_dir=args.cache_dir,
     )
     result = run_experiment(train, test, k=args.k, seed=args.seed,
                             classifier=classifier)
@@ -191,7 +234,10 @@ def _cmd_sweep(args) -> int:
             featurizer = WindowFeaturizer(window_ms=window_ms,
                                           stride_ms=args.stride_ms)
             classifier = MotionClassifier(n_clusters=n_clusters,
-                                          featurizer=featurizer)
+                                          featurizer=featurizer,
+                                          n_jobs=args.n_jobs,
+                                          backend=args.backend,
+                                          cache_dir=args.cache_dir)
             results.append(run_experiment(train, test, k=args.k,
                                           seed=args.seed,
                                           classifier=classifier))
@@ -279,6 +325,9 @@ def _cmd_profile(args) -> int:
         k=args.k,
         test_fraction=args.test_fraction,
         seed=args.seed,
+        n_jobs=args.n_jobs,
+        backend=args.backend,
+        cache_dir=args.cache_dir,
     )
     meta = payload["meta"]
     print(f"profiled {args.study} study: {meta['n_train']} database motions, "

@@ -23,6 +23,7 @@ query side (Section 4)
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Callable, List, Optional, Sequence, Union
 
 import numpy as np
@@ -37,6 +38,9 @@ from repro.fuzzy.cmeans import FuzzyCMeans
 from repro.fuzzy.kmeans import KMeans
 from repro.fuzzy.membership import membership_matrix
 from repro.obs.config import record_gauge, span
+from repro.parallel.cache import FeatureCache
+from repro.parallel.executor import BACKENDS, effective_n_jobs
+from repro.parallel.runner import featurize_records
 from repro.retrieval.knn import NearestNeighborIndex, knn_vote
 from repro.retrieval.linear import LinearScanIndex
 from repro.utils.rng import SeedLike
@@ -89,6 +93,17 @@ class MotionClassifier:
         Signature search backend; defaults to linear scan as in the paper.
     n_init:
         Clustering restarts.
+    n_jobs:
+        Workers for the per-motion feature fan-out (fit and query sides);
+        ``1`` (the default) is the serial path, ``-1`` uses all CPUs.  Every
+        setting produces byte-identical results.
+    backend:
+        Parallel backend: ``"auto"`` (default), ``"serial"``, ``"thread"``
+        or ``"process"`` (see :mod:`repro.parallel.executor`).
+    cache_dir:
+        Directory for the content-addressed feature cache; ``None`` (the
+        default) disables caching.  Cached features are byte-identical to
+        recomputed ones.
     """
 
     def __init__(
@@ -101,6 +116,9 @@ class MotionClassifier:
         clusterer: Union[str, Callable[[int], object]] = "fcm",
         index_factory: Optional[Callable[[], NearestNeighborIndex]] = None,
         n_init: int = 1,
+        n_jobs: int = 1,
+        backend: str = "auto",
+        cache_dir: Optional[Union[str, Path]] = None,
     ):
         self.n_clusters = check_positive_int(n_clusters, name="n_clusters", minimum=2)
         self.m = m
@@ -109,6 +127,15 @@ class MotionClassifier:
         self.clusterer = clusterer
         self.index_factory = index_factory or LinearScanIndex
         self.n_init = check_positive_int(n_init, name="n_init")
+        self.n_jobs = effective_n_jobs(n_jobs)
+        if backend not in BACKENDS:
+            raise ClusteringError(
+                f"unknown parallel backend {backend!r}; use one of {BACKENDS}"
+            )
+        self.backend = backend
+        self.feature_cache: Optional[FeatureCache] = (
+            FeatureCache(cache_dir) if cache_dir is not None else None
+        )
 
         self._centers: Optional[np.ndarray] = None
         self._signatures: Optional[np.ndarray] = None
@@ -140,7 +167,10 @@ class MotionClassifier:
             raise ClusteringError("cannot fit on an empty database")
         with span("model.fit", n_motions=len(database),
                   n_clusters=self.n_clusters) as sp:
-            per_motion = [self.featurizer.features(rec) for rec in database]
+            per_motion = featurize_records(
+                self.featurizer, list(database), n_jobs=self.n_jobs,
+                backend=self.backend, cache=self.feature_cache,
+            )
             all_windows = np.vstack([wf.matrix for wf in per_motion])
             if all_windows.shape[0] < self.n_clusters:
                 raise ClusteringError(
@@ -229,7 +259,12 @@ class MotionClassifier:
         if self._centers is None:
             raise NotFittedError("MotionClassifier used before fit")
         with span("model.signature"):
-            features = self.featurizer.features(record)
+            if self.feature_cache is not None:
+                features = featurize_records(
+                    self.featurizer, [record], cache=self.feature_cache,
+                )[0]
+            else:
+                features = self.featurizer.features(record)
             scaled = self.scaler.transform(features.matrix)
             if self._soft_memberships:
                 memberships = membership_matrix(scaled, self._centers, m=self.m)

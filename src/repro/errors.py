@@ -20,6 +20,7 @@ __all__ = [
     "DatasetError",
     "RetrievalError",
     "SerializationError",
+    "CacheError",
     "LintError",
 ]
 
@@ -70,6 +71,10 @@ class RetrievalError(ReproError):
 
 class SerializationError(ReproError):
     """Saving or loading a dataset/model artifact failed."""
+
+
+class CacheError(ReproError):
+    """A feature-cache store is unusable (bad directory, unwritable entry)."""
 
 
 class LintError(ReproError):

@@ -46,6 +46,16 @@ class EMGFeatureExtractor(abc.ABC):
             raise FeatureError("EMG window must contain at least one sample")
         return window
 
+    def cache_fingerprint(self) -> str:
+        """Stable identity of this extractor for feature-cache keys.
+
+        The default covers stateless extractors (class identity + layout);
+        extractors with parameters that change the produced values must
+        override this to include them.
+        """
+        cls = type(self)
+        return f"{cls.__module__}.{cls.__qualname__}/fpc={self.features_per_channel}"
+
 
 class MocapFeatureExtractor(abc.ABC):
     """Extracts a fixed-length feature vector from one joint-matrix window.
@@ -83,6 +93,16 @@ class MocapFeatureExtractor(abc.ABC):
             for s in segments
             for i in range(self.features_per_joint)
         ]
+
+    def cache_fingerprint(self) -> str:
+        """Stable identity of this extractor for feature-cache keys.
+
+        The default covers stateless extractors (class identity + layout);
+        extractors with parameters that change the produced values must
+        override this to include them.
+        """
+        cls = type(self)
+        return f"{cls.__module__}.{cls.__qualname__}/fpj={self.features_per_joint}"
 
 
 @dataclass(frozen=True)

@@ -13,7 +13,7 @@ vector per window, EMG dimensions first.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -97,6 +97,40 @@ class WindowFeaturizer:
                 self.mocap_extractor.feature_names(list(record.mocap.segments))
             )
         return names
+
+    def cache_fingerprint(self) -> str:
+        """Stable description of everything that determines feature values.
+
+        Combined with the stream bytes and the cache code version this forms
+        the content address of a motion's features (see
+        :mod:`repro.parallel.cache`).
+        """
+        return "|".join([
+            f"window_ms={self.window_ms!r}",
+            f"stride_ms={self.stride_ms!r}",
+            f"use_emg={self.use_emg}",
+            f"use_mocap={self.use_mocap}",
+            f"emg={self.emg_extractor.cache_fingerprint()}",
+            f"mocap={self.mocap_extractor.cache_fingerprint()}",
+        ])
+
+    def features_batch(
+        self,
+        records: Sequence[RecordedMotion],
+        n_jobs: int = 1,
+        backend: str = "auto",
+        cache=None,
+    ) -> List[WindowFeatures]:
+        """Featurize many records — parallel and cached, order preserved.
+
+        Byte-identical to ``[self.features(r) for r in records]`` for every
+        ``n_jobs``/``backend``/``cache`` combination; see
+        :func:`repro.parallel.runner.featurize_records` for the knobs.
+        """
+        from repro.parallel.runner import featurize_records
+
+        return featurize_records(self, records, n_jobs=n_jobs,
+                                 backend=backend, cache=cache)
 
     def features(self, record: RecordedMotion) -> WindowFeatures:
         """Combined feature matrix for every window of ``record``.

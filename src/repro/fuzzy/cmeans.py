@@ -157,7 +157,9 @@ class FuzzyCMeans:
         # Initialize centers on distinct random points; this converges faster
         # and more reproducibly than random memberships.
         centers = x[rng.choice(n, size=c, replace=False)].copy()
-        membership = self._memberships(x, centers)
+        membership = membership_from_distances(
+            squared_distances(x, centers), self.m
+        )
         history = []
         converged = False
         iteration = 0
@@ -165,8 +167,11 @@ class FuzzyCMeans:
             with span("fcm.iterate", iteration=iteration) as sp:
                 previous = membership
                 centers = self._centers(x, membership)
-                membership = self._memberships(x, centers)
-                objective = self._objective(x, centers, membership)
+                # One distance pass per iteration feeds both the membership
+                # update and the objective (previously computed twice).
+                d2 = squared_distances(x, centers)
+                membership = membership_from_distances(d2, self.m)
+                objective = float(np.sum((membership**self.m) * d2))
                 if is_enabled():
                     # Membership shift is pure telemetry (the stopping rule is
                     # the objective), so the extra O(nc) pass only runs when
@@ -211,11 +216,33 @@ class FuzzyCMeans:
         return float(np.sum((membership**self.m) * d2))
 
 
+#: Upper bound on the elements of the ``(block, c, d)`` broadcast temporary
+#: used by :func:`squared_distances` — 2M float64 elements keeps each block's
+#: scratch around 16 MB so large window matrices stay cache-friendly instead
+#: of materializing an ``(n, c, d)`` cube.
+_DISTANCE_BLOCK_ELEMS = 2_000_000
+
+
 @shapes(x="(n, d)", centers="(c, d)")
 def squared_distances(x: np.ndarray, centers: np.ndarray) -> np.ndarray:
-    """Pairwise squared Euclidean distances, shape ``(n, c)``."""
-    diff = x[:, None, :] - centers[None, :, :]
-    return np.einsum("ncd,ncd->nc", diff, diff)
+    """Pairwise squared Euclidean distances, shape ``(n, c)``.
+
+    Computed blockwise over the points axis: each ``(block, c)`` tile is the
+    same difference-and-einsum reduction as the one-shot formula, so the
+    result is bit-identical for every block size while the temporary stays
+    bounded (the one-shot path would materialize ``(n, c, d)``).
+    """
+    n = x.shape[0]
+    c, d = centers.shape
+    block = max(1, _DISTANCE_BLOCK_ELEMS // max(1, c * d))
+    if n <= block:
+        diff = x[:, None, :] - centers[None, :, :]
+        return np.einsum("ncd,ncd->nc", diff, diff)
+    out = np.empty((n, c))
+    for start in range(0, n, block):
+        tile = x[start:start + block, None, :] - centers[None, :, :]
+        np.einsum("ncd,ncd->nc", tile, tile, out=out[start:start + block])
+    return out
 
 
 @shapes(d2="(n, c)")
@@ -223,21 +250,18 @@ def membership_from_distances(d2: np.ndarray, m: float) -> np.ndarray:
     """Standard FCM membership update from squared distances.
 
     Points coinciding with one or more centers get membership split equally
-    among the coinciding centers (the limit of the update rule).
+    among the coinciding centers (the limit of the update rule).  Both the
+    regular and the degenerate branch are whole-matrix operations — no
+    per-point Python loop.
     """
-    n, c = d2.shape
-    u = np.empty((n, c))
     zero_mask = d2 <= _EPS
     has_zero = zero_mask.any(axis=1)
     power = 1.0 / (m - 1.0)
     safe = np.where(zero_mask, 1.0, d2)
     inv = safe ** (-power)
-    u_regular = inv / inv.sum(axis=1, keepdims=True)
-    u[~has_zero] = u_regular[~has_zero]
+    u = inv / inv.sum(axis=1, keepdims=True)
     if has_zero.any():
-        rows = np.where(has_zero)[0]
-        u[rows] = 0.0
-        for r in rows:
-            hits = zero_mask[r]
-            u[r, hits] = 1.0 / hits.sum()
+        counts = zero_mask.sum(axis=1, keepdims=True)
+        equal_split = zero_mask / np.maximum(counts, 1)
+        u = np.where(has_zero[:, None], equal_split, u)
     return u

@@ -45,6 +45,13 @@ def membership_matrix(
     -------
     numpy.ndarray
         ``(n, c)`` membership matrix, rows summing to 1.
+
+    Notes
+    -----
+    Operates on the whole window matrix at once: one blockwise pairwise
+    distance pass plus one vectorized membership update (the kernels shared
+    with :class:`~repro.fuzzy.cmeans.FuzzyCMeans`), so Eq. 9 queries cost
+    the same per window as a single fit iteration.
     """
     points = check_array(points, name="points", ndim=2, allow_empty=False)
     centers = check_array(centers, name="centers", ndim=2, allow_empty=False)

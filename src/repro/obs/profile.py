@@ -51,6 +51,9 @@ def run_profile(
     seed: int = 0,
     clock: Optional[Clock] = None,
     max_spans: Optional[int] = None,
+    n_jobs: int = 1,
+    backend: str = "auto",
+    cache_dir: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Profile one synthetic end-to-end pipeline run.
 
@@ -81,7 +84,10 @@ def run_profile(
             featurizer = WindowFeaturizer(window_ms=window_ms,
                                           stride_ms=stride_ms)
             model = MotionClassifier(n_clusters=clusters,
-                                     featurizer=featurizer)
+                                     featurizer=featurizer,
+                                     n_jobs=n_jobs,
+                                     backend=backend,
+                                     cache_dir=cache_dir)
             model.fit(train, seed=seed)
             k_eff = min(k, len(train))
             true_labels, predicted = [], []
@@ -100,8 +106,13 @@ def run_profile(
             "stride_ms": stride_ms,
             "k": k_eff,
             "seed": seed,
+            "n_jobs": n_jobs,
+            "backend": backend,
+            "cache_dir": cache_dir,
             "misclassification_pct": misclassification_rate(true_labels,
                                                             predicted),
         }
+        if model.feature_cache is not None:
+            meta["feature_cache"] = model.feature_cache.stats.as_dict()
         payload = collect_payload(state, meta=meta)
     return payload

@@ -1,0 +1,127 @@
+"""Fan-out of per-motion windowing + feature extraction.
+
+:func:`featurize_records` is the parallel, cached equivalent of::
+
+    [featurizer.features(rec) for rec in records]
+
+and is byte-identical to it for every backend and cache state.  The flow:
+
+1. consult the cache (in the calling process) for every record;
+2. compute only the misses, fanned out on the requested backend via
+   :func:`repro.parallel.executor.pool_map` (order-stable);
+3. store the freshly computed entries back (again in the calling process,
+   so process workers never contend for cache files);
+4. merge hits and computed results into one list in **input order**.
+
+Process workers run with their own (fresh, disabled) observability state;
+when the parent's observability is enabled the workers are asked to record
+into a private registry whose counters/gauges/series snapshot is shipped
+back and merged into the parent registry in input order — so metric exports
+match the serial run exactly.  Individual spans from process workers are
+not transported (stage timings of child processes stay local to them).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.data.record import RecordedMotion
+from repro.features.base import WindowFeatures
+from repro.obs.config import capture, current_state, is_enabled, span
+from repro.parallel.cache import FeatureCache, record_cache_key
+from repro.parallel.executor import pool_map, resolve_backend
+
+__all__ = ["featurize_records"]
+
+
+def _featurize_in_process(payload: Tuple[Any, RecordedMotion, bool]):
+    """Process-pool worker: compute one motion's features.
+
+    Runs in a child process with fresh observability state.  When the parent
+    had observability enabled, the work runs inside a private capture
+    session and the metrics snapshot travels back for merging.
+    """
+    featurizer, record, parent_obs_enabled = payload
+    if not parent_obs_enabled:
+        return featurizer.features(record), None
+    with capture() as state:
+        features = featurizer.features(record)
+    return features, state.registry.to_dict()
+
+
+def featurize_records(
+    featurizer,
+    records: Sequence[RecordedMotion],
+    n_jobs: int = 1,
+    backend: str = "auto",
+    cache: Optional[FeatureCache] = None,
+) -> List[WindowFeatures]:
+    """Window + featurize every record, in parallel and through the cache.
+
+    Parameters
+    ----------
+    featurizer:
+        A :class:`~repro.features.combine.WindowFeaturizer` (anything with
+        ``features(record)`` and ``cache_fingerprint()``).
+    records:
+        The motions to featurize.
+    n_jobs:
+        Worker count; ``1`` (the default) runs serially, ``-1`` uses all
+        CPUs.
+    backend:
+        ``"auto"``, ``"serial"``, ``"thread"`` or ``"process"`` (see
+        :func:`repro.parallel.executor.resolve_backend`).
+    cache:
+        Optional :class:`~repro.parallel.cache.FeatureCache`; hits skip
+        computation entirely, misses are computed then stored.
+
+    Returns
+    -------
+    list of WindowFeatures
+        One entry per record, in input order.
+    """
+    records = list(records)
+    with span("parallel.featurize", n_records=len(records),
+              n_jobs=n_jobs) as sp:
+        results: List[Optional[WindowFeatures]] = [None] * len(records)
+        pending: List[Tuple[int, Optional[str]]] = []
+        if cache is not None:
+            fingerprint = featurizer.cache_fingerprint()
+            for i, record in enumerate(records):
+                key = record_cache_key(record, fingerprint)
+                hit = cache.load(key)
+                if hit is None:
+                    pending.append((i, key))
+                else:
+                    results[i] = hit
+        else:
+            pending = [(i, None) for i in range(len(records))]
+        sp.set(cache_hits=len(records) - len(pending), computed=len(pending))
+
+        if pending:
+            resolved = resolve_backend(backend, n_jobs, featurizer,
+                                       records[pending[0][0]])
+            if resolved == "process":
+                parent_enabled = is_enabled()
+                payloads = [(featurizer, records[i], parent_enabled)
+                            for i, _ in pending]
+                outcomes = pool_map(_featurize_in_process, payloads,
+                                    n_jobs=n_jobs, backend=resolved)
+                computed = []
+                for features, metrics in outcomes:
+                    computed.append(features)
+                    if metrics is not None:
+                        current_state().registry.merge(metrics)
+            else:
+                computed = pool_map(featurizer.features,
+                                    [records[i] for i, _ in pending],
+                                    n_jobs=n_jobs, backend=resolved)
+            for (i, key), features in zip(pending, computed):
+                results[i] = features
+                if cache is not None and key is not None:
+                    cache.store(key, features)
+    merged: List[WindowFeatures] = []
+    for wf in results:
+        assert wf is not None  # every index is a cache hit or a computed miss
+        merged.append(wf)
+    return merged

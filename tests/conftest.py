@@ -6,20 +6,40 @@ Two tiers of test data:
   directly from arrays (no simulation), for feature/core/retrieval tests;
 * ``small_hand_dataset`` / ``small_leg_dataset`` — session-scoped real
   acquisition campaigns (tiny but end-to-end) for integration-level tests.
+
+The array-level factories live in :mod:`tests.factories` as plain functions
+so non-function-scoped harnesses (determinism, goldens) can call them too.
+
+Golden files
+------------
+``pytest --regen-goldens`` rewrites the expected-output files under
+``tests/golden/`` instead of comparing against them (see
+``tests/golden/test_golden_pipeline.py``).
 """
 
 from __future__ import annotations
-
-import zlib
 
 import numpy as np
 import pytest
 
 from repro.data.dataset import MotionDataset
 from repro.data.protocol import build_dataset, hand_protocol, leg_protocol
-from repro.data.record import RecordedMotion
-from repro.emg.recording import EMGRecording
-from repro.mocap.trajectory import MotionCaptureData
+from tests.factories import synthetic_record, toy_motion_dataset
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--regen-goldens",
+        action="store_true",
+        default=False,
+        help="rewrite the golden expected-output files instead of comparing",
+    )
+
+
+@pytest.fixture
+def regen_goldens(request) -> bool:
+    """Whether this run should rewrite golden files instead of asserting."""
+    return bool(request.config.getoption("--regen-goldens"))
 
 
 @pytest.fixture
@@ -35,73 +55,13 @@ def make_record():
     The streams are smooth deterministic curves plus seeded noise so that
     different labels produce genuinely different (but reproducible) data.
     """
-
-    def _make(
-        label: str = "raise_arm",
-        n_frames: int = 120,
-        n_segments: int = 4,
-        n_channels: int = 4,
-        fps: float = 120.0,
-        participant: str = "p0",
-        trial: int = 0,
-        seed: int = 0,
-        frequency: float = 1.0,
-    ) -> RecordedMotion:
-        # Class identity (curve shapes/phases) comes from the label alone;
-        # the per-trial seed only adds noise, so same-label records are
-        # similar and different-label records are not.
-        class_gen = np.random.default_rng(zlib.crc32(label.encode()))
-        gen = np.random.default_rng(seed * 7919 + 13)
-        t = np.arange(n_frames) / fps
-        segments = tuple(f"seg{j}" for j in range(n_segments))
-        channels = tuple(f"ch{j}" for j in range(n_channels))
-        mocap_cols = []
-        for j in range(3 * n_segments):
-            phase = class_gen.uniform(0, 2 * np.pi)
-            amp = 100.0 * (1 + j % 3)
-            mocap_cols.append(
-                amp * np.sin(2 * np.pi * frequency * t + phase)
-                + gen.normal(0, 1.0, n_frames)
-            )
-        emg_cols = []
-        for j in range(n_channels):
-            env = np.abs(
-                np.sin(2 * np.pi * frequency * t + class_gen.uniform(0, np.pi))
-            )
-            emg_cols.append(5e-5 * env + np.abs(gen.normal(0, 2e-6, n_frames)))
-        mocap = MotionCaptureData(
-            segments=segments, matrix_mm=np.stack(mocap_cols, axis=1), fps=fps
-        )
-        emg = EMGRecording(
-            channels=channels, data_volts=np.stack(emg_cols, axis=1), fs=fps
-        )
-        return RecordedMotion(
-            label=label,
-            participant_id=participant,
-            trial_id=trial,
-            mocap=mocap,
-            emg=emg,
-        )
-
-    return _make
+    return synthetic_record
 
 
 @pytest.fixture
-def toy_dataset(make_record) -> MotionDataset:
+def toy_dataset() -> MotionDataset:
     """A fast 3-class, 12-record dataset built from the record factory."""
-    records = []
-    for label, freq in [("alpha", 0.7), ("beta", 1.4), ("gamma", 2.4)]:
-        for trial in range(4):
-            records.append(
-                make_record(
-                    label=label,
-                    trial=trial,
-                    seed=trial,
-                    frequency=freq,
-                    participant=f"p{trial % 2}",
-                )
-            )
-    return MotionDataset(name="toy", records=records)
+    return toy_motion_dataset()
 
 
 @pytest.fixture(scope="session")

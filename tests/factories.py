@@ -1,0 +1,87 @@
+"""Plain-function test-data factories shared by fixtures and harnesses.
+
+``tests/conftest.py`` wraps these in fixtures; modules that need data at
+non-function scope (the determinism harness, the golden-fixture generator)
+call them directly.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+
+from repro.data.dataset import MotionDataset
+from repro.data.record import RecordedMotion
+from repro.emg.recording import EMGRecording
+from repro.mocap.trajectory import MotionCaptureData
+
+__all__ = ["synthetic_record", "toy_motion_dataset"]
+
+
+def synthetic_record(
+    label: str = "raise_arm",
+    n_frames: int = 120,
+    n_segments: int = 4,
+    n_channels: int = 4,
+    fps: float = 120.0,
+    participant: str = "p0",
+    trial: int = 0,
+    seed: int = 0,
+    frequency: float = 1.0,
+) -> RecordedMotion:
+    """A synthetic :class:`RecordedMotion` built directly from arrays.
+
+    Class identity (curve shapes/phases) comes from the label alone; the
+    per-trial seed only adds noise, so same-label records are similar and
+    different-label records are not.
+    """
+    class_gen = np.random.default_rng(zlib.crc32(label.encode()))
+    gen = np.random.default_rng(seed * 7919 + 13)
+    t = np.arange(n_frames) / fps
+    segments = tuple(f"seg{j}" for j in range(n_segments))
+    channels = tuple(f"ch{j}" for j in range(n_channels))
+    mocap_cols = []
+    for j in range(3 * n_segments):
+        phase = class_gen.uniform(0, 2 * np.pi)
+        amp = 100.0 * (1 + j % 3)
+        mocap_cols.append(
+            amp * np.sin(2 * np.pi * frequency * t + phase)
+            + gen.normal(0, 1.0, n_frames)
+        )
+    emg_cols = []
+    for j in range(n_channels):
+        env = np.abs(
+            np.sin(2 * np.pi * frequency * t + class_gen.uniform(0, np.pi))
+        )
+        emg_cols.append(5e-5 * env + np.abs(gen.normal(0, 2e-6, n_frames)))
+    mocap = MotionCaptureData(
+        segments=segments, matrix_mm=np.stack(mocap_cols, axis=1), fps=fps
+    )
+    emg = EMGRecording(
+        channels=channels, data_volts=np.stack(emg_cols, axis=1), fs=fps
+    )
+    return RecordedMotion(
+        label=label,
+        participant_id=participant,
+        trial_id=trial,
+        mocap=mocap,
+        emg=emg,
+    )
+
+
+def toy_motion_dataset() -> MotionDataset:
+    """A fast 3-class, 12-record dataset built from :func:`synthetic_record`."""
+    records = []
+    for label, freq in [("alpha", 0.7), ("beta", 1.4), ("gamma", 2.4)]:
+        for trial in range(4):
+            records.append(
+                synthetic_record(
+                    label=label,
+                    trial=trial,
+                    seed=trial,
+                    frequency=freq,
+                    participant=f"p{trial % 2}",
+                )
+            )
+    return MotionDataset(name="toy", records=records)

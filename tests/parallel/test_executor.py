@@ -1,0 +1,106 @@
+"""Worker-pool executor: order stability, backend resolution, error paths."""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.parallel.executor import (
+    BACKENDS,
+    effective_n_jobs,
+    payload_picklable,
+    pool_map,
+    resolve_backend,
+)
+
+
+def _square(x):
+    return x * x
+
+
+def _sleepy_negate(x):
+    # Later items sleep less, so a pool finishes them first; pool_map must
+    # still return results in input order.
+    time.sleep(0.03 / (1 + x))
+    return -x
+
+
+def _explode_on_three(x):
+    if x == 3:
+        raise ValueError("boom at 3")
+    return x
+
+
+class TestEffectiveNJobs:
+    def test_positive_passthrough(self):
+        assert effective_n_jobs(1) == 1
+        assert effective_n_jobs(7) == 7
+
+    def test_minus_one_is_cpu_count(self):
+        assert effective_n_jobs(-1) == (os.cpu_count() or 1)
+
+    @pytest.mark.parametrize("bad", [0, -2, -17])
+    def test_rejects_other_non_positive(self, bad):
+        with pytest.raises(ValidationError):
+            effective_n_jobs(bad)
+
+
+class TestResolveBackend:
+    def test_explicit_backends_pass_through(self):
+        for backend in ("serial", "thread", "process"):
+            assert resolve_backend(backend, 4) == backend
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValidationError, match="unknown parallel backend"):
+            resolve_backend("greenlet", 4)
+
+    def test_auto_one_job_is_serial(self):
+        assert resolve_backend("auto", 1, _square, 1) == "serial"
+
+    def test_auto_picklable_payload_is_process(self):
+        assert payload_picklable(_square, [1, 2, 3])
+        assert resolve_backend("auto", 4, _square, 1) == "process"
+
+    def test_auto_unpicklable_payload_falls_back_to_thread(self):
+        unpicklable = lambda x: x  # noqa: E731 - lambdas do not pickle
+        assert not payload_picklable(unpicklable)
+        assert resolve_backend("auto", 4, unpicklable, 1) == "thread"
+
+    def test_backends_tuple_is_the_contract(self):
+        assert BACKENDS == ("auto", "serial", "thread", "process")
+
+
+class TestPoolMap:
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_matches_list_comprehension(self, backend):
+        items = list(range(10))
+        assert pool_map(_square, items, n_jobs=4, backend=backend) == [
+            _square(i) for i in items
+        ]
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_order_stable_under_out_of_order_completion(self, backend):
+        items = list(range(8))
+        result = pool_map(_sleepy_negate, items, n_jobs=4, backend=backend)
+        assert result == [-i for i in items]
+
+    def test_empty_items(self):
+        assert pool_map(_square, [], n_jobs=4, backend="auto") == []
+
+    def test_single_item_runs_inline(self):
+        assert pool_map(_square, [5], n_jobs=4, backend="thread") == [25]
+
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_worker_exception_propagates(self, backend):
+        with pytest.raises(ValueError, match="boom at 3"):
+            pool_map(_explode_on_three, list(range(6)), n_jobs=2, backend=backend)
+
+    def test_unpicklable_fn_works_on_auto(self):
+        # auto detects the unpicklable closure and picks the thread pool.
+        offset = 10
+        result = pool_map(lambda x: x + offset, list(range(4)), n_jobs=2,
+                          backend="auto")
+        assert result == [10, 11, 12, 13]

@@ -1,0 +1,79 @@
+"""Property-based tests for the IAV feature (paper Eq. 1).
+
+IAV is a plain per-channel sum of absolute values, so it must be
+non-negative, absolutely homogeneous and additive over window concatenation.
+Skipped entirely when ``hypothesis`` is not installed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+from hypothesis.extra import numpy as hnp  # noqa: E402
+
+from repro.features.iav import IAVExtractor, integral_absolute_value  # noqa: E402
+
+SETTINGS = settings(max_examples=50, deadline=None)
+
+window_st = hnp.arrays(
+    dtype=np.float64,
+    shape=st.tuples(st.integers(1, 40), st.integers(1, 4)),
+    elements=st.floats(min_value=-1e6, max_value=1e6, allow_nan=False,
+                       allow_infinity=False),
+)
+
+
+@SETTINGS
+@given(window=window_st)
+def test_non_negative_one_value_per_channel(window):
+    iav = integral_absolute_value(window)
+    assert iav.shape == (window.shape[1],)
+    assert np.all(iav >= 0.0)
+
+
+@SETTINGS
+@given(window=window_st)
+def test_sign_invariance(window):
+    # |x| = |-x|: rectified and raw signals give the same feature.
+    np.testing.assert_array_equal(
+        integral_absolute_value(window), integral_absolute_value(-window)
+    )
+
+
+@SETTINGS
+@given(window=window_st,
+       scale=st.floats(min_value=-100.0, max_value=100.0, allow_nan=False))
+def test_absolute_homogeneity(window, scale):
+    # IAV(a·x) == |a|·IAV(x) — exact up to float rounding.
+    np.testing.assert_allclose(
+        integral_absolute_value(scale * window),
+        abs(scale) * integral_absolute_value(window),
+        rtol=1e-9, atol=1e-12,
+    )
+
+
+@SETTINGS
+@given(first=window_st, n_extra=st.integers(1, 40))
+def test_additive_over_concatenation(first, n_extra):
+    second = np.linspace(-1.0, 1.0, n_extra * first.shape[1]).reshape(
+        n_extra, first.shape[1]
+    )
+    joined = np.vstack([first, second])
+    np.testing.assert_allclose(
+        integral_absolute_value(joined),
+        integral_absolute_value(first) + integral_absolute_value(second),
+        rtol=1e-9, atol=1e-12,
+    )
+
+
+@SETTINGS
+@given(window=window_st)
+def test_extractor_matches_free_function(window):
+    np.testing.assert_array_equal(
+        IAVExtractor().extract(window), integral_absolute_value(window)
+    )

@@ -1,0 +1,112 @@
+"""Property-based tests for the weighted-SVD joint feature (paper Eqs. 2–3).
+
+The feature is built from normalized singular values and sign-stabilized
+right singular vectors, so it must be invariant to positive scaling, row
+permutation and self-concatenation of the window.  Near-degenerate inputs
+(tied singular values, ambiguous dominant components) are excluded with
+``assume`` — there the SVD factors themselves are not unique and no
+implementation could promise stability.
+
+Skipped entirely when ``hypothesis`` is not installed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import assume, given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+from hypothesis.extra import numpy as hnp  # noqa: E402
+
+from repro.features.svd import stabilize_signs, weighted_svd_feature  # noqa: E402
+
+SETTINGS = settings(max_examples=40, deadline=None)
+
+window_st = hnp.arrays(
+    dtype=np.float64,
+    shape=st.tuples(st.integers(4, 25), st.just(3)),
+    elements=st.floats(min_value=-100.0, max_value=100.0, allow_nan=False,
+                       allow_infinity=False),
+)
+
+
+def _well_conditioned(window: np.ndarray) -> bool:
+    """Singular values well separated and dominant components unambiguous."""
+    singular = np.linalg.svd(window, compute_uv=False)
+    if singular[0] <= 1e-6:
+        return False
+    gaps = np.diff(singular) / -singular[0]  # negative diffs, normalized
+    if np.any(np.abs(gaps) < 1e-3) or singular[-1] / singular[0] < 1e-6:
+        return False
+    _, _, vt = np.linalg.svd(window, full_matrices=False)
+    for row in vt:
+        magnitudes = np.sort(np.abs(row))[::-1]
+        if magnitudes[0] - magnitudes[1] < 1e-3:
+            return False
+    return True
+
+
+@SETTINGS
+@given(window=window_st)
+def test_feature_is_a_unit_scale_3_vector(window):
+    feature = weighted_svd_feature(window)
+    assert feature.shape == (3,)
+    # Convex combination of unit vectors: norm at most 1.
+    assert np.linalg.norm(feature) <= 1.0 + 1e-9
+    assert np.all(np.isfinite(feature))
+
+
+@SETTINGS
+@given(window=window_st,
+       scale=st.floats(min_value=0.1, max_value=50.0, allow_nan=False))
+def test_invariant_to_positive_scaling(window, scale):
+    assume(_well_conditioned(window))
+    np.testing.assert_allclose(
+        weighted_svd_feature(scale * window), weighted_svd_feature(window),
+        rtol=1e-7, atol=1e-9,
+    )
+
+
+@SETTINGS
+@given(window=window_st, seed=st.integers(0, 2**31 - 1))
+def test_invariant_to_row_permutation(window, seed):
+    # The Gram matrix AᵀA ignores row order, so V and Σ do too.
+    assume(_well_conditioned(window))
+    permuted = window[np.random.default_rng(seed).permutation(window.shape[0])]
+    np.testing.assert_allclose(
+        weighted_svd_feature(permuted), weighted_svd_feature(window),
+        rtol=1e-7, atol=1e-9,
+    )
+
+
+@SETTINGS
+@given(window=window_st)
+def test_invariant_to_self_concatenation(window):
+    # [A; A] has Gram matrix 2AᵀA: same V, uniformly scaled Σ, same feature.
+    assume(_well_conditioned(window))
+    np.testing.assert_allclose(
+        weighted_svd_feature(np.vstack([window, window])),
+        weighted_svd_feature(window),
+        rtol=1e-7, atol=1e-9,
+    )
+
+
+@SETTINGS
+@given(window=window_st)
+def test_stabilized_signs_make_dominant_components_positive(window):
+    _, _, vt = np.linalg.svd(window, full_matrices=False)
+    stable = stabilize_signs(vt)
+    for row in stable:
+        assert row[int(np.argmax(np.abs(row)))] >= 0.0
+    # Stabilization is idempotent and only ever flips whole rows.
+    np.testing.assert_array_equal(stabilize_signs(stable), stable)
+    np.testing.assert_allclose(np.abs(stable), np.abs(vt), rtol=0, atol=0)
+
+
+def test_zero_window_yields_zero_vector():
+    np.testing.assert_array_equal(
+        weighted_svd_feature(np.zeros((8, 3))), np.zeros(3)
+    )

@@ -1,0 +1,94 @@
+"""Property-based tests for the window arithmetic (paper Section 3.3).
+
+Skipped entirely when ``hypothesis`` is not installed — the environment only
+guarantees numpy.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+from repro.utils.windows import iter_windows, num_windows, window_bounds  # noqa: E402
+
+SETTINGS = settings(max_examples=50, deadline=None)
+
+n_frames_st = st.integers(min_value=1, max_value=500)
+window_st = st.integers(min_value=1, max_value=60)
+stride_st = st.integers(min_value=1, max_value=60)
+fraction_st = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+@SETTINGS
+@given(n_frames=n_frames_st, window=window_st, stride=stride_st,
+       min_fraction=fraction_st)
+def test_bounds_are_valid_half_open_ranges(n_frames, window, stride,
+                                           min_fraction):
+    bounds = window_bounds(n_frames, window, stride, min_fraction)
+    assert bounds, "a non-empty stream always yields at least one window"
+    for start, stop in bounds:
+        assert 0 <= start < stop <= n_frames
+        assert stop - start <= max(window, n_frames)
+    starts = [s for s, _ in bounds]
+    assert starts == sorted(set(starts)), "starts strictly increase"
+
+
+@SETTINGS
+@given(n_frames=n_frames_st, window=window_st, stride=stride_st,
+       min_fraction=fraction_st)
+def test_num_windows_matches_bounds(n_frames, window, stride, min_fraction):
+    assert num_windows(n_frames, window, stride, min_fraction) == len(
+        window_bounds(n_frames, window, stride, min_fraction)
+    )
+
+
+@SETTINGS
+@given(n_frames=n_frames_st, window=window_st, stride=stride_st)
+def test_zero_min_fraction_is_ceiling_division(n_frames, window, stride):
+    # With every partial window kept, the count is the paper's ⌈L/s⌉.
+    bounds = window_bounds(n_frames, window, stride, min_fraction=0.0)
+    assert len(bounds) == math.ceil(n_frames / stride)
+
+
+@SETTINGS
+@given(n_frames=n_frames_st, window=window_st, stride=stride_st)
+def test_full_windows_only_at_min_fraction_one(n_frames, window, stride):
+    bounds = window_bounds(n_frames, window, stride, min_fraction=1.0)
+    if n_frames >= window:
+        # Only complete windows survive: the classic sliding-window count.
+        assert len(bounds) == (n_frames - window) // stride + 1
+        assert all(stop - start == window for start, stop in bounds)
+    else:
+        # Whole-stream fallback instead of a featureless motion.
+        assert bounds == [(0, n_frames)]
+
+
+@SETTINGS
+@given(n_frames=n_frames_st, window=window_st)
+def test_default_stride_tiles_without_overlap(n_frames, window):
+    bounds = window_bounds(n_frames, window, stride=None, min_fraction=0.0)
+    for (_, stop_a), (start_b, _) in zip(bounds, bounds[1:]):
+        assert start_b == stop_a, "default stride == window: exact tiling"
+    covered = sum(stop - start for start, stop in bounds)
+    assert covered == n_frames
+
+
+@SETTINGS
+@given(n_frames=st.integers(min_value=1, max_value=200), window=window_st,
+       stride=stride_st, min_fraction=fraction_st)
+def test_iter_windows_slices_match_bounds(n_frames, window, stride,
+                                          min_fraction):
+    data = np.arange(n_frames, dtype=np.float64)[:, None]
+    bounds = window_bounds(n_frames, window, stride, min_fraction)
+    slices = list(iter_windows(data, window, stride, min_fraction))
+    assert len(slices) == len(bounds)
+    for (start, stop), chunk in zip(bounds, slices):
+        assert chunk.shape[0] == stop - start
+        assert chunk[0, 0] == start and chunk[-1, 0] == stop - 1

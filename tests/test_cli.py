@@ -110,3 +110,62 @@ def test_sweep_csv_export(tmp_path, toy_dataset):
     assert mis.startswith("window_ms,clusters,misclassification")
     assert knn.startswith("window_ms,clusters,knn")
     assert len(mis.strip().splitlines()) == 3  # header + 2 grid points
+
+
+class TestParallelFlags:
+    """The --n-jobs / --backend / --cache-dir knobs (repro.parallel)."""
+
+    @pytest.mark.parametrize("command, tail", [
+        ("build", ["-o", "/tmp/x"]),
+        ("evaluate", ["ds"]),
+        ("sweep", ["ds"]),
+        ("profile", []),
+    ])
+    def test_defaults_on_every_subcommand(self, command, tail):
+        args = build_parser().parse_args([command, *tail])
+        assert args.n_jobs == 1
+        assert args.backend == "auto"
+        assert args.cache_dir is None
+
+    def test_help_documents_the_knobs(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["evaluate", "--help"])
+        out = capsys.readouterr().out
+        assert "--n-jobs" in out
+        assert "--backend" in out
+        assert "--cache-dir" in out
+        assert "byte-identical" in out
+
+    def test_backend_choices_are_validated(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["evaluate", "ds", "--backend", "mpi"])
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_evaluate_with_parallel_and_cache(self, saved_toy, tmp_path,
+                                              capsys):
+        cache_dir = tmp_path / "feature_cache"
+        argv = [
+            "evaluate", saved_toy, "--clusters", "3", "--k", "2",
+            "--n-jobs", "2", "--backend", "thread",
+            "--cache-dir", str(cache_dir),
+        ]
+        assert main(argv) == 0
+        serial_out = capsys.readouterr().out
+        assert "misclassification" in serial_out
+        assert cache_dir.is_dir()  # entries were stored
+
+        # Warm re-run through the cache: identical report.
+        assert main(argv) == 0
+        assert capsys.readouterr().out == serial_out
+
+    def test_build_warms_the_cache(self, tmp_path, capsys):
+        stem = str(tmp_path / "built")
+        cache_dir = tmp_path / "warm"
+        code = main([
+            "build", "--study", "leg", "--participants", "1", "--trials", "1",
+            "--seed", "5", "-o", stem, "--cache-dir", str(cache_dir),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cache" in out.lower()
+        assert any(cache_dir.rglob("*.npz"))
