@@ -29,7 +29,7 @@ Quickstart
 
 from repro import obs
 from repro.baselines.dtw import DTWClassifier
-from repro.core.model import MotionClassifier, RetrievedNeighbor
+from repro.core.model import MotionClassifier, RetrievedNeighbor, RobustQueryResult
 from repro.core.signature import MotionSignature, motion_signature
 from repro.core.spotting import ActivityDetector, spot_and_classify
 from repro.data.stream import ContinuousStream, concatenate_records
@@ -56,6 +56,10 @@ from repro.motions.base import available_motions, get_motion_class
 from repro.motions.variation import VariationModel
 from repro.parallel.cache import FeatureCache
 from repro.parallel.runner import featurize_records
+from repro.robust.faults import FaultSpec, default_fault_suite, inject
+from repro.robust.featurize import RobustFeaturizer
+from repro.robust.policy import DegradationPolicy, resolve_policy
+from repro.robust.report import DegradationReport
 from repro.sync.session import AcquisitionSession
 
 __version__ = "1.0.0"
@@ -99,5 +103,13 @@ __all__ = [
     "VariationModel",
     "FeatureCache",
     "featurize_records",
+    "FaultSpec",
+    "default_fault_suite",
+    "inject",
+    "RobustFeaturizer",
+    "DegradationPolicy",
+    "resolve_policy",
+    "DegradationReport",
+    "RobustQueryResult",
     "AcquisitionSession",
 ]

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Six subcommands cover the library's workflow without writing Python:
+Seven subcommands cover the library's workflow without writing Python:
 
 ``repro-motions build``
     Simulate a capture campaign and save it to disk.
@@ -16,6 +16,14 @@ Six subcommands cover the library's workflow without writing Python:
     report the per-stage breakdown (see docs/OBSERVABILITY.md).
 ``repro-motions lint``
     Run the repo-specific static-analysis rules (see :mod:`repro.lint`).
+``repro-motions selftest``
+    Run the tier-1 test suite and the lint rules in one shot (the
+    make-style "is this checkout healthy?" command).
+
+``build``, ``evaluate`` and ``profile`` accept ``--robust-policy`` to run
+the feature pipeline through a degradation policy (see
+:mod:`repro.robust`); the default ``off`` keeps the pipeline byte-identical
+to the non-robust path.
 
 ``build`` and ``evaluate`` additionally accept ``--trace`` (print a
 per-stage timing table after the run) and ``--metrics-out PATH`` (write the
@@ -78,6 +86,14 @@ def build_parser() -> argparse.ArgumentParser:
                             "cached features are byte-identical to "
                             "recomputed ones (default: caching off)")
 
+    def add_robust_flag(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--robust-policy",
+                       choices=("off", "strict", "mask", "repair"),
+                       default="off",
+                       help="degradation policy for faulted streams (see "
+                            "repro.robust); 'off' (default) keeps the "
+                            "pipeline byte-identical to the non-robust path")
+
     p_build = sub.add_parser("build", help="simulate and save a capture campaign")
     p_build.add_argument("--study", choices=("hand", "leg"), default="hand")
     p_build.add_argument("--participants", type=int, default=2)
@@ -93,6 +109,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="window stride used when warming the feature "
                               "cache (only with --cache-dir)")
     add_parallel_flags(p_build)
+    add_robust_flag(p_build)
     add_obs_flags(p_build)
 
     p_eval = sub.add_parser("evaluate", help="evaluate one configuration")
@@ -107,6 +124,7 @@ def build_parser() -> argparse.ArgumentParser:
                         default="zscore")
     p_eval.add_argument("--clusterer", choices=("fcm", "kmeans"), default="fcm")
     add_parallel_flags(p_eval)
+    add_robust_flag(p_eval)
     add_obs_flags(p_eval)
 
     p_sweep = sub.add_parser("sweep", help="run the paper's figure grid")
@@ -147,6 +165,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_prof.add_argument("-o", "--output", default="profile.json",
                         help="JSON payload output path (default: profile.json)")
     add_parallel_flags(p_prof)
+    add_robust_flag(p_prof)
 
     p_lint = sub.add_parser("lint", help="run the repo's static-analysis rules")
     p_lint.add_argument("paths", nargs="*",
@@ -156,6 +175,16 @@ def build_parser() -> argparse.ArgumentParser:
                         help="report format (default: text)")
     p_lint.add_argument("--select", nargs="+", metavar="RULE", default=None,
                         help="run only these rules (e.g. R1 R4)")
+
+    p_self = sub.add_parser(
+        "selftest",
+        help="run the tier-1 test suite and the lint rules in one shot",
+    )
+    p_self.add_argument("--tests", metavar="DIR", default="tests",
+                        help="test directory passed to pytest "
+                             "(default: ./tests)")
+    p_self.add_argument("--skip-tests", action="store_true",
+                        help="run only the lint half (no pytest)")
     return parser
 
 
@@ -176,6 +205,10 @@ def _cmd_build(args) -> int:
 
         featurizer = WindowFeaturizer(window_ms=args.window_ms,
                                       stride_ms=args.stride_ms)
+        if args.robust_policy != "off":
+            from repro.robust.featurize import RobustFeaturizer
+
+            featurizer = RobustFeaturizer(featurizer, args.robust_policy)
         cache = FeatureCache(args.cache_dir)
         featurize_records(featurizer, dataset.records, n_jobs=args.n_jobs,
                           backend=args.backend, cache=cache)
@@ -201,6 +234,7 @@ def _cmd_evaluate(args) -> int:
         n_jobs=args.n_jobs,
         backend=args.backend,
         cache_dir=args.cache_dir,
+        robust_policy=args.robust_policy,
     )
     result = run_experiment(train, test, k=args.k, seed=args.seed,
                             classifier=classifier)
@@ -276,6 +310,42 @@ def _cmd_lint(args) -> int:
     return lint_run(args.paths, fmt=args.format, select=args.select)
 
 
+def _cmd_selftest(args) -> int:
+    """Tier-1 suite + lint rules, one command, one composite exit code."""
+    import importlib.util
+    import subprocess
+    from pathlib import Path
+
+    from repro.lint.cli import run as lint_run
+
+    print("== lint (rules R1-R6 over the installed repro package) ==")
+    lint_failed = lint_run([], fmt="text", select=None) != 0
+    tests_failed = False
+    if not args.skip_tests:
+        tests_dir = Path(args.tests)
+        if not tests_dir.is_dir():
+            print(f"error: test directory {tests_dir} not found "
+                  "(run from the repo root or pass --tests)", file=sys.stderr)
+            return 2
+        if importlib.util.find_spec("pytest") is None:
+            print("error: pytest is not installed; install the [test] extra",
+                  file=sys.stderr)
+            return 2
+        print()
+        print(f"== tier-1 tests ({tests_dir}) ==")
+        tests_failed = subprocess.call(
+            [sys.executable, "-m", "pytest", "-q", "-m", "tier1",
+             str(tests_dir)]
+        ) != 0
+    print()
+    verdict = []
+    verdict.append("lint FAILED" if lint_failed else "lint OK")
+    if not args.skip_tests:
+        verdict.append("tier-1 FAILED" if tests_failed else "tier-1 OK")
+    print("selftest:", ", ".join(verdict))
+    return 1 if (lint_failed or tests_failed) else 0
+
+
 #: Optional extras probed by ``repro-motions info`` (import name, extra).
 _OPTIONAL_EXTRAS = (
     ("pytest", "test"),
@@ -328,6 +398,7 @@ def _cmd_profile(args) -> int:
         n_jobs=args.n_jobs,
         backend=args.backend,
         cache_dir=args.cache_dir,
+        robust_policy=args.robust_policy,
     )
     meta = payload["meta"]
     print(f"profiled {args.study} study: {meta['n_train']} database motions, "
@@ -362,6 +433,7 @@ _COMMANDS = {
     "info": _cmd_info,
     "profile": _cmd_profile,
     "lint": _cmd_lint,
+    "selftest": _cmd_selftest,
 }
 
 

@@ -31,22 +31,26 @@ import numpy as np
 from repro.core.signature import MotionSignature, motion_signature
 from repro.data.dataset import MotionDataset
 from repro.data.record import RecordedMotion
-from repro.errors import ClusteringError, NotFittedError
+from repro.errors import ClusteringError, FeatureError, NotFittedError
+from repro.features.base import WindowFeatures
 from repro.features.combine import WindowFeaturizer
 from repro.features.scaling import FeatureScaler
 from repro.fuzzy.cmeans import FuzzyCMeans
 from repro.fuzzy.kmeans import KMeans
 from repro.fuzzy.membership import membership_matrix
-from repro.obs.config import record_gauge, span
+from repro.obs.config import record_counter, record_gauge, span
 from repro.parallel.cache import FeatureCache
 from repro.parallel.executor import BACKENDS, effective_n_jobs
 from repro.parallel.runner import featurize_records
 from repro.retrieval.knn import NearestNeighborIndex, knn_vote
 from repro.retrieval.linear import LinearScanIndex
+from repro.robust.featurize import RobustFeaturizer
+from repro.robust.policy import DegradationPolicy, resolve_policy
+from repro.robust.report import DegradationReport
 from repro.utils.rng import SeedLike
 from repro.utils.validation import check_positive_int
 
-__all__ = ["RetrievedNeighbor", "MotionClassifier"]
+__all__ = ["RetrievedNeighbor", "RobustQueryResult", "MotionClassifier"]
 
 
 @dataclass(frozen=True)
@@ -66,6 +70,27 @@ class RetrievedNeighbor:
     key: str
     label: str
     distance: float
+
+
+@dataclass(frozen=True)
+class RobustQueryResult:
+    """A classification answer together with its degradation account.
+
+    Attributes
+    ----------
+    label:
+        The predicted motion class (k-NN vote, as :meth:`MotionClassifier.classify`).
+    neighbors:
+        The retrieved database motions behind the vote.
+    report:
+        What the robust layer detected and did to the query record; for a
+        classifier without a robust policy this is a trivial clean report
+        with ``policy == "off"``.
+    """
+
+    label: str
+    neighbors: List[RetrievedNeighbor]
+    report: DegradationReport
 
 
 class MotionClassifier:
@@ -104,6 +129,13 @@ class MotionClassifier:
         Directory for the content-addressed feature cache; ``None`` (the
         default) disables caching.  Cached features are byte-identical to
         recomputed ones.
+    robust_policy:
+        Degradation policy for faulted streams: ``None``/``"off"`` (the
+        default) keeps the exact pre-robust path, byte for byte; a
+        :class:`~repro.robust.policy.DegradationPolicy` or preset name
+        (``"strict"``, ``"mask"``, ``"repair"``) wraps the featurizer in a
+        :class:`~repro.robust.featurize.RobustFeaturizer` on both the fit
+        and query sides (see :mod:`repro.robust`).
     """
 
     def __init__(
@@ -119,10 +151,16 @@ class MotionClassifier:
         n_jobs: int = 1,
         backend: str = "auto",
         cache_dir: Optional[Union[str, Path]] = None,
+        robust_policy: Union[str, DegradationPolicy, None] = None,
     ):
         self.n_clusters = check_positive_int(n_clusters, name="n_clusters", minimum=2)
         self.m = m
         self.featurizer = featurizer or WindowFeaturizer(window_ms=window_ms)
+        self.robust_policy = resolve_policy(robust_policy)
+        if self.robust_policy is not None and not isinstance(
+            self.featurizer, RobustFeaturizer
+        ):
+            self.featurizer = RobustFeaturizer(self.featurizer, self.robust_policy)
         self.scaler = FeatureScaler(mode=scaler_mode)
         self.clusterer = clusterer
         self.index_factory = index_factory or LinearScanIndex
@@ -172,6 +210,14 @@ class MotionClassifier:
                 backend=self.backend, cache=self.feature_cache,
             )
             all_windows = np.vstack([wf.matrix for wf in per_motion])
+            if not np.isfinite(all_windows).all():
+                # Guards duck-typed featurizers that skip WindowFeatures
+                # validation: NaN windows would silently poison the cluster
+                # centers and every signature after them.
+                raise FeatureError(
+                    "database features contain non-finite values; repair the "
+                    "records or fit with a robust_policy"
+                )
             if all_windows.shape[0] < self.n_clusters:
                 raise ClusteringError(
                     f"database yields {all_windows.shape[0]} windows, fewer than "
@@ -254,6 +300,26 @@ class MotionClassifier:
     # Query side
     # ------------------------------------------------------------------
 
+    def _signature_from_features(self, features: WindowFeatures) -> MotionSignature:
+        """Reduce one motion's window features to its 2c signature."""
+        if self._centers is None:
+            raise NotFittedError("MotionClassifier used before fit")
+        if not np.isfinite(features.matrix).all():
+            raise FeatureError(
+                "query features contain non-finite values; repair the record "
+                "or query through a robust_policy"
+            )
+        scaled = self.scaler.transform(features.matrix)
+        if self._soft_memberships:
+            memberships = membership_matrix(scaled, self._centers, m=self.m)
+        else:
+            # Crisp ablation: one-hot membership of the nearest center.
+            diff = scaled[:, None, :] - self._centers[None, :, :]
+            d2 = np.einsum("ncd,ncd->nc", diff, diff)
+            memberships = np.zeros_like(d2)
+            memberships[np.arange(d2.shape[0]), np.argmin(d2, axis=1)] = 1.0
+        return motion_signature(memberships, self.n_clusters)
+
     def signature(self, record: RecordedMotion) -> MotionSignature:
         """The 2c signature of a (query) motion against the fitted clusters."""
         if self._centers is None:
@@ -265,16 +331,7 @@ class MotionClassifier:
                 )[0]
             else:
                 features = self.featurizer.features(record)
-            scaled = self.scaler.transform(features.matrix)
-            if self._soft_memberships:
-                memberships = membership_matrix(scaled, self._centers, m=self.m)
-            else:
-                # Crisp ablation: one-hot membership of the nearest center.
-                diff = scaled[:, None, :] - self._centers[None, :, :]
-                d2 = np.einsum("ncd,ncd->nc", diff, diff)
-                memberships = np.zeros_like(d2)
-                memberships[np.arange(d2.shape[0]), np.argmin(d2, axis=1)] = 1.0
-            return motion_signature(memberships, self.n_clusters)
+            return self._signature_from_features(features)
 
     def kneighbors(self, record: RecordedMotion, k: int = 5) -> List[RetrievedNeighbor]:
         """The ``k`` nearest database motions to ``record``."""
@@ -298,6 +355,43 @@ class MotionClassifier:
             [n.label for n in neighbors],
             np.asarray([n.distance for n in neighbors]),
         )
+
+    def classify_with_report(
+        self, record: RecordedMotion, k: int = 1
+    ) -> RobustQueryResult:
+        """Classify ``record`` and account for every degradation decision.
+
+        Same vote as :meth:`classify`, but the answer carries the
+        :class:`~repro.robust.report.DegradationReport` produced while
+        featurizing the query (a trivial clean report when no robust policy
+        is configured), and degraded queries are counted in
+        :mod:`repro.obs` under ``robust.degraded_queries``.
+        """
+        if self._index is None:
+            raise NotFittedError("MotionClassifier used before fit")
+        with span("model.classify_robust", k=k):
+            if isinstance(self.featurizer, RobustFeaturizer):
+                features, report = self.featurizer.features_with_report(record)
+            else:
+                features = self.featurizer.features(record)
+                report = DegradationReport(
+                    policy="off", clean=True, n_windows_total=features.n_windows
+                )
+            vector = self._signature_from_features(features).vector
+            indices, distances = self._index.query(vector, k)
+            neighbors = [
+                RetrievedNeighbor(
+                    key=self._keys[i], label=self._labels[i], distance=float(d)
+                )
+                for i, d in zip(indices, distances)
+            ]
+            label = knn_vote(
+                [n.label for n in neighbors],
+                np.asarray([n.distance for n in neighbors]),
+            )
+            if report.degraded:
+                record_counter("robust.degraded_queries")
+            return RobustQueryResult(label=label, neighbors=neighbors, report=report)
 
     def knn_class_fraction(self, record: RecordedMotion, k: int = 5) -> float:
         """Fraction of the ``k`` retrieved motions in the query's own class.

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Mapping, Sequence, Tuple
 
 import numpy as np
@@ -32,6 +32,12 @@ class EMGRecording:
     channels: Tuple[str, ...]
     data_volts: np.ndarray
     fs: float
+    #: Opt-in: accept NaN samples encoding sensor dropout (lead-off, cable
+    #: faults — see repro.robust).  Off by default — clean-pipeline
+    #: recordings stay strictly finite; dropped-out data must be repaired
+    #: or masked by a degradation policy before featurization, since the
+    #: feature extractors reject NaN regardless.
+    allow_gaps: bool = field(default=False, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if not self.channels:
@@ -39,7 +45,8 @@ class EMGRecording:
         if len(set(self.channels)) != len(self.channels):
             raise ValidationError(f"duplicate channel names: {self.channels}")
         object.__setattr__(self, "channels", tuple(self.channels))
-        data = check_array(self.data_volts, name="data_volts", ndim=2, min_rows=1)
+        data = check_array(self.data_volts, name="data_volts", ndim=2, min_rows=1,
+                           allow_non_finite=self.allow_gaps)
         if data.shape[1] != len(self.channels):
             raise ValidationError(
                 f"data has {data.shape[1]} columns, expected {len(self.channels)}"
@@ -110,7 +117,8 @@ class EMGRecording:
                 f"invalid sample range [{start}, {stop}) for {self.n_samples} samples"
             )
         return EMGRecording(
-            channels=self.channels, data_volts=self.data_volts[start:stop], fs=self.fs
+            channels=self.channels, data_volts=self.data_volts[start:stop],
+            fs=self.fs, allow_gaps=self.allow_gaps,
         )
 
     def __eq__(self, other: object) -> bool:

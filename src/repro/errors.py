@@ -22,6 +22,8 @@ __all__ = [
     "SerializationError",
     "CacheError",
     "LintError",
+    "FaultInjectionError",
+    "DegradationError",
 ]
 
 
@@ -79,3 +81,11 @@ class CacheError(ReproError):
 
 class LintError(ReproError):
     """The static-analysis runner could not lint a target (bad path, syntax)."""
+
+
+class FaultInjectionError(ReproError):
+    """A fault specification is invalid or cannot be applied to the record."""
+
+
+class DegradationError(ReproError):
+    """A degraded input was rejected (strict policy) or cannot be salvaged."""

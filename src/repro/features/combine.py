@@ -18,7 +18,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.data.record import RecordedMotion
-from repro.errors import FeatureError
+from repro.errors import FeatureError, ValidationError
 from repro.features.base import (
     EMGFeatureExtractor,
     MocapFeatureExtractor,
@@ -149,13 +149,30 @@ class WindowFeaturizer:
             emg_data = np.asarray(record.emg.data_volts)
             mocap_data = np.asarray(record.mocap.matrix_mm)
             rows = []
-            for start, stop in bounds:
-                parts = []
-                if self.use_emg:
-                    parts.append(self.emg_extractor.extract(emg_data[start:stop]))
-                if self.use_mocap:
-                    parts.append(self.mocap_extractor.extract(mocap_data[start:stop]))
+            for w, (start, stop) in enumerate(bounds):
+                try:
+                    parts = []
+                    if self.use_emg:
+                        parts.append(self.emg_extractor.extract(emg_data[start:stop]))
+                    if self.use_mocap:
+                        parts.append(
+                            self.mocap_extractor.extract(mocap_data[start:stop])
+                        )
+                except ValidationError as exc:
+                    # Most commonly NaN samples (occlusion/dropout): point at
+                    # the exact window and at the layer meant to handle it.
+                    raise FeatureError(
+                        f"cannot featurize window {w} (frames [{start}, {stop})) "
+                        f"of record {record.key!r}: {exc}; if the streams are "
+                        "degraded, featurize through repro.robust "
+                        "(RobustFeaturizer or a robust_policy)"
+                    ) from exc
                 rows.append(np.concatenate(parts))
+            if not rows:
+                raise FeatureError(
+                    f"record {record.key!r} produced no windows "
+                    f"({record.n_frames} frames, window={window}, stride={stride})"
+                )
             matrix = np.vstack(rows)
             sp.set(n_windows=matrix.shape[0], n_dims=matrix.shape[1])
             return WindowFeatures(

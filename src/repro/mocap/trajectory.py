@@ -38,6 +38,12 @@ class MotionCaptureData:
     segments: Tuple[str, ...]
     matrix_mm: np.ndarray
     fps: float = 120.0
+    #: Opt-in: accept NaN samples encoding occluded markers (see
+    #: repro.mocap.noise.OcclusionModel and repro.robust).  Off by default —
+    #: clean-pipeline captures stay strictly finite; occluded data must be
+    #: gap-filled (repro.mocap.gapfill / a robust policy) before
+    #: featurization, since the feature extractors reject NaN regardless.
+    allow_gaps: bool = field(default=False, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if not self.segments:
@@ -45,7 +51,8 @@ class MotionCaptureData:
         if len(set(self.segments)) != len(self.segments):
             raise ValidationError(f"duplicate segment names: {self.segments}")
         object.__setattr__(self, "segments", tuple(self.segments))
-        matrix = check_array(self.matrix_mm, name="matrix_mm", ndim=2, min_rows=1)
+        matrix = check_array(self.matrix_mm, name="matrix_mm", ndim=2, min_rows=1,
+                             allow_non_finite=self.allow_gaps)
         if matrix.shape[1] != 3 * len(self.segments):
             raise ValidationError(
                 f"matrix has {matrix.shape[1]} columns, expected "
@@ -154,6 +161,7 @@ class MotionCaptureData:
             segments=self.segments,
             matrix_mm=self.matrix_mm[start:stop],
             fps=self.fps,
+            allow_gaps=self.allow_gaps,
         )
 
     def __eq__(self, other: object) -> bool:

@@ -54,6 +54,7 @@ def run_profile(
     n_jobs: int = 1,
     backend: str = "auto",
     cache_dir: Optional[str] = None,
+    robust_policy: str = "off",
 ) -> Dict[str, Any]:
     """Profile one synthetic end-to-end pipeline run.
 
@@ -61,7 +62,9 @@ def run_profile(
     feature extraction, FCM clustering, signature building and k-NN querying
     inside a fresh :func:`repro.obs.config.capture` session, and returns the
     exported payload.  Deterministic given ``seed`` and an injected
-    ``clock``.
+    ``clock``.  With ``robust_policy`` other than ``"off"`` the feature path
+    runs through :mod:`repro.robust` (adding ``robust.*`` spans/counters to
+    the payload when degradation occurs).
     """
     if study == "hand":
         proto = hand_protocol()
@@ -87,7 +90,8 @@ def run_profile(
                                      featurizer=featurizer,
                                      n_jobs=n_jobs,
                                      backend=backend,
-                                     cache_dir=cache_dir)
+                                     cache_dir=cache_dir,
+                                     robust_policy=robust_policy)
             model.fit(train, seed=seed)
             k_eff = min(k, len(train))
             true_labels, predicted = [], []
@@ -109,6 +113,7 @@ def run_profile(
             "n_jobs": n_jobs,
             "backend": backend,
             "cache_dir": cache_dir,
+            "robust_policy": robust_policy,
             "misclassification_pct": misclassification_rate(true_labels,
                                                             predicted),
         }

@@ -24,8 +24,10 @@ mirrored into :mod:`repro.obs` counters (``parallel.cache.*``).
 from __future__ import annotations
 
 import hashlib
+import itertools
 import json
 import os
+import threading
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Optional, Union
@@ -50,6 +52,11 @@ __all__ = [
 #: change that can alter feature values (windowing arithmetic, IAV/SVD
 #: kernels, sign stabilization, combined-vector layout ...).
 FEATURE_CACHE_VERSION = 1
+
+#: Process-wide monotonic suffix for temp-file names.  The pid alone is not
+#: unique enough: thread workers in one process storing the same key would
+#: collide on the temp name and race each other's ``os.replace``.
+_TMP_COUNTER = itertools.count()
 
 
 def hash_stream(hasher, array: np.ndarray) -> None:
@@ -175,7 +182,10 @@ class FeatureCache:
         path = self.path_for(key)
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
-            tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+            tmp = path.with_name(
+                f".{path.name}.{os.getpid()}"
+                f".{threading.get_ident()}.{next(_TMP_COUNTER)}.tmp"
+            )
             with open(tmp, "wb") as handle:
                 np.savez(
                     handle,

@@ -26,6 +26,7 @@ from __future__ import annotations
 from typing import Any, List, Optional, Sequence, Tuple
 
 from repro.data.record import RecordedMotion
+from repro.errors import FeatureError
 from repro.features.base import WindowFeatures
 from repro.obs.config import capture, current_state, is_enabled, span
 from repro.parallel.cache import FeatureCache, record_cache_key
@@ -118,10 +119,20 @@ def featurize_records(
                                     n_jobs=n_jobs, backend=resolved)
             for (i, key), features in zip(pending, computed):
                 results[i] = features
-                if cache is not None and key is not None:
+                # A None from a broken worker is caught by the merge guard
+                # below; it must never be stored as a poisoned cache entry.
+                if cache is not None and key is not None and features is not None:
                     cache.store(key, features)
     merged: List[WindowFeatures] = []
-    for wf in results:
-        assert wf is not None  # every index is a cache hit or a computed miss
+    for i, wf in enumerate(results):
+        if wf is None:
+            # Every index must be a cache hit or a computed miss; a hole
+            # means a worker returned nothing for this record.  A partial
+            # merge must never leave this function — the chaos tier pins
+            # this as a typed failure, not a crash deeper downstream.
+            raise FeatureError(
+                f"featurizer produced no features for record "
+                f"{records[i].key!r}; refusing a partial merge"
+            )
         merged.append(wf)
     return merged

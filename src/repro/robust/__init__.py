@@ -1,0 +1,71 @@
+"""Fault injection and graceful degradation for the motion pipeline.
+
+The paper's pipeline assumes two clean, fully-present, perfectly
+synchronized streams; real acquisitions do not cooperate.  This package
+provides both halves of the robustness story:
+
+* :mod:`repro.robust.faults` — a composable fault-injection API
+  (:class:`FaultSpec` subclasses + :func:`inject`) that turns clean
+  records into realistically broken ones, deterministically.
+* :mod:`repro.robust.detect` / :mod:`~repro.robust.policy` /
+  :mod:`~repro.robust.featurize` — the runtime degradation layer:
+  diagnose a record, apply a :class:`DegradationPolicy` (strict, mask,
+  repair), and featurize what is salvageable, reporting every decision in
+  a :class:`DegradationReport`.
+
+The chaos test tier in ``tests/robust`` sweeps the full fault × policy
+matrix over these pieces.
+"""
+
+from __future__ import annotations
+
+from repro.robust.detect import StreamDiagnosis, diagnose_record
+from repro.robust.faults import (
+    ClockDrift,
+    EMGChannelDropout,
+    EMGSaturation,
+    FaultSpec,
+    MarkerOcclusion,
+    NaNBurst,
+    StreamTruncation,
+    default_fault_suite,
+    inject,
+)
+from repro.robust.featurize import (
+    RobustFeaturizer,
+    drop_emg_channels,
+    mask_emg_channels,
+)
+from repro.robust.policy import (
+    MASK,
+    POLICY_NAMES,
+    REPAIR,
+    STRICT,
+    DegradationPolicy,
+    resolve_policy,
+)
+from repro.robust.report import DegradationReport
+
+__all__ = [
+    "FaultSpec",
+    "MarkerOcclusion",
+    "EMGChannelDropout",
+    "EMGSaturation",
+    "NaNBurst",
+    "ClockDrift",
+    "StreamTruncation",
+    "inject",
+    "default_fault_suite",
+    "StreamDiagnosis",
+    "diagnose_record",
+    "DegradationPolicy",
+    "STRICT",
+    "MASK",
+    "REPAIR",
+    "POLICY_NAMES",
+    "resolve_policy",
+    "RobustFeaturizer",
+    "mask_emg_channels",
+    "drop_emg_channels",
+    "DegradationReport",
+]

@@ -1,0 +1,214 @@
+"""Stream-quality diagnosis for recorded motions.
+
+Before a degradation policy can decide *how* to salvage a record, it needs
+an honest account of *what* is wrong with it.  :func:`diagnose_record`
+produces a :class:`StreamDiagnosis`: which EMG channels are dead or
+saturated, which mocap segments are unrecoverable, where the NaN gaps are,
+and a per-frame validity mask the featurizer uses to drop windows that are
+mostly corrupt.
+
+Detection is purely observational — nothing here mutates or repairs the
+record (that is :mod:`repro.robust.featurize`'s job), so diagnosis can be
+run on any record, clean or faulted, at zero risk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+import numpy as np
+
+from repro.data.record import RecordedMotion
+from repro.mocap.gapfill import gap_statistics
+from repro.utils.validation import check_in_range
+
+__all__ = ["StreamDiagnosis", "diagnose_record"]
+
+
+@dataclass(frozen=True)
+class StreamDiagnosis:
+    """What is wrong with one recorded motion's streams.
+
+    Attributes
+    ----------
+    emg_dead_channels:
+        Channel names that carry no usable signal for the whole trial
+        (all-NaN, or constant — an unplugged electrode).
+    emg_saturated_channels:
+        Channel names pinned at an amplifier rail for a suspicious fraction
+        of the trial.
+    mocap_dead_segments:
+        Segment names with at least one coordinate column entirely NaN
+        (gap-filling cannot reconstruct them).
+    emg_nan_samples / mocap_nan_samples:
+        Total NaN sample counts per stream.
+    mocap_gap_count / mocap_longest_gap:
+        Occlusion-gap statistics from :func:`repro.mocap.gapfill.gap_statistics`.
+    frame_valid:
+        Boolean ``(n_frames,)`` mask — ``True`` where every *recoverable*
+        column of both streams is finite.  Dead channels/segments are
+        excluded from the vote: they are masked wholesale by the policy, so
+        they should not condemn otherwise-good frames.
+    """
+
+    emg_dead_channels: Tuple[str, ...]
+    emg_saturated_channels: Tuple[str, ...]
+    mocap_dead_segments: Tuple[str, ...]
+    emg_nan_samples: int
+    mocap_nan_samples: int
+    mocap_gap_count: int
+    mocap_longest_gap: int
+    frame_valid: np.ndarray = field(repr=False)
+
+    @property
+    def is_clean(self) -> bool:
+        """True when nothing at all was detected (fast path is safe)."""
+        return (
+            not self.emg_dead_channels
+            and not self.emg_saturated_channels
+            and not self.mocap_dead_segments
+            and self.emg_nan_samples == 0
+            and self.mocap_nan_samples == 0
+        )
+
+    @property
+    def valid_fraction(self) -> float:
+        """Fraction of frames with all recoverable columns finite."""
+        if self.frame_valid.size == 0:
+            return 0.0
+        return float(np.mean(self.frame_valid))
+
+    def faults_detected(self) -> Tuple[str, ...]:
+        """Human-readable summaries, one per detected fault class."""
+        found = []
+        if self.emg_dead_channels:
+            found.append(
+                "dead EMG channels: " + ", ".join(self.emg_dead_channels)
+            )
+        if self.emg_saturated_channels:
+            found.append(
+                "saturated EMG channels: " + ", ".join(self.emg_saturated_channels)
+            )
+        if self.mocap_dead_segments:
+            found.append(
+                "dead mocap segments: " + ", ".join(self.mocap_dead_segments)
+            )
+        if self.mocap_gap_count > 0:
+            found.append(
+                f"{self.mocap_gap_count} mocap gaps "
+                f"(longest {self.mocap_longest_gap} frames)"
+            )
+        emg_gap_nans = self.emg_nan_samples
+        if emg_gap_nans > 0:
+            found.append(f"{emg_gap_nans} NaN EMG samples")
+        return tuple(found)
+
+
+def _dead_emg_channels(data: np.ndarray) -> np.ndarray:
+    """Boolean per-column mask of channels with no usable signal."""
+    n_channels = data.shape[1]
+    dead = np.zeros(n_channels, dtype=bool)
+    for j in range(n_channels):
+        column = data[:, j]
+        finite = column[np.isfinite(column)]
+        if finite.size == 0:
+            dead[j] = True
+            continue
+        # A constant line (zero peak-to-peak range) carries no signal: an
+        # unplugged electrode or a zeroed-out channel.
+        if float(np.max(finite) - np.min(finite)) <= 0.0:
+            dead[j] = True
+    return dead
+
+
+def _saturated_emg_channels(
+    data: np.ndarray, dead: np.ndarray, saturation_fraction: float
+) -> np.ndarray:
+    """Boolean per-column mask of rail-pinned (clipped) channels.
+
+    A gain stage driven past its range produces *plateaus*: long runs of
+    consecutive, exactly-identical samples at the rail value.  Healthy EMG
+    (a broadband stochastic signal) essentially never repeats a sample
+    exactly, so the fraction of zero-difference consecutive pairs is a
+    clean clipping detector that needs no assumption about where the rail
+    sits relative to the channel's peak.
+    """
+    n_channels = data.shape[1]
+    saturated = np.zeros(n_channels, dtype=bool)
+    for j in range(n_channels):
+        if dead[j]:
+            continue
+        column = data[:, j]
+        finite = column[np.isfinite(column)]
+        if finite.size < 2:
+            continue
+        plateau = np.abs(np.diff(finite)) <= 0.0
+        if float(np.mean(plateau)) >= saturation_fraction:
+            saturated[j] = True
+    return saturated
+
+
+def diagnose_record(
+    record: RecordedMotion, saturation_fraction: float = 0.05
+) -> StreamDiagnosis:
+    """Diagnose ``record``'s streams without modifying them.
+
+    Parameters
+    ----------
+    record:
+        The recorded motion to inspect.
+    saturation_fraction:
+        Minimum fraction of a channel's finite samples pinned at its rail
+        before the channel is flagged as saturated.
+    """
+    check_in_range(saturation_fraction, name="saturation_fraction",
+                   low=0.0, high=1.0, inclusive_low=False)
+    emg = record.emg.data_volts
+    mocap = record.mocap.matrix_mm
+
+    dead = _dead_emg_channels(emg)
+    saturated = _saturated_emg_channels(emg, dead, saturation_fraction)
+    dead_names = tuple(
+        name for name, flag in zip(record.emg.channels, dead) if flag
+    )
+    saturated_names = tuple(
+        name for name, flag in zip(record.emg.channels, saturated) if flag
+    )
+
+    dead_segments = []
+    for segment in record.mocap.segments:
+        joint = record.mocap.joint_matrix(segment)
+        if np.any(np.all(np.isnan(joint), axis=0)):
+            dead_segments.append(segment)
+    dead_segment_set = set(dead_segments)
+
+    mocap_stats = gap_statistics(mocap)
+
+    # Frame validity votes exclude dead channels/segments: those columns are
+    # masked wholesale by the policy and must not condemn good frames.
+    emg_vote = np.isfinite(emg[:, ~dead]).all(axis=1) if np.any(~dead) \
+        else np.ones(emg.shape[0], dtype=bool)
+    live_cols = [
+        record.mocap.column_slice(s)
+        for s in record.mocap.segments
+        if s not in dead_segment_set
+    ]
+    if live_cols:
+        mocap_live = np.hstack([mocap[:, sl] for sl in live_cols])
+        mocap_vote = np.isfinite(mocap_live).all(axis=1)
+    else:
+        mocap_vote = np.ones(mocap.shape[0], dtype=bool)
+    frame_valid = emg_vote & mocap_vote
+    frame_valid.flags.writeable = False
+
+    return StreamDiagnosis(
+        emg_dead_channels=dead_names,
+        emg_saturated_channels=saturated_names,
+        mocap_dead_segments=tuple(dead_segments),
+        emg_nan_samples=int(np.isnan(emg).sum()),
+        mocap_nan_samples=int(mocap_stats["n_nan_samples"]),
+        mocap_gap_count=int(mocap_stats["n_gaps"]),
+        mocap_longest_gap=int(mocap_stats["longest_gap"]),
+        frame_valid=frame_valid,
+    )

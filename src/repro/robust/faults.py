@@ -1,0 +1,433 @@
+"""Composable fault injection for recorded motions.
+
+Real acquisitions are never as clean as the paper's laboratory setup:
+markers occlude, EMG electrodes lift off or saturate, amplifiers emit NaN
+bursts, device clocks drift apart, and trials get truncated when a device
+stops early.  Each :class:`FaultSpec` models one such failure as a pure,
+seeded transformation of a :class:`~repro.data.record.RecordedMotion`;
+:func:`inject` composes several of them deterministically.
+
+Design rules every fault obeys:
+
+* **Alignment is preserved** — the returned record is always a valid
+  :class:`RecordedMotion` (equal frame counts, equal rates).  Faults that
+  shorten one stream shorten the other to match, as a real ingest step
+  would have to before the record enters the database.
+* **Zero severity is the identity** — a fault parameterized to "nothing"
+  returns a record whose stream bytes equal the input's, so the chaos tier
+  can assert the clean path is untouched.
+* **Determinism** — the same ``seed`` produces byte-identical faulted
+  streams; :func:`inject` derives one independent generator per fault via
+  :func:`repro.utils.rng.spawn_generators`.
+
+The occlusion fault reuses :class:`repro.mocap.noise.OcclusionModel`; NaN
+runs produced here are exactly what :mod:`repro.mocap.gapfill` and the
+degradation policies in :mod:`repro.robust.featurize` know how to repair.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, fields
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.record import RecordedMotion
+from repro.emg.recording import EMGRecording
+from repro.errors import FaultInjectionError
+from repro.mocap.noise import OcclusionModel
+from repro.mocap.trajectory import MotionCaptureData
+from repro.utils.rng import SeedLike, as_generator, spawn_generators
+from repro.utils.validation import check_array, check_in_range, check_positive_int
+
+__all__ = [
+    "rebuild_record",
+    "FaultSpec",
+    "MarkerOcclusion",
+    "EMGChannelDropout",
+    "EMGSaturation",
+    "NaNBurst",
+    "ClockDrift",
+    "StreamTruncation",
+    "inject",
+    "default_fault_suite",
+]
+
+#: Streams a stream-selectable fault may target.
+_STREAMS = ("emg", "mocap", "both")
+
+
+def rebuild_record(
+    record: RecordedMotion,
+    mocap_matrix: Optional[np.ndarray] = None,
+    emg_data: Optional[np.ndarray] = None,
+) -> RecordedMotion:
+    """A copy of ``record`` with one or both stream matrices replaced.
+
+    The shared seam between fault injection (swap a stream for its faulted
+    twin) and repair (swap it for its gap-filled twin); label, participant,
+    trial and metadata are preserved.
+    """
+    if mocap_matrix is not None:
+        mocap_matrix = check_array(mocap_matrix, name="mocap_matrix", ndim=2,
+                                   allow_non_finite=True)
+    if emg_data is not None:
+        emg_data = check_array(emg_data, name="emg_data", ndim=2,
+                               allow_non_finite=True)
+    mocap = record.mocap
+    if mocap_matrix is not None:
+        mocap = MotionCaptureData(
+            segments=mocap.segments, matrix_mm=mocap_matrix, fps=mocap.fps,
+            allow_gaps=True,
+        )
+    emg = record.emg
+    if emg_data is not None:
+        emg = EMGRecording(channels=emg.channels, data_volts=emg_data,
+                           fs=emg.fs, allow_gaps=True)
+    return RecordedMotion(
+        label=record.label,
+        participant_id=record.participant_id,
+        trial_id=record.trial_id,
+        mocap=mocap,
+        emg=emg,
+        metadata=dict(record.metadata),
+    )
+
+
+class FaultSpec(abc.ABC):
+    """One parameterized acquisition failure applied to a recorded motion."""
+
+    @property
+    def name(self) -> str:
+        """Short identifier used in reports and test ids."""
+        return type(self).__name__
+
+    def fingerprint(self) -> str:
+        """Stable description of the fault and its parameters."""
+        params = ",".join(
+            f"{f.name}={getattr(self, f.name)!r}" for f in fields(self)  # type: ignore[arg-type]
+        )
+        return f"{self.name}({params})"
+
+    @abc.abstractmethod
+    def apply(self, record: RecordedMotion, seed: SeedLike = None) -> RecordedMotion:
+        """Return a faulted copy of ``record`` (the input is never mutated)."""
+
+
+@dataclass(frozen=True)
+class MarkerOcclusion(FaultSpec):
+    """Marker dropouts: NaN runs punched into the mocap matrix.
+
+    Delegates the event process to :class:`repro.mocap.noise.OcclusionModel`
+    (Poisson events per segment, uniform gap lengths).
+
+    Attributes
+    ----------
+    dropout_rate_per_s:
+        Expected occlusion events per segment per second; ``0`` is the
+        identity.
+    max_gap_frames:
+        Maximum gap length in frames.
+    """
+
+    dropout_rate_per_s: float = 1.0
+    max_gap_frames: int = 8
+
+    def __post_init__(self) -> None:
+        check_in_range(self.dropout_rate_per_s, name="dropout_rate_per_s",
+                       low=0.0, high=float("inf"))
+        check_positive_int(self.max_gap_frames, name="max_gap_frames")
+
+    def apply(self, record: RecordedMotion, seed: SeedLike = None) -> RecordedMotion:
+        model = OcclusionModel(
+            dropout_rate_per_s=self.dropout_rate_per_s,
+            max_gap_frames=self.max_gap_frames,
+        )
+        gapped = model.apply(record.mocap.matrix_mm, record.fps, seed=seed)
+        return rebuild_record(record, mocap_matrix=gapped)
+
+
+@dataclass(frozen=True)
+class EMGChannelDropout(FaultSpec):
+    """Whole EMG channels lost for the entire trial.
+
+    ``"nan"`` mode models a lead-off detection (the amplifier reports NaN);
+    ``"flat"`` models an unplugged electrode (a dead, constant-zero line).
+    Channels are chosen uniformly without replacement from the seed.
+
+    Attributes
+    ----------
+    n_channels:
+        How many channels drop out; ``0`` is the identity, values beyond the
+        record's channel count are clamped to all channels.
+    mode:
+        ``"nan"`` or ``"flat"``.
+    """
+
+    n_channels: int = 1
+    mode: str = "nan"
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.n_channels, name="n_channels", minimum=0)
+        if self.mode not in ("nan", "flat"):
+            raise FaultInjectionError(
+                f"unknown dropout mode {self.mode!r}; use 'nan' or 'flat'"
+            )
+
+    def apply(self, record: RecordedMotion, seed: SeedLike = None) -> RecordedMotion:
+        if self.n_channels == 0:
+            return rebuild_record(record, emg_data=record.emg.data_volts.copy())
+        rng = as_generator(seed)
+        n = min(self.n_channels, record.emg.n_channels)
+        picked = rng.choice(record.emg.n_channels, size=n, replace=False)
+        data = record.emg.data_volts.copy()
+        data[:, np.sort(picked)] = np.nan if self.mode == "nan" else 0.0
+        return rebuild_record(record, emg_data=data)
+
+
+@dataclass(frozen=True)
+class EMGSaturation(FaultSpec):
+    """Amplifier clipping: a stretch of one or more channels pinned at a rail.
+
+    A contiguous segment of each picked channel is clipped to
+    ``rail_scale * max |x|`` — the shape of a gain stage driven past its
+    range.  The saturated channel stays finite, so this fault exercises the
+    *detector* (rail-pinned sample fraction), not the NaN repair path.
+
+    Attributes
+    ----------
+    n_channels:
+        Channels to saturate (``0`` = identity; clamped to the channel count).
+    fraction:
+        Fraction of the trial duration that clips (``0`` = identity).
+    rail_scale:
+        Rail level relative to the channel's absolute maximum, in ``(0, 1]``.
+    """
+
+    n_channels: int = 1
+    fraction: float = 0.5
+    rail_scale: float = 0.4
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.n_channels, name="n_channels", minimum=0)
+        check_in_range(self.fraction, name="fraction", low=0.0, high=1.0)
+        check_in_range(self.rail_scale, name="rail_scale", low=0.0, high=1.0,
+                       inclusive_low=False)
+
+    def apply(self, record: RecordedMotion, seed: SeedLike = None) -> RecordedMotion:
+        data = record.emg.data_volts.copy()
+        length = int(round(self.fraction * data.shape[0]))
+        if self.n_channels == 0 or length == 0:
+            return rebuild_record(record, emg_data=data)
+        rng = as_generator(seed)
+        n = min(self.n_channels, record.emg.n_channels)
+        picked = rng.choice(record.emg.n_channels, size=n, replace=False)
+        start = int(rng.integers(0, data.shape[0] - length + 1))
+        for col in np.sort(picked):
+            column = data[:, col]
+            finite = column[np.isfinite(column)]
+            if finite.size == 0:
+                continue
+            rail = self.rail_scale * float(np.max(np.abs(finite)))
+            data[start : start + length, col] = np.clip(
+                column[start : start + length], -rail, rail
+            )
+        return rebuild_record(record, emg_data=data)
+
+
+@dataclass(frozen=True)
+class NaNBurst(FaultSpec):
+    """Short NaN bursts scattered over one or both streams.
+
+    Models transient acquisition glitches (USB stalls, packet loss): Poisson
+    burst events, each hitting one random column for a random run of
+    samples.
+
+    Attributes
+    ----------
+    stream:
+        ``"emg"``, ``"mocap"`` or ``"both"``.
+    bursts_per_s:
+        Expected bursts per stream per second; ``0`` is the identity.
+    max_burst:
+        Maximum burst length in samples.
+    """
+
+    stream: str = "emg"
+    bursts_per_s: float = 1.0
+    max_burst: int = 10
+
+    def __post_init__(self) -> None:
+        if self.stream not in _STREAMS:
+            raise FaultInjectionError(
+                f"unknown stream {self.stream!r}; use one of {_STREAMS}"
+            )
+        check_in_range(self.bursts_per_s, name="bursts_per_s",
+                       low=0.0, high=float("inf"))
+        check_positive_int(self.max_burst, name="max_burst")
+
+    def _burst(self, matrix: np.ndarray, rate_hz: float,
+               rng: np.random.Generator) -> np.ndarray:
+        out = matrix.copy()
+        if self.bursts_per_s <= 0.0 or out.shape[0] < 2:
+            return out
+        duration_s = out.shape[0] / rate_hz
+        n_events = rng.poisson(self.bursts_per_s * duration_s)
+        for _ in range(n_events):
+            length = int(rng.integers(1, self.max_burst + 1))
+            length = min(length, out.shape[0] - 1)
+            start = int(rng.integers(0, out.shape[0] - length + 1))
+            col = int(rng.integers(0, out.shape[1]))
+            out[start : start + length, col] = np.nan
+        return out
+
+    def apply(self, record: RecordedMotion, seed: SeedLike = None) -> RecordedMotion:
+        emg_rng, mocap_rng = spawn_generators(seed, 2)
+        emg_data = None
+        mocap_matrix = None
+        if self.stream in ("emg", "both"):
+            emg_data = self._burst(record.emg.data_volts, record.emg.fs, emg_rng)
+        if self.stream in ("mocap", "both"):
+            mocap_matrix = self._burst(record.mocap.matrix_mm, record.fps, mocap_rng)
+        return rebuild_record(record, mocap_matrix=mocap_matrix, emg_data=emg_data)
+
+
+@dataclass(frozen=True)
+class ClockDrift(FaultSpec):
+    """Inter-stream clock drift: one stream's time base runs fast or slow.
+
+    The targeted stream is re-sampled at ``t * (1 + drift)`` by linear
+    interpolation (clamped at the trial end), so sample ``i`` of the
+    returned stream shows what the drifting device *actually* digitized at
+    nominal frame ``i``.  Both streams keep their frame count — the record
+    stays "aligned" on paper while its content slides apart, which is
+    precisely what makes drift undetectable from a single record and a pure
+    accuracy-envelope concern.
+
+    Attributes
+    ----------
+    drift:
+        Fractional rate error (``0.01`` = 1 % fast); ``0`` is the identity.
+        Negative values model a slow clock.
+    stream:
+        ``"emg"`` or ``"mocap"``.
+    """
+
+    drift: float = 0.01
+    stream: str = "emg"
+
+    def __post_init__(self) -> None:
+        check_in_range(self.drift, name="drift", low=-0.5, high=0.5)
+        if self.stream not in ("emg", "mocap"):
+            raise FaultInjectionError(
+                f"unknown stream {self.stream!r}; use 'emg' or 'mocap'"
+            )
+
+    def _warp(self, matrix: np.ndarray) -> np.ndarray:
+        n = matrix.shape[0]
+        t_in = np.arange(n, dtype=np.float64)
+        t_warped = np.clip(t_in * (1.0 + self.drift), 0.0, float(n - 1))
+        cols = [np.interp(t_warped, t_in, matrix[:, j])
+                for j in range(matrix.shape[1])]
+        return np.stack(cols, axis=1)
+
+    def apply(self, record: RecordedMotion, seed: SeedLike = None) -> RecordedMotion:
+        if not self.drift:
+            return rebuild_record(record, emg_data=record.emg.data_volts.copy())
+        if self.stream == "emg":
+            return rebuild_record(record, emg_data=self._warp(record.emg.data_volts))
+        return rebuild_record(record, mocap_matrix=self._warp(record.mocap.matrix_mm))
+
+
+@dataclass(frozen=True)
+class StreamTruncation(FaultSpec):
+    """A device stopped early: the trial's tail is missing.
+
+    Both streams are truncated together (an ingest step has to re-align
+    them before the record is usable), keeping at least two frames so the
+    record stays featurizable.
+
+    Attributes
+    ----------
+    fraction:
+        Fraction of trailing frames lost; ``0`` is the identity.
+    """
+
+    fraction: float = 0.25
+
+    def __post_init__(self) -> None:
+        check_in_range(self.fraction, name="fraction", low=0.0, high=1.0,
+                       inclusive_high=False)
+
+    def apply(self, record: RecordedMotion, seed: SeedLike = None) -> RecordedMotion:
+        n = record.n_frames
+        n_keep = max(2, int(round((1.0 - self.fraction) * n)))
+        n_keep = min(n_keep, n)
+        return rebuild_record(
+            record,
+            mocap_matrix=record.mocap.matrix_mm[:n_keep].copy(),
+            emg_data=record.emg.data_volts[:n_keep].copy(),
+        )
+
+
+def inject(
+    record: RecordedMotion,
+    faults: Sequence[FaultSpec],
+    seed: SeedLike = None,
+) -> RecordedMotion:
+    """Apply ``faults`` to ``record`` in order, deterministically.
+
+    Each fault receives an independent generator spawned from ``seed``, so
+    adding or removing one fault never re-seeds the others.  An empty fault
+    list returns ``record`` unchanged (the same object).
+
+    Raises
+    ------
+    FaultInjectionError
+        If ``faults`` contains something that is not a :class:`FaultSpec`.
+    """
+    for fault in faults:
+        if not isinstance(fault, FaultSpec):
+            raise FaultInjectionError(
+                f"faults must be FaultSpec instances, got {type(fault).__name__}"
+            )
+    if not faults:
+        return record
+    out = record
+    for fault, rng in zip(faults, spawn_generators(seed, len(faults))):
+        out = fault.apply(out, seed=rng)
+    return out
+
+
+def default_fault_suite() -> Dict[str, Tuple[FaultSpec, ...]]:
+    """The named fault matrix the chaos test tier sweeps.
+
+    Keys are stable scenario names; values are the fault compositions
+    (applied in order through :func:`inject`).  Severities are graded:
+    ``*_mild`` entries must stay inside a tight accuracy envelope,
+    ``*_severe`` entries only have to degrade gracefully (no crash, honest
+    report).
+    """
+    return {
+        "occlusion_mild": (MarkerOcclusion(dropout_rate_per_s=0.5,
+                                           max_gap_frames=4),),
+        "occlusion_severe": (MarkerOcclusion(dropout_rate_per_s=4.0,
+                                             max_gap_frames=20),),
+        "emg_dropout_nan": (EMGChannelDropout(n_channels=1, mode="nan"),),
+        "emg_dropout_flat": (EMGChannelDropout(n_channels=1, mode="flat"),),
+        "emg_saturation": (EMGSaturation(n_channels=2, fraction=0.6,
+                                         rail_scale=0.3),),
+        "nan_burst_emg": (NaNBurst(stream="emg", bursts_per_s=2.0,
+                                   max_burst=8),),
+        "nan_burst_both": (NaNBurst(stream="both", bursts_per_s=2.0,
+                                    max_burst=8),),
+        "clock_drift_mild": (ClockDrift(drift=0.005),),
+        "clock_drift_severe": (ClockDrift(drift=0.05),),
+        "truncated_tail": (StreamTruncation(fraction=0.25),),
+        "compound": (
+            MarkerOcclusion(dropout_rate_per_s=1.0, max_gap_frames=6),
+            EMGChannelDropout(n_channels=1, mode="nan"),
+            StreamTruncation(fraction=0.1),
+        ),
+    }

@@ -1,0 +1,136 @@
+"""Degradation policies: what to do when a record is not clean.
+
+A :class:`DegradationPolicy` is a small frozen value object that the
+robust featurizer (:mod:`repro.robust.featurize`) consults at every
+decision point.  Three presets cover the useful spectrum:
+
+``strict``
+    Refuse degraded input outright — the pre-robust behavior, made loud
+    and typed (:class:`repro.errors.DegradationError` instead of a NaN
+    propagating into features).
+``mask``
+    Repair what is safely repairable (gap-fill short NaN runs, zero and
+    mask dead channels, renormalize IAV) but drop any window that still
+    touches corrupt frames.
+``repair``
+    Everything ``mask`` does, plus keep windows that are mostly valid —
+    prefer answering with degraded confidence over not answering.
+
+Policies are part of the feature-cache fingerprint, so features computed
+under different policies never collide in the cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
+
+from repro.errors import DegradationError
+from repro.utils.validation import check_in_range
+
+__all__ = [
+    "DegradationPolicy",
+    "STRICT",
+    "MASK",
+    "REPAIR",
+    "POLICY_NAMES",
+    "resolve_policy",
+]
+
+
+@dataclass(frozen=True)
+class DegradationPolicy:
+    """How the pipeline reacts to faults detected in a record.
+
+    Attributes
+    ----------
+    name:
+        Stable identifier (used in CLI flags, reports, cache fingerprints).
+    on_fault:
+        ``"raise"`` rejects any non-clean record with
+        :class:`~repro.errors.DegradationError`; ``"degrade"`` proceeds with
+        the salvage pipeline.
+    mask_channels:
+        Zero out dead EMG channels / dead mocap segments before gap-filling
+        (the fill would otherwise fail on all-NaN columns).
+    renormalize_iav:
+        Rescale the surviving channels' IAV features by
+        ``n_channels / n_valid`` so a record with one masked channel stays
+        comparable to fully-observed signatures.
+    min_valid_fraction:
+        A window is kept only if at least this fraction of its frames are
+        valid per the diagnosis.  ``1.0`` drops any window touching a
+        corrupt frame; lower values trade purity for coverage.
+    saturation_fraction:
+        Passed through to :func:`repro.robust.detect.diagnose_record`.
+    """
+
+    name: str
+    on_fault: str = "degrade"
+    mask_channels: bool = True
+    renormalize_iav: bool = True
+    min_valid_fraction: float = 1.0
+    saturation_fraction: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.on_fault not in ("raise", "degrade"):
+            raise DegradationError(
+                f"on_fault must be 'raise' or 'degrade', got {self.on_fault!r}"
+            )
+        check_in_range(self.min_valid_fraction, name="min_valid_fraction",
+                       low=0.0, high=1.0)
+        check_in_range(self.saturation_fraction, name="saturation_fraction",
+                       low=0.0, high=1.0, inclusive_low=False)
+
+    def fingerprint(self) -> str:
+        """Stable string mixed into feature-cache keys."""
+        return (
+            f"policy:{self.name}|on_fault={self.on_fault}"
+            f"|mask={int(self.mask_channels)}"
+            f"|renorm={int(self.renormalize_iav)}"
+            f"|minvalid={self.min_valid_fraction!r}"
+            f"|sat={self.saturation_fraction!r}"
+        )
+
+
+#: Reject any degraded record with a typed error.
+STRICT = DegradationPolicy(name="strict", on_fault="raise")
+
+#: Repair, mask, and drop every window that touches a corrupt frame.
+MASK = DegradationPolicy(name="mask", min_valid_fraction=1.0)
+
+#: Repair, mask, and keep windows that are at least half valid.
+REPAIR = DegradationPolicy(name="repair", min_valid_fraction=0.5)
+
+_PRESETS = {p.name: p for p in (STRICT, MASK, REPAIR)}
+
+#: Preset names accepted by :func:`resolve_policy` and the CLI.
+POLICY_NAMES: Tuple[str, ...] = tuple(_PRESETS)
+
+
+def resolve_policy(
+    policy: Union[str, DegradationPolicy, None]
+) -> Optional[DegradationPolicy]:
+    """Normalize a policy argument: preset name, policy object, or None.
+
+    ``None`` and ``"off"`` both mean "no robust layer at all" and return
+    ``None`` — callers then use the base featurizer untouched, keeping the
+    default path byte-identical to the pre-robust pipeline.
+    """
+    if policy is None:
+        return None
+    if isinstance(policy, DegradationPolicy):
+        return policy
+    if isinstance(policy, str):
+        if policy == "off":
+            return None
+        try:
+            return _PRESETS[policy]
+        except KeyError:
+            raise DegradationError(
+                f"unknown policy {policy!r}; use one of "
+                f"{('off',) + POLICY_NAMES}"
+            ) from None
+    raise DegradationError(
+        f"policy must be a name or DegradationPolicy, got {type(policy).__name__}"
+    )

@@ -1,0 +1,96 @@
+"""The degradation report: an honest account of what the robust layer did.
+
+Silently surviving a fault is almost as bad as crashing on it — downstream
+consumers need to know when an answer was computed from repaired or
+partially-masked data.  Every robust featurization therefore produces a
+:class:`DegradationReport` that travels with the features (and, via
+:meth:`repro.core.model.MotionClassifier.classify_with_report`, with the
+query result), and is exported as counters through :mod:`repro.obs`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+__all__ = ["DegradationReport"]
+
+
+@dataclass(frozen=True)
+class DegradationReport:
+    """What the robust layer detected and did for one record.
+
+    Attributes
+    ----------
+    policy:
+        Name of the :class:`~repro.robust.policy.DegradationPolicy` applied.
+    clean:
+        True when no fault was detected and the base pipeline ran untouched
+        (the features are byte-identical to the non-robust path).
+    faults_detected:
+        Human-readable fault summaries from the diagnosis.
+    channels_masked:
+        EMG channel names zeroed out and excluded from IAV normalization.
+    segments_masked:
+        Mocap segment names zeroed out (unrecoverable, all-NaN columns).
+    n_windows_total / n_windows_dropped:
+        Window counts before and lost to the validity mask.
+    n_samples_filled:
+        NaN samples reconstructed by gap-filling, both streams combined.
+    longest_gap:
+        Longest contiguous NaN run (frames) seen in the mocap stream.
+    fallback_all_windows:
+        True when the validity mask would have dropped *every* window and
+        the policy fell back to keeping them all (answering with degraded
+        confidence rather than failing).
+    """
+
+    policy: str
+    clean: bool
+    faults_detected: Tuple[str, ...] = ()
+    channels_masked: Tuple[str, ...] = ()
+    segments_masked: Tuple[str, ...] = ()
+    n_windows_total: int = 0
+    n_windows_dropped: int = 0
+    n_samples_filled: int = 0
+    longest_gap: int = 0
+    fallback_all_windows: bool = False
+
+    @property
+    def degraded(self) -> bool:
+        """True when the answer was computed from anything but clean data."""
+        return not self.clean
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready representation (tuples become lists)."""
+        return {
+            "policy": self.policy,
+            "clean": self.clean,
+            "faults_detected": list(self.faults_detected),
+            "channels_masked": list(self.channels_masked),
+            "segments_masked": list(self.segments_masked),
+            "n_windows_total": self.n_windows_total,
+            "n_windows_dropped": self.n_windows_dropped,
+            "n_samples_filled": self.n_samples_filled,
+            "longest_gap": self.longest_gap,
+            "fallback_all_windows": self.fallback_all_windows,
+        }
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        if self.clean:
+            return f"[{self.policy}] clean: no degradation applied"
+        parts = [f"[{self.policy}] degraded"]
+        if self.channels_masked:
+            parts.append(f"masked channels: {', '.join(self.channels_masked)}")
+        if self.segments_masked:
+            parts.append(f"masked segments: {', '.join(self.segments_masked)}")
+        if self.n_samples_filled:
+            parts.append(f"filled {self.n_samples_filled} samples")
+        if self.n_windows_dropped:
+            parts.append(
+                f"dropped {self.n_windows_dropped}/{self.n_windows_total} windows"
+            )
+        if self.fallback_all_windows:
+            parts.append("fallback: kept all windows")
+        return "; ".join(parts)

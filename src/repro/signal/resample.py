@@ -38,6 +38,10 @@ def decimate(x: np.ndarray, factor: int, fs: float, order: int = 8) -> np.ndarra
     """
     x = check_array(x, name="x")
     factor = check_positive_int(factor, name="factor")
+    if x.ndim not in (1, 2):
+        raise SignalError(f"x must be 1-D or 2-D, got shape {x.shape}")
+    if x.shape[0] == 0:
+        raise SignalError("cannot decimate an empty signal")
     if factor == 1:
         return x.copy()
     cutoff = 0.8 * (fs / factor) / 2.0
@@ -89,6 +93,10 @@ def downsample_to_rate(
     n_in = x.shape[0]
     if n_in < 2:
         raise SignalError("need at least two samples to resample")
+    if x.ndim == 2 and x.shape[1] == 0:
+        # Without this, the column-wise interpolation below falls over with
+        # a raw "need at least one array to stack" ValueError.
+        raise SignalError("cannot resample a signal with zero columns")
 
     with span("signal.resample", n_in=n_in, fs_in=fs_in, fs_out=fs_out):
         y = x

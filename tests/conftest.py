@@ -36,6 +36,22 @@ def pytest_addoption(parser):
     )
 
 
+@pytest.hookimpl(tryfirst=True)
+def pytest_collection_modifyitems(config, items):
+    """Every test not explicitly tiered as chaos/properties is tier-1.
+
+    ``-m tier1`` therefore selects exactly the fast default suite (what CI
+    and ``repro-motions selftest`` run), while ``-m chaos`` / ``-m
+    properties`` select the opt-in tiers.  All tiers run when no ``-m``
+    filter is given.  ``tryfirst`` makes the markers land before pytest's
+    own ``-m`` deselection pass looks at them.
+    """
+    for item in items:
+        if (item.get_closest_marker("chaos") is None
+                and item.get_closest_marker("properties") is None):
+            item.add_marker(pytest.mark.tier1)
+
+
 @pytest.fixture
 def regen_goldens(request) -> bool:
     """Whether this run should rewrite golden files instead of asserting."""

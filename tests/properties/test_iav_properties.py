@@ -10,6 +10,8 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+pytestmark = pytest.mark.properties
+
 hypothesis = pytest.importorskip("hypothesis")
 
 from hypothesis import given, settings  # noqa: E402

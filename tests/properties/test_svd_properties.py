@@ -15,6 +15,8 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+pytestmark = pytest.mark.properties
+
 hypothesis = pytest.importorskip("hypothesis")
 
 from hypothesis import assume, given, settings  # noqa: E402

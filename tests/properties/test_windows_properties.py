@@ -11,6 +11,8 @@ import math
 import numpy as np
 import pytest
 
+pytestmark = pytest.mark.properties
+
 hypothesis = pytest.importorskip("hypothesis")
 
 from hypothesis import given, settings  # noqa: E402

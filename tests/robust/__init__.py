@@ -1,0 +1,1 @@
+"""Chaos tier: fault-injection, degradation policies, parallel failure modes."""

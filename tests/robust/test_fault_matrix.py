@@ -1,0 +1,158 @@
+"""The chaos fault-matrix tier: every fault × every policy, end to end.
+
+A classifier is fitted per policy on the clean toy campaign; every record
+is then faulted under every scenario of
+:func:`repro.robust.default_fault_suite` and queried.  The tier asserts:
+
+* **no crash** — every degrading policy answers every faulted query;
+* **honest reporting** — the :class:`DegradationReport` is populated and
+  internally consistent for every answer;
+* **bounded accuracy drop** — per-scenario accuracy over the whole
+  campaign stays inside a declared envelope (tight for mild severities,
+  loose-but-nonzero for severe ones);
+* **strict is strict** — the ``strict`` policy refuses every *detectably*
+  degraded record with a typed error and accepts every clean one.
+
+Run with ``pytest -m chaos``; the tier is excluded from ``-m tier1``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.model import MotionClassifier
+from repro.errors import DegradationError, ReproError
+from repro.robust import default_fault_suite, diagnose_record, inject
+from tests.factories import toy_motion_dataset
+
+pytestmark = pytest.mark.chaos
+
+SUITE = default_fault_suite()
+
+#: Minimum fraction of the 12-query campaign classified correctly per
+#: scenario.  Measured accuracy (mask/repair, seeds 100..111) is 9–12 of
+#: 12; the envelope leaves head-room for platform-level numeric noise
+#: while still catching a real regression (accuracy collapse to chance
+#: is 1/3).  Severe scenarios only promise graceful degradation.
+ACCURACY_ENVELOPE = {
+    "occlusion_mild": 0.75,
+    "occlusion_severe": 0.5,
+    "emg_dropout_nan": 0.5,
+    "emg_dropout_flat": 0.5,
+    "emg_saturation": 0.5,
+    "nan_burst_emg": 0.75,
+    "nan_burst_both": 0.75,
+    "clock_drift_mild": 0.75,
+    "clock_drift_severe": 0.5,
+    "truncated_tail": 0.75,
+    "compound": 0.5,
+}
+
+POLICIES = ("mask", "repair")
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return toy_motion_dataset()
+
+
+@pytest.fixture(scope="module")
+def fitted(dataset):
+    """One fitted classifier per degrading policy (plus the baseline)."""
+    models = {
+        policy: MotionClassifier(
+            n_clusters=4, window_ms=100.0, robust_policy=policy
+        ).fit(dataset, seed=0)
+        for policy in POLICIES
+    }
+    models["off"] = MotionClassifier(n_clusters=4, window_ms=100.0).fit(
+        dataset, seed=0
+    )
+    return models
+
+
+def test_envelope_covers_the_whole_suite():
+    assert set(ACCURACY_ENVELOPE) == set(SUITE)
+
+
+def test_clean_baseline_is_perfect(dataset, fitted):
+    for policy in POLICIES:
+        model = fitted[policy]
+        assert all(
+            model.classify_with_report(rec, k=1).label == rec.label
+            for rec in dataset
+        )
+
+
+@pytest.mark.parametrize("scenario", sorted(SUITE), ids=str)
+@pytest.mark.parametrize("policy", POLICIES)
+def test_fault_matrix_no_crash_and_envelope(scenario, policy, dataset, fitted):
+    model = fitted[policy]
+    faults = SUITE[scenario]
+    correct = 0
+    for i, record in enumerate(dataset):
+        faulted = inject(record, faults, seed=100 + i)
+        result = model.classify_with_report(faulted, k=1)
+
+        # Report consistency on every single answer.
+        report = result.report
+        assert report.policy == policy
+        assert report.n_windows_total > 0
+        assert 0 <= report.n_windows_dropped <= report.n_windows_total
+        if report.fallback_all_windows:
+            assert report.n_windows_dropped == 0
+        diagnosis = diagnose_record(faulted)
+        assert report.clean == diagnosis.is_clean
+        if not report.clean:
+            assert report.faults_detected
+
+        correct += int(result.label == record.label)
+    accuracy = correct / len(dataset)
+    assert accuracy >= ACCURACY_ENVELOPE[scenario], (
+        f"{scenario} under {policy}: accuracy {accuracy:.2f} fell out of "
+        f"the declared envelope {ACCURACY_ENVELOPE[scenario]:.2f}"
+    )
+
+
+@pytest.mark.parametrize("scenario", sorted(SUITE), ids=str)
+def test_strict_policy_splits_on_detectability(scenario, dataset):
+    """Strict raises on detectably degraded records, answers clean ones."""
+    model = MotionClassifier(
+        n_clusters=4, window_ms=100.0, robust_policy="strict"
+    ).fit(dataset, seed=0)
+    record = dataset[0]
+    faulted = inject(record, SUITE[scenario], seed=100)
+    if diagnose_record(faulted).is_clean:
+        # Undetectable faults (clock drift, truncation) must still answer.
+        result = model.classify_with_report(faulted, k=1)
+        assert result.report.clean
+    else:
+        with pytest.raises(DegradationError):
+            model.classify(faulted, k=1)
+
+
+def test_unprotected_pipeline_fails_typed_not_raw(dataset, fitted):
+    """Without a policy, NaN faults fail with a *typed* repro error.
+
+    The pre-robust pipeline crashed here too — the layer's contract is
+    that the failure is a ReproError pointing at repro.robust, never a
+    bare numpy error or a silent NaN propagation.
+    """
+    model = fitted["off"]
+    record = dataset[0]
+    faulted = inject(record, SUITE["nan_burst_emg"], seed=100)
+    with pytest.raises(ReproError, match="robust"):
+        model.classify(faulted, k=1)
+
+
+def test_matrix_answers_are_deterministic(dataset, fitted):
+    model = fitted["mask"]
+    record = dataset[3]
+    faulted = inject(record, SUITE["compound"], seed=103)
+    first = model.classify_with_report(faulted, k=1)
+    second = model.classify_with_report(faulted, k=1)
+    assert first.label == second.label
+    assert first.report == second.report
+    assert np.isclose(first.neighbors[0].distance,
+                      second.neighbors[0].distance)

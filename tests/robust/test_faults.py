@@ -1,0 +1,210 @@
+"""Unit tests for the fault-injection API (tier-1: they must always pass).
+
+The chaos *matrix* lives in ``test_fault_matrix.py``; here we pin the
+contract every individual :class:`FaultSpec` obeys — determinism, zero
+severity as byte-identity, stream-alignment preservation, and typed errors
+on bad parameters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import FaultInjectionError, ValidationError
+from repro.robust import (
+    ClockDrift,
+    EMGChannelDropout,
+    EMGSaturation,
+    FaultSpec,
+    MarkerOcclusion,
+    NaNBurst,
+    StreamTruncation,
+    default_fault_suite,
+    inject,
+)
+from repro.robust.faults import rebuild_record
+from tests.factories import synthetic_record
+
+ALL_FAULTS = [
+    MarkerOcclusion(dropout_rate_per_s=2.0, max_gap_frames=6),
+    EMGChannelDropout(n_channels=1, mode="nan"),
+    EMGChannelDropout(n_channels=1, mode="flat"),
+    EMGSaturation(n_channels=2, fraction=0.5, rail_scale=0.4),
+    NaNBurst(stream="emg", bursts_per_s=2.0, max_burst=6),
+    NaNBurst(stream="mocap", bursts_per_s=2.0, max_burst=6),
+    NaNBurst(stream="both", bursts_per_s=2.0, max_burst=6),
+    ClockDrift(drift=0.02, stream="emg"),
+    ClockDrift(drift=-0.02, stream="mocap"),
+    StreamTruncation(fraction=0.3),
+]
+
+ZERO_FAULTS = [
+    MarkerOcclusion(dropout_rate_per_s=0.0),
+    EMGChannelDropout(n_channels=0),
+    EMGSaturation(n_channels=0),
+    EMGSaturation(fraction=0.0),
+    NaNBurst(bursts_per_s=0.0),
+    ClockDrift(drift=0.0),
+    StreamTruncation(fraction=0.0),
+]
+
+
+def _bytes(record):
+    return (record.emg.data_volts.tobytes(), record.mocap.matrix_mm.tobytes())
+
+
+@pytest.fixture()
+def record():
+    return synthetic_record("walk", n_frames=240, seed=3)
+
+
+@pytest.mark.parametrize("fault", ALL_FAULTS, ids=lambda f: f.fingerprint())
+def test_fault_is_deterministic(fault, record):
+    a = fault.apply(record, seed=7)
+    b = fault.apply(record, seed=7)
+    assert _bytes(a) == _bytes(b)
+
+
+@pytest.mark.parametrize("fault", ALL_FAULTS, ids=lambda f: f.fingerprint())
+def test_fault_never_mutates_input(fault, record):
+    before = _bytes(record)
+    fault.apply(record, seed=7)
+    assert _bytes(record) == before
+
+
+@pytest.mark.parametrize("fault", ALL_FAULTS, ids=lambda f: f.fingerprint())
+def test_fault_preserves_record_validity(fault, record):
+    faulted = fault.apply(record, seed=7)
+    # RecordedMotion construction enforces alignment; also check identity
+    # metadata survived.
+    assert faulted.n_frames == faulted.emg.n_samples
+    assert faulted.label == record.label
+    assert faulted.key == record.key
+    assert faulted.emg.channels == record.emg.channels
+    assert faulted.mocap.segments == record.mocap.segments
+
+
+@pytest.mark.parametrize("fault", ZERO_FAULTS, ids=lambda f: f.fingerprint())
+def test_zero_severity_is_byte_identity(fault, record):
+    assert _bytes(fault.apply(record, seed=9)) == _bytes(record)
+
+
+def test_inject_empty_fault_list_returns_same_object(record):
+    assert inject(record, [], seed=0) is record
+
+
+def test_inject_is_deterministic_and_composes(record):
+    faults = [
+        MarkerOcclusion(dropout_rate_per_s=1.0, max_gap_frames=4),
+        EMGChannelDropout(n_channels=1),
+        StreamTruncation(fraction=0.1),
+    ]
+    a = inject(record, faults, seed=5)
+    b = inject(record, faults, seed=5)
+    assert _bytes(a) == _bytes(b)
+    # Truncation ran last: both streams shortened together.
+    assert a.n_frames < record.n_frames
+    assert a.n_frames == a.emg.n_samples
+    # The dropout left exactly one all-NaN channel.
+    dead = np.all(np.isnan(a.emg.data_volts), axis=0)
+    assert int(dead.sum()) == 1
+
+
+def test_inject_different_seeds_differ(record):
+    faults = [NaNBurst(stream="emg", bursts_per_s=3.0, max_burst=6)]
+    a = inject(record, faults, seed=1)
+    b = inject(record, faults, seed=2)
+    assert _bytes(a) != _bytes(b)
+
+
+def test_inject_rejects_non_faultspec(record):
+    with pytest.raises(FaultInjectionError):
+        inject(record, ["not-a-fault"], seed=0)  # type: ignore[list-item]
+
+
+def test_occlusion_punches_nan_gaps(record):
+    faulted = MarkerOcclusion(dropout_rate_per_s=4.0, max_gap_frames=8).apply(
+        record, seed=2
+    )
+    assert np.isnan(faulted.mocap.matrix_mm).any()
+    assert not np.isnan(faulted.emg.data_volts).any()
+
+
+def test_dropout_flat_mode_zeroes_channel(record):
+    faulted = EMGChannelDropout(n_channels=1, mode="flat").apply(record, seed=2)
+    flat = [
+        j for j in range(faulted.emg.n_channels)
+        if np.all(faulted.emg.data_volts[:, j] == 0.0)
+    ]
+    assert len(flat) == 1
+
+
+def test_dropout_clamps_to_channel_count(record):
+    faulted = EMGChannelDropout(n_channels=99, mode="nan").apply(record, seed=2)
+    assert np.all(np.isnan(faulted.emg.data_volts))
+
+
+def test_saturation_creates_plateaus(record):
+    faulted = EMGSaturation(n_channels=1, fraction=0.6, rail_scale=0.3).apply(
+        record, seed=2
+    )
+    data = faulted.emg.data_volts
+    plateau_frac = max(
+        float(np.mean(np.abs(np.diff(data[:, j])) <= 0.0))
+        for j in range(data.shape[1])
+    )
+    assert plateau_frac > 0.05
+    assert np.isfinite(data).all()
+
+
+def test_clock_drift_shifts_content_but_not_length(record):
+    faulted = ClockDrift(drift=0.05, stream="emg").apply(record, seed=2)
+    assert faulted.n_frames == record.n_frames
+    assert faulted.emg.data_volts.tobytes() != record.emg.data_volts.tobytes()
+    assert faulted.mocap.matrix_mm.tobytes() == record.mocap.matrix_mm.tobytes()
+
+
+def test_truncation_keeps_at_least_two_frames():
+    short = synthetic_record("walk", n_frames=3, seed=0)
+    faulted = StreamTruncation(fraction=0.9).apply(short, seed=0)
+    assert faulted.n_frames >= 2
+
+
+@pytest.mark.parametrize("bad", [
+    lambda: MarkerOcclusion(dropout_rate_per_s=-1.0),
+    lambda: EMGChannelDropout(mode="wrong"),
+    lambda: EMGChannelDropout(n_channels=-1),
+    lambda: EMGSaturation(fraction=1.5),
+    lambda: EMGSaturation(rail_scale=0.0),
+    lambda: NaNBurst(stream="wrong"),
+    lambda: ClockDrift(drift=0.9),
+    lambda: ClockDrift(stream="both"),
+    lambda: StreamTruncation(fraction=1.0),
+])
+def test_bad_parameters_raise_typed_errors(bad):
+    with pytest.raises((FaultInjectionError, ValidationError)):
+        bad()
+
+
+def test_default_suite_covers_every_fault_kind():
+    suite = default_fault_suite()
+    kinds = {type(f) for faults in suite.values() for f in faults}
+    assert kinds == {
+        MarkerOcclusion, EMGChannelDropout, EMGSaturation,
+        NaNBurst, ClockDrift, StreamTruncation,
+    }
+    assert all(
+        isinstance(f, FaultSpec) for faults in suite.values() for f in faults
+    )
+
+
+def test_fingerprints_distinguish_parameters():
+    a = MarkerOcclusion(dropout_rate_per_s=1.0).fingerprint()
+    b = MarkerOcclusion(dropout_rate_per_s=2.0).fingerprint()
+    assert a != b
+
+
+def test_rebuild_record_validates_shapes(record):
+    with pytest.raises(ValidationError):
+        rebuild_record(record, emg_data=np.zeros(5))

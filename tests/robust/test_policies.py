@@ -1,0 +1,312 @@
+"""Tier-1 tests for diagnosis, degradation policies and the robust featurizer.
+
+These pin the *semantics* of the degradation layer on hand-built cases;
+the statistical sweep over the whole fault matrix is the chaos tier
+(``test_fault_matrix.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.model import MotionClassifier, RobustQueryResult
+from repro.errors import DegradationError
+from repro.features.combine import WindowFeaturizer
+from repro.robust import (
+    MASK,
+    POLICY_NAMES,
+    REPAIR,
+    STRICT,
+    DegradationPolicy,
+    DegradationReport,
+    EMGChannelDropout,
+    MarkerOcclusion,
+    NaNBurst,
+    RobustFeaturizer,
+    diagnose_record,
+    inject,
+    mask_emg_channels,
+    resolve_policy,
+)
+from tests.factories import synthetic_record, toy_motion_dataset
+
+
+@pytest.fixture()
+def record():
+    return synthetic_record("walk", n_frames=240, seed=3)
+
+
+@pytest.fixture()
+def featurizer():
+    return WindowFeaturizer(window_ms=100.0)
+
+
+# ----------------------------------------------------------------------
+# resolve_policy
+# ----------------------------------------------------------------------
+
+
+def test_resolve_policy_presets():
+    assert resolve_policy(None) is None
+    assert resolve_policy("off") is None
+    assert resolve_policy("strict") is STRICT
+    assert resolve_policy("mask") is MASK
+    assert resolve_policy("repair") is REPAIR
+    custom = DegradationPolicy(name="custom", min_valid_fraction=0.8)
+    assert resolve_policy(custom) is custom
+    assert set(POLICY_NAMES) == {"strict", "mask", "repair"}
+
+
+def test_resolve_policy_rejects_unknown():
+    with pytest.raises(DegradationError):
+        resolve_policy("lenient")
+    with pytest.raises(DegradationError):
+        resolve_policy(3.14)  # type: ignore[arg-type]
+
+
+def test_policy_validates_fields():
+    with pytest.raises(DegradationError):
+        DegradationPolicy(name="x", on_fault="explode")
+
+
+# ----------------------------------------------------------------------
+# Diagnosis
+# ----------------------------------------------------------------------
+
+
+def test_diagnose_clean_record(record):
+    diag = diagnose_record(record)
+    assert diag.is_clean
+    assert diag.valid_fraction == 1.0
+    assert diag.faults_detected() == ()
+    assert diag.frame_valid.shape == (record.n_frames,)
+
+
+def test_diagnose_dead_and_gap(record):
+    faulted = inject(
+        record,
+        [EMGChannelDropout(n_channels=1, mode="nan"),
+         MarkerOcclusion(dropout_rate_per_s=2.0, max_gap_frames=5)],
+        seed=4,
+    )
+    diag = diagnose_record(faulted)
+    assert not diag.is_clean
+    assert len(diag.emg_dead_channels) == 1
+    assert diag.mocap_gap_count > 0
+    assert diag.mocap_longest_gap >= 1
+    # The dead channel must not condemn every frame: validity is voted by
+    # recoverable columns only.
+    assert diag.valid_fraction > 0.0
+    assert len(diag.faults_detected()) >= 2
+
+
+def test_diagnose_frame_valid_marks_nan_frames(record):
+    faulted = NaNBurst(stream="emg", bursts_per_s=3.0, max_burst=6).apply(
+        record, seed=5
+    )
+    diag = diagnose_record(faulted)
+    nan_frames = np.isnan(faulted.emg.data_volts).any(axis=1)
+    assert np.array_equal(diag.frame_valid, ~nan_frames)
+
+
+# ----------------------------------------------------------------------
+# RobustFeaturizer semantics
+# ----------------------------------------------------------------------
+
+
+def test_clean_record_is_byte_identical_to_base(record, featurizer):
+    for policy in (MASK, REPAIR):
+        robust = RobustFeaturizer(featurizer, policy)
+        wf, report = robust.features_with_report(record)
+        base = featurizer.features(record)
+        assert wf.matrix.tobytes() == base.matrix.tobytes()
+        assert wf.bounds == base.bounds
+        assert report.clean and not report.degraded
+        assert report.n_windows_dropped == 0
+
+
+def test_strict_raises_on_degraded_record(record, featurizer):
+    faulted = EMGChannelDropout(n_channels=1).apply(record, seed=1)
+    robust = RobustFeaturizer(featurizer, STRICT)
+    with pytest.raises(DegradationError, match="degraded"):
+        robust.features(faulted)
+
+
+def test_strict_passes_clean_record(record, featurizer):
+    robust = RobustFeaturizer(featurizer, STRICT)
+    wf = robust.features(record)
+    assert wf.matrix.tobytes() == featurizer.features(record).matrix.tobytes()
+
+
+def test_robust_featurizer_rejects_off_policy(featurizer):
+    with pytest.raises(DegradationError):
+        RobustFeaturizer(featurizer, "off")
+
+
+def test_masking_renormalizes_iav(record, featurizer):
+    faulted = EMGChannelDropout(n_channels=1, mode="nan").apply(record, seed=1)
+    robust = RobustFeaturizer(featurizer, MASK)
+    wf, report = robust.features_with_report(faulted)
+    n = record.emg.n_channels
+    fpc = featurizer.emg_extractor.features_per_channel
+    masked_idx = [record.emg.channels.index(c) for c in report.channels_masked]
+    assert len(masked_idx) == 1
+    # Masked channel's IAV columns are exactly zero...
+    for j in masked_idx:
+        assert np.all(wf.matrix[:, j * fpc:(j + 1) * fpc] == 0.0)
+    # ...and the surviving channels are scaled by n / (n - 1) relative to
+    # featurizing the masked record without renormalization.
+    plain = featurizer.features(
+        mask_emg_channels(faulted, report.channels_masked)
+    )
+    for j in range(n):
+        if j in masked_idx:
+            continue
+        np.testing.assert_allclose(
+            wf.matrix[:len(plain.matrix), j * fpc:(j + 1) * fpc],
+            plain.matrix[:, j * fpc:(j + 1) * fpc] * (n / (n - 1)),
+        )
+
+
+def test_window_dropping_respects_min_valid_fraction(record, featurizer):
+    faulted = NaNBurst(stream="emg", bursts_per_s=3.0, max_burst=8).apply(
+        record, seed=6
+    )
+    strict_mask = RobustFeaturizer(featurizer, MASK)
+    lenient = RobustFeaturizer(
+        featurizer, DegradationPolicy(name="lenient", min_valid_fraction=0.0)
+    )
+    wf_mask, rep_mask = strict_mask.features_with_report(faulted)
+    wf_lenient, rep_lenient = lenient.features_with_report(faulted)
+    assert rep_mask.n_windows_dropped > 0
+    assert rep_lenient.n_windows_dropped == 0
+    assert wf_mask.n_windows < wf_lenient.n_windows
+    # Every surviving MASK window is fully valid.
+    diag = diagnose_record(faulted)
+    for start, stop in wf_mask.bounds:
+        assert diag.frame_valid[start:stop].all()
+
+
+def test_fallback_keeps_all_windows_when_none_survive(featurizer):
+    record = synthetic_record("walk", n_frames=240, seed=3)
+    # Every window gets at least one NaN frame: burst every few samples.
+    faulted = NaNBurst(stream="emg", bursts_per_s=60.0, max_burst=2).apply(
+        record, seed=7
+    )
+    robust = RobustFeaturizer(featurizer, MASK)
+    wf, report = robust.features_with_report(faulted)
+    assert report.fallback_all_windows
+    assert wf.n_windows == report.n_windows_total
+    assert np.isfinite(wf.matrix).all()
+
+
+def test_report_is_consistent(record, featurizer):
+    faulted = inject(
+        record,
+        [EMGChannelDropout(n_channels=1),
+         MarkerOcclusion(dropout_rate_per_s=2.0, max_gap_frames=5)],
+        seed=8,
+    )
+    robust = RobustFeaturizer(featurizer, REPAIR)
+    wf, report = robust.features_with_report(faulted)
+    assert report.policy == "repair"
+    assert not report.clean
+    assert report.faults_detected
+    assert report.n_windows_total == wf.n_windows + report.n_windows_dropped
+    assert report.n_samples_filled > 0
+    payload = report.to_dict()
+    assert payload["policy"] == "repair"
+    assert isinstance(payload["faults_detected"], list)
+    assert "degraded" in report.summary()
+
+
+def test_cache_fingerprint_depends_on_policy(featurizer):
+    fp_mask = RobustFeaturizer(featurizer, MASK).cache_fingerprint()
+    fp_repair = RobustFeaturizer(featurizer, REPAIR).cache_fingerprint()
+    assert fp_mask != fp_repair
+    assert featurizer.cache_fingerprint() in fp_mask
+
+
+def test_featurizer_protocol_delegation(featurizer):
+    robust = RobustFeaturizer(featurizer, MASK)
+    assert robust.window_ms == featurizer.window_ms
+    assert robust.stride_ms == featurizer.stride_ms
+    assert robust.use_emg and robust.use_mocap
+
+
+# ----------------------------------------------------------------------
+# Model integration
+# ----------------------------------------------------------------------
+
+
+def test_clean_fit_and_signatures_byte_identical():
+    dataset = toy_motion_dataset()
+    base = MotionClassifier(n_clusters=4, window_ms=100.0).fit(dataset, seed=0)
+    robust = MotionClassifier(
+        n_clusters=4, window_ms=100.0, robust_policy="mask"
+    ).fit(dataset, seed=0)
+    assert (base.database_signatures.tobytes()
+            == robust.database_signatures.tobytes())
+    record = dataset[0]
+    assert (base.signature(record).vector.tobytes()
+            == robust.signature(record).vector.tobytes())
+
+
+def test_classify_with_report_off_policy():
+    dataset = toy_motion_dataset()
+    model = MotionClassifier(n_clusters=4, window_ms=100.0).fit(dataset, seed=0)
+    result = model.classify_with_report(dataset[0], k=1)
+    assert isinstance(result, RobustQueryResult)
+    assert result.label == dataset[0].label
+    assert result.report.policy == "off"
+    assert result.report.clean
+    assert result.neighbors and result.neighbors[0].key == dataset[0].key
+
+
+def test_classify_with_report_degraded_query():
+    dataset = toy_motion_dataset()
+    model = MotionClassifier(
+        n_clusters=4, window_ms=100.0, robust_policy="repair"
+    ).fit(dataset, seed=0)
+    faulted = EMGChannelDropout(n_channels=1).apply(dataset[0], seed=1)
+    result = model.classify_with_report(faulted, k=1)
+    assert result.report.degraded
+    assert result.report.channels_masked
+    assert result.label in {r.label for r in dataset}
+
+
+def test_strict_model_fit_raises_on_degraded_database():
+    dataset = toy_motion_dataset()
+    records = list(dataset)
+    records[0] = EMGChannelDropout(n_channels=1).apply(records[0], seed=1)
+    from repro.data.dataset import MotionDataset
+
+    degraded = MotionDataset(name="degraded-toy", records=records)
+    model = MotionClassifier(
+        n_clusters=4, window_ms=100.0, robust_policy="strict"
+    )
+    with pytest.raises(DegradationError):
+        model.fit(degraded, seed=0)
+
+
+def test_degradation_counters_exported():
+    from repro.obs.config import capture
+
+    dataset = toy_motion_dataset()
+    model = MotionClassifier(
+        n_clusters=4, window_ms=100.0, robust_policy="mask"
+    ).fit(dataset, seed=0)
+    faulted = EMGChannelDropout(n_channels=1).apply(dataset[0], seed=1)
+    with capture() as state:
+        model.classify_with_report(faulted, k=1)
+    counters = state.registry.to_dict()["counters"]
+    assert counters.get("robust.records_degraded", 0) >= 1
+    assert counters.get("robust.degraded_queries", 0) >= 1
+    assert "robust.channels_masked" in counters
+
+
+def test_default_report_is_minimal():
+    report = DegradationReport(policy="off", clean=True)
+    assert not report.degraded
+    assert report.summary().startswith("[off] clean")

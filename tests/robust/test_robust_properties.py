@@ -1,0 +1,126 @@
+"""Property-based tests for the robustness layer's two core identities.
+
+1. **Masking commutes with featurization**: zeroing an EMG channel and
+   featurizing equals featurizing the record with the channel dropped and
+   re-inserting zero columns — the IAV kernel is per-channel, so a masked
+   channel can never bleed into its neighbours (renormalization off).
+2. **Zero-severity faults are byte-identities** on both stream buffers,
+   for every fault kind, under any seed.
+
+Skipped entirely when ``hypothesis`` is not installed — the environment
+only guarantees numpy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+pytestmark = pytest.mark.properties
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+from repro.features.combine import WindowFeaturizer  # noqa: E402
+from repro.robust import (  # noqa: E402
+    ClockDrift,
+    EMGChannelDropout,
+    EMGSaturation,
+    MarkerOcclusion,
+    NaNBurst,
+    StreamTruncation,
+    drop_emg_channels,
+    mask_emg_channels,
+)
+from tests.factories import synthetic_record  # noqa: E402
+
+SETTINGS = settings(max_examples=25, deadline=None)
+
+N_CHANNELS = 4
+
+record_st = st.fixed_dictionaries({
+    "n_frames": st.integers(min_value=60, max_value=300),
+    "seed": st.integers(min_value=0, max_value=50),
+    "label": st.sampled_from(["walk", "raise_arm", "kick"]),
+})
+# Non-empty proper subsets of channel indices: at least one channel survives.
+masked_st = st.sets(
+    st.integers(min_value=0, max_value=N_CHANNELS - 1),
+    min_size=1, max_size=N_CHANNELS - 1,
+)
+
+zero_fault_st = st.sampled_from([
+    MarkerOcclusion(dropout_rate_per_s=0.0),
+    EMGChannelDropout(n_channels=0, mode="nan"),
+    EMGChannelDropout(n_channels=0, mode="flat"),
+    EMGSaturation(n_channels=0),
+    EMGSaturation(fraction=0.0),
+    NaNBurst(stream="emg", bursts_per_s=0.0),
+    NaNBurst(stream="both", bursts_per_s=0.0),
+    ClockDrift(drift=0.0, stream="emg"),
+    ClockDrift(drift=0.0, stream="mocap"),
+    StreamTruncation(fraction=0.0),
+])
+
+
+@SETTINGS
+@given(params=record_st, masked=masked_st)
+def test_mask_then_featurize_equals_featurize_then_drop(params, masked):
+    record = synthetic_record(
+        params["label"], n_frames=params["n_frames"],
+        n_channels=N_CHANNELS, seed=params["seed"],
+    )
+    featurizer = WindowFeaturizer(window_ms=100.0)
+    fpc = featurizer.emg_extractor.features_per_channel
+    names = [record.emg.channels[j] for j in sorted(masked)]
+
+    wf_masked = featurizer.features(mask_emg_channels(record, names))
+    wf_dropped = featurizer.features(drop_emg_channels(record, names))
+    assert wf_masked.bounds == wf_dropped.bounds
+
+    survivors = [j for j in range(N_CHANNELS) if j not in masked]
+    # Surviving channels: equal IAV columns, just at shifted positions.
+    # (Tolerance of a few ULP: numpy's pairwise summation regroups the
+    # per-window |x| sum when the channel count changes.)
+    for pos, j in enumerate(survivors):
+        np.testing.assert_allclose(
+            wf_masked.matrix[:, j * fpc:(j + 1) * fpc],
+            wf_dropped.matrix[:, pos * fpc:(pos + 1) * fpc],
+            rtol=1e-12, atol=1e-18,
+        )
+    # Masked channels: exactly-zero IAV columns (|0| integrates to 0).
+    for j in sorted(masked):
+        assert np.all(wf_masked.matrix[:, j * fpc:(j + 1) * fpc] == 0.0)
+    # The mocap block is untouched by EMG surgery.
+    np.testing.assert_array_equal(
+        wf_masked.matrix[:, N_CHANNELS * fpc:],
+        wf_dropped.matrix[:, len(survivors) * fpc:],
+    )
+
+
+@SETTINGS
+@given(params=record_st, fault=zero_fault_st,
+       seed=st.integers(min_value=0, max_value=1000))
+def test_zero_severity_fault_is_stream_byte_identity(params, fault, seed):
+    record = synthetic_record(
+        params["label"], n_frames=params["n_frames"],
+        n_channels=N_CHANNELS, seed=params["seed"],
+    )
+    faulted = fault.apply(record, seed=seed)
+    assert faulted.emg.data_volts.tobytes() == record.emg.data_volts.tobytes()
+    assert (faulted.mocap.matrix_mm.tobytes()
+            == record.mocap.matrix_mm.tobytes())
+    assert faulted.n_frames == record.n_frames
+
+
+@SETTINGS
+@given(params=record_st, seed=st.integers(min_value=0, max_value=1000))
+def test_masking_nothing_is_the_identity(params, seed):
+    record = synthetic_record(
+        params["label"], n_frames=params["n_frames"],
+        n_channels=N_CHANNELS, seed=params["seed"],
+    )
+    masked = mask_emg_channels(record, [])
+    assert masked.emg.data_volts.tobytes() == record.emg.data_volts.tobytes()

@@ -85,3 +85,49 @@ class TestDownsampleToRate:
         x = rng.normal(size=200)
         y = downsample_to_rate(x, 100.0, 100.0, antialias=False)
         np.testing.assert_allclose(y, x, atol=1e-12)
+
+
+class TestShortAndDegenerateStreams:
+    """Regression tier: the edges that used to die with raw numpy/scipy
+    errors now fail (or succeed) through typed repro.errors exceptions."""
+
+    def test_decimate_empty_1d_is_typed(self):
+        with pytest.raises(SignalError, match="empty"):
+            decimate(np.zeros(0), 2, fs=100.0)
+
+    def test_decimate_empty_2d_is_typed(self):
+        with pytest.raises(SignalError, match="empty"):
+            decimate(np.zeros((0, 3)), 2, fs=100.0)
+
+    def test_decimate_rejects_3d(self, rng):
+        with pytest.raises(SignalError, match="1-D or 2-D"):
+            decimate(rng.normal(size=(4, 2, 2)), 2, fs=100.0)
+
+    def test_decimate_survives_three_frames(self):
+        # Shorter than the order-8 filter's natural pad length.
+        out = decimate(np.ones(3), 2, fs=100.0)
+        assert out.shape == (2,)
+        assert np.isfinite(out).all()
+
+    def test_decimate_odd_length_2d(self):
+        out = decimate(np.ones((5, 2)), 2, fs=100.0)
+        assert out.shape == (3, 2)
+        assert np.isfinite(out).all()
+
+    def test_downsample_zero_columns_is_typed(self):
+        with pytest.raises(SignalError, match="zero columns"):
+            downsample_to_rate(np.ones((10, 0)), 100.0, 50.0)
+
+    def test_downsample_minimum_two_samples(self):
+        out = downsample_to_rate(np.ones(2), 100.0, 50.0, antialias=False)
+        assert out.shape == (1,)
+
+    def test_downsample_one_sample_is_typed(self):
+        with pytest.raises(SignalError, match="two samples"):
+            downsample_to_rate(np.ones(1), 100.0, 50.0)
+
+    def test_downsample_odd_short_rational_ratio(self):
+        # 3 samples at 1000 Hz span 2 ms: exactly one 120 Hz sample fits.
+        out = downsample_to_rate(np.ones(3), 1000.0, 120.0, antialias=False)
+        assert out.shape == (1,)
+        assert np.isfinite(out).all()

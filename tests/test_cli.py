@@ -169,3 +169,94 @@ class TestParallelFlags:
         out = capsys.readouterr().out
         assert "cache" in out.lower()
         assert any(cache_dir.rglob("*.npz"))
+
+
+class TestRobustFlag:
+    @pytest.mark.parametrize("command, tail", [
+        (["build", "--output", "m"], []),
+        (["evaluate", "d"], []),
+        (["profile"], []),
+    ])
+    def test_default_is_off(self, command, tail):
+        args = build_parser().parse_args(command + tail)
+        assert args.robust_policy == "off"
+
+    def test_accepts_every_policy(self):
+        parser = build_parser()
+        for policy in ("off", "strict", "mask", "repair"):
+            args = parser.parse_args(["evaluate", "d",
+                                      "--robust-policy", policy])
+            assert args.robust_policy == policy
+
+    def test_rejects_unknown_policy(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["evaluate", "d",
+                                       "--robust-policy", "lenient"])
+
+    def test_evaluate_with_robust_policy(self, saved_toy, capsys):
+        code = main([
+            "evaluate", saved_toy, "--clusters", "3", "--window-ms", "100",
+            "--robust-policy", "mask",
+        ])
+        assert code == 0
+        assert "misclassification" in capsys.readouterr().out
+
+    def test_build_with_robust_policy_warms_cache(self, tmp_path, capsys):
+        code = main([
+            "build", "--trials", "2", "--output", str(tmp_path / "model"),
+            "--robust-policy", "repair",
+            "--cache-dir", str(tmp_path / "cache"),
+        ])
+        assert code == 0
+        assert list((tmp_path / "cache").rglob("*.npz"))
+
+    def test_help_documents_the_flag(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["evaluate", "--help"])
+        assert "--robust-policy" in capsys.readouterr().out
+
+
+class TestSelftest:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["selftest"])
+        assert args.tests == "tests"
+        assert args.skip_tests is False
+
+    def test_skip_tests_runs_lint_only(self, capsys):
+        code = main(["selftest", "--skip-tests"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "lint OK" in out
+        assert "tier-1" not in out
+
+    def test_missing_tests_dir_exits_2(self, tmp_path, capsys):
+        code = main(["selftest", "--tests", str(tmp_path / "nope")])
+        assert code == 2
+
+    def test_runs_tier1_tests_in_given_dir(self, tmp_path, capsys):
+        tests_dir = tmp_path / "minitests"
+        tests_dir.mkdir()
+        (tests_dir / "test_trivial.py").write_text(
+            "import pytest\n\n"
+            "@pytest.mark.tier1\n"
+            "def test_passes():\n"
+            "    assert True\n"
+        )
+        code = main(["selftest", "--tests", str(tests_dir)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "lint OK" in out
+        assert "tier-1 OK" in out
+
+    def test_failing_tests_exit_1(self, tmp_path, capsys):
+        tests_dir = tmp_path / "minitests"
+        tests_dir.mkdir()
+        (tests_dir / "test_trivial.py").write_text(
+            "import pytest\n\n"
+            "@pytest.mark.tier1\n"
+            "def test_fails():\n"
+            "    assert False\n"
+        )
+        code = main(["selftest", "--tests", str(tests_dir)])
+        assert code == 1
+        assert "tier-1 FAILED" in capsys.readouterr().out

@@ -148,3 +148,48 @@ class TestSlidingWindowView:
         assert view.shape[0] == len(expected)
         for got, want in zip(view, expected):
             np.testing.assert_array_equal(got, want)
+
+
+class TestShortStreamEdges:
+    """Regression tier for the short/odd-stream edges: typed errors in,
+    whole-stream fallbacks out — never a raw numpy failure."""
+
+    def test_one_frame_stream_yields_one_window(self):
+        assert window_bounds(1, 12) == [(0, 1)]
+        assert num_windows(1, 12) == 1
+
+    def test_short_stream_whole_window_fallback_any_stride(self):
+        for stride in (1, 3, 50):
+            assert window_bounds(4, 10, stride=stride) == [(0, 4)]
+
+    def test_zero_frames_is_empty_not_fallback(self):
+        assert window_bounds(0, 4) == []
+        assert num_windows(0, 4) == 0
+
+    def test_negative_frames_is_typed(self):
+        with pytest.raises(ValidationError):
+            window_bounds(-1, 4)
+
+    def test_negative_stride_is_typed(self):
+        with pytest.raises(ValidationError):
+            window_bounds(10, 4, stride=-1)
+
+    def test_bad_min_fraction_is_typed(self):
+        with pytest.raises(ValidationError):
+            window_bounds(10, 4, min_fraction=1.5)
+
+    def test_iter_windows_short_stream_yields_whole_chunk(self):
+        data = np.arange(6.0).reshape(3, 2)
+        chunks = list(iter_windows(data, window=10, stride=10))
+        assert len(chunks) == 1
+        np.testing.assert_array_equal(chunks[0], data)
+
+    def test_sliding_view_zero_columns(self):
+        view = sliding_window_view_2d(np.zeros((10, 0)), window=4, stride=3)
+        assert view.shape == (3, 4, 0)
+
+    def test_trailing_partial_window_is_odd_sized(self):
+        # 13 frames, window 4: the 1-frame tail is dropped at the default
+        # half-window threshold but kept at min_fraction=0.
+        assert window_bounds(13, 4)[-1] == (8, 12)
+        assert window_bounds(13, 4, min_fraction=0.0)[-1] == (12, 13)
