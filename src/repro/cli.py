@@ -174,17 +174,38 @@ def build_parser() -> argparse.ArgumentParser:
     p_lint.add_argument("--format", choices=("text", "json"), default="text",
                         help="report format (default: text)")
     p_lint.add_argument("--select", nargs="+", metavar="RULE", default=None,
-                        help="run only these rules (e.g. R1 R4)")
+                        help="run only these rules (e.g. R1 R9)")
+    p_lint.add_argument("--strict", action="store_true",
+                        help="run the whole-program dataflow pass "
+                             "(rules R7-R12) as well")
+    p_lint.add_argument("--changed", action="store_true",
+                        help="lint only files git reports as modified or "
+                             "untracked under the given paths")
+    p_lint.add_argument("--baseline", metavar="FILE", default=None,
+                        help="grandfathered-findings file (see "
+                             "docs/LINTING.md)")
+    p_lint.add_argument("--write-baseline", metavar="FILE", default=None,
+                        help="write current findings to FILE as a fresh "
+                             "baseline and exit 0")
+    p_lint.add_argument("--cache", metavar="FILE", default=None,
+                        help="reuse the report from FILE when no linted "
+                             "file changed")
 
     p_self = sub.add_parser(
         "selftest",
-        help="run the tier-1 test suite and the lint rules in one shot",
+        help="run the strict lint pass and the tier-1 test suite in one shot",
     )
     p_self.add_argument("--tests", metavar="DIR", default="tests",
                         help="test directory passed to pytest "
                              "(default: ./tests)")
     p_self.add_argument("--skip-tests", action="store_true",
                         help="run only the lint half (no pytest)")
+    p_self.add_argument("--baseline", metavar="FILE", default=None,
+                        help="baseline file for the strict lint pass "
+                             "(default: ./lint-baseline.json when present)")
+    p_self.add_argument("--lint-cache", metavar="FILE", default=None,
+                        help="content-keyed lint report cache file "
+                             "(reused when no source file changed)")
     return parser
 
 
@@ -307,19 +328,33 @@ def _cmd_sweep(args) -> int:
 def _cmd_lint(args) -> int:
     from repro.lint.cli import run as lint_run
 
-    return lint_run(args.paths, fmt=args.format, select=args.select)
+    return lint_run(
+        args.paths,
+        fmt=args.format,
+        select=args.select,
+        strict=args.strict,
+        changed=args.changed,
+        baseline_path=args.baseline,
+        write_baseline_path=args.write_baseline,
+        cache_path=args.cache,
+    )
 
 
 def _cmd_selftest(args) -> int:
-    """Tier-1 suite + lint rules, one command, one composite exit code."""
+    """Strict lint pass + tier-1 suite, one command, one composite exit code."""
     import importlib.util
     import subprocess
     from pathlib import Path
 
     from repro.lint.cli import run as lint_run
 
-    print("== lint (rules R1-R6 over the installed repro package) ==")
-    lint_failed = lint_run([], fmt="text", select=None) != 0
+    baseline = args.baseline
+    if baseline is None and Path("lint-baseline.json").is_file():
+        baseline = "lint-baseline.json"
+    print("== lint (strict: rules R1-R12 over the installed repro package) ==")
+    lint_failed = lint_run([], fmt="text", select=None, strict=True,
+                           baseline_path=baseline,
+                           cache_path=args.lint_cache) != 0
     tests_failed = False
     if not args.skip_tests:
         tests_dir = Path(args.tests)

@@ -1,0 +1,133 @@
+"""Grandfathered-findings baseline for the whole-program rules.
+
+A baseline file lets a strict run pass while known, deliberately
+deferred findings are tracked instead of fixed.  Entries are keyed by
+``(rule, package-relative path, message)`` — line numbers are *not*
+part of the key, so unrelated edits above a grandfathered finding do
+not invalidate it, while any change to the finding itself (different
+message, moved file) surfaces it again.
+
+File format (JSON, sorted, trailing newline — diff-friendly)::
+
+    {
+      "entries": [
+        {
+          "rule": "R9",
+          "path": "features/svd.py",
+          "message": "...exact violation message...",
+          "note": "why this is deferred + tracking pointer"
+        }
+      ]
+    }
+
+Every entry must carry a ``note`` explaining why the finding is
+grandfathered rather than fixed; loading rejects files without one so
+the workflow cannot silently become a suppression dump.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path, PurePath
+from typing import Dict, FrozenSet, Iterable, Tuple
+
+from repro.errors import LintError
+from repro.lint.context import PACKAGE_DIR_NAME
+from repro.lint.violations import Violation
+
+__all__ = ["Baseline", "baseline_key"]
+
+#: One baseline key: (rule, package-relative path, message).
+Key = Tuple[str, str, str]
+
+
+def _relative_path(path: str) -> str:
+    """``.../src/repro/parallel/cache.py`` → ``parallel/cache.py``.
+
+    Mirrors the anchoring rule of :mod:`repro.lint.context`: parts after
+    the last ``repro`` directory, else the bare filename — so baselines
+    written on one checkout match on any other.
+    """
+    parts = PurePath(path).parts
+    if PACKAGE_DIR_NAME in parts:
+        cut = len(parts) - 1 - parts[::-1].index(PACKAGE_DIR_NAME)
+        rel = parts[cut + 1:]
+        if rel:
+            return "/".join(rel)
+    return parts[-1] if parts else path
+
+
+def baseline_key(violation: Violation) -> Key:
+    """The matching key of one violation."""
+    return (violation.rule, _relative_path(violation.path), violation.message)
+
+
+class Baseline:
+    """An immutable set of grandfathered findings."""
+
+    def __init__(self, keys: FrozenSet[Key], notes: Dict[Key, str]):
+        self._keys = keys
+        self._notes = notes
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def matches(self, violation: Violation) -> bool:
+        """Whether ``violation`` is grandfathered by this baseline."""
+        return baseline_key(violation) in self._keys
+
+    @classmethod
+    def empty(cls) -> "Baseline":
+        return cls(frozenset(), {})
+
+    @classmethod
+    def load(cls, path) -> "Baseline":
+        """Read a baseline file (raises :class:`LintError` on bad input)."""
+        path = Path(path)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except OSError as exc:
+            raise LintError(f"cannot read baseline {path}: {exc}") from exc
+        except json.JSONDecodeError as exc:
+            raise LintError(f"baseline {path} is not valid JSON: {exc}") from exc
+        entries = payload.get("entries") if isinstance(payload, dict) else None
+        if not isinstance(entries, list):
+            raise LintError(
+                f"baseline {path} must be an object with an 'entries' list"
+            )
+        keys = set()
+        notes: Dict[Key, str] = {}
+        for i, entry in enumerate(entries):
+            if not isinstance(entry, dict):
+                raise LintError(f"baseline {path}: entry {i} is not an object")
+            missing = [f for f in ("rule", "path", "message", "note")
+                       if not isinstance(entry.get(f), str) or not entry[f]]
+            if missing:
+                raise LintError(
+                    f"baseline {path}: entry {i} is missing {missing} "
+                    f"(every grandfathered finding needs rule, path, "
+                    f"message and a tracking note)"
+                )
+            key: Key = (entry["rule"].upper(), entry["path"], entry["message"])
+            keys.add(key)
+            notes[key] = entry["note"]
+        return cls(frozenset(keys), notes)
+
+    @staticmethod
+    def write(path, violations: Iterable[Violation],
+              note: str = "grandfathered by --write-baseline; fix and remove") -> int:
+        """Write ``violations`` as a fresh baseline file; returns the count."""
+        entries = sorted(
+            {baseline_key(v) for v in violations}
+        )
+        payload = {
+            "entries": [
+                {"rule": rule, "path": rel, "message": message, "note": note}
+                for rule, rel, message in entries
+            ],
+        }
+        Path(path).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        return len(entries)

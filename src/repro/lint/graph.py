@@ -1,0 +1,1064 @@
+"""Whole-program symbol resolution, call graph and dataflow facts.
+
+This module is the project-wide layer under rules R7–R12 (see
+:mod:`repro.lint.flows`).  Per-module rules judge one AST at a time; the
+properties the parallel/cached pipeline actually depends on — "no
+unlocked shared state behind an executor", "no clock or RNG reach from a
+feature kernel", "only ``ReproError`` escapes the public API" — are
+*transitive*, so they need symbol resolution across modules and a call
+graph to propagate facts along.
+
+The pipeline:
+
+1. :class:`ModuleSymbols` — per-module binding table (imports, defs,
+   classes, module-level mutable state), built from the parsed
+   :class:`~repro.lint.context.ModuleContext` list.
+2. :class:`FunctionNode` — one node per function, method or nested
+   function, keyed by qualified name ``(module..., [Class,] name)``.
+3. :class:`FunctionFacts` — per-function local facts (RNG/clock/env
+   reach, raw persistence writes, raises, shared-state mutations,
+   observability names) plus the resolved :class:`CallSite` list that
+   forms the call-graph edges.
+4. :class:`ProjectGraph` — the whole-program index with resolution,
+   reachability and exception-escape queries the rules consume.
+
+Resolution is deliberately conservative: a call that cannot be resolved
+statically (duck-typed attribute, dynamic dispatch) contributes no edge,
+so the dataflow rules under-approximate rather than hallucinate.  All
+iteration orders follow the sorted file list and AST order, so two runs
+over the same tree produce byte-identical reports.
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+from dataclasses import dataclass, field
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.lint.context import ModuleContext, PACKAGE_DIR_NAME
+
+__all__ = [
+    "Binding",
+    "CallSite",
+    "ClassInfo",
+    "FunctionFacts",
+    "FunctionNode",
+    "ModuleKey",
+    "ModuleSymbols",
+    "ProjectGraph",
+    "QName",
+    "Site",
+    "resolve_import",
+]
+
+#: A dotted-module key relative to the package root, e.g. ``("utils", "rng")``.
+ModuleKey = Tuple[str, ...]
+#: A qualified function name: module key + optional class + function name(s).
+QName = Tuple[str, ...]
+#: One located fact: ``(lineno, detail)``.
+Site = Tuple[int, str]
+
+#: Clock-reading callables (mirrors rules R4/R6; R9 propagates them).
+_CLOCK_FUNCS = frozenset({
+    "time", "time_ns", "perf_counter", "perf_counter_ns",
+    "monotonic", "monotonic_ns", "process_time", "process_time_ns",
+})
+_DATETIME_SUFFIXES = ("datetime.now", "datetime.utcnow", "date.today")
+
+#: Constructors whose module-level result counts as shared mutable state.
+_MUTABLE_CONSTRUCTORS = frozenset({
+    "list", "dict", "set", "bytearray", "defaultdict", "deque",
+    "Counter", "OrderedDict",
+})
+
+#: Method names that mutate their receiver in place.
+_MUTATOR_METHODS = frozenset({
+    "append", "extend", "insert", "add", "update", "setdefault",
+    "pop", "popitem", "remove", "discard", "clear",
+    "appendleft", "extendleft", "sort", "reverse",
+})
+
+#: Functions (resolved by qualified name suffix) that dispatch their first
+#: argument onto a worker pool.  The executor boundary for rule R7.
+_EXECUTOR_SUFFIXES = (("parallel", "executor", "pool_map"),)
+_EXECUTOR_NAMES = frozenset({"pool_map"})
+
+#: Observability entry points, keyed by resolved qualified name.
+_OBS_SPAN_FUNCS = frozenset({("obs", "config", "span"), ("obs", "config", "traced")})
+_OBS_METRIC_FUNCS = frozenset({
+    ("obs", "config", "record_counter"),
+    ("obs", "config", "record_gauge"),
+    ("obs", "config", "record_series"),
+})
+
+#: The designated atomic-write helpers recognized by rule R8.
+_ATOMIC_HELPER_NAMES = frozenset({"atomic_write"})
+
+
+def _dotted(node: ast.AST) -> str:
+    """``a.b.c`` for a Name/Attribute chain, else ``""``."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def resolve_import(module_key: ModuleKey, is_package_init: bool,
+                   node: ast.ImportFrom) -> Optional[ModuleKey]:
+    """Module key an ``ImportFrom`` targets, or None when outside the tree.
+
+    Handles both absolute imports anchored at the package
+    (``from repro.features.svd import ...``) and relative imports
+    (``from ..utils import ...``), mirroring Python's resolution rules.
+    """
+    if node.level == 0:
+        if node.module is None:
+            return None
+        parts = node.module.split(".")
+        if parts[0] != PACKAGE_DIR_NAME:
+            return None
+        return tuple(parts[1:])
+    package = list(module_key)
+    if not is_package_init and package:
+        package.pop()  # plain modules import relative to their package
+    hops = node.level - 1
+    if hops > len(package):
+        return None
+    anchor = package[:len(package) - hops] if hops else package
+    if node.module:
+        anchor = anchor + node.module.split(".")
+    return tuple(anchor)
+
+
+# ----------------------------------------------------------------------
+# Per-module symbol tables
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Binding:
+    """One module-scope name binding.
+
+    ``kind`` is ``"func"``/``"class"`` (defined here), ``"module"`` (an
+    imported module; ``module`` holds its key), ``"symbol"`` (an object
+    imported from ``module`` under ``name``), or ``"var"`` (plain data).
+    """
+
+    kind: str
+    module: ModuleKey = ()
+    name: str = ""
+
+
+@dataclass
+class ClassInfo:
+    """One class defined at module scope."""
+
+    name: str
+    module: ModuleKey
+    lineno: int
+    base_names: Tuple[str, ...]
+    methods: Dict[str, QName] = field(default_factory=dict)
+    #: Base classes resolved to project class qnames (filled after indexing).
+    base_qnames: Tuple[QName, ...] = ()
+
+
+@dataclass
+class ModuleSymbols:
+    """Binding table and shared-state census of one module."""
+
+    key: ModuleKey
+    path: str
+    is_public: bool
+    all_names: Optional[Tuple[str, ...]]
+    bindings: Dict[str, Binding] = field(default_factory=dict)
+    classes: Dict[str, ClassInfo] = field(default_factory=dict)
+    #: Module-level names assigned a mutable container: name -> lineno.
+    mutable_globals: Dict[str, int] = field(default_factory=dict)
+    #: Names imported directly from stdlib ``time`` (clock reads).
+    time_names: FrozenSet[str] = frozenset()
+    #: Names imported directly from ``os`` (env reads: environ/getenv).
+    os_names: FrozenSet[str] = frozenset()
+
+
+# ----------------------------------------------------------------------
+# Function nodes and facts
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class FunctionNode:
+    """One function, method or nested function in the project."""
+
+    qname: QName
+    module: ModuleKey
+    name: str
+    cls: Optional[str]
+    node: ast.AST
+    path: str
+    lineno: int
+    params: Tuple[str, ...]
+    is_method: bool
+    #: Literal ``@shapes`` specs declared on the function: param -> spec.
+    shape_specs: Dict[str, str] = field(default_factory=dict)
+    #: Nested function names defined directly inside this one.
+    nested: Dict[str, QName] = field(default_factory=dict)
+
+    @property
+    def dotted(self) -> str:
+        """Human-readable dotted name used in rule messages."""
+        return ".".join(self.qname)
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One call expression inside a function body."""
+
+    lineno: int
+    dotted: str
+    callee: Optional[QName]
+    #: Union of exception names caught by enclosing ``try`` blocks.
+    caught: FrozenSet[str]
+    #: Positional argument names (None for non-Name expressions).
+    arg_names: Tuple[Optional[str], ...]
+    #: Keyword arguments mapped to argument names (None likewise).
+    kw_names: Tuple[Tuple[str, Optional[str]], ...]
+    #: Resolved function reference passed as the first positional argument.
+    arg0_func: Optional[QName]
+    #: All resolved function references among the arguments.
+    ref_args: Tuple[QName, ...]
+
+
+@dataclass
+class FunctionFacts:
+    """Local (intraprocedural) facts of one function."""
+
+    #: ``np.random.*`` reach: (lineno, dotted call).
+    rng: List[Site] = field(default_factory=list)
+    #: Clock reads: (lineno, dotted call).
+    clock: List[Site] = field(default_factory=list)
+    #: Environment reads: (lineno, dotted expression).
+    env: List[Site] = field(default_factory=list)
+    #: Unguarded module-level state mutations: (lineno, name, kind).
+    global_mut: List[Tuple[int, str, str]] = field(default_factory=list)
+    #: Unguarded captured-variable mutations: (lineno, name, kind).
+    captured_mut: List[Tuple[int, str, str]] = field(default_factory=list)
+    #: Raise statements: (lineno, exception class name, caught names).
+    raises: List[Tuple[int, str, FrozenSet[str]]] = field(default_factory=list)
+    #: Raw persistence writes outside an atomic-write context:
+    #: (lineno, description).
+    writes: List[Site] = field(default_factory=list)
+    #: Observability name uses: (lineno, kind, literal text, is_prefix,
+    #: is_dynamic) where kind is "span" or "metric".
+    obs_names: List[Tuple[int, str, str, bool, bool]] = field(default_factory=list)
+    #: Call-graph edges.
+    calls: List[CallSite] = field(default_factory=list)
+
+
+class _FactsCollector:
+    """Single-pass walker extracting :class:`FunctionFacts` from one body."""
+
+    def __init__(self, graph: "ProjectGraph", fnode: FunctionNode,
+                 ctx: ModuleContext):
+        self._graph = graph
+        self._fn = fnode
+        self._ctx = ctx
+        self._symbols = graph.modules[fnode.module]
+        self.facts = FunctionFacts()
+        self._caught: List[FrozenSet[str]] = []
+        self._lock_depth = 0
+        self._atomic_depth = 0
+        self._globals: Set[str] = set()
+        self._locals = self._collect_locals(fnode.node)
+
+    # -- local-scope prepass -------------------------------------------
+
+    def _collect_locals(self, fn) -> Set[str]:
+        names: Set[str] = set()
+        args = fn.args
+        for arg in (list(args.posonlyargs) + list(args.args)
+                    + list(args.kwonlyargs)):
+            names.add(arg.arg)
+        if args.vararg is not None:
+            names.add(args.vararg.arg)
+        if args.kwarg is not None:
+            names.add(args.kwarg.arg)
+        for node in ast.walk(fn):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)) and node is not fn:
+                names.add(node.name)
+            elif isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = (node.targets if isinstance(node, ast.Assign)
+                           else [node.target])
+                for target in targets:
+                    for sub in ast.walk(target):
+                        if isinstance(sub, ast.Name):
+                            names.add(sub.id)
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                for sub in ast.walk(node.target):
+                    if isinstance(sub, ast.Name):
+                        names.add(sub.id)
+            elif isinstance(node, ast.comprehension):
+                for sub in ast.walk(node.target):
+                    if isinstance(sub, ast.Name):
+                        names.add(sub.id)
+            elif isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    if item.optional_vars is not None:
+                        for sub in ast.walk(item.optional_vars):
+                            if isinstance(sub, ast.Name):
+                                names.add(sub.id)
+            elif isinstance(node, (ast.Import, ast.ImportFrom)):
+                for alias in node.names:
+                    if alias.name != "*":
+                        names.add(alias.asname or alias.name.split(".")[0])
+            elif isinstance(node, ast.ExceptHandler) and node.name:
+                names.add(node.name)
+        return names
+
+    # -- entry ----------------------------------------------------------
+
+    def collect(self) -> FunctionFacts:
+        for stmt in self._fn.node.body:
+            self._visit(stmt)
+        return self.facts
+
+    # -- dispatch -------------------------------------------------------
+
+    def _visit(self, node: ast.AST) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            return  # registered as separate nodes; bodies analyzed there
+        if isinstance(node, ast.Try):
+            self._visit_try(node)
+            return
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            self._visit_with(node)
+            return
+        if isinstance(node, ast.Global):
+            self._globals.update(node.names)
+            return
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            self._visit_assign(node)
+            return
+        if isinstance(node, ast.Raise):
+            self._visit_raise(node)
+            return
+        if isinstance(node, ast.Call):
+            self._visit_call(node)
+            for child in ast.iter_child_nodes(node):
+                self._visit(child)
+            return
+        if isinstance(node, ast.Subscript):
+            base = _dotted(node.value)
+            if base in ("os.environ", "environ") and self._is_os_env(base):
+                self.facts.env.append((node.lineno, "os.environ[...]"))
+        for child in ast.iter_child_nodes(node):
+            self._visit(child)
+
+    def _is_os_env(self, base: str) -> bool:
+        if base.startswith("os."):
+            return True
+        return base.split(".")[0] in self._symbols.os_names
+
+    # -- structured statements -----------------------------------------
+
+    def _visit_try(self, node: ast.Try) -> None:
+        caught: Set[str] = set()
+        for handler in node.handlers:
+            if handler.type is None:
+                caught.add("BaseException")
+            else:
+                types = (handler.type.elts
+                         if isinstance(handler.type, ast.Tuple)
+                         else [handler.type])
+                for t in types:
+                    dotted = _dotted(t)
+                    if dotted:
+                        caught.add(dotted.split(".")[-1])
+        self._caught.append(frozenset(caught))
+        for stmt in node.body:
+            self._visit(stmt)
+        self._caught.pop()
+        for handler in node.handlers:
+            for stmt in handler.body:
+                self._visit(stmt)
+        for stmt in node.orelse:
+            self._visit(stmt)
+        for stmt in node.finalbody:
+            self._visit(stmt)
+
+    def _visit_with(self, node) -> None:
+        locks = 0
+        atomics = 0
+        for item in node.items:
+            expr = item.context_expr
+            target = expr.func if isinstance(expr, ast.Call) else expr
+            dotted = _dotted(target)
+            last = dotted.split(".")[-1] if dotted else ""
+            if "lock" in last.lower():
+                locks += 1
+            elif last in _ATOMIC_HELPER_NAMES:
+                atomics += 1
+            if isinstance(expr, ast.Call):
+                self._visit_call(expr)
+                for child in ast.iter_child_nodes(expr):
+                    self._visit(child)
+        self._lock_depth += locks
+        self._atomic_depth += atomics
+        for stmt in node.body:
+            self._visit(stmt)
+        self._lock_depth -= locks
+        self._atomic_depth -= atomics
+
+    def _visit_assign(self, node) -> None:
+        targets = (node.targets if isinstance(node, ast.Assign)
+                   else [node.target])
+        for target in targets:
+            self._check_mutation_target(target, node.lineno)
+        value = getattr(node, "value", None)
+        if value is not None:
+            self._visit(value)
+        for target in targets:
+            for child in ast.iter_child_nodes(target):
+                self._visit(child)
+
+    def _check_mutation_target(self, target: ast.AST, lineno: int) -> None:
+        # x = ...  where x was declared global: a module-state rebind.
+        if isinstance(target, ast.Name):
+            if target.id in self._globals:
+                self._record_mutation(lineno, target.id, "rebinds global")
+            return
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._check_mutation_target(elt, lineno)
+            return
+        # x[k] = ... / x.attr = ...: mutation of whatever x names.
+        base = target
+        while isinstance(base, (ast.Subscript, ast.Attribute)):
+            base = base.value
+        if isinstance(base, ast.Name):
+            kind = ("item assignment" if isinstance(target, ast.Subscript)
+                    else "attribute assignment")
+            self._classify_mutation(base.id, lineno, kind)
+
+    def _classify_mutation(self, name: str, lineno: int, kind: str) -> None:
+        if name in ("self", "cls"):
+            return  # instance state; owned by the object, not the module
+        if name in self._globals or name in self._symbols.mutable_globals:
+            self._record_mutation(lineno, name, kind)
+            return
+        if name in self._locals:
+            return
+        binding = self._symbols.bindings.get(name)
+        if binding is not None:
+            return  # imports / functions / classes: not mutable data
+        if len(self._fn.qname) > len(self._fn.module) + (2 if self._fn.cls else 1):
+            # Nested function mutating an outer-scope (captured) name.
+            self._record_mutation(lineno, name, kind, captured=True)
+
+    def _record_mutation(self, lineno: int, name: str, kind: str,
+                         captured: bool = False) -> None:
+        if self._lock_depth > 0:
+            return  # lock-guarded: the documented ownership pattern
+        bucket = (self.facts.captured_mut if captured
+                  else self.facts.global_mut)
+        bucket.append((lineno, name, kind))
+
+    def _visit_raise(self, node: ast.Raise) -> None:
+        if node.exc is None:
+            return  # bare re-raise: the original escape site is tracked
+        suppressions = self._ctx.suppressions
+        if (suppressions.is_suppressed("R2", node.lineno)
+                or suppressions.is_suppressed("R12", node.lineno)):
+            return  # deliberately exempted builtin raise
+        func = node.exc.func if isinstance(node.exc, ast.Call) else node.exc
+        dotted = _dotted(func)
+        if dotted:
+            name = dotted.split(".")[-1]
+            caught = frozenset().union(*self._caught) if self._caught else frozenset()
+            self.facts.raises.append((node.lineno, name, caught))
+        if isinstance(node.exc, ast.Call):
+            for child in ast.iter_child_nodes(node.exc):
+                self._visit(child)
+
+    # -- calls ----------------------------------------------------------
+
+    def _visit_call(self, node: ast.Call) -> None:
+        dotted = _dotted(node.func)
+        callee = self._resolve_expr(node.func)
+        callee_q = callee[1] if callee is not None and callee[0] in ("func", "class") else None
+        if callee is not None and callee[0] == "class":
+            init = self._graph.find_method(callee[1], "__init__")
+            callee_q = init if init is not None else callee[1]
+
+        arg_names: List[Optional[str]] = []
+        ref_args: List[QName] = []
+        arg0_func: Optional[QName] = None
+        for i, arg in enumerate(node.args):
+            arg_names.append(arg.id if isinstance(arg, ast.Name) else None)
+            resolved = self._resolve_expr(arg)
+            if resolved is not None and resolved[0] == "func":
+                ref_args.append(resolved[1])
+                if i == 0:
+                    arg0_func = resolved[1]
+        kw_names: List[Tuple[str, Optional[str]]] = []
+        for kw in node.keywords:
+            if kw.arg is not None:
+                kw_names.append(
+                    (kw.arg, kw.value.id if isinstance(kw.value, ast.Name) else None)
+                )
+
+        caught = frozenset().union(*self._caught) if self._caught else frozenset()
+        self.facts.calls.append(CallSite(
+            lineno=node.lineno,
+            dotted=dotted,
+            callee=callee_q,
+            caught=caught,
+            arg_names=tuple(arg_names),
+            kw_names=tuple(kw_names),
+            arg0_func=arg0_func,
+            ref_args=tuple(ref_args),
+        ))
+
+        self._detect_rng(node, dotted)
+        self._detect_clock(node, dotted)
+        self._detect_env(node, dotted)
+        self._detect_write(node, dotted)
+        self._detect_obs_name(node, callee_q)
+        self._detect_mutator_method(node)
+
+    def _resolve_expr(self, expr: ast.AST):
+        """Resolve a Name/Attribute chain in this function's scope."""
+        dotted = _dotted(expr)
+        if not dotted:
+            return None
+        chain = dotted.split(".")
+        if chain[0] in self._fn.nested:
+            if len(chain) == 1:
+                return ("func", self._fn.nested[chain[0]])
+            return None
+        if chain[0] in ("self", "cls") and self._fn.cls is not None:
+            if len(chain) == 2:
+                cls_q = self._fn.module + (self._fn.cls,)
+                method = self._graph.find_method(cls_q, chain[1])
+                if method is not None:
+                    return ("func", method)
+            return None
+        if chain[0] in self._locals:
+            return None  # local scope shadows the module binding
+        return self._graph.resolve(self._fn.module, chain)
+
+    # -- fact detectors -------------------------------------------------
+
+    def _detect_rng(self, node: ast.Call, dotted: str) -> None:
+        if dotted.startswith("np.random.") or dotted.startswith("numpy.random."):
+            self.facts.rng.append((node.lineno, dotted))
+
+    def _detect_clock(self, node: ast.Call, dotted: str) -> None:
+        parts = dotted.split(".")
+        if len(parts) >= 2 and parts[-2] == "time" and parts[-1] in _CLOCK_FUNCS:
+            self.facts.clock.append((node.lineno, dotted))
+        elif any(dotted == s or dotted.endswith("." + s)
+                 for s in _DATETIME_SUFFIXES):
+            self.facts.clock.append((node.lineno, dotted))
+        elif len(parts) == 1 and parts[0] in self._symbols.time_names:
+            self.facts.clock.append((node.lineno, dotted))
+
+    def _detect_env(self, node: ast.Call, dotted: str) -> None:
+        if dotted in ("os.getenv", "os.environ.get"):
+            self.facts.env.append((node.lineno, dotted))
+        elif dotted in ("getenv", "environ.get") and self._is_os_env(dotted):
+            self.facts.env.append((node.lineno, dotted))
+
+    def _detect_write(self, node: ast.Call, dotted: str) -> None:
+        if self._atomic_depth > 0:
+            return
+        description = None
+        if dotted == "open" and self._open_mode_writes(node):
+            description = "open(..., mode with 'w'/'a'/'x'/'+')"
+        elif dotted.endswith(".write_text") or dotted.endswith(".write_bytes"):
+            description = f"{dotted}()"
+        elif dotted in ("np.save", "np.savez", "np.savez_compressed",
+                        "numpy.save", "numpy.savez", "numpy.savez_compressed"):
+            description = f"{dotted}()"
+        elif dotted in ("os.replace", "os.rename"):
+            description = f"{dotted}() (inline temp-and-replace)"
+        if description is not None:
+            self.facts.writes.append((node.lineno, description))
+
+    @staticmethod
+    def _open_mode_writes(node: ast.Call) -> bool:
+        mode = None
+        if len(node.args) >= 2:
+            mode = node.args[1]
+        for kw in node.keywords:
+            if kw.arg == "mode":
+                mode = kw.value
+        if mode is None:
+            return False
+        if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
+            return bool(set(mode.value) & set("wax+"))
+        return True  # dynamic mode: assume the worst
+
+    def _detect_obs_name(self, node: ast.Call, callee_q: Optional[QName]) -> None:
+        if callee_q is None:
+            return
+        if callee_q in _OBS_SPAN_FUNCS:
+            kind = "span"
+        elif callee_q in _OBS_METRIC_FUNCS:
+            kind = "metric"
+        else:
+            return
+        name_expr = node.args[0] if node.args else None
+        for kw in node.keywords:
+            if kw.arg == "name":
+                name_expr = kw.value
+        if name_expr is None:
+            return  # e.g. @traced() defaulting to the qualname: systematic
+        if isinstance(name_expr, ast.Constant) and isinstance(name_expr.value, str):
+            self.facts.obs_names.append(
+                (node.lineno, kind, name_expr.value, False, False))
+        elif isinstance(name_expr, ast.JoinedStr):
+            prefix = ""
+            for value in name_expr.values:
+                if isinstance(value, ast.Constant) and isinstance(value.value, str):
+                    prefix += value.value
+                else:
+                    break
+            self.facts.obs_names.append((node.lineno, kind, prefix, True, False))
+        else:
+            self.facts.obs_names.append((node.lineno, kind, "", False, True))
+
+    def _detect_mutator_method(self, node: ast.Call) -> None:
+        func = node.func
+        if not (isinstance(func, ast.Attribute)
+                and func.attr in _MUTATOR_METHODS):
+            return
+        base = func.value
+        while isinstance(base, (ast.Subscript, ast.Attribute)):
+            base = base.value
+        if isinstance(base, ast.Name):
+            self._classify_mutation(base.id, node.lineno, f".{func.attr}()")
+
+
+# ----------------------------------------------------------------------
+# The whole-program graph
+# ----------------------------------------------------------------------
+
+
+class ProjectGraph:
+    """Whole-program index: modules, functions, facts and queries."""
+
+    def __init__(self) -> None:
+        self.modules: Dict[ModuleKey, ModuleSymbols] = {}
+        self.functions: Dict[QName, FunctionNode] = {}
+        self.facts: Dict[QName, FunctionFacts] = {}
+        self.classes: Dict[QName, ClassInfo] = {}
+        self.contexts: Dict[str, ModuleContext] = {}
+        #: class name -> set of base class names (project-wide, name-keyed).
+        self._class_bases: Dict[str, Set[str]] = {}
+
+    # -- construction ---------------------------------------------------
+
+    @classmethod
+    def build(cls, contexts: Sequence[ModuleContext]) -> "ProjectGraph":
+        """Index every module, register functions, then collect facts."""
+        graph = cls()
+        for ctx in contexts:
+            graph.contexts[str(ctx.path)] = ctx
+            graph._index_module(ctx)
+        graph._resolve_class_bases()
+        for qname in list(graph.functions):
+            fnode = graph.functions[qname]
+            ctx = graph.contexts[fnode.path]
+            graph.facts[qname] = _FactsCollector(graph, fnode, ctx).collect()
+        return graph
+
+    def _index_module(self, ctx: ModuleContext) -> None:
+        from repro.lint.rules import iter_top_level, literal_all_names
+
+        key = ctx.module_key
+        found = literal_all_names(ctx.tree)
+        all_names = (tuple(found[1]) if found is not None and found[1] is not None
+                     else None)
+        symbols = ModuleSymbols(
+            key=key,
+            path=str(ctx.path),
+            is_public=not ctx.is_private_module,
+            all_names=all_names,
+        )
+        time_names: Set[str] = set()
+        os_names: Set[str] = set()
+        for stmt in iter_top_level(ctx.tree.body):
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._register_function(symbols, ctx, stmt, scope=(), cls=None)
+                symbols.bindings[stmt.name] = Binding("func", key, stmt.name)
+            elif isinstance(stmt, ast.ClassDef):
+                self._register_class(symbols, ctx, stmt)
+            elif isinstance(stmt, ast.Import):
+                for alias in stmt.names:
+                    parts = alias.name.split(".")
+                    if parts[0] != PACKAGE_DIR_NAME:
+                        symbols.bindings.setdefault(
+                            alias.asname or parts[0], Binding("var"))
+                        continue
+                    if alias.asname is not None:
+                        symbols.bindings[alias.asname] = Binding(
+                            "module", tuple(parts[1:]))
+                    else:
+                        symbols.bindings[parts[0]] = Binding("module", ())
+            elif isinstance(stmt, ast.ImportFrom):
+                target = resolve_import(key, ctx.is_package_init, stmt)
+                if target is None:
+                    if stmt.module == "time" and stmt.level == 0:
+                        time_names.update(
+                            a.asname or a.name for a in stmt.names
+                            if a.name in _CLOCK_FUNCS)
+                    if stmt.module == "os" and stmt.level == 0:
+                        os_names.update(
+                            a.asname or a.name for a in stmt.names
+                            if a.name in ("environ", "getenv"))
+                    for alias in stmt.names:
+                        if alias.name != "*":
+                            symbols.bindings.setdefault(
+                                alias.asname or alias.name, Binding("var"))
+                    continue
+                for alias in stmt.names:
+                    if alias.name == "*":
+                        continue
+                    bound = alias.asname or alias.name
+                    symbols.bindings[bound] = Binding(
+                        "symbol", target, alias.name)
+            elif isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        symbols.bindings.setdefault(target.id, Binding("var"))
+                        if self._is_mutable_value(stmt.value):
+                            symbols.mutable_globals[target.id] = stmt.lineno
+            elif isinstance(stmt, ast.AnnAssign):
+                if isinstance(stmt.target, ast.Name):
+                    symbols.bindings.setdefault(stmt.target.id, Binding("var"))
+                    if stmt.value is not None and self._is_mutable_value(stmt.value):
+                        symbols.mutable_globals[stmt.target.id] = stmt.lineno
+        symbols.time_names = frozenset(time_names)
+        symbols.os_names = frozenset(os_names)
+        self.modules[key] = symbols
+
+    @staticmethod
+    def _is_mutable_value(value: ast.AST) -> bool:
+        if isinstance(value, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                              ast.DictComp, ast.SetComp)):
+            return True
+        if isinstance(value, ast.Call):
+            name = _dotted(value.func).split(".")[-1]
+            return name in _MUTABLE_CONSTRUCTORS
+        return False
+
+    def _register_function(self, symbols: ModuleSymbols, ctx: ModuleContext,
+                           node, scope: Tuple[str, ...],
+                           cls: Optional[str]) -> FunctionNode:
+        qname = symbols.key + scope + (node.name,)
+        args = node.args
+        params = tuple(a.arg for a in list(args.posonlyargs) + list(args.args))
+        shape_specs: Dict[str, str] = {}
+        for deco in node.decorator_list:
+            if (isinstance(deco, ast.Call)
+                    and _dotted(deco.func).split(".")[-1] == "shapes"):
+                for kw in deco.keywords:
+                    if (kw.arg is not None
+                            and isinstance(kw.value, ast.Constant)
+                            and isinstance(kw.value.value, str)):
+                        shape_specs[kw.arg] = kw.value.value
+        fnode = FunctionNode(
+            qname=qname,
+            module=symbols.key,
+            name=node.name,
+            cls=cls,
+            node=node,
+            path=str(ctx.path),
+            lineno=node.lineno,
+            params=params,
+            is_method=cls is not None and not scope[:-1],
+            shape_specs=shape_specs,
+        )
+        self.functions[qname] = fnode
+        for stmt in ast.walk(node):
+            if (isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and stmt is not node
+                    and self._direct_parent(node, stmt)):
+                child = self._register_function(
+                    symbols, ctx, stmt, scope=scope + (node.name,), cls=cls)
+                fnode.nested[stmt.name] = child.qname
+        return fnode
+
+    @staticmethod
+    def _direct_parent(parent, child) -> bool:
+        """Whether ``child`` is a def nested directly under ``parent``."""
+        for node in ast.walk(parent):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if node is parent:
+                    continue
+                if child is node:
+                    return True
+                if any(sub is child for sub in ast.walk(node)):
+                    return False
+        return False
+
+    def _register_class(self, symbols: ModuleSymbols, ctx: ModuleContext,
+                        node: ast.ClassDef) -> None:
+        base_names = tuple(
+            _dotted(base).split(".")[-1]
+            for base in node.bases if _dotted(base)
+        )
+        info = ClassInfo(
+            name=node.name,
+            module=symbols.key,
+            lineno=node.lineno,
+            base_names=base_names,
+        )
+        for stmt in node.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                fnode = self._register_function(
+                    symbols, ctx, stmt, scope=(node.name,), cls=node.name)
+                info.methods[stmt.name] = fnode.qname
+        symbols.classes[node.name] = info
+        symbols.bindings[node.name] = Binding("class", symbols.key, node.name)
+        self.classes[symbols.key + (node.name,)] = info
+        bases = self._class_bases.setdefault(node.name, set())
+        bases.update(base_names)
+
+    def _resolve_class_bases(self) -> None:
+        for info in self.classes.values():
+            resolved: List[QName] = []
+            for base in info.base_names:
+                symbols = self.modules.get(info.module)
+                found = self._lookup(info.module, base, set()) if symbols else None
+                if found is not None and found[0] == "class":
+                    resolved.append(found[1])
+            info.base_qnames = tuple(resolved)
+
+    # -- resolution -----------------------------------------------------
+
+    def resolve(self, module: ModuleKey, chain: Sequence[str]):
+        """Resolve a dotted name chain seen in ``module``.
+
+        Returns ``("func", qname)``, ``("class", qname)``,
+        ``("module", key)`` or None when the chain leaves the tree or
+        cannot be resolved statically.
+        """
+        if not chain:
+            return None
+        current = self._lookup(module, chain[0], set())
+        i = 1
+        while current is not None and i < len(chain):
+            kind, target = current
+            part = chain[i]
+            if kind == "module":
+                symbols = self.modules.get(target)
+                step = (self._lookup(target, part, set())
+                        if symbols is not None else None)
+                if step is None and target + (part,) in self.modules:
+                    step = ("module", target + (part,))
+                current = step
+            elif kind == "class":
+                method = self.find_method(target, part)
+                current = ("func", method) if method is not None else None
+            else:
+                current = None
+            i += 1
+        return current
+
+    def _lookup(self, module: ModuleKey, name: str, seen: Set):
+        """Resolve one name in one module, following re-export chains."""
+        if (module, name) in seen:
+            return None
+        seen.add((module, name))
+        symbols = self.modules.get(module)
+        if symbols is None:
+            return None
+        binding = symbols.bindings.get(name)
+        if binding is None:
+            if module + (name,) in self.modules:
+                return ("module", module + (name,))
+            return None
+        if binding.kind == "func":
+            return ("func", binding.module + (binding.name,))
+        if binding.kind == "class":
+            return ("class", binding.module + (binding.name,))
+        if binding.kind == "module":
+            return ("module", binding.module)
+        if binding.kind == "symbol":
+            if binding.module + (binding.name,) in self.modules:
+                return ("module", binding.module + (binding.name,))
+            return self._lookup(binding.module, binding.name, seen)
+        return None
+
+    def find_method(self, cls_qname: QName, method: str) -> Optional[QName]:
+        """Resolve a method on a project class, walking project bases."""
+        info = self.classes.get(cls_qname)
+        seen: Set[QName] = set()
+        stack = [info] if info is not None else []
+        while stack:
+            current = stack.pop(0)
+            if current.module + (current.name,) in seen:
+                continue
+            seen.add(current.module + (current.name,))
+            if method in current.methods:
+                return current.methods[method]
+            for base_q in current.base_qnames:
+                base_info = self.classes.get(base_q)
+                if base_info is not None:
+                    stack.append(base_info)
+        return None
+
+    # -- queries --------------------------------------------------------
+
+    def dispatch_sites(self) -> Iterator[Tuple[QName, FunctionNode, int]]:
+        """``(dispatched root, dispatching function, lineno)`` triples.
+
+        A dispatch site is a resolved call to an executor entry point
+        (``pool_map``) whose first argument is a statically resolvable
+        function reference.
+        """
+        for qname, fnode in self.functions.items():
+            for call in self.facts[qname].calls:
+                is_executor = False
+                if call.callee is not None:
+                    if (call.callee[-1] in _EXECUTOR_NAMES
+                            or any(call.callee[-len(s):] == s
+                                   for s in _EXECUTOR_SUFFIXES)):
+                        is_executor = True
+                elif call.dotted.split(".")[-1] in _EXECUTOR_NAMES:
+                    is_executor = True
+                if is_executor and call.arg0_func is not None:
+                    yield call.arg0_func, fnode, call.lineno
+
+    def reachable(self, roots: Sequence[QName]) -> Dict[QName, Optional[QName]]:
+        """Functions reachable from ``roots`` via calls and passed refs.
+
+        Returns ``{qname: parent_qname}`` (parent None for roots), so
+        callers can reconstruct one witness chain per reached function.
+        """
+        parents: Dict[QName, Optional[QName]] = {}
+        queue: List[QName] = []
+        for root in roots:
+            if root in self.functions and root not in parents:
+                parents[root] = None
+                queue.append(root)
+        while queue:
+            current = queue.pop(0)
+            facts = self.facts.get(current)
+            if facts is None:
+                continue
+            for call in facts.calls:
+                for target in ((call.callee,) + call.ref_args):
+                    if (target is not None and target in self.functions
+                            and target not in parents):
+                        parents[target] = current
+                        queue.append(target)
+        return parents
+
+    @staticmethod
+    def chain(parents: Dict[QName, Optional[QName]], qname: QName) -> List[QName]:
+        """The witness call chain from a root to ``qname``."""
+        chain: List[QName] = [qname]
+        while parents.get(qname) is not None:
+            qname = parents[qname]  # type: ignore[assignment]
+            chain.append(qname)
+        chain.reverse()
+        return chain
+
+    # -- exception-escape analysis --------------------------------------
+
+    def escaping_exceptions(self) -> Dict[QName, Dict[str, Tuple[str, int]]]:
+        """Exception class names that can escape each function.
+
+        Returns ``{qname: {exc_name: (origin_path, origin_lineno)}}``,
+        computed as a fixpoint over the call graph: a function's escapes
+        are its own uncaught raises plus every callee's escapes not
+        absorbed by ``try`` blocks around the call site.
+        """
+        escapes: Dict[QName, Dict[str, Tuple[str, int]]] = {
+            q: {} for q in self.functions
+        }
+        for qname, facts in self.facts.items():
+            fnode = self.functions[qname]
+            for lineno, name, caught in facts.raises:
+                if not self._absorbed(name, caught):
+                    escapes[qname].setdefault(name, (fnode.path, lineno))
+        callers: Dict[QName, List[Tuple[QName, CallSite]]] = {}
+        for qname, facts in self.facts.items():
+            for call in facts.calls:
+                if call.callee is not None and call.callee in self.functions:
+                    callers.setdefault(call.callee, []).append((qname, call))
+        worklist = list(self.functions)
+        pending = set(worklist)
+        while worklist:
+            current = worklist.pop(0)
+            pending.discard(current)
+            for caller, call in callers.get(current, []):
+                changed = False
+                for name, origin in escapes[current].items():
+                    if name in escapes[caller]:
+                        continue
+                    if self._absorbed(name, call.caught):
+                        continue
+                    escapes[caller][name] = origin
+                    changed = True
+                if changed and caller not in pending:
+                    worklist.append(caller)
+                    pending.add(caller)
+        return escapes
+
+    def _absorbed(self, raised: str, caught: FrozenSet[str]) -> bool:
+        if not caught:
+            return False
+        for catcher in caught:
+            if catcher in ("BaseException", "Exception"):
+                return True
+            if catcher == raised:
+                return True
+            if self._project_subclass(raised, catcher):
+                return True
+            raised_b = getattr(builtins, raised, None)
+            caught_b = getattr(builtins, catcher, None)
+            if (isinstance(raised_b, type) and isinstance(caught_b, type)
+                    and issubclass(raised_b, caught_b)):
+                return True
+        return False
+
+    def _project_subclass(self, name: str, ancestor: str,
+                          _seen: Optional[Set[str]] = None) -> bool:
+        if name == ancestor:
+            return True
+        seen = _seen if _seen is not None else set()
+        if name in seen:
+            return False
+        seen.add(name)
+        for base in sorted(self._class_bases.get(name, ())):
+            if self._project_subclass(base, ancestor, seen):
+                return True
+        return False
+
+    def is_repro_error(self, name: str) -> bool:
+        """Whether ``name`` is a project class deriving from ReproError."""
+        return (name in self._class_bases
+                and self._project_subclass(name, "ReproError"))
+
+    def is_project_class(self, name: str) -> bool:
+        """Whether ``name`` is a class defined anywhere in the linted tree."""
+        return name in self._class_bases

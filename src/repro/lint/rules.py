@@ -50,6 +50,7 @@ __all__ = [
     "RULE_IDS",
     "rules_by_id",
     "collect_module_bindings",
+    "iter_top_level",
     "literal_all_names",
 ]
 
@@ -158,26 +159,26 @@ class ErrorsHierarchyOnly(Rule):
 # ----------------------------------------------------------------------
 
 
-def _iter_top_level(body: Sequence[ast.stmt]) -> Iterator[ast.stmt]:
+def iter_top_level(body: Sequence[ast.stmt]) -> Iterator[ast.stmt]:
     """Module statements, descending into top-level ``if``/``try`` blocks."""
     for stmt in body:
         yield stmt
         if isinstance(stmt, ast.If):
-            yield from _iter_top_level(stmt.body)
-            yield from _iter_top_level(stmt.orelse)
+            yield from iter_top_level(stmt.body)
+            yield from iter_top_level(stmt.orelse)
         elif isinstance(stmt, ast.Try):
-            yield from _iter_top_level(stmt.body)
-            yield from _iter_top_level(stmt.orelse)
-            yield from _iter_top_level(stmt.finalbody)
+            yield from iter_top_level(stmt.body)
+            yield from iter_top_level(stmt.orelse)
+            yield from iter_top_level(stmt.finalbody)
             for handler in stmt.handlers:
-                yield from _iter_top_level(handler.body)
+                yield from iter_top_level(handler.body)
 
 
 def collect_module_bindings(tree: ast.Module) -> Tuple[Set[str], bool]:
     """Names bound at module scope, and whether a ``*`` import occurred."""
     bound: Set[str] = set()
     star = False
-    for stmt in _iter_top_level(tree.body):
+    for stmt in iter_top_level(tree.body):
         if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
             bound.add(stmt.name)
         elif isinstance(stmt, ast.Assign):
@@ -206,7 +207,7 @@ def literal_all_names(tree: ast.Module):
     ``names`` is ``None`` when ``__all__`` exists but is not a literal
     list/tuple of strings.
     """
-    for stmt in _iter_top_level(tree.body):
+    for stmt in iter_top_level(tree.body):
         value = None
         if isinstance(stmt, ast.Assign):
             if any(isinstance(t, ast.Name) and t.id == "__all__"

@@ -4,12 +4,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
 
-from repro.errors import LintError
+from repro.errors import LintError, ValidationError
+from repro.lint.baseline import Baseline
 from repro.lint.context import ModuleContext
+from repro.lint.flows import GRAPH_RULE_IDS, run_graph_rules
+from repro.lint.graph import ProjectGraph
 from repro.lint.project import check_cross_module_exports
-from repro.lint.rules import Rule, rules_by_id
+from repro.lint.rules import RULE_IDS, Rule, rules_by_id
 from repro.lint.suppressions import SuppressionIndex
 from repro.lint.violations import Violation, sort_violations
 
@@ -22,16 +25,19 @@ class LintReport:
 
     violations: Tuple[Violation, ...]
     n_files: int
+    #: Findings matched (and swallowed) by the active baseline.
+    n_grandfathered: int = 0
 
     @property
     def ok(self) -> bool:
-        """Whether the tree is clean."""
+        """Whether the tree is clean (modulo grandfathered findings)."""
         return not self.violations
 
     def to_dict(self) -> dict:
         """JSON-friendly representation for ``--format json``."""
         return {
             "files_checked": self.n_files,
+            "grandfathered": self.n_grandfathered,
             "ok": self.ok,
             "violations": [v.to_dict() for v in self.violations],
         }
@@ -64,9 +70,34 @@ def iter_python_files(paths: Iterable) -> List[Tuple[Path, Path]]:
     return unique
 
 
+def _split_select(select: Optional[Sequence[str]],
+                  strict: bool) -> Tuple[Optional[List[str]], Set[str]]:
+    """``(per-module select, graph rule ids)`` for one run.
+
+    Default runs keep the historical R1–R6 behaviour; ``strict`` adds
+    the whole-program pass; an explicit ``--select`` runs exactly the
+    named rules (building the graph only when an R7+ rule asks for it).
+    """
+    if select is None:
+        return None, set(GRAPH_RULE_IDS) if strict else set()
+    wanted = {token.upper() for token in select}
+    unknown = wanted - set(RULE_IDS) - set(GRAPH_RULE_IDS)
+    if unknown:
+        known = list(RULE_IDS) + list(GRAPH_RULE_IDS)
+        raise ValidationError(
+            f"unknown rule id(s) {sorted(unknown)}; known: {known}"
+        )
+    graph_ids = wanted & set(GRAPH_RULE_IDS)
+    if strict:
+        graph_ids = set(GRAPH_RULE_IDS)
+    return sorted(wanted & set(RULE_IDS)), graph_ids
+
+
 def lint_paths(
     paths: Sequence,
     select: Optional[Sequence[str]] = None,
+    strict: bool = False,
+    baseline: Optional[Baseline] = None,
 ) -> LintReport:
     """Lint files/directories and return the report.
 
@@ -75,10 +106,18 @@ def lint_paths(
     paths:
         Files and/or directories (directories are walked recursively).
     select:
-        Optional subset of rule ids to run (default: all rules).  The
-        cross-module export check runs with R3.
+        Optional subset of rule ids to run (default: the per-module
+        rules R1–R6).  The cross-module export check runs with R3;
+        selecting any of R7–R12 builds the whole-program graph.
+    strict:
+        Run the whole-program dataflow pass (rules R7–R12) on top of
+        whatever ``select`` names.
+    baseline:
+        Optional grandfathered-findings baseline; matching violations
+        are counted in ``n_grandfathered`` instead of reported.
     """
-    rules: Tuple[Rule, ...] = rules_by_id(select)
+    module_select, graph_ids = _split_select(select, strict)
+    rules: Tuple[Rule, ...] = rules_by_id(module_select)
     files = iter_python_files(paths)
     contexts: List[ModuleContext] = []
     violations: List[Violation] = []
@@ -100,13 +139,34 @@ def lint_paths(
                 if not ctx.suppressions.is_suppressed(violation.rule,
                                                       violation.line):
                     violations.append(violation)
-    if select is None or "R3" in {token.upper() for token in select}:
-        by_path = {str(ctx.path): ctx for ctx in contexts}
+    by_path = {str(ctx.path): ctx for ctx in contexts}
+    if module_select is None or "R3" in module_select:
         for violation in check_cross_module_exports(contexts):
             ctx = by_path[violation.path]
             if not ctx.suppressions.is_suppressed(violation.rule, violation.line):
                 violations.append(violation)
-    return LintReport(violations=sort_violations(violations), n_files=len(files))
+    if graph_ids:
+        graph = ProjectGraph.build(contexts)
+        for violation in run_graph_rules(graph, sorted(graph_ids)):
+            ctx = by_path.get(violation.path)
+            if ctx is not None and ctx.suppressions.is_suppressed(
+                    violation.rule, violation.line):
+                continue
+            violations.append(violation)
+    n_grandfathered = 0
+    if baseline is not None and len(baseline):
+        kept: List[Violation] = []
+        for violation in violations:
+            if baseline.matches(violation):
+                n_grandfathered += 1
+            else:
+                kept.append(violation)
+        violations = kept
+    return LintReport(
+        violations=sort_violations(violations),
+        n_files=len(files),
+        n_grandfathered=n_grandfathered,
+    )
 
 
 def _best_effort_suppressions(path: Path) -> SuppressionIndex:

@@ -11,6 +11,13 @@ and a whole file can opt out of specific rules anywhere in the file with::
 
     # lint: ignore-file[R3]
 
+The concurrency rule R7 additionally honours an ownership marker::
+
+    # lint: owner[worker-local; rebound before fork]
+
+which documents that the mutated state on that line is single-owned by
+design (R7 skips it, but the reasoning stays next to the code).
+
 Comments are found with :mod:`tokenize` so the marker inside a string
 literal does not suppress anything; files that fail to tokenize fall back
 to a plain per-line scan (the runner reports their syntax error anyway).
@@ -28,6 +35,8 @@ __all__ = ["SuppressionIndex", "parse_suppression_comment"]
 _PATTERN = re.compile(
     r"#\s*lint:\s*ignore(?P<file>-file)?\s*(?:\[(?P<rules>[A-Za-z0-9,\s]*)\])?"
 )
+
+_OWNER_PATTERN = re.compile(r"#\s*lint:\s*owner\[[^\]]+\]")
 
 #: Sentinel meaning "every rule" (a bare ``# lint: ignore``).
 _ALL = frozenset({"*"})
@@ -58,9 +67,11 @@ class SuppressionIndex:
     """All suppression markers of one source file, queryable by line."""
 
     def __init__(self, by_line: Dict[int, FrozenSet[str]],
-                 file_wide: FrozenSet[str]):
+                 file_wide: FrozenSet[str],
+                 owner_lines: FrozenSet[int] = frozenset()):
         self._by_line = by_line
         self._file_wide = file_wide
+        self._owner_lines = owner_lines
 
     @classmethod
     def from_source(cls, source: str) -> "SuppressionIndex":
@@ -79,7 +90,10 @@ class SuppressionIndex:
                     comments.append((lineno, line[line.index("#"):]))
         by_line: Dict[int, FrozenSet[str]] = {}
         file_wide: FrozenSet[str] = frozenset()
+        owner_lines = set()
         for lineno, text in comments:
+            if _OWNER_PATTERN.search(text) is not None:
+                owner_lines.add(lineno)
             rules, is_file_wide = parse_suppression_comment(text)
             if not rules:
                 continue
@@ -87,7 +101,7 @@ class SuppressionIndex:
                 file_wide = file_wide | rules
             else:
                 by_line[lineno] = by_line.get(lineno, frozenset()) | rules
-        return cls(by_line, file_wide)
+        return cls(by_line, file_wide, frozenset(owner_lines))
 
     def is_suppressed(self, rule: str, line: int) -> bool:
         """Whether ``rule`` is suppressed for a violation on ``line``."""
@@ -98,3 +112,7 @@ class SuppressionIndex:
         if rules is None:
             return False
         return "*" in rules or rule in rules
+
+    def has_owner(self, line: int) -> bool:
+        """Whether ``line`` carries a ``# lint: owner[...]`` marker."""
+        return line in self._owner_lines

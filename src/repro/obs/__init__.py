@@ -42,6 +42,12 @@ from repro.obs.export import (
     write_json,
 )
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry, Series
+from repro.obs.names import (
+    METRIC_NAMES,
+    METRIC_PREFIXES,
+    SPAN_NAMES,
+    SPAN_PREFIXES,
+)
 from repro.obs.trace import (
     NOOP_SPAN,
     NoOpSpan,
@@ -76,6 +82,10 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "Series",
+    "METRIC_NAMES",
+    "METRIC_PREFIXES",
+    "SPAN_NAMES",
+    "SPAN_PREFIXES",
     "NOOP_SPAN",
     "NoOpSpan",
     "Span",

@@ -1,0 +1,104 @@
+"""The span and metric name registry.
+
+Dashboards, the profiling report and the observability tests all key on
+literal span/metric names; an ad-hoc string in some helper drifts out of
+every one of them silently.  This module is the single declaration site:
+lint rule R11 statically checks that every ``span(...)`` /
+``record_counter(...)`` / ``record_gauge(...)`` / ``record_series(...)``
+call outside :mod:`repro.obs` uses a name registered here (literals must
+appear in the ``*_NAMES`` sets; f-string names must start with one of
+the ``*_PREFIXES``).
+
+Adding an instrumentation point is a two-line change: emit the name,
+register it here.  Removing one without deleting its registration is
+harmless (the registry over-approximates what is emitted).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "METRIC_NAMES",
+    "METRIC_PREFIXES",
+    "SPAN_NAMES",
+    "SPAN_PREFIXES",
+]
+
+#: Every literal span name emitted by the pipeline.
+SPAN_NAMES = frozenset({
+    # signal acquisition and conditioning
+    "signal.acquire",
+    "signal.preprocess",
+    "signal.filtfilt",
+    "signal.resample",
+    # feature extraction
+    "features.extract",
+    "features.windowing",
+    "features.iav",
+    "features.svd",
+    # fuzzy C-means signatures
+    "fcm.fit",
+    "fcm.restart",
+    "fcm.iterate",
+    "fcm.membership_query",
+    "signature.build",
+    # classification model
+    "model.fit",
+    "model.signature",
+    "model.classify_robust",
+    # retrieval
+    "retrieval.index_build",
+    "retrieval.knn_query",
+    "retrieval.idistance_query",
+    # parallel execution and caching
+    "parallel.map",
+    "parallel.featurize",
+    "parallel.cache.lookup",
+    # robustness / degradation
+    "robust.featurize",
+    # end-to-end profiling
+    "profile.total",
+    "profile.build_dataset",
+})
+
+#: Registered dynamic span-name prefixes (none yet; spans are static).
+SPAN_PREFIXES = frozenset()
+
+#: Every literal counter/gauge/series name emitted by the pipeline.
+METRIC_NAMES = frozenset({
+    # fuzzy C-means
+    "fcm.fits",
+    "fcm.iterations",
+    "fcm.objective",
+    "fcm.membership_shift",
+    # classification model
+    "model.n_windows",
+    "model.n_dims",
+    # retrieval
+    "retrieval.linear.queries",
+    "retrieval.linear.scanned",
+    "retrieval.idistance.queries",
+    "retrieval.idistance.candidates",
+    "retrieval.idistance.rounds",
+    "retrieval.idistance.pruning_ratio",
+    # parallel execution and caching
+    "parallel.tasks",
+    "parallel.cache.hits",
+    "parallel.cache.misses",
+    "parallel.cache.stores",
+    "parallel.cache.evictions",
+    # robustness / degradation
+    "robust.records_degraded",
+    "robust.windows_dropped",
+    "robust.channels_masked",
+    "robust.samples_filled",
+    "robust.fallback_all_windows",
+    "robust.degraded_queries",
+    # shared helpers
+    "utils.windows.produced",
+})
+
+#: Registered dynamic metric-name prefixes.  ``fcm.converged.<reason>``
+#: fans out per convergence reason, which is data-dependent.
+METRIC_PREFIXES = frozenset({
+    "fcm.converged.",
+})

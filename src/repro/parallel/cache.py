@@ -14,9 +14,11 @@ under a SHA-256 key derived from everything the features depend on:
   meaning, and every stale entry misses.
 
 Entries are ``.npz`` files under ``cache_dir/<kk>/<key>.npz`` (two-level
-fan-out keeps directories small).  Writes go through a temporary file and
-``os.replace`` so concurrent workers never observe a torn entry; unreadable
-or malformed entries are **evicted and recomputed**, never raised.  Hit,
+fan-out keeps directories small).  Writes go through
+:func:`repro.utils.atomicio.atomic_write` (temp file + ``os.replace``,
+statically enforced by lint rule R8) so concurrent workers never observe
+a torn entry; unreadable or malformed entries are **evicted and
+recomputed**, never raised.  Hit,
 miss, store and eviction counts are kept on :attr:`FeatureCache.stats` and
 mirrored into :mod:`repro.obs` counters (``parallel.cache.*``).
 """
@@ -24,10 +26,7 @@ mirrored into :mod:`repro.obs` counters (``parallel.cache.*``).
 from __future__ import annotations
 
 import hashlib
-import itertools
 import json
-import os
-import threading
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Optional, Union
@@ -38,6 +37,7 @@ from repro.data.record import RecordedMotion
 from repro.errors import CacheError
 from repro.features.base import WindowFeatures
 from repro.obs.config import record_counter, span
+from repro.utils.atomicio import atomic_write
 from repro.utils.validation import check_array
 
 __all__ = [
@@ -52,11 +52,6 @@ __all__ = [
 #: change that can alter feature values (windowing arithmetic, IAV/SVD
 #: kernels, sign stabilization, combined-vector layout ...).
 FEATURE_CACHE_VERSION = 1
-
-#: Process-wide monotonic suffix for temp-file names.  The pid alone is not
-#: unique enough: thread workers in one process storing the same key would
-#: collide on the temp name and race each other's ``os.replace``.
-_TMP_COUNTER = itertools.count()
 
 
 def hash_stream(hasher, array: np.ndarray) -> None:
@@ -178,22 +173,16 @@ class FeatureCache:
         return features
 
     def store(self, key: str, features: WindowFeatures) -> Path:
-        """Persist one entry atomically (write-to-temp then ``os.replace``)."""
+        """Persist one entry atomically via :func:`atomic_write`."""
         path = self.path_for(key)
         try:
-            path.parent.mkdir(parents=True, exist_ok=True)
-            tmp = path.with_name(
-                f".{path.name}.{os.getpid()}"
-                f".{threading.get_ident()}.{next(_TMP_COUNTER)}.tmp"
-            )
-            with open(tmp, "wb") as handle:
+            with atomic_write(path) as handle:
                 np.savez(
                     handle,
                     matrix=np.asarray(features.matrix, dtype=np.float64),
                     bounds=np.asarray(features.bounds, dtype=np.int64).reshape(-1, 2),
                     names=np.asarray(features.names, dtype=np.str_),
                 )
-            os.replace(tmp, path)
         except OSError as exc:
             raise CacheError(f"could not write cache entry {path}: {exc}") from exc
         self.stats.stores += 1

@@ -1,5 +1,6 @@
 """Shared low-level helpers: validation, RNG plumbing, window arithmetic."""
 
+from repro.utils.atomicio import atomic_write
 from repro.utils.rng import as_generator, spawn_generators
 from repro.utils.validation import (
     check_array,
@@ -18,6 +19,7 @@ from repro.utils.windows import (
 )
 
 __all__ = [
+    "atomic_write",
     "as_generator",
     "spawn_generators",
     "check_array",

@@ -1,0 +1,79 @@
+"""Atomic file persistence: write-to-temp then ``os.replace``.
+
+Every on-disk artifact shared between concurrent workers (feature-cache
+entries, retrieval indexes, benchmark records) must become visible in a
+single step — a reader either sees the complete previous file or the
+complete new one, never a torn write.  :func:`atomic_write` packages the
+temp-file dance the feature cache originally inlined (including the fix
+for the same-key temp-name race between thread workers: pid alone is not
+a unique suffix, so the temp name also folds in the thread id and a
+process-wide counter), and rule R8 of :mod:`repro.lint` statically
+requires cache/retrieval persistence to route through it.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+from contextlib import contextmanager
+from pathlib import Path
+from typing import IO, Iterator, Union
+
+__all__ = ["atomic_write"]
+
+#: Process-wide monotonic suffix for temp-file names.  The pid alone is
+#: not unique enough: thread workers in one process writing the same
+#: destination would collide on the temp name and race each other's
+#: ``os.replace``.
+_TMP_COUNTER = itertools.count()
+
+
+def _temp_path(destination: Path) -> Path:
+    return destination.with_name(
+        f".{destination.name}.{os.getpid()}"
+        f".{threading.get_ident()}.{next(_TMP_COUNTER)}.tmp"
+    )
+
+
+@contextmanager
+def atomic_write(destination: Union[str, Path], mode: str = "wb",
+                 encoding: str = None) -> Iterator[IO]:
+    """Open a temp file that replaces ``destination`` on clean exit.
+
+    The parent directory is created if missing.  On an exception inside
+    the block the temp file is removed and ``destination`` is left
+    untouched; on success the temp file is flushed, fsynced and moved
+    into place with ``os.replace`` (atomic on POSIX within one
+    filesystem), so concurrent readers and same-destination writers
+    never observe a partial file.
+
+    >>> with atomic_write(path) as handle:       # doctest: +SKIP
+    ...     np.savez(handle, matrix=matrix)
+
+    Parameters
+    ----------
+    destination:
+        Final path of the artifact.
+    mode:
+        ``"wb"`` (default) or ``"w"``; the temp file is opened with it.
+    encoding:
+        Text encoding when ``mode`` is textual.
+    """
+    destination = Path(destination)
+    destination.parent.mkdir(parents=True, exist_ok=True)
+    tmp = _temp_path(destination)
+    handle = open(tmp, mode, encoding=encoding)
+    try:
+        yield handle
+        handle.flush()
+        os.fsync(handle.fileno())
+    except BaseException:
+        handle.close()
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    handle.close()
+    os.replace(tmp, destination)

@@ -1,0 +1,264 @@
+"""Unit tests for the whole-program graph layer (:mod:`repro.lint.graph`).
+
+Fixture trees are written to ``tmp_path`` and indexed through the same
+``iter_python_files``/``ModuleContext`` path a real run uses, so module
+keys, import anchoring and suppression parsing behave exactly as they do
+on ``src/repro``.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.context import ModuleContext
+from repro.lint.graph import ProjectGraph, resolve_import
+from repro.lint.runner import iter_python_files
+
+
+def build_graph(root, files):
+    for rel, source in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source)
+    contexts = [ModuleContext.parse(p, r) for p, r in iter_python_files([root])]
+    return ProjectGraph.build(contexts)
+
+
+def calls_of(graph, qname):
+    return [c.callee for c in graph.facts[qname].calls if c.callee is not None]
+
+
+# ----------------------------------------------------------------------
+# Import statement resolution
+# ----------------------------------------------------------------------
+
+
+class TestResolveImport:
+    def _node(self, source):
+        return ast.parse(source).body[0]
+
+    def test_absolute_import(self):
+        node = self._node("from repro.features.svd import extract\n")
+        assert resolve_import(("x",), False, node) == ("features", "svd")
+
+    def test_absolute_import_outside_package(self):
+        node = self._node("from numpy.linalg import svd\n")
+        assert resolve_import(("x",), False, node) is None
+
+    def test_relative_sibling(self):
+        node = self._node("from .helpers import f\n")
+        assert resolve_import(("pkg", "mod"), False, node) == ("pkg", "helpers")
+
+    def test_relative_from_package_init(self):
+        node = self._node("from .impl import f\n")
+        assert resolve_import(("pkg",), True, node) == ("pkg", "impl")
+
+    def test_relative_parent(self):
+        node = self._node("from ..utils.rng import as_generator\n")
+        assert resolve_import(("pkg", "mod"), False, node) == ("utils", "rng")
+
+    def test_relative_past_root(self):
+        node = self._node("from ...nowhere import f\n")
+        assert resolve_import(("pkg", "mod"), False, node) is None
+
+
+# ----------------------------------------------------------------------
+# Call-graph edge resolution
+# ----------------------------------------------------------------------
+
+
+class TestCallResolution:
+    def test_from_import_call_edge(self, tmp_path):
+        graph = build_graph(tmp_path, {
+            "a.py": "def f():\n    return 1\n",
+            "b.py": "from repro.a import f\n\ndef g():\n    return f()\n",
+        })
+        assert calls_of(graph, ("b", "g")) == [("a", "f")]
+
+    def test_aliased_from_import(self, tmp_path):
+        graph = build_graph(tmp_path, {
+            "a.py": "def f():\n    return 1\n",
+            "b.py": "from repro.a import f as renamed\n\n"
+                    "def g():\n    return renamed()\n",
+        })
+        assert calls_of(graph, ("b", "g")) == [("a", "f")]
+
+    def test_aliased_module_import(self, tmp_path):
+        graph = build_graph(tmp_path, {
+            "a.py": "def f():\n    return 1\n",
+            "b.py": "import repro.a as mod\n\ndef g():\n    return mod.f()\n",
+        })
+        assert calls_of(graph, ("b", "g")) == [("a", "f")]
+
+    def test_relative_import_edge(self, tmp_path):
+        graph = build_graph(tmp_path, {
+            "pkg/__init__.py": "",
+            "pkg/helpers.py": "def h():\n    return 1\n",
+            "pkg/mod.py": "from .helpers import h\n\ndef g():\n    return h()\n",
+        })
+        assert calls_of(graph, ("pkg", "mod", "g")) == [("pkg", "helpers", "h")]
+
+    def test_reexport_chain_followed(self, tmp_path):
+        graph = build_graph(tmp_path, {
+            "pkg/__init__.py": "from repro.pkg.impl import f\n\n"
+                               "__all__ = [\"f\"]\n",
+            "pkg/impl.py": "def f():\n    return 1\n",
+            "user.py": "from repro.pkg import f\n\ndef g():\n    return f()\n",
+        })
+        assert calls_of(graph, ("user", "g")) == [("pkg", "impl", "f")]
+
+    def test_self_method_edge(self, tmp_path):
+        graph = build_graph(tmp_path, {
+            "a.py": "class C:\n"
+                    "    def helper(self):\n        return 1\n"
+                    "    def run(self):\n        return self.helper()\n",
+        })
+        assert calls_of(graph, ("a", "C", "run")) == [("a", "C", "helper")]
+
+    def test_inherited_method_edge(self, tmp_path):
+        graph = build_graph(tmp_path, {
+            "a.py": "class Base:\n"
+                    "    def helper(self):\n        return 1\n",
+            "b.py": "from repro.a import Base\n\n"
+                    "class Derived(Base):\n"
+                    "    def run(self):\n        return self.helper()\n",
+        })
+        assert calls_of(graph, ("b", "Derived", "run")) == [("a", "Base", "helper")]
+
+    def test_class_call_resolves_to_init(self, tmp_path):
+        graph = build_graph(tmp_path, {
+            "a.py": "class C:\n"
+                    "    def __init__(self):\n        self.x = 1\n",
+            "b.py": "from repro.a import C\n\ndef g():\n    return C()\n",
+        })
+        assert calls_of(graph, ("b", "g")) == [("a", "C", "__init__")]
+
+    def test_nested_function_edge(self, tmp_path):
+        graph = build_graph(tmp_path, {
+            "a.py": "def outer():\n"
+                    "    def inner():\n        return 1\n"
+                    "    return inner()\n",
+        })
+        assert calls_of(graph, ("a", "outer")) == [("a", "outer", "inner")]
+
+    def test_locally_shadowed_name_not_resolved(self, tmp_path):
+        graph = build_graph(tmp_path, {
+            "a.py": "def f():\n    return 1\n",
+            "b.py": "from repro.a import f\n\n"
+                    "def g(f):\n    return f()\n",
+        })
+        assert calls_of(graph, ("b", "g")) == []
+
+    def test_function_reference_argument_recorded(self, tmp_path):
+        graph = build_graph(tmp_path, {
+            "a.py": "def worker(x):\n    return x\n",
+            "b.py": "from repro.a import worker\n\n"
+                    "def dispatch(run):\n    return run(worker, [1])\n",
+        })
+        call, = graph.facts[("b", "dispatch")].calls
+        assert call.arg0_func == ("a", "worker")
+        assert call.ref_args == (("a", "worker"),)
+
+
+# ----------------------------------------------------------------------
+# Reachability and exception escape
+# ----------------------------------------------------------------------
+
+
+class TestReachability:
+    def test_transitive_reach_with_witness_chain(self, tmp_path):
+        graph = build_graph(tmp_path, {
+            "a.py": "def leaf():\n    return 1\n\n"
+                    "def mid():\n    return leaf()\n\n"
+                    "def top():\n    return mid()\n",
+        })
+        parents = graph.reachable([("a", "top")])
+        assert set(parents) == {("a", "top"), ("a", "mid"), ("a", "leaf")}
+        assert graph.chain(parents, ("a", "leaf")) == [
+            ("a", "top"), ("a", "mid"), ("a", "leaf"),
+        ]
+
+    def test_reach_through_function_reference(self, tmp_path):
+        graph = build_graph(tmp_path, {
+            "a.py": "def worker(x):\n    return x\n\n"
+                    "def apply(fn, xs):\n    return [fn(x) for x in xs]\n\n"
+                    "def top(xs):\n    return apply(worker, xs)\n",
+        })
+        parents = graph.reachable([("a", "top")])
+        assert ("a", "worker") in parents
+
+
+class TestEscapeAnalysis:
+    def test_raise_propagates_to_caller(self, tmp_path):
+        graph = build_graph(tmp_path, {
+            "a.py": "def inner():\n    raise KeyError(\"boom\")\n\n"
+                    "def outer():\n    return inner()\n",
+        })
+        escapes = graph.escaping_exceptions()
+        assert "KeyError" in escapes[("a", "inner")]
+        assert "KeyError" in escapes[("a", "outer")]
+
+    def test_try_absorbs_callee_escape(self, tmp_path):
+        graph = build_graph(tmp_path, {
+            "a.py": "def inner():\n    raise KeyError(\"boom\")\n\n"
+                    "def outer():\n"
+                    "    try:\n        return inner()\n"
+                    "    except KeyError:\n        return None\n",
+        })
+        escapes = graph.escaping_exceptions()
+        assert "KeyError" not in escapes[("a", "outer")]
+
+    def test_builtin_base_class_absorbs(self, tmp_path):
+        graph = build_graph(tmp_path, {
+            "a.py": "def inner():\n    raise KeyError(\"boom\")\n\n"
+                    "def outer():\n"
+                    "    try:\n        return inner()\n"
+                    "    except LookupError:\n        return None\n",
+        })
+        assert "KeyError" not in graph.escaping_exceptions()[("a", "outer")]
+
+    def test_project_hierarchy_absorbs_subclass(self, tmp_path):
+        graph = build_graph(tmp_path, {
+            "errors.py": "class ReproError(Exception):\n    pass\n\n"
+                         "class CacheError(ReproError):\n    pass\n",
+            "a.py": "from repro.errors import CacheError, ReproError\n\n"
+                    "def inner():\n    raise CacheError(\"boom\")\n\n"
+                    "def outer():\n"
+                    "    try:\n        return inner()\n"
+                    "    except ReproError:\n        return None\n",
+        })
+        escapes = graph.escaping_exceptions()
+        assert "CacheError" in escapes[("a", "inner")]
+        assert "CacheError" not in escapes[("a", "outer")]
+        assert graph.is_repro_error("CacheError")
+
+    def test_origin_points_at_raise_site(self, tmp_path):
+        graph = build_graph(tmp_path, {
+            "a.py": "def inner():\n    raise KeyError(\"boom\")\n\n"
+                    "def outer():\n    return inner()\n",
+        })
+        path, line = graph.escaping_exceptions()[("a", "outer")]["KeyError"]
+        assert path.endswith("a.py")
+        assert line == 2
+
+
+# ----------------------------------------------------------------------
+# Module symbol tables
+# ----------------------------------------------------------------------
+
+
+class TestModuleSymbols:
+    def test_mutable_globals_detected(self, tmp_path):
+        graph = build_graph(tmp_path, {
+            "a.py": "CACHE = {}\nITEMS = []\nLIMIT = 3\nNAME = \"x\"\n",
+        })
+        symbols = graph.modules[("a",)]
+        assert set(symbols.mutable_globals) == {"CACHE", "ITEMS"}
+
+    def test_shape_contracts_read_from_decorator(self, tmp_path):
+        graph = build_graph(tmp_path, {
+            "a.py": "from repro.utils.validation import shapes\n\n"
+                    "@shapes(x=\"n d\", y=\"n\")\n"
+                    "def f(x, y):\n    return x\n",
+        })
+        assert graph.functions[("a", "f")].shape_specs == {"x": "n d", "y": "n"}

@@ -24,6 +24,13 @@ def test_source_tree_is_clean():
     assert report.n_files > 50  # the whole package was walked, not a subset
 
 
+def test_source_tree_is_strict_clean():
+    """The whole-program pass (R7-R12) holds with no baseline entries."""
+    report = lint_paths([SRC_TREE], strict=True)
+    assert report.ok, "\n".join(v.format_text() for v in report.violations)
+    assert report.n_grandfathered == 0
+
+
 def test_module_invocation_exits_zero_with_json_report():
     proc = subprocess.run(
         [sys.executable, "-m", "repro.lint", str(SRC_TREE), "--format", "json"],

@@ -416,7 +416,7 @@ class TestRunner:
     def test_select_unknown_rule_raises(self, tmp_path):
         write_tree(tmp_path, {"mod.py": "__all__ = []\n"})
         with pytest.raises(ValidationError):
-            lint_paths([tmp_path], select=["R9"])
+            lint_paths([tmp_path], select=["R99"])
 
     def test_violations_sorted_by_path_then_line(self, tmp_path):
         report = lint(tmp_path, {
