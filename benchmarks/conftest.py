@@ -17,8 +17,12 @@ Protocol choices (documented in EXPERIMENTS.md):
 
 Every benchmark session also runs with observability enabled in
 aggregate-only mode (``max_spans=0`` — exact per-stage totals, no
-individual span records) and dumps the ``repro.obs/v1`` payload to
-``benchmarks/_cache/obs_metrics.json`` on exit.
+individual span records) and dumps the ``repro.obs/v2`` payload to
+``benchmarks/_cache/obs_metrics.json`` on exit, stamped with the git sha
+and benchmark-protocol configuration fingerprint.  The same run is also
+appended as one record to ``benchmarks/_cache/ledger.jsonl`` (label
+``pytest-benchmarks``), the history ``repro-motions bench check`` gates
+against.
 """
 
 from __future__ import annotations
@@ -40,8 +44,30 @@ from repro.features.combine import WindowFeaturizer
 from repro.core.model import MotionClassifier
 from repro.obs.config import configure
 from repro.obs.export import collect_payload, write_json
+from repro.obs.ledger import (
+    Ledger,
+    config_fingerprint,
+    git_sha,
+    record_from_payload,
+)
 
 CACHE_DIR = Path(__file__).parent / "_cache"
+
+
+def _benchmark_config() -> dict:
+    """The benchmark-protocol knobs, as fingerprinted configuration."""
+    return {
+        "source": "benchmarks",
+        "n_participants": N_PARTICIPANTS,
+        "trials_per_motion": TRIALS_PER_MOTION,
+        "dataset_seed": DATASET_SEED,
+        "split_seed": SPLIT_SEED,
+        "fit_seed": FIT_SEED,
+        "window_sizes_ms": list(WINDOW_SIZES_MS),
+        "cluster_grid": list(CLUSTER_GRID),
+        "stride_ms": STRIDE_MS,
+        "k": K_RETRIEVED,
+    }
 
 
 @pytest.fixture(scope="session", autouse=True)
@@ -50,7 +76,9 @@ def _obs_session():
 
     ``max_spans=0`` keeps exact per-stage aggregates and counters without
     retaining individual span records, so memory stays flat over long
-    sweeps.  The payload lands in ``benchmarks/_cache/obs_metrics.json``.
+    sweeps.  The payload lands in ``benchmarks/_cache/obs_metrics.json``,
+    stamped with git sha + config fingerprint, and one ledger record is
+    appended to ``benchmarks/_cache/ledger.jsonl``.
     """
     state = configure(enabled=True, reset=True, max_spans=0)
     try:
@@ -58,10 +86,20 @@ def _obs_session():
     finally:
         configure(enabled=False)
         CACHE_DIR.mkdir(exist_ok=True)
-        write_json(
-            CACHE_DIR / "obs_metrics.json",
-            collect_payload(state, meta={"source": "benchmarks"}),
-        )
+        config = _benchmark_config()
+        meta = {
+            **config,
+            "git_sha": git_sha(),
+            "fingerprint": config_fingerprint(config),
+        }
+        payload = collect_payload(state, meta=meta)
+        write_json(CACHE_DIR / "obs_metrics.json", payload)
+        Ledger(CACHE_DIR / "ledger.jsonl").append(record_from_payload(
+            payload,
+            label="pytest-benchmarks",
+            sha=meta["git_sha"],
+            fingerprint=meta["fingerprint"],
+        ))
 
 #: Campaign size (per study).
 N_PARTICIPANTS = 4

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Seven subcommands cover the library's workflow without writing Python:
+Eight subcommands cover the library's workflow without writing Python:
 
 ``repro-motions build``
     Simulate a capture campaign and save it to disk.
@@ -14,6 +14,12 @@ Seven subcommands cover the library's workflow without writing Python:
 ``repro-motions profile``
     Profile one synthetic end-to-end run with observability enabled and
     report the per-stage breakdown (see docs/OBSERVABILITY.md).
+``repro-motions bench``
+    Benchmark run ledger: ``bench run`` profiles once and appends one
+    JSONL record (git sha, config fingerprint, per-stage timings and
+    quantiles); ``bench check`` gates the newest run against the
+    median-of-k history and exits nonzero on regression; ``bench list``
+    prints the history (see :mod:`repro.obs.ledger`).
 ``repro-motions lint``
     Run the repo-specific static-analysis rules (see :mod:`repro.lint`).
 ``repro-motions selftest``
@@ -164,8 +170,71 @@ def build_parser() -> argparse.ArgumentParser:
     p_prof.add_argument("--seed", type=int, default=0)
     p_prof.add_argument("-o", "--output", default="profile.json",
                         help="JSON payload output path (default: profile.json)")
+    p_prof.add_argument("--max-spans", type=int, default=None,
+                        help="span ring-buffer capacity (0 = aggregates "
+                             "only; default: the repro.obs default); the "
+                             "stage table warns when records were dropped")
+    p_prof.add_argument("--resources", action="store_true",
+                        help="sample process resources (RSS, CPU time, GC "
+                             "counts) around each phase and export them "
+                             "under the payload's 'resources' key")
     add_parallel_flags(p_prof)
     add_robust_flag(p_prof)
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="benchmark run ledger: record profile runs, gate regressions",
+    )
+    bench_sub = p_bench.add_subparsers(dest="bench_command", required=True)
+
+    def add_ledger_flag(p: argparse.ArgumentParser) -> None:
+        from repro.obs.ledger import DEFAULT_LEDGER_PATH
+
+        p.add_argument("--ledger", metavar="PATH",
+                       default=DEFAULT_LEDGER_PATH,
+                       help="ledger JSONL file "
+                            f"(default: {DEFAULT_LEDGER_PATH})")
+
+    b_run = bench_sub.add_parser(
+        "run", help="profile one synthetic run and append it to the ledger"
+    )
+    b_run.add_argument("--study", choices=("hand", "leg"), default="hand")
+    b_run.add_argument("--participants", type=int, default=1)
+    b_run.add_argument("--trials", type=int, default=2,
+                       help="trials per motion class per participant")
+    b_run.add_argument("--clusters", type=int, default=8)
+    b_run.add_argument("--window-ms", type=float, default=100.0)
+    b_run.add_argument("--stride-ms", type=float, default=None)
+    b_run.add_argument("--k", type=int, default=5)
+    b_run.add_argument("--seed", type=int, default=0)
+    b_run.add_argument("--label", default="bench",
+                       help="run label recorded in the ledger "
+                            "(default: bench)")
+    add_ledger_flag(b_run)
+    add_parallel_flags(b_run)
+
+    b_check = bench_sub.add_parser(
+        "check",
+        help="gate the newest ledger run against its history "
+             "(exits 1 on regression)",
+    )
+    b_check.add_argument("--window", type=int, default=5,
+                         help="baseline size: median/MAD over the last "
+                              "WINDOW runs at the same fingerprint "
+                              "(default: 5)")
+    b_check.add_argument("--threshold-mads", type=float, default=4.0,
+                         help="noise gate in scaled MADs above the median "
+                              "(default: 4.0)")
+    b_check.add_argument("--min-rel-increase", type=float, default=0.25,
+                         help="minimum fractional slowdown to flag "
+                              "(default: 0.25 = 25%%)")
+    b_check.add_argument("--min-total-ms", type=float, default=5.0,
+                         help="ignore stages whose baseline median is "
+                              "below this many ms (default: 5)")
+    add_ledger_flag(b_check)
+
+    b_list = bench_sub.add_parser("list", help="print the ledger history")
+    add_ledger_flag(b_list)
 
     p_lint = sub.add_parser("lint", help="run the repo's static-analysis rules")
     p_lint.add_argument("paths", nargs="*",
@@ -325,6 +394,87 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    from repro.obs.ledger import (
+        Ledger,
+        check_regression,
+        format_regressions,
+        record_from_payload,
+    )
+
+    ledger = Ledger(args.ledger)
+    if args.bench_command == "run":
+        from repro.obs.profile import run_profile
+
+        payload = run_profile(
+            study=args.study,
+            participants=args.participants,
+            trials=args.trials,
+            clusters=args.clusters,
+            window_ms=args.window_ms,
+            stride_ms=args.stride_ms,
+            k=args.k,
+            seed=args.seed,
+            n_jobs=args.n_jobs,
+            backend=args.backend,
+            cache_dir=args.cache_dir,
+        )
+        record = record_from_payload(payload, label=args.label)
+        ledger.append(record)
+        print(f"recorded run: label={record['label']} "
+              f"sha={record['git_sha']} "
+              f"fingerprint={record['fingerprint']} "
+              f"stages={len(record['stages'])}")
+        print(f"appended to {ledger.path}")
+        return 0
+    if args.bench_command == "check":
+        runs = ledger.read()
+        if not runs:
+            print(f"ledger {ledger.path} is empty; nothing to check")
+            return 0
+        current = runs[-1]
+        baseline = [r for r in runs[:-1]
+                    if r.get("fingerprint") == current.get("fingerprint")]
+        if not baseline:
+            print(f"no baseline runs at fingerprint "
+                  f"{current.get('fingerprint')}; nothing to compare")
+            return 0
+        findings = check_regression(
+            baseline, current,
+            window=args.window,
+            threshold_mads=args.threshold_mads,
+            min_rel_increase=args.min_rel_increase,
+            min_total_s=args.min_total_ms / 1000.0,
+        )
+        print(f"checked run sha={current.get('git_sha')} against "
+              f"{min(len(baseline), args.window)} baseline run(s) at "
+              f"fingerprint {current.get('fingerprint')}")
+        print(format_regressions(findings))
+        return 1 if findings else 0
+    # bench list
+    runs = ledger.read()
+    if not runs:
+        print(f"ledger {ledger.path} is empty")
+        return 0
+    rows = []
+    for i, record in enumerate(runs):
+        stages = record.get("stages", {})
+        total_s = max((float(s.get("total_s", 0.0))
+                       for s in stages.values()), default=0.0)
+        rows.append([
+            str(i),
+            str(record.get("label", "-")),
+            str(record.get("git_sha", "-")),
+            str(record.get("fingerprint", "-")),
+            str(len(stages)),
+            f"{1000.0 * total_s:.1f}",
+        ])
+    print(format_table(
+        ["#", "label", "sha", "fingerprint", "stages", "total ms"], rows
+    ))
+    return 0
+
+
 def _cmd_lint(args) -> int:
     from repro.lint.cli import run as lint_run
 
@@ -434,13 +584,16 @@ def _cmd_profile(args) -> int:
         backend=args.backend,
         cache_dir=args.cache_dir,
         robust_policy=args.robust_policy,
+        max_spans=args.max_spans,
+        sample_resources=args.resources,
     )
     meta = payload["meta"]
     print(f"profiled {args.study} study: {meta['n_train']} database motions, "
           f"{meta['n_queries']} queries, c={meta['n_clusters']}, "
           f"window {meta['window_ms']:g} ms")
     print()
-    print(format_stage_table(payload["stages"]))
+    print(format_stage_table(payload["stages"],
+                             spans_dropped=payload["spans_dropped"]))
     objective = payload["series"].get("fcm.objective", [])
     shift = payload["series"].get("fcm.membership_shift", [])
     if objective:
@@ -456,6 +609,16 @@ def _cmd_profile(args) -> int:
         if shift:
             line += f", final membership shift {shift[-1]:.3g}"
         print(line)
+    resources = payload["resources"]
+    if resources:
+        first, last = resources[0], resources[-1]
+        print()
+        print(f"resources: peak RSS {last['rss_max_kb']:.0f} kB, "
+              f"CPU +{last['cpu_user_s'] - first['cpu_user_s']:.2f} s user "
+              f"/ +{last['cpu_system_s'] - first['cpu_system_s']:.2f} s "
+              f"system, "
+              f"{last['gc_collections'] - first['gc_collections']:.0f} GC "
+              f"collections ({len(resources)} samples)")
     path = write_json(args.output, payload)
     print(f"wrote {path}")
     return 0
@@ -467,6 +630,7 @@ _COMMANDS = {
     "sweep": _cmd_sweep,
     "info": _cmd_info,
     "profile": _cmd_profile,
+    "bench": _cmd_bench,
     "lint": _cmd_lint,
     "selftest": _cmd_selftest,
 }
@@ -493,7 +657,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         payload = collect_payload(state, meta={"command": args.command})
         if trace:
             print()
-            print(format_stage_table(payload["stages"]))
+            print(format_stage_table(payload["stages"],
+                                     spans_dropped=payload["spans_dropped"]))
         if metrics_out:
             path = write_json(metrics_out, payload)
             print(f"wrote metrics to {path}")

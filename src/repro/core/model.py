@@ -38,7 +38,14 @@ from repro.features.scaling import FeatureScaler
 from repro.fuzzy.cmeans import FuzzyCMeans
 from repro.fuzzy.kmeans import KMeans
 from repro.fuzzy.membership import membership_matrix
-from repro.obs.config import record_counter, record_gauge, span
+from repro.obs.config import (
+    query_scope,
+    record_counter,
+    record_event,
+    record_gauge,
+    span,
+    time_histogram,
+)
 from repro.parallel.cache import FeatureCache
 from repro.parallel.executor import BACKENDS, effective_n_jobs
 from repro.parallel.runner import featurize_records
@@ -331,30 +338,48 @@ class MotionClassifier:
                 )[0]
             else:
                 features = self.featurizer.features(record)
+            record_event("query.featurized", key=record.key,
+                         n_windows=features.n_windows)
             return self._signature_from_features(features)
 
     def kneighbors(self, record: RecordedMotion, k: int = 5) -> List[RetrievedNeighbor]:
         """The ``k`` nearest database motions to ``record``."""
         if self._index is None:
             raise NotFittedError("MotionClassifier used before fit")
-        vector = self.signature(record).vector
-        with span("retrieval.knn_query", k=k,
-                  backend=type(self._index).__name__):
-            indices, distances = self._index.query(vector, k)
-        return [
-            RetrievedNeighbor(
-                key=self._keys[i], label=self._labels[i], distance=float(d)
-            )
-            for i, d in zip(indices, distances)
-        ]
+        with query_scope():
+            vector = self.signature(record).vector
+            with span("retrieval.knn_query", k=k,
+                      backend=type(self._index).__name__):
+                indices, distances = self._index.query(vector, k)
+            neighbors = [
+                RetrievedNeighbor(
+                    key=self._keys[i], label=self._labels[i], distance=float(d)
+                )
+                for i, d in zip(indices, distances)
+            ]
+            record_event("query.retrieved", key=record.key, k=k,
+                         neighbors=[n.key for n in neighbors])
+        return neighbors
 
     def classify(self, record: RecordedMotion, k: int = 1) -> str:
-        """Predict the motion class by k-NN vote (1-NN by default)."""
-        neighbors = self.kneighbors(record, k)
-        return knn_vote(
-            [n.label for n in neighbors],
-            np.asarray([n.distance for n in neighbors]),
-        )
+        """Predict the motion class by k-NN vote (1-NN by default).
+
+        Each call mints a provenance correlation id (when observability is
+        enabled) threaded through featurization and retrieval: the
+        ``query.*`` events in :mod:`repro.obs.events` share it, and the
+        end-to-end latency lands in the ``model.query_latency_s``
+        histogram (p50/p95/p99 in the export).
+        """
+        with query_scope(), time_histogram("model.query_latency_s"):
+            record_event("query.received", key=record.key,
+                         label=record.label, k=k)
+            neighbors = self.kneighbors(record, k)
+            label = knn_vote(
+                [n.label for n in neighbors],
+                np.asarray([n.distance for n in neighbors]),
+            )
+            record_event("query.classified", key=record.key, label=label)
+        return label
 
     def classify_with_report(
         self, record: RecordedMotion, k: int = 1
@@ -369,7 +394,10 @@ class MotionClassifier:
         """
         if self._index is None:
             raise NotFittedError("MotionClassifier used before fit")
-        with span("model.classify_robust", k=k):
+        with query_scope(), time_histogram("model.query_latency_s"), \
+                span("model.classify_robust", k=k):
+            record_event("query.received", key=record.key,
+                         label=record.label, k=k)
             if isinstance(self.featurizer, RobustFeaturizer):
                 features, report = self.featurizer.features_with_report(record)
             else:
@@ -377,6 +405,8 @@ class MotionClassifier:
                 report = DegradationReport(
                     policy="off", clean=True, n_windows_total=features.n_windows
                 )
+            record_event("query.featurized", key=record.key,
+                         n_windows=features.n_windows)
             vector = self._signature_from_features(features).vector
             indices, distances = self._index.query(vector, k)
             neighbors = [
@@ -385,12 +415,18 @@ class MotionClassifier:
                 )
                 for i, d in zip(indices, distances)
             ]
+            record_event("query.retrieved", key=record.key, k=k,
+                         neighbors=[n.key for n in neighbors])
             label = knn_vote(
                 [n.label for n in neighbors],
                 np.asarray([n.distance for n in neighbors]),
             )
             if report.degraded:
                 record_counter("robust.degraded_queries")
+                record_event("query.degraded", key=record.key,
+                             policy=report.policy,
+                             faults=list(report.faults_detected))
+            record_event("query.classified", key=record.key, label=label)
             return RobustQueryResult(label=label, neighbors=neighbors, report=report)
 
     def knn_class_fraction(self, record: RecordedMotion, k: int = 5) -> float:

@@ -362,7 +362,8 @@ def _load_obs_registry(graph: ProjectGraph):
     if ctx is None:
         return None
     tables: Dict[str, FrozenSet[str]] = {}
-    wanted = {"SPAN_NAMES", "METRIC_NAMES", "SPAN_PREFIXES", "METRIC_PREFIXES"}
+    wanted = {"SPAN_NAMES", "METRIC_NAMES", "SPAN_PREFIXES",
+              "METRIC_PREFIXES", "EVENT_NAMES", "EVENT_PREFIXES"}
     for stmt in ctx.tree.body:
         targets = []
         value = None
@@ -387,11 +388,13 @@ def _load_obs_registry(graph: ProjectGraph):
                  tables.get("SPAN_PREFIXES", frozenset())),
         "metric": (tables.get("METRIC_NAMES", frozenset()),
                    tables.get("METRIC_PREFIXES", frozenset())),
+        "event": (tables.get("EVENT_NAMES", frozenset()),
+                  tables.get("EVENT_PREFIXES", frozenset())),
     }
 
 
 def check_obs_naming(graph: ProjectGraph) -> List[Violation]:
-    """Flag span/metric names not drawn from the declared registry.
+    """Flag span/metric/event names not drawn from the declared registry.
 
     The registry (``repro.obs.names``) is the single place dashboards
     and tests key on; ad-hoc strings drift silently.  Literal names must
@@ -525,7 +528,7 @@ GRAPH_RULES: Tuple[GraphRule, ...] = (
               check_transitive_determinism),
     GraphRule("R10", "@shapes contracts agree across call edges",
               check_shape_contract_flow),
-    GraphRule("R11", "span/metric names come from the obs registry",
+    GraphRule("R11", "span/metric/event names come from the obs registry",
               check_obs_naming),
     GraphRule("R12", "only ReproError subclasses escape the public API",
               check_exception_flow),

@@ -99,7 +99,9 @@ _OBS_METRIC_FUNCS = frozenset({
     ("obs", "config", "record_counter"),
     ("obs", "config", "record_gauge"),
     ("obs", "config", "record_series"),
+    ("obs", "config", "time_histogram"),
 })
+_OBS_EVENT_FUNCS = frozenset({("obs", "config", "record_event")})
 
 #: The designated atomic-write helpers recognized by rule R8.
 _ATOMIC_HELPER_NAMES = frozenset({"atomic_write"})
@@ -262,7 +264,7 @@ class FunctionFacts:
     #: (lineno, description).
     writes: List[Site] = field(default_factory=list)
     #: Observability name uses: (lineno, kind, literal text, is_prefix,
-    #: is_dynamic) where kind is "span" or "metric".
+    #: is_dynamic) where kind is "span", "metric" or "event".
     obs_names: List[Tuple[int, str, str, bool, bool]] = field(default_factory=list)
     #: Call-graph edges.
     calls: List[CallSite] = field(default_factory=list)
@@ -621,6 +623,8 @@ class _FactsCollector:
             kind = "span"
         elif callee_q in _OBS_METRIC_FUNCS:
             kind = "metric"
+        elif callee_q in _OBS_EVENT_FUNCS:
+            kind = "event"
         else:
             return
         name_expr = node.args[0] if node.args else None

@@ -28,11 +28,21 @@ from repro.obs.config import (
     configure,
     current_state,
     is_enabled,
+    query_scope,
     record_counter,
+    record_event,
     record_gauge,
     record_series,
     span,
+    time_histogram,
     traced,
+)
+from repro.obs.events import (
+    DEFAULT_MAX_EVENTS,
+    Event,
+    EventLog,
+    current_query_id,
+    write_events_jsonl,
 )
 from repro.obs.export import (
     SCHEMA_VERSION,
@@ -43,11 +53,14 @@ from repro.obs.export import (
 )
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry, Series
 from repro.obs.names import (
+    EVENT_NAMES,
+    EVENT_PREFIXES,
     METRIC_NAMES,
     METRIC_PREFIXES,
     SPAN_NAMES,
     SPAN_PREFIXES,
 )
+from repro.obs.quantiles import DEFAULT_QUANTILES, P2Quantile, QuantileDigest
 from repro.obs.trace import (
     NOOP_SPAN,
     NoOpSpan,
@@ -62,16 +75,24 @@ __all__ = [
     "ManualClock",
     "MonotonicClock",
     "DEFAULT_MAX_SPANS",
+    "DEFAULT_MAX_EVENTS",
     "ObsState",
     "capture",
     "configure",
     "current_state",
     "is_enabled",
+    "query_scope",
     "record_counter",
+    "record_event",
     "record_gauge",
     "record_series",
     "span",
+    "time_histogram",
     "traced",
+    "Event",
+    "EventLog",
+    "current_query_id",
+    "write_events_jsonl",
     "SCHEMA_VERSION",
     "collect_payload",
     "format_stage_table",
@@ -82,10 +103,15 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "Series",
+    "EVENT_NAMES",
+    "EVENT_PREFIXES",
     "METRIC_NAMES",
     "METRIC_PREFIXES",
     "SPAN_NAMES",
     "SPAN_PREFIXES",
+    "DEFAULT_QUANTILES",
+    "P2Quantile",
+    "QuantileDigest",
     "NOOP_SPAN",
     "NoOpSpan",
     "Span",

@@ -8,8 +8,13 @@ point that mutates it; everything else is a cheap read:
   the shared no-op singleton otherwise (the disabled path is one attribute
   read and one truth test; no allocation);
 * :func:`traced` — decorator form of :func:`span`;
-* :func:`record_counter` / :func:`record_gauge` / :func:`record_series` —
-  metric writes that silently no-op while disabled;
+* :func:`record_counter` / :func:`record_gauge` / :func:`record_series` /
+  :func:`record_event` — metric/event writes that silently no-op while
+  disabled;
+* :func:`time_histogram` — context manager observing elapsed clock seconds
+  into a histogram (the no-op singleton while disabled);
+* :func:`query_scope` — per-query provenance scope: mints a correlation id
+  and stamps every event emitted inside it (see :mod:`repro.obs.events`);
 * :func:`capture` — context manager for profiling sessions: fresh recorders,
   enabled inside the block, disabled (data retained) after.
 
@@ -26,6 +31,12 @@ from dataclasses import dataclass
 from typing import Any, Callable, Iterator, Optional
 
 from repro.obs.clock import Clock, MonotonicClock
+from repro.obs.events import (
+    DEFAULT_MAX_EVENTS,
+    EventLog,
+    pop_query_id,
+    push_query_id,
+)
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import NOOP_SPAN, TraceCollector
 
@@ -40,6 +51,9 @@ __all__ = [
     "record_counter",
     "record_gauge",
     "record_series",
+    "record_event",
+    "time_histogram",
+    "query_scope",
     "capture",
 ]
 
@@ -55,23 +69,29 @@ class ObsState:
     clock: Clock
     collector: TraceCollector
     registry: MetricsRegistry
+    events: EventLog
     max_spans: int = DEFAULT_MAX_SPANS
+    max_events: int = DEFAULT_MAX_EVENTS
 
 
 def _fresh_state(enabled: bool, clock: Optional[Clock],
-                 max_spans: int) -> ObsState:
+                 max_spans: int, max_events: int) -> ObsState:
     resolved: Clock = clock if clock is not None else MonotonicClock()
     return ObsState(
         enabled=enabled,
         clock=resolved,
         collector=TraceCollector(resolved, max_spans=max_spans),
         registry=MetricsRegistry(resolved),
+        events=EventLog(resolved, max_events=max_events),
         max_spans=max_spans,
+        max_events=max_events,
     )
 
 
 _LOCK = threading.Lock()
-_STATE = _fresh_state(enabled=False, clock=None, max_spans=DEFAULT_MAX_SPANS)
+_STATE = _fresh_state(enabled=False, clock=None,
+                      max_spans=DEFAULT_MAX_SPANS,
+                      max_events=DEFAULT_MAX_EVENTS)
 
 
 def configure(
@@ -79,6 +99,7 @@ def configure(
     clock: Optional[Clock] = None,
     reset: bool = False,
     max_spans: Optional[int] = None,
+    max_events: Optional[int] = None,
 ) -> ObsState:
     """(Re)configure the process-wide observability state.
 
@@ -89,9 +110,11 @@ def configure(
     clock:
         Inject a time source (implies fresh, empty recorders bound to it).
     reset:
-        Discard all collected spans and metrics.
+        Discard all collected spans, metrics and events.
     max_spans:
         New bound on retained span records (implies fresh recorders).
+    max_events:
+        New bound on retained provenance events (implies fresh recorders).
 
     Returns
     -------
@@ -102,11 +125,14 @@ def configure(
     with _LOCK:
         prev = _STATE
         new_enabled = prev.enabled if enabled is None else bool(enabled)
-        if reset or clock is not None or max_spans is not None:
+        if reset or clock is not None or max_spans is not None \
+                or max_events is not None:
             _STATE = _fresh_state(
                 enabled=new_enabled,
                 clock=clock if clock is not None else prev.clock,
                 max_spans=max_spans if max_spans is not None else prev.max_spans,
+                max_events=(max_events if max_events is not None
+                            else prev.max_events),
             )
         else:
             prev.enabled = new_enabled
@@ -182,9 +208,59 @@ def record_series(name: str, value: float) -> None:
         state.registry.series(name).append(value)
 
 
+def record_event(name: str, **attrs: Any) -> None:
+    """Emit provenance event ``name`` (no-op while disabled).
+
+    The event is stamped with the enclosing :func:`query_scope`'s
+    correlation id, if any, and an injected-clock timestamp.
+    """
+    state = _STATE
+    if state.enabled:
+        state.events.emit(name, attrs)
+
+
+def time_histogram(name: str):
+    """Context manager timing its body into histogram ``name``.
+
+    The live path delegates to :meth:`MetricsRegistry.timer`; while
+    disabled the shared no-op span is returned (no allocation, no clock
+    read) so hot paths pay one flag check.
+    """
+    state = _STATE
+    if not state.enabled:
+        return NOOP_SPAN
+    return state.registry.timer(name)
+
+
+@contextmanager
+def query_scope(query_id: Optional[str] = None) -> Iterator[Optional[str]]:
+    """Provenance scope for one query: mint + activate a correlation id.
+
+    Yields the active id.  While observability is disabled the scope
+    yields ``None`` and touches nothing, keeping the disabled path free.
+    Nested scopes with no explicit ``query_id`` reuse the outer id, so a
+    public entry point calling another (``classify`` → ``kneighbors``)
+    produces one trail, not two.
+    """
+    state = _STATE
+    if not state.enabled:
+        yield None
+        return
+    from repro.obs.events import current_query_id
+
+    if query_id is None:
+        query_id = current_query_id() or state.events.mint_query_id()
+    push_query_id(query_id)
+    try:
+        yield query_id
+    finally:
+        pop_query_id()
+
+
 @contextmanager
 def capture(clock: Optional[Clock] = None,
-            max_spans: Optional[int] = None) -> Iterator[ObsState]:
+            max_spans: Optional[int] = None,
+            max_events: Optional[int] = None) -> Iterator[ObsState]:
     """Profiling session: fresh recorders, enabled inside, disabled after.
 
     The yielded state retains its data after the block exits, so callers
@@ -195,7 +271,7 @@ def capture(clock: Optional[Clock] = None,
         payload = collect_payload(state)
     """
     state = configure(enabled=True, clock=clock, reset=True,
-                      max_spans=max_spans)
+                      max_spans=max_spans, max_events=max_events)
     try:
         yield state
     finally:

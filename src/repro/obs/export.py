@@ -1,4 +1,4 @@
-"""Exporters: the stable ``repro.obs/v1`` JSON schema and text tables.
+"""Exporters: the stable ``repro.obs/v2`` JSON schema and text tables.
 
 :func:`collect_payload` snapshots one :class:`~repro.obs.config.ObsState`
 into a plain dict with a fixed key set (see docs/OBSERVABILITY.md for the
@@ -7,6 +7,11 @@ injected :class:`~repro.obs.clock.ManualClock` are byte-for-byte
 reproducible.  The same payload shape is what ``BENCH_*.json`` benchmark
 artifacts embed under their ``"telemetry"`` key, and what
 ``benchmarks/conftest.py`` dumps to ``benchmarks/_cache/``.
+
+v2 extends v1 with streaming quantiles (``p50/p95/p99`` per stage and per
+histogram), the provenance event log (``"events"`` / ``"events_dropped"``)
+and optional resource samples (``"resources"``); every v1 key is preserved
+unchanged, so v1 consumers read v2 payloads as-is.
 """
 
 from __future__ import annotations
@@ -26,12 +31,14 @@ __all__ = [
 ]
 
 #: Version tag embedded in every exported payload.
-SCHEMA_VERSION = "repro.obs/v1"
+SCHEMA_VERSION = "repro.obs/v2"
 
 
 def collect_payload(state: Optional[ObsState] = None,
-                    meta: Optional[Mapping[str, Any]] = None) -> Dict[str, Any]:
-    """Snapshot ``state`` (default: the active one) into the v1 schema.
+                    meta: Optional[Mapping[str, Any]] = None,
+                    resources: Optional[List[Mapping[str, Any]]] = None,
+                    ) -> Dict[str, Any]:
+    """Snapshot ``state`` (default: the active one) into the v2 schema.
 
     Parameters
     ----------
@@ -40,9 +47,19 @@ def collect_payload(state: Optional[ObsState] = None,
     meta:
         Free-form run description merged under the ``"meta"`` key
         (configuration, dataset sizes, accuracy numbers...).
+    resources:
+        Optional resource samples (see :mod:`repro.obs.resources`) for the
+        ``"resources"`` key; empty by default so pinned-clock exports stay
+        byte-identical across runs.
     """
     state = state if state is not None else current_state()
     metrics = state.registry.to_dict()
+    # The "p2" entries are internal mergeable quantile state
+    # (MetricsRegistry.merge); the export keeps the summary view only.
+    histograms = {
+        name: {k: v for k, v in summary.items() if k != "p2"}
+        for name, summary in metrics["histograms"].items()
+    }
     payload: Dict[str, Any] = {
         "schema": SCHEMA_VERSION,
         "stages": {name: stat.to_dict()
@@ -51,8 +68,11 @@ def collect_payload(state: Optional[ObsState] = None,
         "spans_dropped": state.collector.dropped,
         "counters": metrics["counters"],
         "gauges": metrics["gauges"],
-        "histograms": metrics["histograms"],
+        "histograms": histograms,
         "series": metrics["series"],
+        "events": state.events.to_dicts(),
+        "events_dropped": state.events.dropped,
+        "resources": [dict(sample) for sample in resources] if resources else [],
     }
     payload["meta"] = dict(meta) if meta else {}
     return payload
@@ -77,19 +97,24 @@ def _format_row(cells: List[str], widths: List[int]) -> str:
 
 
 def format_stage_table(stages: Mapping[str, Mapping[str, Any]],
-                       total_s: Optional[float] = None) -> str:
+                       total_s: Optional[float] = None,
+                       spans_dropped: int = 0) -> str:
     """Human-readable per-stage breakdown of a payload's ``"stages"`` map.
 
-    Columns: stage name, calls, total/mean milliseconds, throughput
-    (calls per second of stage time) and share of ``total_s``.  When
-    ``total_s`` is not given, the widest stage's total is used, so nested
-    stages read as fractions of the outermost one.
+    Columns: stage name, calls, total/mean milliseconds, the streaming
+    p50/p95/p99 millisecond estimates, throughput (calls per second of
+    stage time) and share of ``total_s``.  When ``total_s`` is not given,
+    the widest stage's total is used, so nested stages read as fractions of
+    the outermost one.  A nonzero ``spans_dropped`` adds a footer warning —
+    aggregate rows above are exact either way, but individual span records
+    beyond the ring-buffer capacity were not retained.
     """
     if not stages:
         return "(no stages recorded)"
     if total_s is None:
         total_s = max(float(s["total_s"]) for s in stages.values())
-    header = ["stage", "calls", "total ms", "mean ms", "calls/s", "share"]
+    header = ["stage", "calls", "total ms", "mean ms",
+              "p50 ms", "p95 ms", "p99 ms", "calls/s", "share"]
     rows: List[List[str]] = []
     ordered = sorted(stages.items(), key=lambda kv: -float(kv[1]["total_s"]))
     for name, stat in ordered:
@@ -102,6 +127,9 @@ def format_stage_table(stages: Mapping[str, Mapping[str, Any]],
             str(calls),
             f"{1000.0 * total:.2f}",
             f"{1000.0 * float(stat['mean_s']):.3f}",
+            f"{1000.0 * float(stat.get('p50_s', 0.0)):.3f}",
+            f"{1000.0 * float(stat.get('p95_s', 0.0)):.3f}",
+            f"{1000.0 * float(stat.get('p99_s', 0.0)):.3f}",
             f"{rate:.0f}" if rate else "-",
             f"{share:.1f} %",
         ])
@@ -110,4 +138,10 @@ def format_stage_table(stages: Mapping[str, Mapping[str, Any]],
     lines = [_format_row(header, widths),
              _format_row(["-" * w for w in widths], widths)]
     lines += [_format_row(r, widths) for r in rows]
+    if spans_dropped:
+        lines.append(
+            f"warning: {spans_dropped} span records dropped (ring buffer "
+            f"full); aggregates above are exact — raise --max-spans to "
+            f"retain individual spans"
+        )
     return "\n".join(lines)

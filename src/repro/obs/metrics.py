@@ -11,9 +11,10 @@ Metric kinds
   candidates scanned, FCM iterations...).
 * :class:`Gauge` — last-write-wins scalar (pruning ratio of the latest
   query, training-window count of the latest fit...).
-* :class:`Histogram` — summary statistics (count/total/min/max/mean) of an
-  observed value, with a :meth:`MetricsRegistry.timer` helper that observes
-  elapsed seconds.
+* :class:`Histogram` — summary statistics (count/total/min/max/mean plus
+  streaming p50/p95/p99 via the P² digest in :mod:`repro.obs.quantiles`)
+  of an observed value, with a :meth:`MetricsRegistry.timer` helper that
+  observes elapsed seconds.
 * :class:`Series` — an append-only list of values, used for per-iteration
   telemetry such as the FCM objective trace.
 """
@@ -25,6 +26,7 @@ from typing import Any, Dict, List, Mapping, Optional
 
 from repro.errors import ValidationError
 from repro.obs.clock import Clock, MonotonicClock
+from repro.obs.quantiles import QuantileDigest
 
 __all__ = ["Counter", "Gauge", "Histogram", "Series", "MetricsRegistry"]
 
@@ -78,7 +80,7 @@ class Gauge:
 class Histogram:
     """Streaming summary statistics of an observed value."""
 
-    __slots__ = ("name", "count", "total", "min", "max", "_lock")
+    __slots__ = ("name", "count", "total", "min", "max", "_digest", "_lock")
 
     def __init__(self, name: str, lock: threading.Lock):
         self.name = name
@@ -86,6 +88,7 @@ class Histogram:
         self.total = 0.0
         self.min = float("inf")
         self.max = float("-inf")
+        self._digest = QuantileDigest()
         self._lock = lock
 
     def observe(self, value: float) -> None:
@@ -98,17 +101,20 @@ class Histogram:
                 self.min = value
             if value > self.max:
                 self.max = value
+            self._digest.observe(value)
 
     def summary(self) -> Dict[str, float]:
-        """``{count, total, min, max, mean}`` (zeros when empty)."""
+        """``{count, total, min, max, mean, p50, p95, p99}`` (zeros when empty)."""
         if self.count == 0:
-            return {"count": 0, "total": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
+            return {"count": 0, "total": 0.0, "min": 0.0, "max": 0.0,
+                    "mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0}
         return {
             "count": self.count,
             "total": self.total,
             "min": self.min,
             "max": self.max,
             "mean": self.total / self.count,
+            **self._digest.estimates(),
         }
 
 
@@ -210,15 +216,24 @@ class MetricsRegistry:
     # -- export / merge ------------------------------------------------
 
     def to_dict(self) -> Dict[str, Any]:
-        """Deterministic snapshot: name-sorted plain dicts per metric kind."""
+        """Deterministic snapshot: name-sorted plain dicts per metric kind.
+
+        Histogram entries additionally carry their quantile-digest state
+        under the ``"p2"`` key so :meth:`merge` can fold the stream, not
+        just the summary; exporters strip it (see
+        :func:`repro.obs.export.collect_payload`).
+        """
         with self._lock:
             return {
                 "counters": {k: self._counters[k].value
                              for k in sorted(self._counters)},
                 "gauges": {k: self._gauges[k].value
                            for k in sorted(self._gauges)},
-                "histograms": {k: self._histograms[k].summary()
-                               for k in sorted(self._histograms)},
+                "histograms": {
+                    k: {**self._histograms[k].summary(),
+                        "p2": self._histograms[k]._digest.state()}
+                    for k in sorted(self._histograms)
+                },
                 "series": {k: list(self._series[k]._values)
                            for k in sorted(self._series)},
             }
@@ -227,8 +242,10 @@ class MetricsRegistry:
         """Fold another registry's :meth:`to_dict` snapshot into this one.
 
         Counters add, gauges take the incoming value, histogram summaries
-        combine, series extend.  Merging is snapshot-based so two live
-        registries can be merged without lock-ordering hazards.
+        combine (quantile digests replay the incoming ``"p2"`` state, or —
+        for summary-only snapshots — fold the incoming quantile points as
+        single observations), series extend.  Merging is snapshot-based so
+        two live registries can be merged without lock-ordering hazards.
         """
         for name, value in other.get("counters", {}).items():
             self.counter(name).inc(value)
@@ -243,6 +260,12 @@ class MetricsRegistry:
                 hist.total += float(summary["total"])
                 hist.min = min(hist.min, float(summary["min"]))
                 hist.max = max(hist.max, float(summary["max"]))
+                if "p2" in summary:
+                    hist._digest.merge_state(summary["p2"])
+                else:
+                    for key in ("min", "p50", "p95", "p99", "max"):
+                        if key in summary:
+                            hist._digest.observe(float(summary[key]))
         for name, values in other.get("series", {}).items():
             series = self.series(name)
             for value in values:

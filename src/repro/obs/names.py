@@ -4,10 +4,11 @@ Dashboards, the profiling report and the observability tests all key on
 literal span/metric names; an ad-hoc string in some helper drifts out of
 every one of them silently.  This module is the single declaration site:
 lint rule R11 statically checks that every ``span(...)`` /
-``record_counter(...)`` / ``record_gauge(...)`` / ``record_series(...)``
-call outside :mod:`repro.obs` uses a name registered here (literals must
-appear in the ``*_NAMES`` sets; f-string names must start with one of
-the ``*_PREFIXES``).
+``record_counter(...)`` / ``record_gauge(...)`` / ``record_series(...)`` /
+``time_histogram(...)`` / ``record_event(...)`` call outside
+:mod:`repro.obs` uses a name registered here (literals must appear in the
+``*_NAMES`` sets; f-string names must start with one of the
+``*_PREFIXES``).
 
 Adding an instrumentation point is a two-line change: emit the name,
 register it here.  Removing one without deleting its registration is
@@ -17,6 +18,8 @@ harmless (the registry over-approximates what is emitted).
 from __future__ import annotations
 
 __all__ = [
+    "EVENT_NAMES",
+    "EVENT_PREFIXES",
     "METRIC_NAMES",
     "METRIC_PREFIXES",
     "SPAN_NAMES",
@@ -73,6 +76,7 @@ METRIC_NAMES = frozenset({
     # classification model
     "model.n_windows",
     "model.n_dims",
+    "model.query_latency_s",
     # retrieval
     "retrieval.linear.queries",
     "retrieval.linear.scanned",
@@ -102,3 +106,21 @@ METRIC_NAMES = frozenset({
 METRIC_PREFIXES = frozenset({
     "fcm.converged.",
 })
+
+#: Every literal provenance-event name emitted by the pipeline (see
+#: :mod:`repro.obs.events`; events carry the query correlation id).
+EVENT_NAMES = frozenset({
+    # per-query provenance trail
+    "query.received",
+    "query.featurized",
+    "query.retrieved",
+    "query.classified",
+    "query.degraded",
+    # featurization fan-out
+    "featurize.batch",
+    # retrieval backends
+    "retrieval.query",
+})
+
+#: Registered dynamic event-name prefixes (none yet; events are static).
+EVENT_PREFIXES = frozenset()

@@ -22,6 +22,7 @@ from repro.features.combine import WindowFeaturizer
 from repro.obs.clock import Clock
 from repro.obs.config import capture, span
 from repro.obs.export import collect_payload
+from repro.obs.resources import ResourceSampler
 
 __all__ = ["REQUIRED_STAGES", "run_profile"]
 
@@ -55,6 +56,7 @@ def run_profile(
     backend: str = "auto",
     cache_dir: Optional[str] = None,
     robust_policy: str = "off",
+    sample_resources: bool = False,
 ) -> Dict[str, Any]:
     """Profile one synthetic end-to-end pipeline run.
 
@@ -65,6 +67,13 @@ def run_profile(
     ``clock``.  With ``robust_policy`` other than ``"off"`` the feature path
     runs through :mod:`repro.robust` (adding ``robust.*`` spans/counters to
     the payload when degradation occurs).
+
+    With ``sample_resources`` the run takes labelled
+    :class:`~repro.obs.resources.ResourceSampler` readings around each phase
+    (``start`` / ``dataset_built`` / ``fitted`` / ``queried``) and exports
+    them under the payload's ``"resources"`` key.  Resource readings are
+    process-level and non-reproducible, so the byte-identical pinned-clock
+    guarantee only holds with sampling off (the default).
     """
     if study == "hand":
         proto = hand_protocol()
@@ -74,6 +83,10 @@ def run_profile(
         raise ValidationError(f"unknown study {study!r}; use 'hand' or 'leg'")
 
     with capture(clock=clock, max_spans=max_spans) as state:
+        sampler = (ResourceSampler(clock=state.clock)
+                   if sample_resources else None)
+        if sampler is not None:
+            sampler.sample("start")
         with span("profile.total", study=study):
             with span("profile.build_dataset", participants=participants,
                       trials=trials):
@@ -83,6 +96,8 @@ def run_profile(
                     trials_per_motion=trials,
                     seed=seed,
                 )
+            if sampler is not None:
+                sampler.sample("dataset_built")
             train, test = dataset.train_test_split(test_fraction, seed=seed)
             featurizer = WindowFeaturizer(window_ms=window_ms,
                                           stride_ms=stride_ms)
@@ -93,12 +108,16 @@ def run_profile(
                                      cache_dir=cache_dir,
                                      robust_policy=robust_policy)
             model.fit(train, seed=seed)
+            if sampler is not None:
+                sampler.sample("fitted")
             k_eff = min(k, len(train))
             true_labels, predicted = [], []
             for record in test:
                 true_labels.append(record.label)
                 predicted.append(model.classify(record, k=1))
                 model.knn_class_fraction(record, k=k_eff)
+            if sampler is not None:
+                sampler.sample("queried")
         meta = {
             "study": study,
             "participants": participants,
@@ -119,5 +138,8 @@ def run_profile(
         }
         if model.feature_cache is not None:
             meta["feature_cache"] = model.feature_cache.stats.as_dict()
-        payload = collect_payload(state, meta=meta)
+        payload = collect_payload(
+            state, meta=meta,
+            resources=sampler.samples if sampler is not None else None,
+        )
     return payload

@@ -1,0 +1,209 @@
+"""Streaming quantile estimation: the P² algorithm (Jain & Chlamtac 1985).
+
+The serving-oriented roadmap items need p50/p95/p99 latencies per stage,
+but the trace collector and histograms must stay O(1) memory per name — a
+benchmark sweep folds tens of thousands of spans into one aggregate.  The
+P² ("piecewise-parabolic") algorithm tracks one quantile with five markers
+whose heights are adjusted with a parabolic interpolation as observations
+stream past: constant memory, constant work per observation, no
+dependencies, and fully deterministic for a fixed observation sequence —
+which is what keeps the ``repro.obs`` export byte-identical under an
+injected :class:`~repro.obs.clock.ManualClock`.
+
+Two classes:
+
+* :class:`P2Quantile` — one quantile, five markers (exact below five
+  observations, P² beyond);
+* :class:`QuantileDigest` — the p50/p95/p99 triple every
+  :class:`~repro.obs.metrics.Histogram` and
+  :class:`~repro.obs.trace.StageStat` carries, with a serializable state
+  for cross-process metric merging (see
+  :meth:`QuantileDigest.state` / :meth:`QuantileDigest.merge_state`).
+
+Accuracy is that of the published algorithm: the estimate converges on the
+true quantile for i.i.d. streams and is exact for the first five
+observations; the property tests pin the error envelope against
+``numpy.percentile`` on seeded streams.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ValidationError
+
+__all__ = ["DEFAULT_QUANTILES", "P2Quantile", "QuantileDigest"]
+
+#: The quantile triple reported by every histogram and stage aggregate.
+DEFAULT_QUANTILES = (0.5, 0.95, 0.99)
+
+
+class P2Quantile:
+    """Streaming estimate of one quantile via the P² algorithm.
+
+    Parameters
+    ----------
+    q:
+        The quantile in the open interval (0, 1), e.g. ``0.95``.
+
+    Below five observations the estimate is computed exactly from a sorted
+    buffer (linear interpolation, matching ``numpy.percentile``'s default);
+    from the fifth observation on, the five P² markers take over.
+    """
+
+    __slots__ = ("q", "count", "_heights", "_positions", "_desired", "_incr")
+
+    def __init__(self, q: float):
+        if not 0.0 < q < 1.0:
+            raise ValidationError(f"quantile must be in (0, 1), got {q}")
+        self.q = float(q)
+        self.count = 0
+        # Until five observations arrive, _heights is the raw sorted buffer.
+        self._heights: List[float] = []
+        self._positions: List[float] = []
+        self._desired: List[float] = []
+        q = self.q
+        self._incr = (0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0)
+
+    def observe(self, value: float) -> None:
+        """Fold one observation into the estimate."""
+        value = float(value)
+        self.count += 1
+        if self.count <= 5:
+            bisect.insort(self._heights, value)
+            if self.count == 5:
+                q = self.q
+                self._positions = [1.0, 2.0, 3.0, 4.0, 5.0]
+                self._desired = [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q,
+                                 3.0 + 2.0 * q, 5.0]
+            return
+        h, n, d = self._heights, self._positions, self._desired
+        if value < h[0]:
+            h[0] = value
+            k = 0
+        elif value >= h[4]:
+            h[4] = value
+            k = 3
+        else:
+            k = 0
+            while value >= h[k + 1]:
+                k += 1
+        for i in range(k + 1, 5):
+            n[i] += 1.0
+        for i in range(5):
+            d[i] += self._incr[i]
+        for i in (1, 2, 3):
+            delta = d[i] - n[i]
+            if ((delta >= 1.0 and n[i + 1] - n[i] > 1.0)
+                    or (delta <= -1.0 and n[i - 1] - n[i] < -1.0)):
+                sign = 1.0 if delta >= 1.0 else -1.0
+                candidate = self._parabolic(i, sign)
+                if not h[i - 1] < candidate < h[i + 1]:
+                    candidate = self._linear(i, sign)
+                h[i] = candidate
+                n[i] += sign
+
+    def _parabolic(self, i: int, sign: float) -> float:
+        h, n = self._heights, self._positions
+        return h[i] + sign / (n[i + 1] - n[i - 1]) * (
+            (n[i] - n[i - 1] + sign) * (h[i + 1] - h[i]) / (n[i + 1] - n[i])
+            + (n[i + 1] - n[i] - sign) * (h[i] - h[i - 1]) / (n[i] - n[i - 1])
+        )
+
+    def _linear(self, i: int, sign: float) -> float:
+        h, n = self._heights, self._positions
+        j = i + int(sign)
+        return h[i] + sign * (h[j] - h[i]) / (n[j] - n[i])
+
+    @property
+    def estimate(self) -> float:
+        """Current quantile estimate (0.0 before any observation)."""
+        if self.count == 0:
+            return 0.0
+        if self.count < 5:
+            return _interpolated_quantile(self._heights, self.q)
+        return self._heights[2]
+
+    # -- serializable state (cross-process metric merging) --------------
+
+    def state(self) -> Dict[str, Any]:
+        """Mergeable snapshot: raw buffer below 5 counts, markers beyond."""
+        if self.count < 5:
+            return {"count": self.count, "buffer": list(self._heights)}
+        return {
+            "count": self.count,
+            "heights": list(self._heights),
+            "positions": list(self._positions),
+        }
+
+    def merge_state(self, state: Dict[str, Any]) -> None:
+        """Fold another estimator's :meth:`state` snapshot into this one.
+
+        Raw buffers replay exactly.  Marker snapshots replay each marker
+        height weighted by the observation count its position interval
+        covers — a deterministic approximation (the P² state of two streams
+        cannot be combined exactly), adequate for the cross-process merge
+        in :mod:`repro.parallel.runner` where each worker contributes a
+        handful of observations.
+        """
+        buffer = state.get("buffer")
+        if buffer is not None:
+            for value in buffer:
+                self.observe(value)
+            return
+        heights = state.get("heights") or []
+        positions = state.get("positions") or []
+        previous = 0.0
+        for height, position in zip(heights, positions):
+            weight = max(1, int(round(position - previous)))
+            previous = position
+            for _ in range(weight):
+                self.observe(height)
+
+
+def _interpolated_quantile(sorted_values: Sequence[float], q: float) -> float:
+    """Linear-interpolated quantile of a small sorted buffer."""
+    n = len(sorted_values)
+    if n == 1:
+        return float(sorted_values[0])
+    rank = q * (n - 1)
+    low = int(rank)
+    high = min(low + 1, n - 1)
+    frac = rank - low
+    return float(sorted_values[low] * (1.0 - frac)
+                 + sorted_values[high] * frac)
+
+
+class QuantileDigest:
+    """The p50/p95/p99 estimator triple behind histograms and stage stats."""
+
+    __slots__ = ("_estimators",)
+
+    def __init__(self, quantiles: Tuple[float, ...] = DEFAULT_QUANTILES):
+        self._estimators = tuple(P2Quantile(q) for q in quantiles)
+
+    def observe(self, value: float) -> None:
+        """Fold one observation into every tracked quantile."""
+        for estimator in self._estimators:
+            estimator.observe(value)
+
+    def estimates(self, suffix: str = "") -> Dict[str, float]:
+        """``{p50, p95, p99}`` (key + ``suffix``), zeros before any data."""
+        return {
+            f"p{round(e.q * 100):d}{suffix}": e.estimate
+            for e in self._estimators
+        }
+
+    def state(self) -> Dict[str, Dict[str, Any]]:
+        """Serializable per-quantile snapshot, keyed like :meth:`estimates`."""
+        return {f"p{round(e.q * 100):d}": e.state() for e in self._estimators}
+
+    def merge_state(self, state: Optional[Dict[str, Dict[str, Any]]]) -> None:
+        """Fold another digest's :meth:`state` into this one (keys matched)."""
+        if not state:
+            return
+        for estimator in self._estimators:
+            part = state.get(f"p{round(estimator.q * 100):d}")
+            if part is not None:
+                estimator.merge_state(part)

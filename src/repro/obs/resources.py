@@ -1,0 +1,105 @@
+"""Lightweight process-resource sampling: RSS, CPU time, GC pressure.
+
+Per-stage wall time (the trace collector) says nothing about *why* a stage
+is slow — a resident-set blow-up, CPU time burned in another thread, or a
+garbage-collection storm all read the same on a wall clock.  The
+:class:`ResourceSampler` takes labelled point-in-time samples of the
+process's resource counters, zero-dependency (``resource`` + ``gc`` +
+``os`` from the standard library):
+
+* max resident set size (``ru_maxrss``, kilobytes on Linux);
+* user/system CPU seconds (``ru_utime`` / ``ru_stime``);
+* cumulative garbage collections per generation (``gc.get_stats``).
+
+Samples are explicit (``sampler.sample("after_fit")``), not a background
+thread — deterministic call points, no jitter in the thing being measured.
+The profile runner takes them before/after each phase when asked
+(``repro-motions profile --resources``); they land under the payload's
+``"resources"`` key.  Resource readings are inherently non-reproducible,
+so sampling is **off by default** — the byte-identical-export guarantee of
+the pinned-clock path only covers payloads without samples.
+
+This module lives inside :mod:`repro.obs`, the one package allowed to read
+process-level clocks and counters (lint rules R6/R9 exempt it).
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+from typing import Any, Dict, List, Optional
+
+try:  # Unix-only stdlib module; sampled fields degrade to 0.0 without it.
+    import resource
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    resource = None  # type: ignore[assignment]
+
+from repro.obs.clock import Clock, MonotonicClock
+
+__all__ = ["ResourceSampler"]
+
+
+class ResourceSampler:
+    """Labelled point-in-time samples of the process's resource counters.
+
+    Parameters
+    ----------
+    clock:
+        Time source for the per-sample ``ts`` field (injected for tests).
+    """
+
+    def __init__(self, clock: Optional[Clock] = None):
+        self._clock: Clock = clock if clock is not None else MonotonicClock()
+        self._samples: List[Dict[str, Any]] = []
+
+    @staticmethod
+    def read() -> Dict[str, float]:
+        """One raw reading of the tracked counters (no label, no storage)."""
+        if resource is not None:
+            usage = resource.getrusage(resource.RUSAGE_SELF)
+            rss_kb = float(usage.ru_maxrss)
+            cpu_user = float(usage.ru_utime)
+            cpu_system = float(usage.ru_stime)
+        else:  # pragma: no cover - non-POSIX platforms
+            rss_kb = cpu_user = cpu_system = 0.0
+        collections = sum(s["collections"] for s in gc.get_stats())
+        gen0, gen1, gen2 = gc.get_count()
+        times = os.times()
+        return {
+            "rss_max_kb": rss_kb,
+            "cpu_user_s": cpu_user,
+            "cpu_system_s": cpu_system,
+            "cpu_children_s": float(times.children_user
+                                    + times.children_system),
+            "gc_collections": float(collections),
+            "gc_tracked_gen0": float(gen0),
+            "gc_tracked_gen1": float(gen1),
+            "gc_tracked_gen2": float(gen2),
+        }
+
+    def sample(self, label: str) -> Dict[str, Any]:
+        """Take, store and return one labelled sample."""
+        entry: Dict[str, Any] = {"label": label, "ts": self._clock.now()}
+        entry.update(self.read())
+        self._samples.append(entry)
+        return entry
+
+    @property
+    def samples(self) -> List[Dict[str, Any]]:
+        """All samples taken so far, in order (copies)."""
+        return [dict(sample) for sample in self._samples]
+
+    def delta(self) -> Dict[str, float]:
+        """Counter deltas between the first and last sample (empty if < 2)."""
+        if len(self._samples) < 2:
+            return {}
+        first, last = self._samples[0], self._samples[-1]
+        return {
+            key: float(last[key]) - float(first[key])
+            for key in first
+            if key not in ("label", "ts") and key in last
+        }
+
+    def reset(self) -> None:
+        """Drop all stored samples."""
+        self._samples.clear()

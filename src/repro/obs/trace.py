@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.obs.clock import Clock, MonotonicClock
+from repro.obs.quantiles import QuantileDigest
 
 __all__ = [
     "SpanRecord",
@@ -89,13 +90,20 @@ class SpanRecord:
 
 @dataclass
 class StageStat:
-    """Exact per-stage aggregate over every finished span of one name."""
+    """Exact per-stage aggregate over every finished span of one name.
+
+    Count/total/min/max are exact; p50/p95/p99 are streaming P² estimates
+    (see :mod:`repro.obs.quantiles`) so the aggregate stays O(1) memory no
+    matter how many spans fold in — the per-stage breakdown is never
+    sampled, even in ``max_spans=0`` aggregate-only sessions.
+    """
 
     calls: int = 0
     total: float = 0.0
     min: float = float("inf")
     max: float = float("-inf")
     errors: int = 0
+    digest: QuantileDigest = field(default_factory=QuantileDigest)
 
     def add(self, duration: float, error: Optional[str]) -> None:
         """Fold one finished span into the aggregate."""
@@ -107,18 +115,21 @@ class StageStat:
             self.max = duration
         if error is not None:
             self.errors += 1
+        self.digest.observe(duration)
 
     def to_dict(self) -> Dict[str, float]:
-        """``{calls, total_s, mean_s, min_s, max_s, errors}``."""
+        """``{calls, total_s, mean_s, min_s, max_s, p50_s, p95_s, p99_s, errors}``."""
         if self.calls == 0:
             return {"calls": 0, "total_s": 0.0, "mean_s": 0.0,
-                    "min_s": 0.0, "max_s": 0.0, "errors": 0}
+                    "min_s": 0.0, "max_s": 0.0,
+                    "p50_s": 0.0, "p95_s": 0.0, "p99_s": 0.0, "errors": 0}
         return {
             "calls": self.calls,
             "total_s": self.total,
             "mean_s": self.total / self.calls,
             "min_s": self.min,
             "max_s": self.max,
+            **self.digest.estimates(suffix="_s"),
             "errors": self.errors,
         }
 

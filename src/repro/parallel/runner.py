@@ -28,7 +28,13 @@ from typing import Any, List, Optional, Sequence, Tuple
 from repro.data.record import RecordedMotion
 from repro.errors import FeatureError
 from repro.features.base import WindowFeatures
-from repro.obs.config import capture, current_state, is_enabled, span
+from repro.obs.config import (
+    capture,
+    current_state,
+    is_enabled,
+    record_event,
+    span,
+)
 from repro.parallel.cache import FeatureCache, record_cache_key
 from repro.parallel.executor import pool_map, resolve_backend
 
@@ -98,6 +104,9 @@ def featurize_records(
         else:
             pending = [(i, None) for i in range(len(records))]
         sp.set(cache_hits=len(records) - len(pending), computed=len(pending))
+        record_event("featurize.batch", n_records=len(records),
+                     cache_hits=len(records) - len(pending),
+                     computed=len(pending))
 
         if pending:
             resolved = resolve_backend(backend, n_jobs, featurizer,

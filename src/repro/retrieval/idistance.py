@@ -27,7 +27,13 @@ import numpy as np
 
 from repro.errors import NotFittedError, RetrievalError
 from repro.fuzzy.kmeans import KMeans
-from repro.obs.config import is_enabled, record_counter, record_gauge, span
+from repro.obs.config import (
+    is_enabled,
+    record_counter,
+    record_event,
+    record_gauge,
+    span,
+)
 from repro.retrieval.knn import NearestNeighborIndex
 from repro.utils.rng import SeedLike
 from repro.utils.validation import check_array, check_positive_int, shapes
@@ -148,6 +154,9 @@ class IDistanceIndex(NearestNeighborIndex):
                                self.last_candidates)
                 record_counter("retrieval.idistance.rounds", self.last_rounds)
                 record_gauge("retrieval.idistance.pruning_ratio", pruning)
+                record_event("retrieval.query", backend="idistance", k=k,
+                             candidates=int(self.last_candidates),
+                             rounds=int(self.last_rounds))
                 sp.set(candidates=self.last_candidates,
                        rounds=self.last_rounds, pruning_ratio=pruning)
         return result

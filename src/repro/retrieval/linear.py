@@ -7,7 +7,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.errors import NotFittedError
-from repro.obs.config import is_enabled, record_counter
+from repro.obs.config import is_enabled, record_counter, record_event
 from repro.retrieval.knn import NearestNeighborIndex
 from repro.utils.validation import check_array
 
@@ -47,6 +47,8 @@ class LinearScanIndex(NearestNeighborIndex):
         if is_enabled():
             record_counter("retrieval.linear.queries")
             record_counter("retrieval.linear.scanned", x.shape[0])
+            record_event("retrieval.query", backend="linear", k=k,
+                         scanned=int(x.shape[0]))
         diff = x - vector
         distances = np.sqrt(np.einsum("nd,nd->n", diff, diff))
         # Stable lexicographic order (distance, index) makes results

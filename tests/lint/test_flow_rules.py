@@ -28,7 +28,9 @@ OBS_CONFIG = (
     "def traced(name):\n    def deco(fn):\n        return fn\n    return deco\n\n"
     "def record_counter(name, value=1):\n    return None\n\n"
     "def record_gauge(name, value):\n    return None\n\n"
-    "def record_series(name, value):\n    return None\n"
+    "def record_series(name, value):\n    return None\n\n"
+    "def record_event(name, **attrs):\n    return None\n\n"
+    "def time_histogram(name):\n    return None\n"
 )
 
 #: Project error hierarchy for R12 fixtures.
@@ -376,8 +378,10 @@ class TestR11:
     REGISTRY = (
         "SPAN_NAMES = frozenset({\"model.fit\"})\n"
         "SPAN_PREFIXES = frozenset()\n"
-        "METRIC_NAMES = frozenset({\"model.fits\"})\n"
+        "METRIC_NAMES = frozenset({\"model.fits\", \"model.latency_s\"})\n"
         "METRIC_PREFIXES = frozenset({\"model.converged.\"})\n"
+        "EVENT_NAMES = frozenset({\"query.received\"})\n"
+        "EVENT_PREFIXES = frozenset()\n"
     )
 
     def _tree(self, user_body):
@@ -423,6 +427,35 @@ class TestR11:
         ), select=["R11"])
         assert rules_of(report) == ["R11"]
         assert "model.stopped." in report.violations[0].message
+
+    def test_fires_on_unregistered_event_name(self, tmp_path):
+        report = lint(tmp_path, self._tree(
+            "from repro.obs.config import record_event\n\n"
+            "def fit(x):\n"
+            "    record_event(\"query.mystery\", key=x)\n"
+        ), select=["R11"])
+        assert rules_of(report) == ["R11"]
+        assert "query.mystery" in report.violations[0].message
+
+    def test_silent_on_registered_event_and_timer_names(self, tmp_path):
+        report = lint(tmp_path, self._tree(
+            "from repro.obs.config import record_event, time_histogram\n\n"
+            "def fit(x):\n"
+            "    with time_histogram(\"model.latency_s\"):\n"
+            "        record_event(\"query.received\", key=x)\n"
+            "    return x\n"
+        ), select=["R11"])
+        assert report.ok
+
+    def test_fires_on_unregistered_timer_name(self, tmp_path):
+        report = lint(tmp_path, self._tree(
+            "from repro.obs.config import time_histogram\n\n"
+            "def fit(x):\n"
+            "    with time_histogram(\"model.wall_s\"):\n"
+            "        return x\n"
+        ), select=["R11"])
+        assert rules_of(report) == ["R11"]
+        assert "model.wall_s" in report.violations[0].message
 
     def test_fully_dynamic_name_fires(self, tmp_path):
         report = lint(tmp_path, self._tree(

@@ -1,0 +1,184 @@
+"""The benchmark run ledger and its regression gate (repro.obs.ledger)."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.ledger import (
+    LEDGER_SCHEMA,
+    Ledger,
+    check_regression,
+    config_fingerprint,
+    format_regressions,
+    git_sha,
+    record_from_payload,
+)
+
+
+def make_payload(scale: float = 1.0, seed_meta: dict | None = None) -> dict:
+    """A minimal payload with two stages whose timings scale together."""
+    meta = {"study": "hand", "n_clusters": 8, "seed": 0}
+    if seed_meta:
+        meta.update(seed_meta)
+    def stage(total: float, calls: int) -> dict:
+        return {
+            "calls": calls,
+            "total_s": total * scale,
+            "mean_s": total * scale / calls,
+            "min_s": 0.0,
+            "max_s": total * scale,
+            "p50_s": total * scale / calls,
+            "p95_s": total * scale / calls,
+            "p99_s": total * scale / calls,
+            "errors": 0,
+        }
+    return {
+        "schema": "repro.obs/v2",
+        "stages": {
+            "model.fit": stage(0.200, 1),
+            "retrieval.knn_query": stage(0.050, 10),
+        },
+        "meta": meta,
+    }
+
+
+def make_record(scale: float = 1.0, **kwargs) -> dict:
+    return record_from_payload(make_payload(scale), sha="abc1234",
+                               ts=0.0, **kwargs)
+
+
+class TestFingerprint:
+    def test_stable_across_key_order(self):
+        a = config_fingerprint({"x": 1, "y": 2})
+        b = config_fingerprint({"y": 2, "x": 1})
+        assert a == b
+        assert len(a) == 12
+
+    def test_sensitive_to_configuration(self):
+        assert config_fingerprint({"clusters": 8}) != \
+            config_fingerprint({"clusters": 15})
+
+    def test_excludes_run_outputs(self):
+        base = {"study": "hand", "seed": 0}
+        with_results = {**base, "misclassification_pct": 12.5,
+                        "n_train": 48, "n_queries": 16,
+                        "feature_cache": {"hits": 3},
+                        "cache_dir": "/tmp/x"}
+        assert config_fingerprint(base) == config_fingerprint(with_results)
+
+
+class TestGitSha:
+    def test_inside_repo_returns_short_sha(self, tmp_path):
+        # The test process runs inside this repo; outside any repo the
+        # helper degrades to "unknown" instead of raising.
+        assert git_sha(tmp_path) == "unknown"
+        sha = git_sha()
+        assert sha == "unknown" or (4 <= len(sha) <= 40
+                                    and all(c in "0123456789abcdef"
+                                            for c in sha))
+
+
+class TestRecord:
+    def test_record_shape(self):
+        record = make_record()
+        assert record["schema"] == LEDGER_SCHEMA
+        assert record["git_sha"] == "abc1234"
+        assert record["label"] == "profile"
+        assert set(record["stages"]) == {"model.fit", "retrieval.knn_query"}
+        assert record["fingerprint"] == config_fingerprint(record["meta"])
+
+    def test_explicit_fingerprint_wins(self):
+        record = record_from_payload(make_payload(), sha="abc1234",
+                                     fingerprint="deadbeef0000", ts=0.0)
+        assert record["fingerprint"] == "deadbeef0000"
+
+
+class TestLedgerFile:
+    def test_append_read_round_trip(self, tmp_path):
+        ledger = Ledger(tmp_path / "sub" / "ledger.jsonl")
+        first, second = make_record(), make_record(scale=1.1)
+        ledger.append(first)
+        ledger.append(second)
+        assert ledger.read() == [first, second]
+
+    def test_missing_file_reads_empty(self, tmp_path):
+        assert Ledger(tmp_path / "none.jsonl").read() == []
+
+    def test_corrupt_lines_are_skipped(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        ledger = Ledger(path)
+        record = make_record()
+        ledger.append(record)
+        with path.open("a") as fh:
+            fh.write("{truncated by a kill -9\n")
+            fh.write("\n")
+            fh.write(json.dumps({"not": "a record"}) + "\n")
+        ledger.append(make_record(scale=2.0))
+        records = ledger.read()
+        assert len(records) == 2
+        assert records[0] == record
+
+    def test_runs_filters_by_fingerprint_and_label(self, tmp_path):
+        ledger = Ledger(tmp_path / "ledger.jsonl")
+        ledger.append(make_record())
+        ledger.append(make_record(label="other"))
+        fingerprint = make_record()["fingerprint"]
+        assert len(ledger.runs(fingerprint=fingerprint)) == 2
+        assert len(ledger.runs(label="other")) == 1
+        assert ledger.runs(fingerprint="nope") == []
+
+
+class TestRegressionCheck:
+    def baseline(self, n: int = 5) -> list:
+        # Mild jitter around 1.0x so the MAD is realistic, not zero.
+        jitter = (1.00, 0.98, 1.03, 1.01, 0.99, 1.02, 0.97)
+        return [make_record(scale=jitter[i % len(jitter)])
+                for i in range(n)]
+
+    def test_unchanged_rerun_passes(self):
+        baseline = self.baseline()
+        assert check_regression(baseline, make_record(scale=1.0)) == []
+
+    def test_injected_2x_slowdown_is_flagged(self):
+        baseline = self.baseline()
+        findings = check_regression(baseline, make_record(scale=2.0))
+        assert {f["stage"] for f in findings} == \
+            {"model.fit", "retrieval.knn_query"}
+        worst = findings[0]
+        assert worst["ratio"] > 1.8
+        assert worst["current_s"] > worst["allowed_s"]
+
+    def test_small_jitter_passes(self):
+        baseline = self.baseline()
+        assert check_regression(baseline, make_record(scale=1.05)) == []
+
+    def test_empty_baseline_never_flags(self):
+        assert check_regression([], make_record(scale=100.0)) == []
+
+    def test_window_limits_baseline(self):
+        # Old slow history beyond the window must not mask a regression
+        # against the recent (fast) runs.
+        history = [make_record(scale=3.0)] * 5 + self.baseline(5)
+        findings = check_regression(history, make_record(scale=2.0),
+                                    window=5)
+        assert findings  # 2x vs the recent 1x window regresses
+
+    def test_tiny_stages_are_ignored(self):
+        baseline = self.baseline()
+        findings = check_regression(baseline, make_record(scale=2.0),
+                                    min_total_s=1.0)
+        assert findings == []
+
+    def test_new_stage_has_no_baseline(self):
+        current = make_record(scale=1.0)
+        current["stages"]["brand.new_stage"] = \
+            current["stages"]["model.fit"]
+        assert check_regression(self.baseline(), current) == []
+
+    def test_format_regressions(self):
+        findings = check_regression(self.baseline(),
+                                    make_record(scale=2.0))
+        text = format_regressions(findings)
+        assert "regressed" in text
+        assert "model.fit" in text
+        assert format_regressions([]) == "no regressions detected"

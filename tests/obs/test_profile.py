@@ -78,6 +78,86 @@ class TestRunProfile:
         assert to_json(run()) == to_json(run())
 
 
+class TestQuantilesInPayload:
+    def test_stage_dicts_carry_quantiles(self, payload):
+        for name, stat in payload["stages"].items():
+            for key in ("p50_s", "p95_s", "p99_s"):
+                assert key in stat, f"stage {name} missing {key}"
+            assert stat["min_s"] <= stat["p50_s"] <= stat["p95_s"] \
+                <= stat["p99_s"] <= stat["max_s"] + 1e-12
+
+    def test_query_latency_histogram_has_quantiles(self, payload):
+        latency = payload["histograms"]["model.query_latency_s"]
+        assert latency["count"] >= 1
+        for key in ("p50", "p95", "p99"):
+            assert key in latency
+        assert "p2" not in latency  # internal merge state never exported
+
+
+class TestProvenanceInPayload:
+    def test_every_query_emits_lifecycle_events(self, payload):
+        events = payload["events"]
+        assert payload["events_dropped"] == 0
+        names = {event["name"] for event in events}
+        assert {"query.received", "query.retrieved",
+                "query.classified"} <= names
+        received = [e for e in events if e["name"] == "query.received"]
+        # classify() + knn_class_fraction() per test record: at least
+        # one received event per query in meta.
+        assert len(received) >= payload["meta"]["n_queries"]
+
+    def test_query_ids_correlate_a_full_query(self, payload):
+        by_id: dict = {}
+        for event in payload["events"]:
+            if event["query_id"] is not None:
+                by_id.setdefault(event["query_id"], set()).add(event["name"])
+        assert by_id, "no correlated events in profile payload"
+        assert all(qid.startswith("q") for qid in by_id)
+        # At least one query id must span the classify lifecycle.
+        assert any({"query.received", "query.classified"} <= names
+                   for names in by_id.values())
+
+    def test_resources_default_empty(self, payload):
+        assert payload["resources"] == []
+
+    def test_sample_resources_populates_payload(self):
+        payload = run_profile(sample_resources=True, **PROFILE_KWARGS)
+        labels = [sample["label"] for sample in payload["resources"]]
+        assert labels == ["start", "dataset_built", "fitted", "queried"]
+        assert all("rss_max_kb" in sample
+                   for sample in payload["resources"])
+
+
+class TestSpanLoss:
+    def test_max_spans_surfaces_drop_count(self):
+        payload = run_profile(max_spans=5, **PROFILE_KWARGS)
+        assert payload["spans_dropped"] > 0
+        assert len(payload["spans"]) == 5
+
+    def test_cli_warns_about_dropped_spans(self, tmp_path, capsys):
+        code = main([
+            "profile", "--participants", "1", "--trials", "2",
+            "--clusters", "4", "--k", "3", "--max-spans", "5",
+            "-o", str(tmp_path / "p.json"),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "span records dropped" in out
+        assert "--max-spans" in out
+
+    def test_cli_resources_flag(self, tmp_path, capsys):
+        out_path = tmp_path / "p.json"
+        code = main([
+            "profile", "--participants", "1", "--trials", "2",
+            "--clusters", "4", "--k", "3", "--resources",
+            "-o", str(out_path),
+        ])
+        assert code == 0
+        assert "resources: peak RSS" in capsys.readouterr().out
+        payload = json.loads(out_path.read_text())
+        assert len(payload["resources"]) == 4
+
+
 class TestProfileCLI:
     def test_parser_defaults(self):
         args = build_parser().parse_args(["profile"])
@@ -100,6 +180,79 @@ class TestProfileCLI:
         assert payload["schema"] == SCHEMA_VERSION
         for stage in REQUIRED_STAGES:
             assert stage in payload["stages"]
+
+
+class TestBenchCLI:
+    @staticmethod
+    def synthetic_record(scale: float) -> dict:
+        from repro.obs.ledger import record_from_payload
+
+        total = 0.2 * scale
+        return record_from_payload(
+            {
+                "stages": {"model.fit": {
+                    "calls": 1, "total_s": total, "mean_s": total,
+                    "min_s": total, "max_s": total, "p50_s": total,
+                    "p95_s": total, "p99_s": total, "errors": 0,
+                }},
+                "meta": {"study": "hand", "seed": 0},
+            },
+            sha="test000", ts=0.0,
+        )
+
+    def write_ledger(self, path, scales):
+        from repro.obs.ledger import Ledger
+
+        ledger = Ledger(path)
+        for scale in scales:
+            ledger.append(self.synthetic_record(scale))
+        return ledger
+
+    def test_run_appends_a_record(self, tmp_path, capsys):
+        ledger_path = tmp_path / "ledger.jsonl"
+        code = main([
+            "bench", "run", "--participants", "1", "--trials", "2",
+            "--clusters", "4", "--k", "3", "--ledger", str(ledger_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "recorded run:" in out and "fingerprint=" in out
+        from repro.obs.ledger import Ledger
+
+        records = Ledger(ledger_path).read()
+        assert len(records) == 1
+        assert "model.fit" in records[0]["stages"]
+
+    def test_check_flags_injected_slowdown(self, tmp_path, capsys):
+        ledger_path = tmp_path / "ledger.jsonl"
+        self.write_ledger(ledger_path,
+                          [1.00, 0.98, 1.03, 1.01, 0.99, 2.0])
+        code = main(["bench", "check", "--ledger", str(ledger_path)])
+        assert code == 1
+        assert "regressed" in capsys.readouterr().out
+
+    def test_check_passes_unchanged_rerun(self, tmp_path, capsys):
+        ledger_path = tmp_path / "ledger.jsonl"
+        self.write_ledger(ledger_path,
+                          [1.00, 0.98, 1.03, 1.01, 0.99, 1.0])
+        code = main(["bench", "check", "--ledger", str(ledger_path)])
+        assert code == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_check_without_baseline_passes(self, tmp_path, capsys):
+        ledger_path = tmp_path / "ledger.jsonl"
+        assert main(["bench", "check", "--ledger", str(ledger_path)]) == 0
+        assert "empty" in capsys.readouterr().out
+        self.write_ledger(ledger_path, [1.0])
+        assert main(["bench", "check", "--ledger", str(ledger_path)]) == 0
+        assert "no baseline" in capsys.readouterr().out
+
+    def test_list_prints_history(self, tmp_path, capsys):
+        ledger_path = tmp_path / "ledger.jsonl"
+        self.write_ledger(ledger_path, [1.0, 1.1])
+        assert main(["bench", "list", "--ledger", str(ledger_path)]) == 0
+        out = capsys.readouterr().out
+        assert "fingerprint" in out and "test000" in out
 
 
 class TestTraceAndMetricsFlags:

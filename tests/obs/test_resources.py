@@ -1,0 +1,70 @@
+"""The process-resource sampler (repro.obs.resources)."""
+
+from __future__ import annotations
+
+from repro.obs.clock import ManualClock
+from repro.obs.resources import ResourceSampler
+
+EXPECTED_KEYS = {
+    "rss_max_kb",
+    "cpu_user_s",
+    "cpu_system_s",
+    "cpu_children_s",
+    "gc_collections",
+    "gc_tracked_gen0",
+    "gc_tracked_gen1",
+    "gc_tracked_gen2",
+}
+
+
+class TestRead:
+    def test_reading_has_stable_key_set(self):
+        reading = ResourceSampler.read()
+        assert set(reading) == EXPECTED_KEYS
+        assert all(isinstance(v, float) for v in reading.values())
+
+    def test_counters_are_nonnegative(self):
+        reading = ResourceSampler.read()
+        assert reading["rss_max_kb"] >= 0.0
+        assert reading["cpu_user_s"] >= 0.0
+        assert reading["gc_collections"] >= 0.0
+
+
+class TestSampler:
+    def test_samples_are_labelled_and_timestamped(self):
+        sampler = ResourceSampler(clock=ManualClock(start=5.0,
+                                                    auto_advance=1.0))
+        sampler.sample("start")
+        sampler.sample("end")
+        samples = sampler.samples
+        assert [s["label"] for s in samples] == ["start", "end"]
+        assert samples[1]["ts"] > samples[0]["ts"]
+        assert set(samples[0]) == EXPECTED_KEYS | {"label", "ts"}
+
+    def test_samples_returns_copies(self):
+        sampler = ResourceSampler(clock=ManualClock())
+        sampler.sample("start")
+        sampler.samples[0]["label"] = "mutated"
+        assert sampler.samples[0]["label"] == "start"
+
+    def test_delta_needs_two_samples(self):
+        sampler = ResourceSampler(clock=ManualClock())
+        assert sampler.delta() == {}
+        sampler.sample("only")
+        assert sampler.delta() == {}
+
+    def test_delta_excludes_label_and_ts(self):
+        sampler = ResourceSampler(clock=ManualClock())
+        sampler.sample("start")
+        # Burn a little CPU so the delta has something to measure.
+        sum(i * i for i in range(50_000))
+        sampler.sample("end")
+        delta = sampler.delta()
+        assert set(delta) == EXPECTED_KEYS
+        assert delta["cpu_user_s"] >= 0.0
+
+    def test_reset_clears_samples(self):
+        sampler = ResourceSampler(clock=ManualClock())
+        sampler.sample("start")
+        sampler.reset()
+        assert sampler.samples == []
