@@ -5,7 +5,7 @@
 PY ?= python
 PYTHONPATH := src
 
-.PHONY: test lint lint-strict lint-changed selftest bench-lint clean-lint-cache
+.PHONY: test lint lint-strict lint-changed selftest health bench-lint clean-lint-cache
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PY) -m pytest tests/ -q
@@ -21,6 +21,9 @@ lint-changed:
 
 selftest:
 	PYTHONPATH=$(PYTHONPATH) $(PY) -m repro.cli selftest --lint-cache .lint-cache.json
+
+health:
+	PYTHONPATH=$(PYTHONPATH) $(PY) -m repro.cli health --clusters 4 --seed 0 --openmetrics-out health.om
 
 bench-lint:
 	PYTHONPATH=$(PYTHONPATH) $(PY) -m pytest benchmarks/test_lint_dataflow.py -q

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Eight subcommands cover the library's workflow without writing Python:
+Nine subcommands cover the library's workflow without writing Python:
 
 ``repro-motions build``
     Simulate a capture campaign and save it to disk.
@@ -20,6 +20,12 @@ Eight subcommands cover the library's workflow without writing Python:
     quantiles); ``bench check`` gates the newest run against the
     median-of-k history and exits nonzero on regression; ``bench list``
     prints the history (see :mod:`repro.obs.ledger`).
+``repro-motions health``
+    Run the model-health check: fit a synthetic model, drive a query
+    workload (optionally fault-injected), evaluate drift detectors and SLO
+    rules, and exit 1 when critical alerts fire (see
+    :mod:`repro.obs.health`).  ``--openmetrics-out`` writes the telemetry
+    as an OpenMetrics exposition; ``--watch N`` re-runs every N seconds.
 ``repro-motions lint``
     Run the repo-specific static-analysis rules (see :mod:`repro.lint`).
 ``repro-motions selftest``
@@ -180,6 +186,54 @@ def build_parser() -> argparse.ArgumentParser:
                              "under the payload's 'resources' key")
     add_parallel_flags(p_prof)
     add_robust_flag(p_prof)
+
+    p_health = sub.add_parser(
+        "health",
+        help="model-health check: drift detectors + SLO rules "
+             "(exits 1 on firing critical alerts)",
+    )
+    p_health.add_argument("--study", choices=("hand", "leg"), default="hand")
+    p_health.add_argument("--participants", type=int, default=1)
+    p_health.add_argument("--trials", type=int, default=2,
+                          help="trials per motion class per participant")
+    p_health.add_argument("--clusters", type=int, default=8)
+    p_health.add_argument("--window-ms", type=float, default=100.0)
+    p_health.add_argument("--stride-ms", type=float, default=None)
+    p_health.add_argument("--k", type=int, default=1)
+    p_health.add_argument("--test-fraction", type=float, default=0.25)
+    p_health.add_argument("--seed", type=int, default=0)
+    p_health.add_argument("--rules", metavar="FILE", default=None,
+                          help="SLO rules file, one "
+                               "'<metric> <op> <value> [severity=...] "
+                               "[for=N]' per line (default: the stock set)")
+    p_health.add_argument("--alerts-out", metavar="PATH", default=None,
+                          help="append fired alerts to PATH as JSONL")
+    p_health.add_argument("--openmetrics-out", metavar="PATH", default=None,
+                          help="write the collected telemetry as an "
+                               "OpenMetrics text exposition")
+    p_health.add_argument("--drift-fault",
+                          choices=("none", "emg-dropout", "emg-saturation"),
+                          default="none",
+                          help="inject a fault into every query record to "
+                               "model a drifted deployment (default: none)")
+    p_health.add_argument("--repeat-queries", type=int, default=0,
+                          help="force at least this many passes over the "
+                               "query workload (default: enough to warm "
+                               "every detector)")
+    p_health.add_argument("--detector-window", type=int, default=32,
+                          help="drift detector sliding-window length "
+                               "(queries; default: 32)")
+    p_health.add_argument("--detector-min-samples", type=int, default=4,
+                          help="observations before a detector leaves "
+                               "warm-up (default: 4)")
+    p_health.add_argument("--watch", type=float, metavar="SECONDS",
+                          default=None,
+                          help="re-run the check every SECONDS seconds "
+                               "until interrupted")
+    p_health.add_argument("--ticks", type=int, default=None,
+                          help="with --watch: stop after N checks "
+                               "(default: run until interrupted)")
+    add_robust_flag(p_health)
 
     p_bench = sub.add_parser(
         "bench",
@@ -624,12 +678,76 @@ def _cmd_profile(args) -> int:
     return 0
 
 
+def _cmd_health(args) -> int:
+    import time
+    from pathlib import Path
+
+    from repro.obs.health import (
+        JsonlSink,
+        LogSink,
+        format_health_report,
+        parse_rules,
+        run_health_check,
+    )
+    from repro.obs.openmetrics import render_openmetrics
+
+    rules = None
+    if args.rules is not None:
+        rules = parse_rules(Path(args.rules).read_text(encoding="utf-8"))
+    sinks = [LogSink()]
+    if args.alerts_out is not None:
+        sinks.append(JsonlSink(args.alerts_out))
+
+    def one_check() -> int:
+        result = run_health_check(
+            study=args.study,
+            participants=args.participants,
+            trials=args.trials,
+            clusters=args.clusters,
+            window_ms=args.window_ms,
+            stride_ms=args.stride_ms,
+            k=args.k,
+            test_fraction=args.test_fraction,
+            seed=args.seed,
+            robust_policy=args.robust_policy,
+            drift_fault=args.drift_fault,
+            repeat_queries=args.repeat_queries,
+            rules=rules,
+            alert_sinks=sinks,
+            detector_window=args.detector_window,
+            detector_min_samples=args.detector_min_samples,
+        )
+        print(format_health_report(result))
+        if args.openmetrics_out is not None:
+            text = render_openmetrics(result.payload)
+            Path(args.openmetrics_out).write_text(text, encoding="utf-8")
+            print(f"wrote OpenMetrics exposition to {args.openmetrics_out}")
+        if args.alerts_out is not None and result.alerts:
+            print(f"appended {len(result.alerts)} alert(s) to "
+                  f"{args.alerts_out}")
+        return 1 if result.critical_firing else 0
+
+    if args.watch is None:
+        return one_check()
+    ticks = 0
+    code = 0
+    while True:
+        code = one_check()
+        ticks += 1
+        if args.ticks is not None and ticks >= args.ticks:
+            return code
+        print(f"-- watch: next check in {args.watch:g} s "
+              f"(tick {ticks}) --")
+        time.sleep(args.watch)
+
+
 _COMMANDS = {
     "build": _cmd_build,
     "evaluate": _cmd_evaluate,
     "sweep": _cmd_sweep,
     "info": _cmd_info,
     "profile": _cmd_profile,
+    "health": _cmd_health,
     "bench": _cmd_bench,
     "lint": _cmd_lint,
     "selftest": _cmd_selftest,

@@ -38,6 +38,7 @@ from repro.features.scaling import FeatureScaler
 from repro.fuzzy.cmeans import FuzzyCMeans
 from repro.fuzzy.kmeans import KMeans
 from repro.fuzzy.membership import membership_matrix
+from repro.obs.drift import BaselineSnapshot, DriftMonitor, signals_from_query
 from repro.obs.config import (
     query_scope,
     record_counter,
@@ -189,6 +190,8 @@ class MotionClassifier:
         self._index: Optional[NearestNeighborIndex] = None
         self._soft_memberships = True
         self._mean_highest_membership = 1.0
+        self._baseline: Optional[BaselineSnapshot] = None
+        self._health: Optional[DriftMonitor] = None
 
     # ------------------------------------------------------------------
     # Fitting
@@ -243,6 +246,13 @@ class MotionClassifier:
             )
             self._soft_memberships = isinstance(estimator, FuzzyCMeans) or not isinstance(
                 estimator, KMeans
+            )
+            # Freeze the fit-time health baseline alongside the model so
+            # drift is always measured against the deployed artifact (see
+            # repro.obs.drift; persisted via `classifier.baseline.save`).
+            self._baseline = BaselineSnapshot.from_fit(
+                scaled, result.centers, result.membership, m=self.m,
+                feature_names=per_motion[0].names,
             )
 
             signatures = []
@@ -303,11 +313,55 @@ class MotionClassifier:
             raise NotFittedError("MotionClassifier used before fit")
         return self._mean_highest_membership
 
+    @property
+    def baseline(self) -> BaselineSnapshot:
+        """The frozen fit-time health baseline (see :mod:`repro.obs.drift`).
+
+        Persist it next to the model artifact with
+        ``classifier.baseline.save(path)`` so a later serving process can
+        monitor drift against the deployed fit.
+        """
+        if self._baseline is None:
+            raise NotFittedError("MotionClassifier used before fit")
+        return self._baseline
+
+    # ------------------------------------------------------------------
+    # Health monitoring
+    # ------------------------------------------------------------------
+
+    def attach_health(self, monitor: Optional[DriftMonitor] = None) -> DriftMonitor:
+        """Attach a drift monitor; every query then feeds its detectors.
+
+        With ``monitor=None`` a :class:`~repro.obs.drift.DriftMonitor` with
+        the default detector set over this model's fit-time baseline is
+        created.  Returns the attached monitor.  Monitoring adds one
+        signal-extraction pass per query; detach with :meth:`detach_health`
+        to restore the exact unmonitored path.
+        """
+        if monitor is None:
+            monitor = DriftMonitor(self.baseline)
+        else:
+            self.baseline  # raise NotFittedError before accepting a monitor
+        self._health = monitor
+        return monitor
+
+    def detach_health(self) -> Optional[DriftMonitor]:
+        """Detach and return the current drift monitor (``None`` if none)."""
+        monitor, self._health = self._health, None
+        return monitor
+
+    @property
+    def health(self) -> Optional[DriftMonitor]:
+        """The attached drift monitor, or ``None``."""
+        return self._health
+
     # ------------------------------------------------------------------
     # Query side
     # ------------------------------------------------------------------
 
-    def _signature_from_features(self, features: WindowFeatures) -> MotionSignature:
+    def _signature_from_features(
+        self, features: WindowFeatures, degraded: bool = False
+    ) -> MotionSignature:
         """Reduce one motion's window features to its 2c signature."""
         if self._centers is None:
             raise NotFittedError("MotionClassifier used before fit")
@@ -325,6 +379,11 @@ class MotionClassifier:
             d2 = np.einsum("ncd,ncd->nc", diff, diff)
             memberships = np.zeros_like(d2)
             memberships[np.arange(d2.shape[0]), np.argmin(d2, axis=1)] = 1.0
+        if self._health is not None:
+            self._health.observe(signals_from_query(
+                scaled, self._centers, memberships, m=self.m,
+                degraded=degraded,
+            ))
         return motion_signature(memberships, self.n_clusters)
 
     def signature(self, record: RecordedMotion) -> MotionSignature:
@@ -371,6 +430,7 @@ class MotionClassifier:
         histogram (p50/p95/p99 in the export).
         """
         with query_scope(), time_histogram("model.query_latency_s"):
+            record_counter("model.queries")
             record_event("query.received", key=record.key,
                          label=record.label, k=k)
             neighbors = self.kneighbors(record, k)
@@ -396,6 +456,7 @@ class MotionClassifier:
             raise NotFittedError("MotionClassifier used before fit")
         with query_scope(), time_histogram("model.query_latency_s"), \
                 span("model.classify_robust", k=k):
+            record_counter("model.queries")
             record_event("query.received", key=record.key,
                          label=record.label, k=k)
             if isinstance(self.featurizer, RobustFeaturizer):
@@ -407,7 +468,9 @@ class MotionClassifier:
                 )
             record_event("query.featurized", key=record.key,
                          n_windows=features.n_windows)
-            vector = self._signature_from_features(features).vector
+            vector = self._signature_from_features(
+                features, degraded=report.degraded
+            ).vector
             indices, distances = self._index.query(vector, k)
             neighbors = [
                 RetrievedNeighbor(

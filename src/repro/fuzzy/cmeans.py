@@ -28,7 +28,13 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.errors import ClusteringError
-from repro.obs.config import is_enabled, record_counter, record_series, span
+from repro.obs.config import (
+    is_enabled,
+    record_counter,
+    record_gauge,
+    record_series,
+    span,
+)
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.validation import check_array, check_in_range, check_positive_int, shapes
 
@@ -76,6 +82,13 @@ class FCMResult:
     def objective(self) -> float:
         """The final objective value ``J_m`` (last entry of the history)."""
         return float(self.objective_history[-1])
+
+    @property
+    def objective_per_window(self) -> float:
+        """Final ``J_m`` per clustered point — the per-window quantization
+        error the drift detectors compare query workloads against (see
+        :class:`repro.obs.drift.ObjectiveTrendDetector`)."""
+        return self.objective / self.membership.shape[0]
 
     def hard_labels(self) -> np.ndarray:
         """Arg-max defuzzification: each point's best cluster index."""
@@ -149,6 +162,7 @@ class FuzzyCMeans:
             record_counter("fcm.fits")
             record_counter("fcm.iterations", best.n_iter)
             record_counter(f"fcm.converged.{best.convergence_reason}")
+            record_gauge("fcm.objective_final", best.objective)
         return best
 
     def _fit_once(self, x: np.ndarray, rng: np.random.Generator) -> FCMResult:

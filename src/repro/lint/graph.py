@@ -98,6 +98,7 @@ _OBS_SPAN_FUNCS = frozenset({("obs", "config", "span"), ("obs", "config", "trace
 _OBS_METRIC_FUNCS = frozenset({
     ("obs", "config", "record_counter"),
     ("obs", "config", "record_gauge"),
+    ("obs", "config", "record_histogram"),
     ("obs", "config", "record_series"),
     ("obs", "config", "time_histogram"),
 })

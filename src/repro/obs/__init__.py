@@ -12,6 +12,16 @@ Zero-dependency, off-by-default telemetry for the reproduction pipeline:
 * :mod:`repro.obs.export` — the stable ``repro.obs/v1`` JSON schema and the
   per-stage text breakdown used by ``repro-motions profile``.
 
+Layered on top of the telemetry primitives:
+
+* :mod:`repro.obs.drift` — fit-time baseline snapshots, per-query drift
+  signals, sliding-window drift detectors and the :class:`DriftMonitor`;
+* :mod:`repro.obs.openmetrics` — OpenMetrics/Prometheus text exposition of
+  exported payloads;
+* :mod:`repro.obs.health` — SLO rules, alert sinks and the
+  ``repro-motions health`` check (imported separately, like
+  :mod:`repro.obs.profile`, because it drives the pipeline).
+
 When disabled (the default), instrumented code receives the shared
 :data:`~repro.obs.trace.NOOP_SPAN` and metric writes no-op — the hot paths
 pay one flag check.  See docs/OBSERVABILITY.md for the span/metric naming
@@ -32,10 +42,26 @@ from repro.obs.config import (
     record_counter,
     record_event,
     record_gauge,
+    record_histogram,
     record_series,
     span,
     time_histogram,
     traced,
+)
+from repro.obs.drift import (
+    BASELINE_SCHEMA_VERSION,
+    BaselineSnapshot,
+    DegradationRateDetector,
+    DriftDetector,
+    DriftMonitor,
+    DriftReport,
+    FeatureShiftDetector,
+    MembershipConfidenceDetector,
+    MembershipEntropyDetector,
+    ObjectiveTrendDetector,
+    QuerySignals,
+    default_detectors,
+    signals_from_query,
 )
 from repro.obs.events import (
     DEFAULT_MAX_EVENTS,
@@ -48,6 +74,7 @@ from repro.obs.export import (
     SCHEMA_VERSION,
     collect_payload,
     format_stage_table,
+    merge_payloads,
     to_json,
     write_json,
 )
@@ -59,6 +86,11 @@ from repro.obs.names import (
     METRIC_PREFIXES,
     SPAN_NAMES,
     SPAN_PREFIXES,
+)
+from repro.obs.openmetrics import (
+    metric_name,
+    parse_openmetrics,
+    render_openmetrics,
 )
 from repro.obs.quantiles import DEFAULT_QUANTILES, P2Quantile, QuantileDigest
 from repro.obs.trace import (
@@ -85,19 +117,37 @@ __all__ = [
     "record_counter",
     "record_event",
     "record_gauge",
+    "record_histogram",
     "record_series",
     "span",
     "time_histogram",
     "traced",
+    "BASELINE_SCHEMA_VERSION",
+    "BaselineSnapshot",
+    "QuerySignals",
+    "signals_from_query",
+    "DriftReport",
+    "DriftDetector",
+    "MembershipConfidenceDetector",
+    "MembershipEntropyDetector",
+    "ObjectiveTrendDetector",
+    "FeatureShiftDetector",
+    "DegradationRateDetector",
+    "default_detectors",
+    "DriftMonitor",
     "Event",
     "EventLog",
     "current_query_id",
     "write_events_jsonl",
     "SCHEMA_VERSION",
     "collect_payload",
+    "merge_payloads",
     "format_stage_table",
     "to_json",
     "write_json",
+    "metric_name",
+    "parse_openmetrics",
+    "render_openmetrics",
     "Counter",
     "Gauge",
     "Histogram",

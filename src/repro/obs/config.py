@@ -50,6 +50,7 @@ __all__ = [
     "traced",
     "record_counter",
     "record_gauge",
+    "record_histogram",
     "record_series",
     "record_event",
     "time_histogram",
@@ -199,6 +200,17 @@ def record_gauge(name: str, value: float) -> None:
     state = _STATE
     if state.enabled:
         state.registry.gauge(name).set(value)
+
+
+def record_histogram(name: str, value: float) -> None:
+    """Observe ``value`` into histogram ``name`` (no-op while disabled).
+
+    The direct-value companion to :func:`time_histogram` for histograms
+    whose samples are not durations (membership confidence, entropy...).
+    """
+    state = _STATE
+    if state.enabled:
+        state.registry.histogram(name).observe(value)
 
 
 def record_series(name: str, value: float) -> None:

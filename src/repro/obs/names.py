@@ -61,6 +61,8 @@ SPAN_NAMES = frozenset({
     # end-to-end profiling
     "profile.total",
     "profile.build_dataset",
+    # model-health monitoring
+    "health.check",
 })
 
 #: Registered dynamic span-name prefixes (none yet; spans are static).
@@ -72,10 +74,12 @@ METRIC_NAMES = frozenset({
     "fcm.fits",
     "fcm.iterations",
     "fcm.objective",
+    "fcm.objective_final",
     "fcm.membership_shift",
     # classification model
     "model.n_windows",
     "model.n_dims",
+    "model.queries",
     "model.query_latency_s",
     # retrieval
     "retrieval.linear.queries",
@@ -90,6 +94,7 @@ METRIC_NAMES = frozenset({
     "parallel.cache.misses",
     "parallel.cache.stores",
     "parallel.cache.evictions",
+    "cache.hit_rate",
     # robustness / degradation
     "robust.records_degraded",
     "robust.windows_dropped",
@@ -97,14 +102,25 @@ METRIC_NAMES = frozenset({
     "robust.samples_filled",
     "robust.fallback_all_windows",
     "robust.degraded_queries",
+    "robust.degraded_fraction",
+    # model-health monitoring
+    "health.queries",
+    "health.drift_firing",
+    "health.query.max_membership",
+    "health.query.entropy",
+    "health.query.objective",
     # shared helpers
     "utils.windows.produced",
 })
 
 #: Registered dynamic metric-name prefixes.  ``fcm.converged.<reason>``
-#: fans out per convergence reason, which is data-dependent.
+#: fans out per convergence reason, which is data-dependent;
+#: ``health.drift.<detector>`` and ``health.rule.<rule>`` fan out per
+#: configured drift detector / SLO rule.
 METRIC_PREFIXES = frozenset({
     "fcm.converged.",
+    "health.drift.",
+    "health.rule.",
 })
 
 #: Every literal provenance-event name emitted by the pipeline (see
@@ -120,6 +136,8 @@ EVENT_NAMES = frozenset({
     "featurize.batch",
     # retrieval backends
     "retrieval.query",
+    # model-health monitoring (SLO/drift alerts)
+    "health.alert",
 })
 
 #: Registered dynamic event-name prefixes (none yet; events are static).

@@ -11,6 +11,13 @@ process's resource counters, zero-dependency (``resource`` + ``gc`` +
 * user/system CPU seconds (``ru_utime`` / ``ru_stime``);
 * cumulative garbage collections per generation (``gc.get_stats``).
 
+On platforms without the Unix-only ``resource`` module the sampler
+degrades instead of failing: CPU user/system seconds fall back to
+``os.times()``, the RSS high-water mark reads 0.0 (no portable stdlib
+source), and every reading carries ``resources_partial: True`` so
+consumers can tell a genuinely idle process from an unsampleable one
+(:attr:`ResourceSampler.partial` exposes the same flag).
+
 Samples are explicit (``sampler.sample("after_fit")``), not a background
 thread — deterministic call points, no jitter in the thing being measured.
 The profile runner takes them before/after each phase when asked
@@ -29,7 +36,7 @@ import gc
 import os
 from typing import Any, Dict, List, Optional
 
-try:  # Unix-only stdlib module; sampled fields degrade to 0.0 without it.
+try:  # Unix-only stdlib module; readings degrade to partial without it.
     import resource
 except ImportError:  # pragma: no cover - non-POSIX platforms
     resource = None  # type: ignore[assignment]
@@ -53,18 +60,27 @@ class ResourceSampler:
         self._samples: List[Dict[str, Any]] = []
 
     @staticmethod
-    def read() -> Dict[str, float]:
-        """One raw reading of the tracked counters (no label, no storage)."""
+    def read() -> Dict[str, Any]:
+        """One raw reading of the tracked counters (no label, no storage).
+
+        Without the ``resource`` module the reading is *partial*: CPU times
+        come from ``os.times()`` (same unit, coarser source), ``rss_max_kb``
+        is 0.0, and ``resources_partial`` is ``True``.
+        """
+        times = os.times()
         if resource is not None:
             usage = resource.getrusage(resource.RUSAGE_SELF)
             rss_kb = float(usage.ru_maxrss)
             cpu_user = float(usage.ru_utime)
             cpu_system = float(usage.ru_stime)
-        else:  # pragma: no cover - non-POSIX platforms
-            rss_kb = cpu_user = cpu_system = 0.0
+            partial = False
+        else:
+            rss_kb = 0.0
+            cpu_user = float(times.user)
+            cpu_system = float(times.system)
+            partial = True
         collections = sum(s["collections"] for s in gc.get_stats())
         gen0, gen1, gen2 = gc.get_count()
-        times = os.times()
         return {
             "rss_max_kb": rss_kb,
             "cpu_user_s": cpu_user,
@@ -75,6 +91,7 @@ class ResourceSampler:
             "gc_tracked_gen0": float(gen0),
             "gc_tracked_gen1": float(gen1),
             "gc_tracked_gen2": float(gen2),
+            "resources_partial": partial,
         }
 
     def sample(self, label: str) -> Dict[str, Any]:
@@ -89,6 +106,11 @@ class ResourceSampler:
         """All samples taken so far, in order (copies)."""
         return [dict(sample) for sample in self._samples]
 
+    @property
+    def partial(self) -> bool:
+        """Whether readings on this platform are degraded (no ``resource``)."""
+        return resource is None
+
     def delta(self) -> Dict[str, float]:
         """Counter deltas between the first and last sample (empty if < 2)."""
         if len(self._samples) < 2:
@@ -97,7 +119,8 @@ class ResourceSampler:
         return {
             key: float(last[key]) - float(first[key])
             for key in first
-            if key not in ("label", "ts") and key in last
+            if key not in ("label", "ts", "resources_partial")
+            and key in last
         }
 
     def reset(self) -> None:

@@ -36,7 +36,7 @@ import numpy as np
 from repro.data.record import RecordedMotion
 from repro.errors import CacheError
 from repro.features.base import WindowFeatures
-from repro.obs.config import record_counter, span
+from repro.obs.config import record_counter, record_gauge, span
 from repro.utils.atomicio import atomic_write
 from repro.utils.validation import check_array
 
@@ -106,6 +106,17 @@ class CacheStats:
     stores: int = 0
     evictions: int = 0
 
+    @property
+    def lookups(self) -> int:
+        """Total lookups (hits + misses)."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 before any)."""
+        lookups = self.lookups
+        return self.hits / lookups if lookups else 0.0
+
     def as_dict(self) -> dict:
         """Plain-dict snapshot (for reports and metric exports)."""
         return {
@@ -113,6 +124,7 @@ class CacheStats:
             "misses": self.misses,
             "stores": self.stores,
             "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
         }
 
 
@@ -152,6 +164,7 @@ class FeatureCache:
             if not path.exists():
                 self.stats.misses += 1
                 record_counter("parallel.cache.misses")
+                record_gauge("cache.hit_rate", self.stats.hit_rate)
                 return None
             try:
                 with np.load(path, allow_pickle=False) as payload:
@@ -167,9 +180,11 @@ class FeatureCache:
                 self.evict(key)
                 self.stats.misses += 1
                 record_counter("parallel.cache.misses")
+                record_gauge("cache.hit_rate", self.stats.hit_rate)
                 return None
         self.stats.hits += 1
         record_counter("parallel.cache.hits")
+        record_gauge("cache.hit_rate", self.stats.hit_rate)
         return features
 
     def store(self, key: str, features: WindowFeatures) -> Path:

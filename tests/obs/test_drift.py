@@ -1,0 +1,329 @@
+"""Drift detection: baselines, per-query signals, detectors, the monitor."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import SerializationError, ValidationError
+from repro.obs.clock import ManualClock
+from repro.obs.config import capture
+from repro.obs.drift import (
+    BASELINE_SCHEMA_VERSION,
+    BaselineSnapshot,
+    DegradationRateDetector,
+    DriftMonitor,
+    FeatureShiftDetector,
+    MembershipConfidenceDetector,
+    MembershipEntropyDetector,
+    ObjectiveTrendDetector,
+    QuerySignals,
+    default_detectors,
+    signals_from_query,
+)
+
+DETECTOR_NAMES = (
+    "membership_confidence",
+    "membership_entropy",
+    "objective_trend",
+    "feature_shift",
+    "degradation_rate",
+)
+
+
+def toy_baseline(**overrides) -> BaselineSnapshot:
+    """A hand-built baseline with round numbers the tests reason about."""
+    defaults = dict(
+        feature_means=np.zeros(2),
+        feature_stds=np.ones(2),
+        max_membership_mean=0.9,
+        membership_entropy_mean=0.2,
+        objective_per_window=1.0,
+        n_windows=10,
+        n_clusters=4,
+        feature_names=("iav:a", "svd:b"),
+    )
+    defaults.update(overrides)
+    return BaselineSnapshot(**defaults)
+
+
+def sig(maxm=0.9, ent=0.2, obj=1.0, means=(0.0, 0.0), degraded=False):
+    """A QuerySignals with controllable fields."""
+    return QuerySignals(
+        max_membership_mean=maxm,
+        membership_entropy_mean=ent,
+        objective_per_window=obj,
+        feature_means=np.asarray(means, dtype=float),
+        n_windows=5,
+        degraded=degraded,
+    )
+
+
+class TestBaselineSnapshot:
+    def test_from_fit_statistics(self):
+        # Two windows sitting exactly on two centers with one-hot
+        # memberships: objective 0, confidence 1, entropy 0.
+        scaled = np.array([[0.0, 0.0], [1.0, 1.0]])
+        centers = np.array([[0.0, 0.0], [1.0, 1.0]])
+        membership = np.array([[1.0, 0.0], [0.0, 1.0]])
+        baseline = BaselineSnapshot.from_fit(
+            scaled, centers, membership, feature_names=["f0", "f1"]
+        )
+        assert baseline.n_windows == 2
+        assert baseline.n_clusters == 2
+        assert baseline.feature_names == ("f0", "f1")
+        np.testing.assert_allclose(baseline.feature_means, [0.5, 0.5])
+        assert baseline.max_membership_mean == pytest.approx(1.0)
+        assert baseline.membership_entropy_mean == pytest.approx(0.0, abs=1e-9)
+        assert baseline.objective_per_window == pytest.approx(0.0)
+
+    def test_from_fit_uniform_membership_has_unit_entropy(self):
+        scaled = np.array([[0.0, 0.0], [1.0, 1.0]])
+        centers = np.array([[0.0, 0.0], [1.0, 1.0]])
+        membership = np.full((2, 2), 0.5)
+        baseline = BaselineSnapshot.from_fit(scaled, centers, membership)
+        assert baseline.membership_entropy_mean == pytest.approx(1.0)
+        # Each window is distance 0 from one center and 2 from the other:
+        # J = sum(u^m * d2) = 2 * (0.25 * 2) = 1.0 over 2 windows.
+        assert baseline.objective_per_window == pytest.approx(0.5)
+
+    def test_round_trip_dict(self):
+        baseline = toy_baseline()
+        clone = BaselineSnapshot.from_dict(baseline.to_dict())
+        np.testing.assert_array_equal(clone.feature_means,
+                                      baseline.feature_means)
+        np.testing.assert_array_equal(clone.feature_stds,
+                                      baseline.feature_stds)
+        assert clone.max_membership_mean == baseline.max_membership_mean
+        assert clone.feature_names == baseline.feature_names
+        assert clone.n_windows == baseline.n_windows
+
+    def test_round_trip_file(self, tmp_path):
+        baseline = toy_baseline()
+        path = baseline.save(tmp_path / "baseline.json")
+        loaded = BaselineSnapshot.load(path)
+        assert loaded.to_dict() == baseline.to_dict()
+        # The persisted form embeds the schema tag.
+        raw = json.loads(path.read_text())
+        assert raw["schema"] == BASELINE_SCHEMA_VERSION
+
+    def test_unknown_schema_rejected(self):
+        payload = toy_baseline().to_dict()
+        payload["schema"] = "repro.obs.baseline/v999"
+        with pytest.raises(SerializationError, match="unsupported"):
+            BaselineSnapshot.from_dict(payload)
+
+    def test_missing_key_rejected(self):
+        payload = toy_baseline().to_dict()
+        del payload["feature_means"]
+        with pytest.raises(SerializationError, match="malformed"):
+            BaselineSnapshot.from_dict(payload)
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(SerializationError, match="could not read"):
+            BaselineSnapshot.load(tmp_path / "ghost.json")
+
+    def test_load_invalid_json(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(SerializationError, match="not valid JSON"):
+            BaselineSnapshot.load(path)
+
+
+class TestQuerySignals:
+    def test_signals_from_confident_query(self):
+        scaled = np.array([[0.0, 0.0], [1.0, 1.0]])
+        centers = np.array([[0.0, 0.0], [1.0, 1.0]])
+        membership = np.array([[1.0, 0.0], [0.0, 1.0]])
+        signals = signals_from_query(scaled, centers, membership)
+        assert signals.max_membership_mean == pytest.approx(1.0)
+        assert signals.membership_entropy_mean == pytest.approx(0.0, abs=1e-9)
+        assert signals.objective_per_window == pytest.approx(0.0)
+        assert signals.n_windows == 2
+        assert signals.degraded is False
+        np.testing.assert_allclose(signals.feature_means, [0.5, 0.5])
+
+    def test_degraded_flag_carried(self):
+        scaled = np.ones((3, 2))
+        centers = np.zeros((1, 2))
+        membership = np.ones((3, 1))
+        assert signals_from_query(scaled, centers, membership,
+                                  degraded=True).degraded is True
+
+
+class TestDetectorVerdicts:
+    def feed(self, detector, signals, n=8):
+        for _ in range(n):
+            detector.update(signals)
+        return detector.report()
+
+    def test_warming_below_min_samples(self):
+        detector = MembershipConfidenceDetector(toy_baseline(), min_samples=8)
+        report = self.feed(detector, sig(), n=3)
+        assert report.status == "warming"
+        assert report.n_samples == 3
+        assert not report.firing
+
+    def test_membership_confidence_fires_on_drop(self):
+        detector = MembershipConfidenceDetector(toy_baseline(), max_drop=0.2,
+                                                min_samples=4)
+        # Floor is 0.9 * 0.8 = 0.72: 0.8 stays healthy, 0.6 fires.
+        assert self.feed(detector, sig(maxm=0.8)).status == "ok"
+        detector.reset()
+        report = self.feed(detector, sig(maxm=0.6))
+        assert report.status == "drift"
+        assert report.firing
+        assert report.threshold == pytest.approx(0.72)
+        assert report.baseline == pytest.approx(0.9)
+
+    def test_membership_entropy_fires_on_increase(self):
+        detector = MembershipEntropyDetector(toy_baseline(), max_increase=0.15,
+                                             min_samples=4)
+        assert self.feed(detector, sig(ent=0.3)).status == "ok"
+        detector.reset()
+        report = self.feed(detector, sig(ent=0.5))
+        assert report.status == "drift"
+        assert report.threshold == pytest.approx(0.35)
+
+    def test_objective_trend_fires_on_ratio(self):
+        detector = ObjectiveTrendDetector(toy_baseline(), max_ratio=1.5,
+                                          min_samples=4)
+        assert self.feed(detector, sig(obj=1.2)).status == "ok"
+        detector.reset()
+        report = self.feed(detector, sig(obj=2.0))
+        assert report.status == "drift"
+        assert report.threshold == pytest.approx(1.5)
+
+    def test_objective_trend_zero_baseline_uses_eps_floor(self):
+        detector = ObjectiveTrendDetector(
+            toy_baseline(objective_per_window=0.0), min_samples=1
+        )
+        detector.update(sig(obj=1.0))
+        # Any real quantization error fires against a zero baseline.
+        assert detector.report().status == "drift"
+
+    def test_feature_shift_names_worst_feature(self):
+        detector = FeatureShiftDetector(toy_baseline(), max_shift_stds=1.0,
+                                        min_samples=4)
+        assert self.feed(detector, sig(means=(0.5, 0.0))).status == "ok"
+        detector.reset()
+        report = self.feed(detector, sig(means=(0.0, 2.5)))
+        assert report.status == "drift"
+        assert report.value == pytest.approx(2.5)
+        assert "'svd:b'" in report.detail
+
+    def test_degradation_rate_fires_on_fraction(self):
+        detector = DegradationRateDetector(max_fraction=0.25, min_samples=4)
+        for _ in range(6):
+            detector.update(sig(degraded=False))
+        for _ in range(2):
+            detector.update(sig(degraded=True))
+        assert detector.report().status == "ok"  # 2/8 = 0.25, not above
+        detector.update(sig(degraded=True))
+        assert detector.report().status == "drift"  # 3/9 > 0.25
+
+    def test_sliding_window_recovers(self):
+        # Window 4: four bad observations fire, four good ones evict them.
+        detector = MembershipConfidenceDetector(toy_baseline(), window=4,
+                                                min_samples=4)
+        for _ in range(4):
+            detector.update(sig(maxm=0.5))
+        assert detector.report().status == "drift"
+        for _ in range(4):
+            detector.update(sig(maxm=0.9))
+        assert detector.report().status == "ok"
+
+    def test_reset_clears_feature_shift_state(self):
+        detector = FeatureShiftDetector(toy_baseline(), min_samples=1)
+        detector.update(sig(means=(5.0, 0.0)))
+        assert detector.report().status == "drift"
+        detector.reset()
+        assert detector.n_samples == 0
+        assert detector.report().status == "warming"
+        assert detector.report().detail == ""
+
+    def test_report_to_dict_keys(self):
+        detector = DegradationRateDetector(min_samples=1)
+        detector.update(sig())
+        payload = detector.report().to_dict()
+        assert set(payload) == {"detector", "status", "value", "baseline",
+                                "threshold", "n_samples", "detail"}
+
+
+class TestDetectorValidation:
+    def test_window_and_min_samples(self):
+        with pytest.raises(ValidationError):
+            DegradationRateDetector(window=0)
+        with pytest.raises(ValidationError):
+            DegradationRateDetector(window=4, min_samples=5)
+        with pytest.raises(ValidationError):
+            DegradationRateDetector(window=4, min_samples=0)
+
+    @pytest.mark.parametrize("bad", [0.0, 1.0, -0.5])
+    def test_max_drop_range(self, bad):
+        with pytest.raises(ValidationError):
+            MembershipConfidenceDetector(toy_baseline(), max_drop=bad)
+
+    def test_max_increase_positive(self):
+        with pytest.raises(ValidationError):
+            MembershipEntropyDetector(toy_baseline(), max_increase=0.0)
+
+    def test_max_ratio_exceeds_one(self):
+        with pytest.raises(ValidationError):
+            ObjectiveTrendDetector(toy_baseline(), max_ratio=1.0)
+
+    def test_max_shift_positive(self):
+        with pytest.raises(ValidationError):
+            FeatureShiftDetector(toy_baseline(), max_shift_stds=0.0)
+
+    @pytest.mark.parametrize("bad", [0.0, 1.5])
+    def test_max_fraction_range(self, bad):
+        with pytest.raises(ValidationError):
+            DegradationRateDetector(max_fraction=bad)
+
+
+class TestDriftMonitor:
+    def test_default_detector_set(self):
+        detectors = default_detectors(toy_baseline(), window=16, min_samples=2)
+        assert tuple(d.name for d in detectors) == DETECTOR_NAMES
+        assert all(d.window == 16 for d in detectors)
+
+    def test_observe_feeds_every_detector_and_telemetry(self):
+        monitor = DriftMonitor(
+            toy_baseline(),
+            default_detectors(toy_baseline(), window=8, min_samples=2),
+        )
+        with capture(clock=ManualClock()) as state:
+            for _ in range(4):
+                monitor.observe(sig())
+            reports = monitor.reports()
+            metrics = state.registry.to_dict()
+        assert monitor.n_queries == 4
+        assert [r.detector for r in reports] == list(DETECTOR_NAMES)
+        assert all(r.status == "ok" for r in reports)
+        assert metrics["counters"]["health.queries"] == 4
+        assert metrics["histograms"]["health.query.max_membership"]["count"] == 4
+        for name in DETECTOR_NAMES:
+            assert metrics["gauges"][f"health.drift.{name}"] == 0.0
+
+    def test_firing_detector_flips_gauge_and_ok(self):
+        monitor = DriftMonitor(
+            toy_baseline(),
+            default_detectors(toy_baseline(), window=8, min_samples=2),
+        )
+        with capture(clock=ManualClock()) as state:
+            for _ in range(4):
+                monitor.observe(sig(maxm=0.4, ent=0.9))
+            assert monitor.ok is False
+            gauges = state.registry.to_dict()["gauges"]
+        assert gauges["health.drift.membership_confidence"] == 1.0
+        assert gauges["health.drift.membership_entropy"] == 1.0
+        assert gauges["health.drift.degradation_rate"] == 0.0
+
+    def test_to_dict_summary(self):
+        monitor = DriftMonitor(toy_baseline())
+        monitor.observe(sig())
+        payload = monitor.to_dict()
+        assert payload["queries"] == 1
+        assert len(payload["reports"]) == len(DETECTOR_NAMES)
+        assert all(r["status"] == "warming" for r in payload["reports"])

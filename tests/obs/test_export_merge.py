@@ -1,0 +1,125 @@
+"""Merging exported ``repro.obs/v2`` payloads (multi-session fold)."""
+
+import copy
+
+import pytest
+
+from repro.obs.clock import ManualClock
+from repro.obs.config import (
+    capture,
+    record_counter,
+    record_event,
+    record_gauge,
+    record_histogram,
+    record_series,
+    span,
+)
+from repro.obs.export import SCHEMA_VERSION, collect_payload, merge_payloads
+
+
+def session_payload(start: float, counter: float, gauge: float,
+                    events=(), observations=()):
+    """One real captured session exported at a pinned clock."""
+    clock = ManualClock(start=start)
+    with capture(clock=clock) as state:
+        record_counter("fcm.fits", counter)
+        record_gauge("cache.hit_rate", gauge)
+        record_series("fcm.objective", counter)
+        for value in observations:
+            record_histogram("model.query_latency_s", value)
+        with span("fcm.fit"):
+            clock.advance(0.5)
+        for name in events:
+            clock.advance(1.0)
+            record_event(name)
+        payload = collect_payload(state)
+    return payload
+
+
+class TestMergePayloads:
+    def test_counters_sum_and_gauges_take_incoming(self):
+        base = session_payload(0.0, counter=2.0, gauge=0.25)
+        incoming = session_payload(100.0, counter=3.0, gauge=0.75)
+        merged = merge_payloads(base, incoming)
+        assert merged["schema"] == SCHEMA_VERSION
+        assert merged["counters"]["fcm.fits"] == 5.0
+        assert merged["gauges"]["cache.hit_rate"] == 0.75  # last write wins
+
+    def test_histograms_fold_and_strip_digest_state(self):
+        base = session_payload(0.0, 1.0, 0.5, observations=(0.1, 0.2))
+        incoming = session_payload(10.0, 1.0, 0.5, observations=(0.3,))
+        merged = merge_payloads(base, incoming)
+        summary = merged["histograms"]["model.query_latency_s"]
+        assert summary["count"] == 3
+        assert summary["total"] == pytest.approx(0.6)
+        assert summary["min"] == pytest.approx(0.1)
+        assert summary["max"] == pytest.approx(0.3)
+        assert "p2" not in summary  # exported payloads stay summary-only
+
+    def test_series_and_spans_concatenate(self):
+        base = session_payload(0.0, 1.0, 0.5)
+        incoming = session_payload(10.0, 2.0, 0.5)
+        merged = merge_payloads(base, incoming)
+        assert merged["series"]["fcm.objective"] == [1.0, 2.0]
+        assert len(merged["spans"]) == len(base["spans"]) + \
+            len(incoming["spans"])
+        stage = merged["stages"]["fcm.fit"]
+        assert stage["calls"] == 2
+        assert stage["total_s"] == pytest.approx(1.0)
+
+    def test_events_reorder_by_timestamp_and_resequence(self):
+        # Base events land at ts 1,2; incoming starts earlier at ts 0.5.
+        base = session_payload(0.0, 1.0, 0.5,
+                               events=("query.received", "query.classified"))
+        incoming = session_payload(-0.5, 1.0, 0.5, events=("featurize.batch",))
+        merged = merge_payloads(base, incoming)
+        names = [e["name"] for e in merged["events"]]
+        assert names == ["featurize.batch", "query.received",
+                         "query.classified"]
+        assert [e["seq"] for e in merged["events"]] == [1, 2, 3]
+        assert [e["ts"] for e in merged["events"]] == \
+            sorted(e["ts"] for e in merged["events"])
+
+    def test_event_timestamp_ties_keep_base_first(self):
+        base = session_payload(0.0, 1.0, 0.5, events=("query.received",))
+        incoming = session_payload(0.0, 1.0, 0.5, events=("featurize.batch",))
+        merged = merge_payloads(base, incoming)
+        assert [e["name"] for e in merged["events"]] == \
+            ["query.received", "featurize.batch"]
+
+    def test_drop_counts_sum(self):
+        base = session_payload(0.0, 1.0, 0.5)
+        incoming = session_payload(1.0, 1.0, 0.5)
+        base["events_dropped"] = 3
+        base["spans_dropped"] = 1
+        incoming["events_dropped"] = 4
+        incoming["spans_dropped"] = 2
+        merged = merge_payloads(base, incoming)
+        assert merged["events_dropped"] == 7
+        assert merged["spans_dropped"] == 3
+
+    def test_meta_merges_with_incoming_winning(self):
+        base = session_payload(0.0, 1.0, 0.5)
+        incoming = session_payload(1.0, 1.0, 0.5)
+        base["meta"] = {"run": "a", "keep": True}
+        incoming["meta"] = {"run": "b"}
+        merged = merge_payloads(base, incoming)
+        assert merged["meta"] == {"run": "b", "keep": True}
+
+    def test_inputs_not_mutated(self):
+        base = session_payload(0.0, 1.0, 0.5, events=("query.received",))
+        incoming = session_payload(-1.0, 2.0, 0.75,
+                                   events=("featurize.batch",))
+        base_copy = copy.deepcopy(base)
+        incoming_copy = copy.deepcopy(incoming)
+        merge_payloads(base, incoming)
+        assert base == base_copy
+        assert incoming == incoming_copy
+
+    def test_merge_is_deterministic(self):
+        base = session_payload(0.0, 1.0, 0.5, observations=(0.1,),
+                               events=("query.received",))
+        incoming = session_payload(5.0, 2.0, 0.75, observations=(0.2,),
+                                   events=("query.classified",))
+        assert merge_payloads(base, incoming) == \
+            merge_payloads(base, incoming)

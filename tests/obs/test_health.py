@@ -1,0 +1,314 @@
+"""SLO rules, the alerting engine, sinks and the end-to-end health check."""
+
+import json
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.obs.clock import ManualClock
+from repro.obs.config import capture
+from repro.obs.drift import DriftReport
+from repro.obs.health import (
+    Alert,
+    CallbackSink,
+    JsonlSink,
+    LogSink,
+    Rule,
+    RulesEngine,
+    default_rules,
+    format_health_report,
+    parse_rule,
+    parse_rules,
+    resolve_metric,
+    run_health_check,
+)
+
+
+def payload(gauges=None, counters=None, histograms=None):
+    return {
+        "gauges": gauges or {},
+        "counters": counters or {},
+        "histograms": histograms or {},
+    }
+
+
+class TestParseRule:
+    def test_minimal(self):
+        rule = parse_rule("cache.hit_rate > 0.8")
+        assert rule.metric == "cache.hit_rate"
+        assert rule.op == ">"
+        assert rule.threshold == pytest.approx(0.8)
+        assert rule.name == "cache.hit_rate"  # defaults to the selector
+        assert rule.severity == "warning"
+        assert rule.for_count == 1
+
+    def test_milliseconds_suffix(self):
+        rule = parse_rule("model.query_latency_s.p95 < 250ms")
+        assert rule.threshold == pytest.approx(0.25)
+
+    def test_seconds_suffix(self):
+        assert parse_rule("a.b < 2s").threshold == pytest.approx(2.0)
+
+    def test_percent_suffix(self):
+        assert parse_rule("a.b < 10%").threshold == pytest.approx(0.1)
+
+    def test_options(self):
+        rule = parse_rule(
+            "robust.degraded_fraction < 0.1 severity=critical for=3 "
+            "name=degraded description=too-many-degraded"
+        )
+        assert rule.name == "degraded"
+        assert rule.severity == "critical"
+        assert rule.for_count == 3
+        assert rule.description == "too-many-degraded"
+
+    @pytest.mark.parametrize("bad", [
+        "just.a.metric",                       # too few tokens
+        "a.b < 0.5 loose-option",              # option without '='
+        "a.b < 0.5 color=red",                 # unknown option key
+        "a.b < 0.5 for=soon",                  # non-integer for=
+        "a.b < 0.5 for=0",                     # for_count below 1
+        "a.b < banana",                        # malformed threshold
+        "a.b ~= 0.5",                          # unknown comparator
+        "a.b < 0.5 severity=fatal",            # unknown severity
+    ])
+    def test_malformed_rules_rejected(self, bad):
+        with pytest.raises(ValidationError):
+            parse_rule(bad)
+
+    def test_parse_rules_skips_comments_and_blanks(self):
+        rules = parse_rules(
+            "# stock SLOs\n"
+            "\n"
+            "a.b < 1.0\n"
+            "  c.d >= 2.0 severity=info\n"
+        )
+        assert [r.metric for r in rules] == ["a.b", "c.d"]
+
+    def test_default_rules_have_unique_names(self):
+        names = [r.name for r in default_rules()]
+        assert len(set(names)) == len(names)
+        RulesEngine(rules=default_rules())  # constructor re-validates
+
+
+class TestResolveMetric:
+    def test_gauge_precedence_over_counter(self):
+        snap = payload(gauges={"x.y": 1.5}, counters={"x.y": 7.0})
+        assert resolve_metric(snap, "x.y") == 1.5
+
+    def test_counter_fallback(self):
+        assert resolve_metric(payload(counters={"x.y": 7.0}), "x.y") == 7.0
+
+    def test_histogram_field(self):
+        snap = payload(histograms={"lat": {"count": 3, "p95": 0.2}})
+        assert resolve_metric(snap, "lat.p95") == pytest.approx(0.2)
+        assert resolve_metric(snap, "lat.count") == 3.0
+
+    def test_unknown_selector_is_none(self):
+        snap = payload(gauges={"x.y": 1.0},
+                       histograms={"lat": {"p95": 0.2}})
+        assert resolve_metric(snap, "missing") is None
+        assert resolve_metric(snap, "missing.p95") is None
+        assert resolve_metric(snap, "lat.p42") is None  # not a summary field
+
+
+class TestRulesEngine:
+    def make_engine(self, rule_text, **kwargs):
+        clock = ManualClock()
+        return RulesEngine(rules=parse_rules(rule_text), clock=clock,
+                           **kwargs), clock
+
+    def test_duplicate_rule_names_rejected(self):
+        with pytest.raises(ValidationError, match="duplicate"):
+            RulesEngine(rules=[Rule(name="a", metric="x", op="<",
+                                    threshold=1.0),
+                               Rule(name="a", metric="y", op="<",
+                                    threshold=1.0)])
+
+    def test_pass_and_no_data_statuses(self):
+        engine, _ = self.make_engine("a.b < 1.0\nc.d < 1.0")
+        results = engine.evaluate(payload(gauges={"a.b": 0.5}))
+        assert [r.status for r in results] == ["pass", "no_data"]
+        assert engine.dispatched == []
+
+    def test_first_breach_fires_with_default_for(self):
+        engine, _ = self.make_engine("a.b < 1.0 severity=critical")
+        results = engine.evaluate(payload(gauges={"a.b": 2.0}))
+        assert results[0].status == "firing"
+        assert len(engine.dispatched) == 1
+        alert = engine.dispatched[0]
+        assert alert.source == "rule"
+        assert alert.severity == "critical"
+        assert alert.value == 2.0
+        assert alert.threshold == 1.0
+
+    def test_flap_suppression_requires_streak(self):
+        engine, _ = self.make_engine("a.b < 1.0 for=2")
+        bad = payload(gauges={"a.b": 2.0})
+        good = payload(gauges={"a.b": 0.5})
+
+        assert engine.evaluate(bad)[0].status == "breach"
+        assert engine.dispatched == []
+        # A healthy round resets the streak: the next breach starts over.
+        assert engine.evaluate(good)[0].status == "pass"
+        assert engine.evaluate(bad)[0].status == "breach"
+        assert engine.dispatched == []
+        # Two consecutive breaches finally fire.
+        result = engine.evaluate(bad)[0]
+        assert result.status == "firing"
+        assert result.streak == 2
+        assert len(engine.dispatched) == 1
+
+    def test_no_data_resets_streak(self):
+        engine, _ = self.make_engine("a.b < 1.0 for=2")
+        bad = payload(gauges={"a.b": 2.0})
+        assert engine.evaluate(bad)[0].status == "breach"
+        assert engine.evaluate(payload())[0].status == "no_data"
+        assert engine.evaluate(bad)[0].status == "breach"  # streak restarted
+
+    def test_rule_gauges_mirror_status(self):
+        engine, _ = self.make_engine("a.b < 1.0 name=slo")
+        with capture(clock=ManualClock()) as state:
+            engine.evaluate(payload(gauges={"a.b": 2.0}))
+            firing_gauges = dict(state.registry.to_dict()["gauges"])
+            engine.evaluate(payload(gauges={"a.b": 0.5}))
+            pass_gauges = dict(state.registry.to_dict()["gauges"])
+        assert firing_gauges["health.rule.slo"] == 1.0
+        assert pass_gauges["health.rule.slo"] == 0.0
+
+    def test_alert_timestamps_use_injected_clock(self):
+        engine, clock = self.make_engine("a.b < 1.0")
+        clock.advance(5.0)
+        engine.evaluate(payload(gauges={"a.b": 2.0}))
+        assert engine.dispatched[0].ts == pytest.approx(5.0)
+
+    def test_drift_alerts_promote_firing_reports(self):
+        engine, _ = self.make_engine("a.b < 1.0")
+        reports = [
+            DriftReport(detector="feature_shift", status="drift", value=2.0,
+                        baseline=0.0, threshold=1.0, n_samples=8,
+                        detail="worst feature 'iav:a'"),
+            DriftReport(detector="membership_entropy", status="ok", value=0.2,
+                        baseline=0.2, threshold=0.35, n_samples=8),
+        ]
+        alerts = engine.drift_alerts(reports)
+        assert [a.name for a in alerts] == ["feature_shift"]
+        assert alerts[0].severity == "critical"
+        assert alerts[0].source == "drift"
+        assert engine.dispatched == alerts
+
+
+class TestSinks:
+    def make_alert(self, **overrides):
+        defaults = dict(name="slo", severity="warning", source="rule",
+                        message="m", value=2.0, threshold=1.0, ts=1.0)
+        defaults.update(overrides)
+        return Alert(**defaults)
+
+    def test_log_sink_collects(self):
+        sink = LogSink()
+        alert = self.make_alert()
+        sink.emit(alert)
+        assert sink.alerts == [alert]
+
+    def test_jsonl_sink_appends_parseable_lines(self, tmp_path):
+        path = tmp_path / "alerts.jsonl"
+        sink = JsonlSink(path)
+        sink.emit(self.make_alert(name="first"))
+        sink.emit(self.make_alert(name="second", severity="critical"))
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        records = [json.loads(line) for line in lines]
+        assert [r["name"] for r in records] == ["first", "second"]
+        # Keys are sorted for stable diffs.
+        assert lines[0] == json.dumps(records[0], sort_keys=True)
+
+    def test_jsonl_sink_surfaces_io_errors(self, tmp_path):
+        sink = JsonlSink(tmp_path)  # a directory is not appendable
+        with pytest.raises(ValidationError, match="could not append"):
+            sink.emit(self.make_alert())
+
+    def test_callback_sink_invokes(self):
+        seen = []
+        engine = RulesEngine(rules=[Rule(name="slo", metric="a.b", op="<",
+                                         threshold=1.0)],
+                             sinks=[CallbackSink(seen.append)],
+                             clock=ManualClock())
+        engine.evaluate(payload(gauges={"a.b": 2.0}))
+        assert [a.name for a in seen] == ["slo"]
+
+    def test_dispatch_records_provenance_event(self):
+        engine = RulesEngine(rules=[Rule(name="slo", metric="a.b", op="<",
+                                         threshold=1.0)],
+                             clock=ManualClock())
+        with capture(clock=ManualClock()) as state:
+            engine.evaluate(payload(gauges={"a.b": 2.0}))
+            events = state.events.to_dicts()
+        assert [e["name"] for e in events] == ["health.alert"]
+        assert events[0]["attrs"]["alert"] == "slo"
+        assert events[0]["attrs"]["severity"] == "warning"
+
+
+class TestRunHealthCheck:
+    """Seeded end-to-end acceptance: clean run healthy, drifted run fires."""
+
+    @pytest.fixture(scope="class")
+    def clean(self):
+        return run_health_check(participants=1, trials=2, clusters=4,
+                                seed=0, clock=ManualClock())
+
+    def test_clean_run_is_healthy(self, clean):
+        assert clean.drift_ok is True
+        assert clean.critical_firing is False
+        assert clean.alerts == []
+        assert all(r.status in ("pass", "no_data")
+                   for r in clean.rule_results)
+        statuses = {r.detector: r.status for r in clean.drift_reports}
+        assert statuses["feature_shift"] == "ok"
+        assert statuses["membership_confidence"] == "ok"
+
+    def test_clean_payload_carries_health_telemetry(self, clean):
+        gauges = clean.payload["gauges"]
+        assert gauges["health.drift_firing"] == 0.0
+        assert gauges["robust.degraded_fraction"] == 0.0
+        assert clean.payload["counters"]["health.queries"] >= 4
+        assert clean.payload["meta"]["drift_fault"] == "none"
+        report = format_health_report(clean)
+        assert report.endswith("healthy")
+        assert "drift detectors" in report and "slo rules" in report
+
+    def test_drifted_run_fires_detector_and_sinks(self, tmp_path):
+        alerts_path = tmp_path / "alerts.jsonl"
+        result = run_health_check(
+            participants=1, trials=2, clusters=4, seed=0,
+            clock=ManualClock(), drift_fault="emg-dropout",
+            alert_sinks=[LogSink(), JsonlSink(alerts_path)],
+        )
+        assert result.drift_ok is False
+        assert result.critical_firing is True
+        firing = {r.detector for r in result.drift_reports if r.firing}
+        assert "feature_shift" in firing
+        # The drift-detectors stock rule fires off the health.drift_firing
+        # gauge the monitor just set.
+        rule_status = {r.rule.name: r.status for r in result.rule_results}
+        assert rule_status["drift-detectors"] == "firing"
+        # Every dispatched alert reached the JSONL sink.
+        lines = alerts_path.read_text().splitlines()
+        assert len(lines) == len(result.alerts) >= 2
+        severities = {json.loads(line)["severity"] for line in lines}
+        assert "critical" in severities
+        report = format_health_report(result)
+        assert "UNHEALTHY" in report and "DRIFT" in report
+
+    def test_deterministic_given_seed(self, clean):
+        again = run_health_check(participants=1, trials=2, clusters=4,
+                                 seed=0, clock=ManualClock())
+        assert again.to_dict() == clean.to_dict()
+
+    def test_unknown_study_rejected(self):
+        with pytest.raises(ValidationError, match="unknown study"):
+            run_health_check(study="torso")
+
+    def test_unknown_fault_rejected(self):
+        with pytest.raises(ValidationError, match="unknown drift fault"):
+            run_health_check(drift_fault="meteor")

@@ -1,0 +1,170 @@
+"""OpenMetrics exposition: name mapping, rendering, strict parsing."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.obs.clock import ManualClock
+from repro.obs.config import (
+    capture,
+    record_counter,
+    record_gauge,
+    record_histogram,
+)
+from repro.obs.export import collect_payload
+from repro.obs.openmetrics import (
+    metric_name,
+    parse_openmetrics,
+    render_openmetrics,
+)
+
+
+def toy_payload():
+    return {
+        "counters": {"fcm.fits": 3.0, "model.queries": 12.0},
+        "gauges": {"cache.hit_rate": 0.5},
+        "histograms": {
+            "model.query_latency_s": {
+                "count": 4, "total": 0.4, "min": 0.05, "max": 0.2,
+                "mean": 0.1, "p50": 0.1, "p95": 0.19, "p99": 0.2,
+            },
+        },
+        "spans_dropped": 0,
+        "events_dropped": 2,
+    }
+
+
+class TestMetricName:
+    def test_dots_and_dashes_flatten(self):
+        assert metric_name("cache.hit_rate") == "repro_cache_hit_rate"
+        assert metric_name("health.rule.query-latency-p95") == \
+            "repro_health_rule_query_latency_p95"
+
+    def test_custom_and_empty_namespace(self):
+        assert metric_name("a.b", namespace="x") == "x_a_b"
+        assert metric_name("a.b", namespace="") == "a_b"
+
+    def test_illegal_result_rejected(self):
+        with pytest.raises(ValidationError, match="invalid OpenMetrics"):
+            metric_name("has space.metric")
+        with pytest.raises(ValidationError, match="invalid OpenMetrics"):
+            metric_name("1leading.digit", namespace="")
+
+
+class TestRender:
+    def test_families_and_terminator(self):
+        text = render_openmetrics(toy_payload())
+        lines = text.splitlines()
+        assert text.endswith("# EOF\n")
+        assert "# TYPE repro_fcm_fits_total counter" in lines
+        assert "repro_fcm_fits_total 3" in lines
+        assert "# TYPE repro_cache_hit_rate gauge" in lines
+        assert "repro_cache_hit_rate 0.5" in lines
+        assert "# TYPE repro_model_query_latency_s summary" in lines
+        assert 'repro_model_query_latency_s{quantile="0.95"} 0.19' in lines
+        assert "repro_model_query_latency_s_count 4" in lines
+        assert "repro_model_query_latency_s_sum 0.4" in lines
+        # Telemetry-loss counters are always exposed.
+        assert "repro_obs_events_dropped_total 2" in lines
+        assert "repro_obs_spans_dropped_total 0" in lines
+
+    def test_families_sorted_and_deterministic(self):
+        text = render_openmetrics(toy_payload())
+        family_names = [line.split()[2] for line in text.splitlines()
+                        if line.startswith("# TYPE ")]
+        assert family_names == sorted(family_names)
+        assert render_openmetrics(toy_payload()) == text
+
+    def test_name_collision_rejected(self):
+        # A gauge literally named "fcm.fits_total" collides with the
+        # counter family "fcm.fits" after suffixing.
+        payload = {
+            "counters": {"fcm.fits": 1.0},
+            "gauges": {"fcm.fits_total": 2.0},
+        }
+        with pytest.raises(ValidationError, match="collision"):
+            render_openmetrics(payload)
+
+
+class TestParse:
+    def test_round_trips_rendered_values(self):
+        payload = toy_payload()
+        families = parse_openmetrics(render_openmetrics(payload))
+        assert families["repro_fcm_fits_total"]["type"] == "counter"
+        assert families["repro_fcm_fits_total"]["samples"][
+            "repro_fcm_fits_total"] == 3.0
+        assert families["repro_cache_hit_rate"]["samples"][
+            "repro_cache_hit_rate"] == 0.5
+        summary = families["repro_model_query_latency_s"]
+        assert summary["type"] == "summary"
+        samples = summary["samples"]
+        hist = payload["histograms"]["model.query_latency_s"]
+        for quantile, key in (("0.5", "p50"), ("0.95", "p95"),
+                              ("0.99", "p99")):
+            om_key = f'repro_model_query_latency_s{{quantile="{quantile}"}}'
+            assert samples[om_key] == hist[key]
+        assert samples["repro_model_query_latency_s_count"] == hist["count"]
+        assert samples["repro_model_query_latency_s_sum"] == hist["total"]
+
+    @pytest.mark.parametrize("mutate, match", [
+        (lambda t: t.replace("# EOF\n", ""), "EOF"),
+        (lambda t: t[:-1], "trailing newline"),
+        (lambda t: t + "stray 1\n# EOF\n", "content after # EOF"),
+        (lambda t: "\n" + t, "blank line"),
+        (lambda t: "# WEIRD comment\n" + t, "unknown comment"),
+        (lambda t: "orphan_sample 1\n" + t, "no HELP/TYPE"),
+    ])
+    def test_malformed_expositions_rejected(self, mutate, match):
+        text = render_openmetrics(toy_payload())
+        with pytest.raises(ValidationError, match=match):
+            parse_openmetrics(mutate(text))
+
+    def test_sample_before_type_rejected(self):
+        text = ("# HELP repro_x Gauge.\n"
+                "repro_x 1\n"
+                "# TYPE repro_x gauge\n"
+                "# EOF\n")
+        with pytest.raises(ValidationError, match="before its TYPE"):
+            parse_openmetrics(text)
+
+    def test_type_before_help_rejected(self):
+        text = "# TYPE repro_x gauge\n# EOF\n"
+        with pytest.raises(ValidationError, match="TYPE before HELP"):
+            parse_openmetrics(text)
+
+    def test_duplicate_declarations_rejected(self):
+        base = "# HELP repro_x Gauge.\n# TYPE repro_x gauge\n"
+        with pytest.raises(ValidationError, match="duplicate HELP"):
+            parse_openmetrics(base + "# HELP repro_x Again.\n# EOF\n")
+        with pytest.raises(ValidationError, match="duplicate TYPE"):
+            parse_openmetrics(base + "# TYPE repro_x gauge\n# EOF\n")
+        with pytest.raises(ValidationError, match="duplicate sample"):
+            parse_openmetrics(base + "repro_x 1\nrepro_x 1\n# EOF\n")
+
+    def test_malformed_labels_rejected(self):
+        base = "# HELP repro_x Gauge.\n# TYPE repro_x gauge\n"
+        with pytest.raises(ValidationError, match="malformed label"):
+            parse_openmetrics(base + "repro_x{quantile=0.5} 1\n# EOF\n")
+
+
+class TestEndToEnd:
+    def test_live_session_round_trip(self):
+        # Values recorded through the live registry survive export →
+        # OpenMetrics → parse unchanged.
+        with capture(clock=ManualClock()) as state:
+            record_counter("model.queries", 3)
+            record_gauge("cache.hit_rate", 0.75)
+            for value in (0.1, 0.2, 0.3):
+                record_histogram("model.query_latency_s", value)
+            payload = collect_payload(state)
+        families = parse_openmetrics(render_openmetrics(payload))
+        assert families["repro_model_queries_total"]["samples"][
+            "repro_model_queries_total"] == 3.0
+        assert families["repro_cache_hit_rate"]["samples"][
+            "repro_cache_hit_rate"] == 0.75
+        samples = families["repro_model_query_latency_s"]["samples"]
+        hist = payload["histograms"]["model.query_latency_s"]
+        assert samples["repro_model_query_latency_s_count"] == 3.0
+        assert samples["repro_model_query_latency_s_sum"] == \
+            pytest.approx(hist["total"])
+        assert samples[
+            'repro_model_query_latency_s{quantile="0.95"}'] == hist["p95"]

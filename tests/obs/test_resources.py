@@ -2,6 +2,10 @@
 
 from __future__ import annotations
 
+import importlib
+import sys
+
+import repro.obs.resources as resources_module
 from repro.obs.clock import ManualClock
 from repro.obs.resources import ResourceSampler
 
@@ -14,20 +18,70 @@ EXPECTED_KEYS = {
     "gc_tracked_gen0",
     "gc_tracked_gen1",
     "gc_tracked_gen2",
+    "resources_partial",
 }
+
+#: The numeric counters (everything except the partial-platform flag).
+COUNTER_KEYS = EXPECTED_KEYS - {"resources_partial"}
 
 
 class TestRead:
     def test_reading_has_stable_key_set(self):
         reading = ResourceSampler.read()
         assert set(reading) == EXPECTED_KEYS
-        assert all(isinstance(v, float) for v in reading.values())
+        assert all(isinstance(reading[k], float) for k in COUNTER_KEYS)
+        assert isinstance(reading["resources_partial"], bool)
 
     def test_counters_are_nonnegative(self):
         reading = ResourceSampler.read()
         assert reading["rss_max_kb"] >= 0.0
         assert reading["cpu_user_s"] >= 0.0
         assert reading["gc_collections"] >= 0.0
+
+    def test_full_reading_on_posix(self):
+        # The test suite runs on a platform with the resource module, so the
+        # default reading must be complete.
+        assert ResourceSampler.read()["resources_partial"] is False
+
+
+class TestPartialPlatform:
+    """Platforms without the Unix-only ``resource`` module degrade, not fail."""
+
+    def test_partial_reading_without_resource_module(self, monkeypatch):
+        monkeypatch.setattr(resources_module, "resource", None)
+        reading = ResourceSampler.read()
+        assert set(reading) == EXPECTED_KEYS
+        assert reading["resources_partial"] is True
+        assert reading["rss_max_kb"] == 0.0
+        # CPU times fall back to os.times(); the process has burned some.
+        assert reading["cpu_user_s"] >= 0.0
+        sampler = ResourceSampler(clock=ManualClock())
+        assert sampler.partial is True
+        sample = sampler.sample("start")
+        assert sample["resources_partial"] is True
+
+    def test_import_failure_degrades_to_partial(self, monkeypatch):
+        # Stub the import itself away and reload: the module must import
+        # cleanly and flag every reading as partial.
+        monkeypatch.setitem(sys.modules, "resource", None)
+        try:
+            reloaded = importlib.reload(resources_module)
+            assert reloaded.resource is None
+            reading = reloaded.ResourceSampler.read()
+            assert reading["resources_partial"] is True
+            assert reading["rss_max_kb"] == 0.0
+        finally:
+            monkeypatch.delitem(sys.modules, "resource", raising=False)
+            importlib.reload(resources_module)
+
+    def test_delta_still_works_when_partial(self, monkeypatch):
+        monkeypatch.setattr(resources_module, "resource", None)
+        sampler = ResourceSampler(clock=ManualClock())
+        sampler.sample("start")
+        sampler.sample("end")
+        delta = sampler.delta()
+        assert set(delta) == COUNTER_KEYS
+        assert delta["cpu_user_s"] >= 0.0
 
 
 class TestSampler:
@@ -47,20 +101,23 @@ class TestSampler:
         sampler.samples[0]["label"] = "mutated"
         assert sampler.samples[0]["label"] == "start"
 
+    def test_partial_property_matches_platform(self):
+        assert ResourceSampler(clock=ManualClock()).partial is False
+
     def test_delta_needs_two_samples(self):
         sampler = ResourceSampler(clock=ManualClock())
         assert sampler.delta() == {}
         sampler.sample("only")
         assert sampler.delta() == {}
 
-    def test_delta_excludes_label_and_ts(self):
+    def test_delta_excludes_label_ts_and_flag(self):
         sampler = ResourceSampler(clock=ManualClock())
         sampler.sample("start")
         # Burn a little CPU so the delta has something to measure.
         sum(i * i for i in range(50_000))
         sampler.sample("end")
         delta = sampler.delta()
-        assert set(delta) == EXPECTED_KEYS
+        assert set(delta) == COUNTER_KEYS
         assert delta["cpu_user_s"] >= 0.0
 
     def test_reset_clears_samples(self):

@@ -88,6 +88,7 @@ class TestFeatureCache:
         assert loaded.names == features.names
         assert cache.stats.as_dict() == {
             "hits": 1, "misses": 1, "stores": 1, "evictions": 0,
+            "hit_rate": 0.5,
         }
 
     def test_two_level_fanout(self, tmp_path):

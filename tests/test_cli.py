@@ -260,3 +260,74 @@ class TestSelftest:
         code = main(["selftest", "--tests", str(tests_dir)])
         assert code == 1
         assert "tier-1 FAILED" in capsys.readouterr().out
+
+
+class TestHealthCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["health"])
+        assert args.study == "hand"
+        assert args.clusters == 8
+        assert args.drift_fault == "none"
+        assert args.detector_window == 32
+        assert args.detector_min_samples == 4
+        assert args.watch is None
+        assert args.robust_policy == "off"
+
+    def test_rejects_unknown_fault(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["health", "--drift-fault", "meteor"])
+
+    def test_clean_check_exits_0(self, tmp_path, capsys):
+        om_path = tmp_path / "health.om"
+        code = main([
+            "health", "--clusters", "4", "--seed", "0",
+            "--openmetrics-out", str(om_path),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "healthy" in out
+        assert "drift detectors" in out
+        assert "slo rules" in out
+        # The exposition is valid OpenMetrics and carries the health gauges.
+        from repro.obs.openmetrics import parse_openmetrics
+        families = parse_openmetrics(om_path.read_text())
+        assert "repro_health_drift_firing" in families
+        assert families["repro_health_drift_firing"]["samples"][
+            "repro_health_drift_firing"] == 0.0
+
+    def test_drifted_check_exits_1_and_writes_alerts(self, tmp_path, capsys):
+        alerts_path = tmp_path / "alerts.jsonl"
+        code = main([
+            "health", "--clusters", "4", "--seed", "0",
+            "--drift-fault", "emg-dropout",
+            "--alerts-out", str(alerts_path),
+        ])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "UNHEALTHY" in out
+        assert "appended" in out
+        import json as _json
+        lines = alerts_path.read_text().splitlines()
+        assert lines
+        assert any(_json.loads(line)["severity"] == "critical"
+                   for line in lines)
+
+    def test_custom_rules_file(self, tmp_path, capsys):
+        rules = tmp_path / "rules.txt"
+        # An impossible SLO so the run breaches deterministically.
+        rules.write_text("model.queries < 1 severity=critical name=impossible\n")
+        code = main([
+            "health", "--clusters", "4", "--rules", str(rules),
+        ])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "impossible" in out
+
+    def test_watch_with_ticks_runs_bounded(self, capsys):
+        code = main([
+            "health", "--clusters", "4", "--watch", "0", "--ticks", "2",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.count("healthy") >= 2
+        assert "watch: next check" in out
