@@ -9,6 +9,7 @@ from typing import List, Sequence, Tuple
 import numpy as np
 
 from repro.errors import FeatureError
+from repro.features.batched import as_working_dtype
 from repro.utils.validation import check_array
 
 __all__ = ["EMGFeatureExtractor", "MocapFeatureExtractor", "WindowFeatures"]
@@ -29,6 +30,19 @@ class EMGFeatureExtractor(abc.ABC):
     def extract(self, window: np.ndarray) -> np.ndarray:
         """Feature vector for one ``(w, n_channels)`` window."""
 
+    def extract_batch(self, windows: np.ndarray) -> np.ndarray:
+        """Feature vectors for a ``(batch, w, n_channels)`` window stack.
+
+        The default loops :meth:`extract` per window, so every extractor is
+        batch-callable; extractors with a vectorized kernel (IAV, MAV,
+        waveform length, zero crossings — see :mod:`repro.features.batched`)
+        override this with the hot-path implementation.
+        """
+        windows = check_array(windows, name="windows", ndim=3, dtype=None,
+                              allow_empty=False)
+        return np.stack([self.extract(windows[i])
+                         for i in range(windows.shape[0])])
+
     def feature_names(self, channels: Sequence[str]) -> List[str]:
         """Names of the produced dimensions, channel-major."""
         kind = type(self).__name__
@@ -41,10 +55,11 @@ class EMGFeatureExtractor(abc.ABC):
         ]
 
     def _validated(self, window: np.ndarray) -> np.ndarray:
-        window = check_array(window, name="window", ndim=2, allow_empty=False)
+        window = check_array(window, name="window", ndim=2, dtype=None,
+                             allow_empty=False)
         if window.shape[0] < 1:
             raise FeatureError("EMG window must contain at least one sample")
-        return window
+        return as_working_dtype(window)
 
     def cache_fingerprint(self) -> str:
         """Stable identity of this extractor for feature-cache keys.
@@ -73,7 +88,10 @@ class MocapFeatureExtractor(abc.ABC):
 
     def extract(self, window: np.ndarray) -> np.ndarray:
         """Features for an ``(w, 3k)`` multi-joint window, joint-major."""
-        window = check_array(window, name="window", ndim=2, allow_empty=False)
+        window = as_working_dtype(
+            check_array(window, name="window", ndim=2, dtype=None,
+                        allow_empty=False)
+        )
         if window.shape[1] % 3 != 0:
             raise FeatureError(
                 f"multi-joint window must have 3 columns per joint, "
@@ -84,6 +102,17 @@ class MocapFeatureExtractor(abc.ABC):
             for j in range(window.shape[1] // 3)
         ]
         return np.concatenate(parts)
+
+    def extract_batch(self, windows: np.ndarray) -> np.ndarray:
+        """Features for a ``(batch, w, 3k)`` stack of multi-joint windows.
+
+        The default loops :meth:`extract` per window; extractors with a
+        stacked kernel (weighted SVD) override this with the hot path.
+        """
+        windows = check_array(windows, name="windows", ndim=3, dtype=None,
+                              allow_empty=False)
+        return np.stack([self.extract(windows[i])
+                         for i in range(windows.shape[0])])
 
     def feature_names(self, segments: Sequence[str]) -> List[str]:
         """Names of the produced dimensions, joint-major."""
@@ -113,7 +142,9 @@ class WindowFeatures:
     ----------
     matrix:
         ``(n_windows, d)`` combined feature vectors — the points mapped into
-        the paper's (m+n)-dimensional feature space.
+        the paper's (m+n)-dimensional feature space.  float32 and float64
+        matrices keep their dtype (the float32 fast path must survive the
+        bundle); anything else is coerced to float64.
     bounds:
         The frame range ``(start, stop)`` of each window.
     names:
@@ -126,7 +157,9 @@ class WindowFeatures:
     names: Tuple[str, ...]
 
     def __post_init__(self) -> None:
-        matrix = check_array(self.matrix, name="matrix", ndim=2)
+        matrix = as_working_dtype(
+            check_array(self.matrix, name="matrix", ndim=2, dtype=None)
+        )
         object.__setattr__(self, "matrix", matrix)
         object.__setattr__(self, "bounds", tuple(tuple(b) for b in self.bounds))
         object.__setattr__(self, "names", tuple(self.names))

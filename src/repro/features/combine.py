@@ -9,10 +9,32 @@ m-length EMG feature vector ... and n-length motion capture feature vector
 :class:`WindowFeaturizer` cuts a :class:`~repro.data.record.RecordedMotion`'s
 two synchronized streams into the *same* windows and emits one combined
 vector per window, EMG dimensions first.
+
+Two implementations produce those vectors:
+
+``impl="batched"`` (the default)
+    The hot path: each stream is cut into stacked equal-length window
+    batches (:func:`repro.utils.windows.window_batches` — one zero-copy
+    strided batch for the full windows plus small tail batches for the
+    ragged remainder) and featurized through the extractors'
+    ``extract_batch`` kernels (:mod:`repro.features.batched`), so the whole
+    record needs a handful of numpy calls instead of a Python loop per
+    window per joint.
+``impl="scalar"``
+    The original per-window loop, retained verbatim as the **reference
+    oracle**: ``tests/features/test_batched_equivalence.py`` asserts the
+    batched path is bit-identical to it in float64 and tolerance-banded in
+    float32.
+
+``dtype="float32"`` opts into the single-precision fast path: both streams
+are cast once up front and every kernel computes natively in float32
+(halving SVD work and memory traffic) at the cost of ~1e-6 relative feature
+error versus the float64 oracle.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 import numpy as np
@@ -28,9 +50,33 @@ from repro.features.iav import IAVExtractor
 from repro.features.svd import WeightedSVDExtractor
 from repro.obs.config import span
 from repro.utils.validation import check_in_range
-from repro.utils.windows import window_bounds, window_size_frames
+from repro.utils.windows import window_batches, window_bounds, window_size_frames
 
-__all__ = ["WindowFeaturizer"]
+__all__ = ["FeaturizeConfig", "WindowFeaturizer"]
+
+#: Allowed values of the ``impl`` knob.
+_IMPLS = ("batched", "scalar")
+
+#: Allowed values of the ``dtype`` knob, by name.
+_DTYPES = ("float64", "float32")
+
+
+@dataclass(frozen=True)
+class FeaturizeConfig:
+    """The value-determining featurization knobs, as one passable object.
+
+    Everything here participates in :meth:`WindowFeaturizer.cache_fingerprint`
+    (except ``impl`` in float64, where the batched and scalar paths are
+    bit-identical by contract and may share cache entries).  Build a
+    featurizer from it with :meth:`WindowFeaturizer.from_config`.
+    """
+
+    window_ms: float = 100.0
+    stride_ms: Optional[float] = None
+    use_emg: bool = True
+    use_mocap: bool = True
+    impl: str = "batched"
+    dtype: str = "float64"
 
 
 class WindowFeaturizer:
@@ -50,6 +96,14 @@ class WindowFeaturizer:
     use_emg / use_mocap:
         Modality switches for the fusion ablation (at least one must stay
         on).
+    impl:
+        ``"batched"`` (default) runs the stacked-SVD / vectorized-EMG hot
+        path; ``"scalar"`` runs the original per-window loop (the
+        reference oracle).  Bit-identical in float64.
+    dtype:
+        ``"float64"`` (default) or ``"float32"`` — the working precision of
+        the feature kernels.  float32 is the opt-in fast path; its features
+        are tolerance-banded, not bit-identical, against float64.
     """
 
     def __init__(
@@ -60,6 +114,8 @@ class WindowFeaturizer:
         stride_ms: Optional[float] = None,
         use_emg: bool = True,
         use_mocap: bool = True,
+        impl: str = "batched",
+        dtype: str = "float64",
     ):
         self.window_ms = check_in_range(
             window_ms, name="window_ms", low=0.0, high=10_000.0, inclusive_low=False
@@ -74,8 +130,38 @@ class WindowFeaturizer:
             raise FeatureError("at least one modality must be enabled")
         self.use_emg = use_emg
         self.use_mocap = use_mocap
+        if impl not in _IMPLS:
+            raise FeatureError(f"impl must be one of {_IMPLS}, got {impl!r}")
+        self.impl = impl
+        if dtype not in _DTYPES:
+            raise FeatureError(f"dtype must be one of {_DTYPES}, got {dtype!r}")
+        self.dtype = dtype
         self.emg_extractor = emg_extractor or IAVExtractor()
         self.mocap_extractor = mocap_extractor or WeightedSVDExtractor()
+
+    @classmethod
+    def from_config(cls, config: FeaturizeConfig) -> "WindowFeaturizer":
+        """Build a featurizer (with default extractors) from a config."""
+        return cls(
+            window_ms=config.window_ms,
+            stride_ms=config.stride_ms,
+            use_emg=config.use_emg,
+            use_mocap=config.use_mocap,
+            impl=config.impl,
+            dtype=config.dtype,
+        )
+
+    @property
+    def config(self) -> FeaturizeConfig:
+        """This featurizer's knobs as a :class:`FeaturizeConfig`."""
+        return FeaturizeConfig(
+            window_ms=self.window_ms,
+            stride_ms=self.stride_ms,
+            use_emg=self.use_emg,
+            use_mocap=self.use_mocap,
+            impl=self.impl,
+            dtype=self.dtype,
+        )
 
     def window_frames(self, fps: float) -> int:
         """Window length in frames at the given frame rate."""
@@ -103,16 +189,25 @@ class WindowFeaturizer:
 
         Combined with the stream bytes and the cache code version this forms
         the content address of a motion's features (see
-        :mod:`repro.parallel.cache`).
+        :mod:`repro.parallel.cache`).  The default float64 configuration
+        fingerprints exactly as it always has: the batched and scalar
+        implementations are bit-identical there (the differential harness
+        enforces it) and so share cache entries.  A non-default ``dtype``
+        changes the values, so it — and then ``impl``, whose float32
+        outputs are only tolerance-close — joins the fingerprint.
         """
-        return "|".join([
+        parts = [
             f"window_ms={self.window_ms!r}",
             f"stride_ms={self.stride_ms!r}",
             f"use_emg={self.use_emg}",
             f"use_mocap={self.use_mocap}",
             f"emg={self.emg_extractor.cache_fingerprint()}",
             f"mocap={self.mocap_extractor.cache_fingerprint()}",
-        ])
+        ]
+        if self.dtype != "float64":
+            parts.append(f"dtype={self.dtype}")
+            parts.append(f"impl={self.impl}")
+        return "|".join(parts)
 
     def features_batch(
         self,
@@ -137,8 +232,50 @@ class WindowFeaturizer:
 
         Both streams are cut with identical frame bounds; the EMG block is
         appended first, then the mocap block, matching the paper's (m+n)
-        layout.
+        layout.  Dispatches to the batched hot path or the scalar oracle
+        according to ``impl``.
         """
+        if self.impl == "scalar":
+            return self._features_scalar(record)
+        return self._features_batched(record)
+
+    # -- shared helpers -------------------------------------------------
+
+    def _np_dtype(self) -> np.dtype:
+        return np.dtype(self.dtype)
+
+    def _stream_arrays(self, record: RecordedMotion):
+        """The two stream matrices in the working dtype (cast once)."""
+        dtype = self._np_dtype()
+        emg = np.asarray(record.emg.data_volts, dtype=dtype)
+        mocap = np.asarray(record.mocap.matrix_mm, dtype=dtype)
+        return emg, mocap
+
+    def _window_error(
+        self, record: RecordedMotion, w: int, start: int, stop: int,
+        exc: Exception,
+    ) -> FeatureError:
+        # Most commonly NaN samples (occlusion/dropout): point at the
+        # exact window and at the layer meant to handle it.
+        return FeatureError(
+            f"cannot featurize window {w} (frames [{start}, {stop})) "
+            f"of record {record.key!r}: {exc}; if the streams are "
+            "degraded, featurize through repro.robust "
+            "(RobustFeaturizer or a robust_policy)"
+        )
+
+    def _no_windows_error(
+        self, record: RecordedMotion, window: int, stride: int
+    ) -> FeatureError:
+        return FeatureError(
+            f"record {record.key!r} produced no windows "
+            f"({record.n_frames} frames, window={window}, stride={stride})"
+        )
+
+    # -- the scalar reference oracle ------------------------------------
+
+    def _features_scalar(self, record: RecordedMotion) -> WindowFeatures:
+        """The original per-window loop, kept as the reference oracle."""
         with span("features.extract", key=record.key) as sp:
             fps = record.fps
             window = self.window_frames(fps)
@@ -146,8 +283,7 @@ class WindowFeaturizer:
             with span("features.windowing", n_frames=record.n_frames,
                       window=window, stride=stride):
                 bounds = window_bounds(record.n_frames, window, stride)
-            emg_data = np.asarray(record.emg.data_volts)
-            mocap_data = np.asarray(record.mocap.matrix_mm)
+            emg_data, mocap_data = self._stream_arrays(record)
             rows = []
             for w, (start, stop) in enumerate(bounds):
                 try:
@@ -159,21 +295,80 @@ class WindowFeaturizer:
                             self.mocap_extractor.extract(mocap_data[start:stop])
                         )
                 except ValidationError as exc:
-                    # Most commonly NaN samples (occlusion/dropout): point at
-                    # the exact window and at the layer meant to handle it.
-                    raise FeatureError(
-                        f"cannot featurize window {w} (frames [{start}, {stop})) "
-                        f"of record {record.key!r}: {exc}; if the streams are "
-                        "degraded, featurize through repro.robust "
-                        "(RobustFeaturizer or a robust_policy)"
-                    ) from exc
+                    raise self._window_error(record, w, start, stop, exc) from exc
                 rows.append(np.concatenate(parts))
             if not rows:
-                raise FeatureError(
-                    f"record {record.key!r} produced no windows "
-                    f"({record.n_frames} frames, window={window}, stride={stride})"
-                )
+                raise self._no_windows_error(record, window, stride)
             matrix = np.vstack(rows)
+            sp.set(n_windows=matrix.shape[0], n_dims=matrix.shape[1])
+            return WindowFeatures(
+                matrix=matrix,
+                bounds=tuple(bounds),
+                names=tuple(self.feature_names(record)),
+            )
+
+    # -- the batched hot path -------------------------------------------
+
+    def _raise_located(self, record: RecordedMotion, bounds, streams,
+                       exc: Exception) -> None:
+        """Re-raise a batch-level failure naming the first offending window.
+
+        The batched kernels validate whole stacks, so a NaN burst surfaces
+        as one :class:`ValidationError` for the batch; scanning the bounds
+        recovers the scalar path's per-window diagnostics.
+        """
+        for w, (start, stop) in enumerate(bounds):
+            for data in streams:
+                if not np.all(np.isfinite(data[start:stop])):
+                    raise self._window_error(
+                        record, w, start, stop,
+                        ValidationError("window contains non-finite values "
+                                        "(NaN or inf)"),
+                    ) from exc
+        raise self._window_error(record, 0, bounds[0][0], bounds[0][1],
+                                 exc) from exc
+
+    def _features_batched(self, record: RecordedMotion) -> WindowFeatures:
+        """Stacked-batch featurization; bit-identical to the oracle in float64."""
+        with span("features.extract", key=record.key) as sp:
+            fps = record.fps
+            window = self.window_frames(fps)
+            stride = self.stride_frames(fps)
+            with span("features.windowing", n_frames=record.n_frames,
+                      window=window, stride=stride):
+                bounds = window_bounds(record.n_frames, window, stride)
+            if not bounds:
+                raise self._no_windows_error(record, window, stride)
+            emg_data, mocap_data = self._stream_arrays(record)
+            streams = ([emg_data] if self.use_emg else []) + (
+                [mocap_data] if self.use_mocap else [])
+            with span("features.batched.stack", n_windows=len(bounds)):
+                emg_batches = (window_batches(emg_data, bounds, window, stride)
+                               if self.use_emg else None)
+                mocap_batches = (window_batches(mocap_data, bounds, window,
+                                                stride)
+                                 if self.use_mocap else None)
+            groups = emg_batches if emg_batches is not None else mocap_batches
+            matrix: Optional[np.ndarray] = None
+            for g, (first, _) in enumerate(groups):
+                try:
+                    parts = []
+                    if self.use_emg:
+                        parts.append(
+                            self.emg_extractor.extract_batch(emg_batches[g][1])
+                        )
+                    if self.use_mocap:
+                        parts.append(
+                            self.mocap_extractor.extract_batch(
+                                mocap_batches[g][1])
+                        )
+                except ValidationError as exc:
+                    self._raise_located(record, bounds, streams, exc)
+                block = np.concatenate(parts, axis=1)
+                if matrix is None:
+                    matrix = np.empty((len(bounds), block.shape[1]),
+                                      dtype=block.dtype)
+                matrix[first:first + block.shape[0]] = block
             sp.set(n_windows=matrix.shape[0], n_dims=matrix.shape[1])
             return WindowFeatures(
                 matrix=matrix,

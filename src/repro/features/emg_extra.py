@@ -18,7 +18,12 @@ import numpy as np
 
 from repro.errors import FeatureError
 from repro.features.base import EMGFeatureExtractor
-from repro.utils.validation import check_in_range, check_positive_int
+from repro.features.batched import (
+    batched_mav,
+    batched_waveform_length,
+    batched_zero_crossings,
+)
+from repro.utils.validation import check_in_range, check_positive_int, shapes
 
 __all__ = [
     "ZeroCrossingExtractor",
@@ -56,6 +61,11 @@ class ZeroCrossingExtractor(EMGFeatureExtractor):
             big_enough = np.abs(x[:-1] - x[1:]) > self.threshold
             out[c] = float(np.count_nonzero(sign_change & big_enough))
         return out
+
+    @shapes(windows="(b, w, c)")
+    def extract_batch(self, windows: np.ndarray) -> np.ndarray:
+        """Vectorized zero-crossing counts for a stack of windows."""
+        return batched_zero_crossings(windows, threshold=self.threshold)
 
     def feature_names(self, channels: Sequence[str]) -> List[str]:
         return [f"zc:{c}" for c in channels]
@@ -165,6 +175,11 @@ class MeanAbsoluteValueExtractor(EMGFeatureExtractor):
         window = self._validated(window)
         return np.mean(np.abs(window), axis=0)
 
+    @shapes(windows="(b, w, c)")
+    def extract_batch(self, windows: np.ndarray) -> np.ndarray:
+        """Vectorized MAV for a stack of windows."""
+        return batched_mav(windows)
+
     def feature_names(self, channels: Sequence[str]) -> List[str]:
         return [f"mav:{c}" for c in channels]
 
@@ -177,8 +192,13 @@ class WaveformLengthExtractor(EMGFeatureExtractor):
     def extract(self, window: np.ndarray) -> np.ndarray:
         window = self._validated(window)
         if window.shape[0] < 2:
-            return np.zeros(window.shape[1])
+            return np.zeros(window.shape[1], dtype=window.dtype)
         return np.sum(np.abs(np.diff(window, axis=0)), axis=0)
+
+    @shapes(windows="(b, w, c)")
+    def extract_batch(self, windows: np.ndarray) -> np.ndarray:
+        """Vectorized waveform length for a stack of windows."""
+        return batched_waveform_length(windows)
 
     def feature_names(self, channels: Sequence[str]) -> List[str]:
         return [f"wl:{c}" for c in channels]

@@ -17,6 +17,7 @@ from typing import List, Sequence
 import numpy as np
 
 from repro.features.base import EMGFeatureExtractor
+from repro.features.batched import as_working_dtype, batched_iav
 from repro.obs.config import span
 from repro.utils.validation import check_array, shapes
 
@@ -28,9 +29,11 @@ def integral_absolute_value(window: np.ndarray) -> np.ndarray:
 
     The input is conditioned (already rectified) EMG, but the absolute value
     is applied regardless so the function also accepts raw signals.
+    float32 and float64 windows are summed in their own dtype.
     """
-    window = check_array(window, name="window", ndim=2, allow_empty=False)
-    return np.sum(np.abs(window), axis=0)
+    window = check_array(window, name="window", ndim=2, dtype=None,
+                         allow_empty=False)
+    return np.sum(np.abs(as_working_dtype(window)), axis=0)
 
 
 class IAVExtractor(EMGFeatureExtractor):
@@ -43,6 +46,13 @@ class IAVExtractor(EMGFeatureExtractor):
         """IAV per channel for one window."""
         with span("features.iav"):
             return integral_absolute_value(self._validated(window))
+
+    @shapes(windows="(b, w, c)")
+    def extract_batch(self, windows: np.ndarray) -> np.ndarray:
+        """Vectorized IAV for a ``(batch, w, n_channels)`` window stack."""
+        with span("features.iav"):
+            with span("features.batched.emg", n_windows=len(windows)):
+                return batched_iav(windows)
 
     def feature_names(self, channels: Sequence[str]) -> List[str]:
         """``iav:<channel>`` per channel."""

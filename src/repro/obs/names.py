@@ -38,6 +38,9 @@ SPAN_NAMES = frozenset({
     "features.windowing",
     "features.iav",
     "features.svd",
+    "features.batched.stack",
+    "features.batched.svd",
+    "features.batched.emg",
     # fuzzy C-means signatures
     "fcm.fit",
     "fcm.restart",

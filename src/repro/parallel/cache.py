@@ -168,7 +168,10 @@ class FeatureCache:
                 return None
             try:
                 with np.load(path, allow_pickle=False) as payload:
-                    matrix = np.asarray(payload["matrix"], dtype=np.float64)
+                    # The matrix keeps its stored dtype: float32 fast-path
+                    # entries must round-trip as float32 (their keys never
+                    # collide with float64 — the fingerprint includes dtype).
+                    matrix = np.asarray(payload["matrix"])
                     bounds = np.asarray(payload["bounds"], dtype=np.int64)
                     names = [str(n) for n in payload["names"]]
                 features = WindowFeatures(
@@ -194,7 +197,7 @@ class FeatureCache:
             with atomic_write(path) as handle:
                 np.savez(
                     handle,
-                    matrix=np.asarray(features.matrix, dtype=np.float64),
+                    matrix=np.asarray(features.matrix),
                     bounds=np.asarray(features.bounds, dtype=np.int64).reshape(-1, 2),
                     names=np.asarray(features.names, dtype=np.str_),
                 )

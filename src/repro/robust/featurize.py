@@ -153,6 +153,16 @@ class RobustFeaturizer:
         """Whether the wrapped featurizer extracts mocap features."""
         return self.base.use_mocap
 
+    @property
+    def impl(self) -> str:
+        """Implementation knob of the wrapped featurizer."""
+        return self.base.impl
+
+    @property
+    def dtype(self) -> str:
+        """Working-dtype knob of the wrapped featurizer."""
+        return self.base.dtype
+
     def feature_names(self, record: RecordedMotion) -> List[str]:
         """Dimension names of the combined vector (same as the base)."""
         return self.base.feature_names(record)

@@ -18,7 +18,7 @@ Conventions
 
 from __future__ import annotations
 
-from typing import Iterator, Optional, Tuple
+from typing import Iterator, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -31,6 +31,7 @@ __all__ = [
     "window_bounds",
     "iter_windows",
     "sliding_window_view_2d",
+    "window_batches",
     "window_size_frames",
 ]
 
@@ -47,6 +48,37 @@ def window_size_frames(window_ms: float, rate_hz: float) -> int:
     rate_hz = check_in_range(rate_hz, name="rate_hz", low=0.0, high=float("inf"),
                              inclusive_low=False)
     return max(1, round(window_ms * rate_hz / 1000.0))
+
+
+def _bounds_impl(
+    n_frames: int,
+    window: int,
+    stride: Optional[int],
+    min_fraction: float,
+) -> list[Tuple[int, int]]:
+    """The bounds arithmetic shared by the counting and materializing paths."""
+    n_frames = check_positive_int(n_frames, name="n_frames", minimum=0)
+    window = check_positive_int(window, name="window")
+    if stride is None:
+        stride = window
+    stride = check_positive_int(stride, name="stride")
+    min_fraction = check_in_range(min_fraction, name="min_fraction", low=0.0, high=1.0)
+
+    if n_frames == 0:
+        return []
+    bounds: list[Tuple[int, int]] = []
+    start = 0
+    while start < n_frames:
+        stop = min(start + window, n_frames)
+        length = stop - start
+        if length == window or length >= max(1, int(np.ceil(min_fraction * window))):
+            bounds.append((start, stop))
+        start += stride
+    if not bounds:
+        # Stream shorter than the minimum partial window: use it whole rather
+        # than silently producing a featureless motion.
+        bounds.append((0, n_frames))
+    return bounds
 
 
 def window_bounds(
@@ -71,27 +103,7 @@ def window_bounds(
         stream and 30-frame windows yields windows at 0, 30, 60 and a final
         10-frame remainder is dropped, while a 16-frame remainder is kept.
     """
-    n_frames = check_positive_int(n_frames, name="n_frames", minimum=0)
-    window = check_positive_int(window, name="window")
-    if stride is None:
-        stride = window
-    stride = check_positive_int(stride, name="stride")
-    min_fraction = check_in_range(min_fraction, name="min_fraction", low=0.0, high=1.0)
-
-    if n_frames == 0:
-        return []
-    bounds: list[Tuple[int, int]] = []
-    start = 0
-    while start < n_frames:
-        stop = min(start + window, n_frames)
-        length = stop - start
-        if length == window or length >= max(1, int(np.ceil(min_fraction * window))):
-            bounds.append((start, stop))
-        start += stride
-    if not bounds:
-        # Stream shorter than the minimum partial window: use it whole rather
-        # than silently producing a featureless motion.
-        bounds.append((0, n_frames))
+    bounds = _bounds_impl(n_frames, window, stride, min_fraction)
     if is_enabled():
         record_counter("utils.windows.produced", len(bounds))
     return bounds
@@ -103,8 +115,13 @@ def num_windows(
     stride: Optional[int] = None,
     min_fraction: float = 0.5,
 ) -> int:
-    """Number of windows :func:`window_bounds` would produce."""
-    return len(window_bounds(n_frames, window, stride, min_fraction))
+    """Number of windows :func:`window_bounds` would produce.
+
+    Purely arithmetic: the ``utils.windows.produced`` counter is recorded
+    only by the materializing :func:`window_bounds` path, so callers that
+    first count and then iterate do not inflate the metric.
+    """
+    return len(_bounds_impl(n_frames, window, stride, min_fraction))
 
 
 @shapes(data="(n, ...)")
@@ -142,3 +159,62 @@ def sliding_window_view_2d(data: np.ndarray, window: int, stride: int) -> np.nda
     view = np.lib.stride_tricks.sliding_window_view(data, (window, data.shape[1]))
     view = view[::stride, 0][:count]
     return view
+
+
+@shapes(data="(n, d)")
+def window_batches(
+    data: np.ndarray,
+    bounds: Sequence[Tuple[int, int]],
+    window: int,
+    stride: Optional[int] = None,
+) -> list[Tuple[int, np.ndarray]]:
+    """Group the windows of ``data`` into equal-length stacked batches.
+
+    ``bounds`` must be the ranges :func:`window_bounds` produced for
+    ``data.shape[0]`` with the same ``window``/``stride``; the full-length
+    windows (always a prefix of ``bounds``) become one zero-copy strided
+    batch via :func:`sliding_window_view_2d`, and the ragged trailing
+    windows — the paper's ceiling-division remainder, of which an
+    overlapping stride can produce several — are grouped by length into
+    small materialized tail batches.
+
+    Returns
+    -------
+    list of (first_index, batch)
+        ``batch`` has shape ``(b, length, n_cols)`` and stacks the windows
+        at positions ``first_index .. first_index + b - 1`` of ``bounds``.
+        Concatenating the batches in order covers every window exactly
+        once, in bounds order.
+    """
+    data = np.asarray(data)
+    window = check_positive_int(window, name="window")
+    if stride is None:
+        stride = window
+    stride = check_positive_int(stride, name="stride")
+    bounds = list(bounds)
+    if not bounds:
+        return []
+    n_full = 0
+    while n_full < len(bounds) and bounds[n_full][1] - bounds[n_full][0] == window:
+        n_full += 1
+    batches: list[Tuple[int, np.ndarray]] = []
+    if n_full:
+        view = sliding_window_view_2d(data, window, stride)[:n_full]
+        if view.shape[0] != n_full:
+            raise ValidationError(
+                f"bounds disagree with the strided view: {n_full} full "
+                f"windows but the view holds {view.shape[0]}"
+            )
+        batches.append((0, view))
+    i = n_full
+    while i < len(bounds):
+        length = bounds[i][1] - bounds[i][0]
+        j = i
+        while j < len(bounds) and bounds[j][1] - bounds[j][0] == length:
+            j += 1
+        batches.append((
+            i,
+            np.stack([data[a:b] for a, b in bounds[i:j]]),
+        ))
+        i = j
+    return batches

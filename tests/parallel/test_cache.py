@@ -91,6 +91,26 @@ class TestFeatureCache:
             "hit_rate": 0.5,
         }
 
+    def test_float32_entry_round_trips_in_its_dtype(self, tmp_path,
+                                                    make_record):
+        """The float32 fast path must survive the cache: stored float32
+        matrices load back as float32, byte-identical, under a key that can
+        never collide with float64 (the fingerprint includes the dtype)."""
+        cache = FeatureCache(tmp_path / "cache")
+        f32 = WindowFeaturizer(window_ms=100.0, dtype="float32")
+        f64 = WindowFeaturizer(window_ms=100.0)
+        record = make_record()
+        features = f32.features(record)
+        assert features.matrix.dtype == np.float32
+        key32 = record_cache_key(record, f32.cache_fingerprint())
+        assert key32 != record_cache_key(record, f64.cache_fingerprint())
+
+        cache.store(key32, features)
+        loaded = cache.load(key32)
+        assert loaded is not None
+        assert loaded.matrix.dtype == np.float32
+        assert loaded.matrix.tobytes() == features.matrix.tobytes()
+
     def test_two_level_fanout(self, tmp_path):
         cache = FeatureCache(tmp_path)
         key = "ab" + "0" * 62

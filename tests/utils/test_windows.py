@@ -99,6 +99,25 @@ class TestNumWindows:
         for n in (0, 1, 5, 100, 101):
             assert num_windows(n, 7) == len(window_bounds(n, 7))
 
+    def test_counter_recorded_only_by_materializing_path(self):
+        """Regression: num_windows used to delegate to window_bounds, so a
+        count-then-iterate caller double-counted ``utils.windows.produced``."""
+        from repro.obs.config import capture
+
+        with capture() as state:
+            n = num_windows(100, 7)
+            bounds = window_bounds(100, 7)
+        assert n == len(bounds)
+        counter = state.registry.counter("utils.windows.produced")
+        assert counter.value == len(bounds)
+
+    def test_num_windows_alone_records_nothing(self):
+        from repro.obs.config import capture
+
+        with capture() as state:
+            num_windows(100, 7)
+        assert state.registry.counter("utils.windows.produced").value == 0
+
 
 class TestIterWindows:
     def test_yields_views(self):
