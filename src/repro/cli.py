@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Nine subcommands cover the library's workflow without writing Python:
+Ten subcommands cover the library's workflow without writing Python:
 
 ``repro-motions build``
     Simulate a capture campaign and save it to disk.
@@ -26,6 +26,13 @@ Nine subcommands cover the library's workflow without writing Python:
     rules, and exit 1 when critical alerts fire (see
     :mod:`repro.obs.health`).  ``--openmetrics-out`` writes the telemetry
     as an OpenMetrics exposition; ``--watch N`` re-runs every N seconds.
+``repro-motions store``
+    Persistent sharded signature store: ``store ingest`` synthesizes a
+    seeded signature population and appends it as CRC-checked segments,
+    ``store compact`` merges segments, ``store stats`` reports (and
+    optionally CRC-verifies) the store, and ``store query`` runs a
+    batched sharded k-NN workload checked against the linear-scan oracle
+    (see :mod:`repro.retrieval.store` and docs/RETRIEVAL.md).
 ``repro-motions lint``
     Run the repo-specific static-analysis rules (see :mod:`repro.lint`).
 ``repro-motions selftest``
@@ -308,6 +315,85 @@ def build_parser() -> argparse.ArgumentParser:
     b_list = bench_sub.add_parser("list", help="print the ledger history")
     add_ledger_flag(b_list)
 
+    p_store = sub.add_parser(
+        "store",
+        help="persistent sharded signature store "
+             "(ingest/compact/stats/query)",
+    )
+    store_sub = p_store.add_subparsers(dest="store_command", required=True)
+
+    def add_store_flag(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--store", metavar="DIR", required=True,
+                       help="signature store directory")
+
+    s_ingest = store_sub.add_parser(
+        "ingest",
+        help="synthesize a seeded signature population and append it "
+             "as segments",
+    )
+    add_store_flag(s_ingest)
+    s_ingest.add_argument("--signatures", type=int, default=10000,
+                          help="population size to generate "
+                               "(default: 10000)")
+    s_ingest.add_argument("--tenants", type=int, default=16,
+                          help="synthetic tenant count (default: 16)")
+    s_ingest.add_argument("--batch-size", type=int, default=10000,
+                          help="records per ingested segment "
+                               "(default: 10000)")
+    s_ingest.add_argument("--jitter", type=float, default=0.02,
+                          help="perturbation stddev in membership units "
+                               "(default: 0.02)")
+    s_ingest.add_argument("--base", choices=("campaign", "random"),
+                          default="campaign",
+                          help="base signatures: 'campaign' fits a "
+                               "classifier on a simulated capture "
+                               "campaign; 'random' draws structured "
+                               "random signatures (fast)")
+    s_ingest.add_argument("--study", choices=("hand", "leg"),
+                          default="hand")
+    s_ingest.add_argument("--participants", type=int, default=1)
+    s_ingest.add_argument("--trials", type=int, default=2,
+                          help="trials per motion class per participant")
+    s_ingest.add_argument("--clusters", type=int, default=15)
+    s_ingest.add_argument("--window-ms", type=float, default=100.0)
+    s_ingest.add_argument("--seed", type=int, default=0)
+
+    s_compact = store_sub.add_parser(
+        "compact", help="merge all segments into one"
+    )
+    add_store_flag(s_compact)
+
+    s_stats = store_sub.add_parser(
+        "stats", help="report (and optionally CRC-verify) the store"
+    )
+    add_store_flag(s_stats)
+    s_stats.add_argument("--verify", action="store_true",
+                         help="re-check every segment and record CRC")
+
+    s_query = store_sub.add_parser(
+        "query",
+        help="run a batched sharded k-NN workload against the store "
+             "(checked against the linear-scan oracle)",
+    )
+    add_store_flag(s_query)
+    s_query.add_argument("--k", type=int, default=5)
+    s_query.add_argument("--queries", type=int, default=64,
+                         help="batch size of the query workload "
+                              "(default: 64)")
+    s_query.add_argument("--shards", type=int, default=4,
+                         help="shard count (default: 4)")
+    s_query.add_argument("--mode", choices=("tenant", "region"),
+                         default="tenant",
+                         help="shard routing mode (default: tenant)")
+    s_query.add_argument("--backend", choices=("linear", "idistance"),
+                         default="linear",
+                         help="per-shard search backend (default: linear)")
+    s_query.add_argument("--tenant", default=None,
+                         help="restrict the search to one tenant")
+    s_query.add_argument("--seed", type=int, default=0)
+    s_query.add_argument("--skip-oracle", action="store_true",
+                         help="skip the linear-scan oracle comparison")
+
     p_lint = sub.add_parser("lint", help="run the repo's static-analysis rules")
     p_lint.add_argument("paths", nargs="*",
                         help="files or directories to lint "
@@ -552,6 +638,164 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _base_signatures(args):
+    """Base (vectors, labels) the synthetic population is inflated from."""
+    import numpy as np
+
+    if args.base == "campaign":
+        proto = hand_protocol() if args.study == "hand" else leg_protocol()
+        dataset = build_dataset(
+            proto,
+            n_participants=args.participants,
+            trials_per_motion=args.trials,
+            seed=args.seed,
+        )
+        featurizer = WindowFeaturizer(window_ms=args.window_ms)
+        classifier = MotionClassifier(
+            n_clusters=args.clusters, featurizer=featurizer
+        ).fit(dataset, seed=args.seed)
+        return classifier.database_signatures, classifier.database_labels
+    # Structured random signatures: sorted (min, max) pairs in [0, 1]
+    # with a seeded sparsity pattern, one label per base cluster shape.
+    from repro.utils.rng import as_generator
+
+    rng = as_generator(args.seed)
+    n_base, c = 64, args.clusters
+    pairs = np.sort(rng.uniform(0.0, 1.0, size=(n_base, c, 2)), axis=2)
+    occupied = rng.uniform(size=(n_base, c)) < 0.6
+    pairs[~occupied] = 0.0
+    labels = [f"class-{i % 8}" for i in range(n_base)]
+    return pairs.reshape(n_base, 2 * c), labels
+
+
+def _cmd_store(args) -> int:
+    from repro.retrieval.store import SignatureStore
+
+    store = SignatureStore(args.store)
+    if args.store_command == "ingest":
+        from repro.data.population import synthesize_population
+
+        base_vectors, base_labels = _base_signatures(args)
+        population = synthesize_population(
+            base_vectors, base_labels,
+            n_signatures=args.signatures,
+            n_tenants=args.tenants,
+            jitter=args.jitter,
+            seed=args.seed,
+        )
+        n_written = 0
+        n_segments = 0
+        for start in range(0, len(population), args.batch_size):
+            stop = min(start + args.batch_size, len(population))
+            result = store.ingest(
+                population.vectors[start:stop],
+                list(population.labels[start:stop]),
+                list(population.tenants[start:stop]),
+            )
+            n_written += result.n_written
+            n_segments += 1 if result.segment else 0
+        stats = store.stats()
+        print(f"ingested {n_written} signatures "
+              f"({population.n_tenants} tenants, base: {args.base}) "
+              f"into {n_segments} new segment(s)")
+        print(f"store {args.store}: {stats.n_records} records in "
+              f"{stats.n_segments} segments, dim {stats.dim}, "
+              f"{stats.n_bytes} bytes")
+        return 0
+    if args.store_command == "compact":
+        result = store.compact()
+        print(f"compacted {result.n_segments_before} segment(s) -> "
+              f"{result.n_segments_after} ({result.n_records} records, "
+              f"{result.bytes_reclaimed} bytes reclaimed)")
+        return 0
+    if args.store_command == "stats":
+        stats = store.stats()
+        print(format_table(["metric", "value"], [
+            ["segments", stats.n_segments],
+            ["records", stats.n_records],
+            ["dim", stats.dim],
+            ["tenants", stats.n_tenants],
+            ["labels", stats.n_labels],
+            ["bytes", stats.n_bytes],
+            ["compactions", stats.n_compactions],
+            ["next id", stats.next_id],
+        ]))
+        if args.verify:
+            report = store.verify()
+            if report.ok:
+                print(f"verify: all {report.n_records} records across "
+                      f"{report.n_segments} segment(s) passed their CRC "
+                      f"checks")
+            else:
+                for error in report.errors:
+                    print(f"verify: {error}", file=sys.stderr)
+                return 1
+        return 0
+    # store query
+    import numpy as np
+
+    from repro.obs.config import capture
+    from repro.obs.export import collect_payload
+    from repro.retrieval.linear import LinearScanIndex
+    from repro.retrieval.shard import ShardedSignatureIndex
+    from repro.utils.rng import as_generator
+
+    contents = store.records()
+    if len(contents) == 0:
+        print("error: the store is empty; run 'store ingest' first",
+              file=sys.stderr)
+        return 2
+    rng = as_generator(args.seed)
+    rows = rng.integers(0, len(contents), size=args.queries)
+    queries = np.clip(
+        contents.vectors[rows]
+        + rng.normal(0.0, 0.01, size=(args.queries,
+                                      contents.vectors.shape[1])),
+        0.0, 1.0,
+    )
+    with capture() as state:
+        index = ShardedSignatureIndex(
+            n_shards=args.shards, backend=args.backend, mode=args.mode,
+            seed=args.seed,
+        ).fit_contents(contents)
+        ids, dists = index.query_batch(queries, args.k, tenant=args.tenant)
+    payload = collect_payload(state, meta={"command": "store query"})
+    stages = payload["stages"]
+    build_s = stages.get("store.index_build", {}).get("total_s", 0.0)
+    query_s = stages.get("store.query_batch", {}).get("total_s", 0.0)
+    qps = args.queries / query_s if query_s > 0 else float("inf")
+    print(f"queried {args.queries} x k={args.k} over {len(contents)} "
+          f"records in {index.last_shards_probed} shard(s) "
+          f"[{args.mode}/{args.backend}]: index build {build_s:.3f} s, "
+          f"batch {query_s:.3f} s ({qps:.0f} q/s), "
+          f"{index.last_candidates} candidates merged")
+    print(f"nearest distances: min {dists.min():.4f}, "
+          f"median {float(np.median(dists)):.4f}, max {dists.max():.4f}")
+    if args.skip_oracle:
+        return 0
+    if args.tenant is not None:
+        mask = np.fromiter((t == args.tenant for t in contents.tenants),
+                           dtype=bool, count=len(contents))
+        oracle_ids = contents.ids[mask]
+        oracle = LinearScanIndex().fit(contents.vectors[mask])
+    else:
+        oracle_ids = contents.ids
+        oracle = LinearScanIndex().fit(contents.vectors)
+    mismatches = 0
+    for qi in range(args.queries):
+        li, ld = oracle.query(queries[qi], args.k)
+        if not (np.array_equal(oracle_ids[li], ids[qi])
+                and np.array_equal(ld, dists[qi])):
+            mismatches += 1
+    if mismatches:
+        print(f"oracle check FAILED: {mismatches}/{args.queries} queries "
+              f"differ from the linear-scan oracle", file=sys.stderr)
+        return 1
+    print(f"oracle check OK: all {args.queries} queries bit-identical to "
+          f"the linear-scan oracle")
+    return 0
+
+
 def _cmd_lint(args) -> int:
     from repro.lint.cli import run as lint_run
 
@@ -774,6 +1018,7 @@ _COMMANDS = {
     "profile": _cmd_profile,
     "health": _cmd_health,
     "bench": _cmd_bench,
+    "store": _cmd_store,
     "lint": _cmd_lint,
     "selftest": _cmd_selftest,
 }

@@ -11,6 +11,7 @@ from repro.data.protocol import (
 )
 from repro.data.serialize import load_dataset, save_dataset
 from repro.data.stream import ContinuousStream, StreamAnnotation, concatenate_records
+from repro.data.population import SyntheticPopulation, synthesize_population
 
 __all__ = [
     "RecordedMotion",
@@ -25,4 +26,6 @@ __all__ = [
     "ContinuousStream",
     "StreamAnnotation",
     "concatenate_records",
+    "SyntheticPopulation",
+    "synthesize_population",
 ]

@@ -19,6 +19,7 @@ __all__ = [
     "NotFittedError",
     "DatasetError",
     "RetrievalError",
+    "StoreError",
     "SerializationError",
     "CacheError",
     "LintError",
@@ -69,6 +70,10 @@ class DatasetError(ReproError):
 
 class RetrievalError(ReproError):
     """A similarity-search structure was queried in an invalid way."""
+
+
+class StoreError(RetrievalError):
+    """The persistent signature store is inconsistent or was misused."""
 
 
 class SerializationError(ReproError):

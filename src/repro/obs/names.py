@@ -55,6 +55,11 @@ SPAN_NAMES = frozenset({
     "retrieval.index_build",
     "retrieval.knn_query",
     "retrieval.idistance_query",
+    # persistent signature store
+    "store.ingest",
+    "store.compact",
+    "store.index_build",
+    "store.query_batch",
     # parallel execution and caching
     "parallel.map",
     "parallel.featurize",
@@ -91,6 +96,15 @@ METRIC_NAMES = frozenset({
     "retrieval.idistance.candidates",
     "retrieval.idistance.rounds",
     "retrieval.idistance.pruning_ratio",
+    # persistent signature store
+    "store.records_ingested",
+    "store.records_skipped",
+    "store.segments_written",
+    "store.compactions",
+    "store.live_records",
+    "store.queries",
+    "store.shards_probed",
+    "store.candidates",
     # parallel execution and caching
     "parallel.tasks",
     "parallel.cache.hits",
@@ -139,6 +153,8 @@ EVENT_NAMES = frozenset({
     "featurize.batch",
     # retrieval backends
     "retrieval.query",
+    # persistent signature store (batched fan-out queries)
+    "store.query",
     # model-health monitoring (SLO/drift alerts)
     "health.alert",
 })

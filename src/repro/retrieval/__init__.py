@@ -14,7 +14,11 @@ indexing technique to prune irrelevant motions."
   stores its keys in;
 * :mod:`repro.retrieval.dynamic` — a B+-tree-backed iDistance supporting
   online inserts and deletes;
-* :mod:`repro.retrieval.knn` — k-NN voting and retrieval-quality helpers.
+* :mod:`repro.retrieval.knn` — k-NN voting and retrieval-quality helpers;
+* :mod:`repro.retrieval.store` — the persistent, partitioned signature
+  store (CRC-checked append-only segments + atomic JSON manifest);
+* :mod:`repro.retrieval.shard` — tenant/cluster-region sharding with
+  batched k-NN fan-out, bit-identical to a global linear scan.
 """
 
 from repro.retrieval.linear import LinearScanIndex
@@ -22,6 +26,17 @@ from repro.retrieval.idistance import IDistanceIndex
 from repro.retrieval.bptree import BPlusTree
 from repro.retrieval.dynamic import DynamicIDistanceIndex
 from repro.retrieval.knn import NearestNeighborIndex, knn_vote
+from repro.retrieval.store import (
+    CompactionResult,
+    IngestResult,
+    SegmentScan,
+    SignatureStore,
+    StoreContents,
+    StoreStats,
+    VerifyReport,
+    scan_segment,
+)
+from repro.retrieval.shard import ShardRouter, ShardedSignatureIndex, tenant_shard
 
 __all__ = [
     "LinearScanIndex",
@@ -30,4 +45,15 @@ __all__ = [
     "DynamicIDistanceIndex",
     "NearestNeighborIndex",
     "knn_vote",
+    "SignatureStore",
+    "StoreContents",
+    "StoreStats",
+    "IngestResult",
+    "CompactionResult",
+    "VerifyReport",
+    "SegmentScan",
+    "scan_segment",
+    "ShardRouter",
+    "ShardedSignatureIndex",
+    "tenant_shard",
 ]

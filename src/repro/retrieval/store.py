@@ -1,0 +1,630 @@
+"""Persistent, partitioned signature store (ROADMAP item 2).
+
+The in-memory indexes in this package serve one tenant and die with the
+process.  This module adds the durable half: motion signatures live in
+**append-only segment files** under one store directory, described by a
+JSON **manifest** that is the single commit point for every mutation.
+
+Segment format (``seg-NNNNNN.sig``)
+-----------------------------------
+A fixed-width binary layout so a segment can be parsed with one
+``np.frombuffer`` call::
+
+    header  : magic 'RSG1' | version u32 | dim u32 | n_records u64
+              | record_width u32 | crc32(header) u32          (28 bytes)
+    record  : id u64 | tenant_idx u32 | label_idx u32
+              | vector dim*f64 | crc32(record) u32     (16 + 8*dim + 4)
+
+Tenant and label strings are interned per segment: records carry ``u32``
+indices into the segment's ``tenants``/``labels`` tables in the manifest.
+Every record carries its own CRC32 (over all preceding record bytes), so
+a torn tail can be cut off record-exactly; the manifest additionally
+stores the CRC32 of the whole segment file for an O(1) integrity check
+on the fast read path.
+
+Durability invariants
+---------------------
+* Segment files and the manifest are only ever written through
+  :func:`repro.utils.atomic_write` (lint rule R8): readers see either
+  the complete old file or the complete new one.
+* A segment becomes visible **only** when the manifest names it.  A
+  crash between segment write and manifest write leaves an orphan file
+  that every reader ignores and the next ingest simply overwrites.
+* Record ids are unique store-wide: ingest skips ids that are already
+  present, so replaying an interrupted ingest is idempotent.
+* :meth:`SignatureStore.compact` merges all segments into one (records
+  sorted by id) and commits the swap through a new manifest before the
+  old segment files are unlinked.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.errors import StoreError
+from repro.obs.config import is_enabled, record_counter, record_gauge, span
+from repro.utils.atomicio import atomic_write
+from repro.utils.validation import check_array
+
+__all__ = [
+    "CompactionResult",
+    "IngestResult",
+    "MANIFEST_NAME",
+    "MANIFEST_SCHEMA",
+    "SEGMENT_MAGIC",
+    "SEGMENT_VERSION",
+    "SegmentScan",
+    "SignatureStore",
+    "StoreContents",
+    "StoreStats",
+    "VerifyReport",
+    "record_width",
+    "scan_segment",
+    "segment_header_size",
+]
+
+MANIFEST_NAME = "manifest.json"
+MANIFEST_SCHEMA = "repro.store/v1"
+SEGMENT_MAGIC = b"RSG1"
+SEGMENT_VERSION = 1
+
+#: header: magic, version, dim, n_records, record_width, crc32(header).
+_HEADER = struct.Struct("<4sIIQII")
+#: fixed per-record prefix: id u64, tenant_idx u32, label_idx u32.
+_RECORD_PREFIX = struct.Struct("<QII")
+_CRC_BYTES = 4
+
+
+def segment_header_size() -> int:
+    """Size in bytes of the segment header."""
+    return _HEADER.size
+
+
+def record_width(dim: int) -> int:
+    """Fixed on-disk width in bytes of one ``dim``-dimensional record."""
+    return _RECORD_PREFIX.size + 8 * dim + _CRC_BYTES
+
+
+def _record_dtype(dim: int) -> np.dtype:
+    return np.dtype([
+        ("id", "<u8"),
+        ("tenant", "<u4"),
+        ("label", "<u4"),
+        ("vec", "<f8", (dim,)),
+        ("crc", "<u4"),
+    ])
+
+
+def _record_crcs(raw: bytes, n_records: int, width: int) -> np.ndarray:
+    """CRC32 of each record's prefix (everything before its crc field)."""
+    out = np.empty(n_records, dtype=np.uint32)
+    body = width - _CRC_BYTES
+    for i in range(n_records):
+        start = i * width
+        out[i] = zlib.crc32(raw[start:start + body])
+    return out
+
+
+@dataclass(frozen=True)
+class StoreContents:
+    """Everything live in the store, sorted by ascending record id."""
+
+    ids: np.ndarray
+    vectors: np.ndarray
+    labels: Tuple[str, ...]
+    tenants: Tuple[str, ...]
+
+    def __len__(self) -> int:
+        return len(self.ids)
+
+
+@dataclass(frozen=True)
+class IngestResult:
+    """Outcome of one :meth:`SignatureStore.ingest` call."""
+
+    n_written: int
+    n_skipped: int
+    segment: Optional[str]
+
+
+@dataclass(frozen=True)
+class CompactionResult:
+    """Outcome of one :meth:`SignatureStore.compact` call."""
+
+    n_segments_before: int
+    n_segments_after: int
+    n_records: int
+    bytes_reclaimed: int
+
+
+@dataclass(frozen=True)
+class StoreStats:
+    """Summary counters for ``repro-motions store stats``."""
+
+    n_segments: int
+    n_records: int
+    dim: int
+    n_tenants: int
+    n_labels: int
+    n_bytes: int
+    n_compactions: int
+    next_id: int
+
+
+@dataclass(frozen=True)
+class VerifyReport:
+    """Full-scan integrity report (every record CRC re-checked)."""
+
+    n_segments: int
+    n_records: int
+    errors: Tuple[str, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        """Whether every segment and record passed its CRC check."""
+        return not self.errors
+
+
+@dataclass(frozen=True)
+class SegmentScan:
+    """Tolerant record-by-record scan of one segment file.
+
+    ``n_complete`` counts the prefix of records whose CRC verified;
+    everything after the first torn or corrupt record is dropped.
+    """
+
+    n_complete: int
+    n_expected: int
+    ids: np.ndarray
+    vectors: np.ndarray
+    tenant_idx: np.ndarray
+    label_idx: np.ndarray
+
+    @property
+    def truncated(self) -> bool:
+        """Whether the scan stopped before the header's record count."""
+        return self.n_complete < self.n_expected
+
+
+def scan_segment(path: Union[str, Path]) -> SegmentScan:
+    """Recover every complete record from a possibly-torn segment file.
+
+    Unlike the fast read path (which insists on the manifest's whole-file
+    CRC), this walks record by record and keeps the longest verified
+    prefix — the crash-recovery primitive behind
+    :meth:`SignatureStore.verify` and the recovery tests.
+    """
+    path = Path(path)
+    try:
+        raw = path.read_bytes()
+    except OSError as exc:
+        raise StoreError(f"cannot read segment {path}: {exc}") from exc
+    empty = SegmentScan(
+        n_complete=0, n_expected=0,
+        ids=np.empty(0, dtype=np.uint64),
+        vectors=np.empty((0, 0)),
+        tenant_idx=np.empty(0, dtype=np.uint32),
+        label_idx=np.empty(0, dtype=np.uint32),
+    )
+    if len(raw) < _HEADER.size:
+        return empty
+    magic, version, dim, n_expected, width, header_crc = _HEADER.unpack(
+        raw[:_HEADER.size]
+    )
+    if magic != SEGMENT_MAGIC or version != SEGMENT_VERSION:
+        return empty
+    if header_crc != zlib.crc32(raw[:_HEADER.size - _CRC_BYTES]):
+        return empty
+    if width != record_width(dim):
+        return empty
+    payload = raw[_HEADER.size:]
+    n_have = len(payload) // width
+    body = width - _CRC_BYTES
+    n_complete = 0
+    for i in range(min(n_have, int(n_expected))):
+        start = i * width
+        chunk = payload[start:start + width]
+        (stored_crc,) = struct.unpack_from("<I", chunk, body)
+        if stored_crc != zlib.crc32(chunk[:body]):
+            break
+        n_complete += 1
+    dtype = _record_dtype(dim)
+    data = np.frombuffer(payload[:n_complete * width], dtype=dtype)
+    return SegmentScan(
+        n_complete=n_complete,
+        n_expected=int(n_expected),
+        ids=data["id"].copy(),
+        vectors=data["vec"].reshape(n_complete, dim).astype(np.float64),
+        tenant_idx=data["tenant"].copy(),
+        label_idx=data["label"].copy(),
+    )
+
+
+class SignatureStore:
+    """A directory of immutable CRC-checked segments plus one manifest.
+
+    Parameters
+    ----------
+    root:
+        Store directory; created on the first ingest.  An existing
+        manifest is loaded eagerly (it is small); segment payloads are
+        only read when the contents are actually needed.
+    """
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+        self._manifest: Dict = self._load_manifest()
+        self._known_ids: Optional[set] = None
+
+    # ------------------------------------------------------------------
+    # Manifest handling
+    # ------------------------------------------------------------------
+
+    def _manifest_path(self) -> Path:
+        return self.root / MANIFEST_NAME
+
+    def _load_manifest(self) -> Dict:
+        path = self._manifest_path()
+        if not path.exists():
+            return {
+                "schema": MANIFEST_SCHEMA,
+                "dim": None,
+                "next_id": 0,
+                "next_seq": 1,
+                "compactions": 0,
+                "segments": [],
+            }
+        try:
+            manifest = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError) as exc:
+            raise StoreError(f"unreadable store manifest {path}: {exc}") from exc
+        if manifest.get("schema") != MANIFEST_SCHEMA:
+            raise StoreError(
+                f"manifest {path} has schema {manifest.get('schema')!r}, "
+                f"expected {MANIFEST_SCHEMA!r}"
+            )
+        return manifest
+
+    def _write_manifest(self, manifest: Dict) -> None:
+        with atomic_write(self._manifest_path(), mode="w",
+                          encoding="utf-8") as handle:
+            json.dump(manifest, handle, indent=1, sort_keys=True)
+        self._manifest = manifest
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def dim(self) -> Optional[int]:
+        """Signature dimensionality, or ``None`` before the first ingest."""
+        return self._manifest["dim"]
+
+    @property
+    def n_segments(self) -> int:
+        """Number of live segments."""
+        return len(self._manifest["segments"])
+
+    @property
+    def n_records(self) -> int:
+        """Number of live records across all segments."""
+        return sum(int(s["n_records"]) for s in self._manifest["segments"])
+
+    def stats(self) -> StoreStats:
+        """Summary counters over the manifest (no payload reads)."""
+        tenants: set = set()
+        labels: set = set()
+        n_bytes = 0
+        for seg in self._manifest["segments"]:
+            tenants.update(seg["tenants"])
+            labels.update(seg["labels"])
+            seg_path = self.root / seg["name"]
+            if seg_path.exists():
+                n_bytes += seg_path.stat().st_size
+        return StoreStats(
+            n_segments=self.n_segments,
+            n_records=self.n_records,
+            dim=int(self._manifest["dim"] or 0),
+            n_tenants=len(tenants),
+            n_labels=len(labels),
+            n_bytes=n_bytes,
+            n_compactions=int(self._manifest["compactions"]),
+            next_id=int(self._manifest["next_id"]),
+        )
+
+    def ids(self) -> np.ndarray:
+        """All live record ids (unsorted, in segment order)."""
+        parts = [self._read_segment(seg)[0]
+                 for seg in self._manifest["segments"]]
+        if not parts:
+            return np.empty(0, dtype=np.uint64)
+        return np.concatenate(parts)
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+
+    def ingest(
+        self,
+        vectors: np.ndarray,
+        labels: Sequence[str],
+        tenants: Union[str, Sequence[str]] = "default",
+        ids: Optional[np.ndarray] = None,
+    ) -> IngestResult:
+        """Append one immutable segment holding the given signatures.
+
+        Parameters
+        ----------
+        vectors:
+            ``(n, d)`` signature matrix.
+        labels:
+            Motion-class label per row.
+        tenants:
+            Tenant key per row, or one key for the whole batch.
+        ids:
+            Explicit ``uint64`` record ids.  Rows whose id is already in
+            the store are skipped (idempotent replay); omitted ids are
+            assigned sequentially from the manifest's ``next_id``.
+        """
+        x = check_array(vectors, name="vectors", ndim=2, allow_empty=False)
+        n, dim = x.shape
+        if self.dim is not None and dim != self.dim:
+            raise StoreError(
+                f"store holds {self.dim}-dim signatures, batch has {dim}"
+            )
+        if isinstance(tenants, str):
+            tenants = [tenants] * n
+        if len(labels) != n:
+            raise StoreError(f"{n} vectors but {len(labels)} labels")
+        if len(tenants) != n:
+            raise StoreError(f"{n} vectors but {len(tenants)} tenants")
+
+        if ids is None:
+            start = int(self._manifest["next_id"])
+            id_arr = np.arange(start, start + n, dtype=np.uint64)
+            keep = np.ones(n, dtype=bool)
+        else:
+            id_arr = check_array(ids, name="ids", ndim=1).astype(np.uint64)
+            if len(id_arr) != n:
+                raise StoreError(f"{n} vectors but {len(id_arr)} ids")
+            if len(np.unique(id_arr)) != n:
+                raise StoreError("ingest batch contains duplicate ids")
+            known = self._known_id_set()
+            keep = np.fromiter((int(i) not in known for i in id_arr),
+                               dtype=bool, count=n)
+        n_written = int(keep.sum())
+        n_skipped = n - n_written
+        if n_written == 0:
+            return IngestResult(n_written=0, n_skipped=n_skipped, segment=None)
+
+        with span("store.ingest", n_records=n_written, dim=dim):
+            name = self._write_segment(
+                id_arr[keep], x[keep],
+                [labels[i] for i in range(n) if keep[i]],
+                [tenants[i] for i in range(n) if keep[i]],
+            )
+            if is_enabled():
+                record_counter("store.records_ingested", n_written)
+                record_counter("store.records_skipped", n_skipped)
+                record_counter("store.segments_written")
+                record_gauge("store.live_records", self.n_records)
+        return IngestResult(n_written=n_written, n_skipped=n_skipped,
+                            segment=name)
+
+    def _known_id_set(self) -> set:
+        if self._known_ids is None:
+            self._known_ids = {int(i) for i in self.ids()}
+        return self._known_ids
+
+    def _write_segment(
+        self,
+        ids: np.ndarray,
+        vectors: np.ndarray,
+        labels: List[str],
+        tenants: List[str],
+    ) -> str:
+        """Write one segment + the manifest that makes it visible."""
+        n, dim = vectors.shape
+        tenant_table = sorted(set(tenants))
+        label_table = sorted(set(labels))
+        tenant_code = {t: i for i, t in enumerate(tenant_table)}
+        label_code = {l: i for i, l in enumerate(label_table)}
+
+        data = np.empty(n, dtype=_record_dtype(dim))
+        data["id"] = ids
+        data["tenant"] = [tenant_code[t] for t in tenants]
+        data["label"] = [label_code[l] for l in labels]
+        data["vec"] = np.ascontiguousarray(vectors, dtype=np.float64)
+        data["crc"] = 0
+        width = record_width(dim)
+        data["crc"] = _record_crcs(data.tobytes(), n, width)
+        payload = data.tobytes()
+
+        header_body = _HEADER.pack(SEGMENT_MAGIC, SEGMENT_VERSION, dim, n,
+                                   width, 0)[:-_CRC_BYTES]
+        header = header_body + struct.pack("<I", zlib.crc32(header_body))
+        raw = header + payload
+
+        seq = int(self._manifest["next_seq"])
+        name = f"seg-{seq:06d}.sig"
+        with atomic_write(self.root / name) as handle:
+            handle.write(raw)
+
+        manifest = {
+            **self._manifest,
+            "dim": dim,
+            "next_seq": seq + 1,
+            "next_id": max(int(self._manifest["next_id"]),
+                           int(ids.max()) + 1),
+            "segments": [
+                *self._manifest["segments"],
+                {
+                    "name": name,
+                    "n_records": n,
+                    "dim": dim,
+                    "tenants": tenant_table,
+                    "labels": label_table,
+                    "file_crc": zlib.crc32(raw),
+                    "min_id": int(ids.min()),
+                    "max_id": int(ids.max()),
+                },
+            ],
+        }
+        self._write_manifest(manifest)
+        if self._known_ids is not None:
+            self._known_ids.update(int(i) for i in ids)
+        return name
+
+    # ------------------------------------------------------------------
+    # Read path
+    # ------------------------------------------------------------------
+
+    def _read_segment(
+        self, seg: Dict
+    ) -> Tuple[np.ndarray, np.ndarray, List[str], List[str]]:
+        """Fast strict read of one manifest-listed segment."""
+        path = self.root / seg["name"]
+        try:
+            raw = path.read_bytes()
+        except OSError as exc:
+            raise StoreError(f"cannot read segment {path}: {exc}") from exc
+        if zlib.crc32(raw) != int(seg["file_crc"]):
+            raise StoreError(
+                f"segment {path} failed its whole-file CRC check; run "
+                f"scan_segment() to recover the intact prefix"
+            )
+        dim = int(seg["dim"])
+        n = int(seg["n_records"])
+        expected = _HEADER.size + n * record_width(dim)
+        if len(raw) != expected:
+            raise StoreError(
+                f"segment {path} is {len(raw)} bytes, expected {expected}"
+            )
+        data = np.frombuffer(raw[_HEADER.size:], dtype=_record_dtype(dim))
+        tenants = [seg["tenants"][i] for i in data["tenant"]]
+        labels = [seg["labels"][i] for i in data["label"]]
+        vectors = data["vec"].reshape(n, dim).astype(np.float64)
+        return data["id"].copy(), vectors, labels, tenants
+
+    def records(self, tenant: Optional[str] = None) -> StoreContents:
+        """All live records, sorted by ascending id.
+
+        Parameters
+        ----------
+        tenant:
+            When given, restrict to that tenant's records.
+        """
+        all_ids: List[np.ndarray] = []
+        all_vecs: List[np.ndarray] = []
+        all_labels: List[str] = []
+        all_tenants: List[str] = []
+        for seg in self._manifest["segments"]:
+            ids, vecs, labels, tenants = self._read_segment(seg)
+            all_ids.append(ids)
+            all_vecs.append(vecs)
+            all_labels.extend(labels)
+            all_tenants.extend(tenants)
+        if not all_ids:
+            dim = int(self._manifest["dim"] or 0)
+            return StoreContents(
+                ids=np.empty(0, dtype=np.uint64),
+                vectors=np.empty((0, dim)),
+                labels=(), tenants=(),
+            )
+        ids = np.concatenate(all_ids)
+        vectors = np.vstack(all_vecs)
+        order = np.argsort(ids, kind="stable")
+        ids = ids[order]
+        vectors = vectors[order]
+        labels = tuple(all_labels[i] for i in order)
+        tenants = tuple(all_tenants[i] for i in order)
+        if tenant is not None:
+            mask = np.fromiter((t == tenant for t in tenants),
+                               dtype=bool, count=len(tenants))
+            ids = ids[mask]
+            vectors = vectors[mask]
+            labels = tuple(l for l, m in zip(labels, mask) if m)
+            tenants = tuple(t for t, m in zip(tenants, mask) if m)
+        return StoreContents(ids=ids, vectors=vectors, labels=labels,
+                             tenants=tenants)
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+
+    def compact(self) -> CompactionResult:
+        """Merge every segment into one, then unlink the old files.
+
+        The swap commits atomically through the manifest: readers see
+        either the full old segment list or the single new segment.
+        A no-op when the store already holds at most one segment.
+        """
+        before = self.n_segments
+        if before <= 1:
+            return CompactionResult(
+                n_segments_before=before, n_segments_after=before,
+                n_records=self.n_records, bytes_reclaimed=0,
+            )
+        with span("store.compact", n_segments=before):
+            old_segments = list(self._manifest["segments"])
+            old_bytes = sum((self.root / s["name"]).stat().st_size
+                            for s in old_segments
+                            if (self.root / s["name"]).exists())
+            contents = self.records()
+            base = {**self._manifest, "segments": [],
+                    "compactions": int(self._manifest["compactions"]) + 1}
+            self._manifest = base
+            self._known_ids = None
+            name = self._write_segment(
+                contents.ids, contents.vectors,
+                list(contents.labels), list(contents.tenants),
+            )
+            for seg in old_segments:
+                try:
+                    os.unlink(self.root / seg["name"])
+                except OSError:
+                    pass  # an unreachable old file is garbage, not failure
+            new_bytes = (self.root / name).stat().st_size
+            if is_enabled():
+                record_counter("store.compactions")
+                record_gauge("store.live_records", self.n_records)
+        return CompactionResult(
+            n_segments_before=before, n_segments_after=1,
+            n_records=len(contents),
+            bytes_reclaimed=max(0, old_bytes - new_bytes),
+        )
+
+    def verify(self) -> VerifyReport:
+        """Re-check every segment's file CRC and every record CRC."""
+        errors: List[str] = []
+        n_records = 0
+        for seg in self._manifest["segments"]:
+            path = self.root / seg["name"]
+            scan = scan_segment(path)
+            n_records += scan.n_complete
+            if scan.truncated or scan.n_expected != int(seg["n_records"]):
+                errors.append(
+                    f"{seg['name']}: {scan.n_complete} intact records, "
+                    f"manifest expects {seg['n_records']}"
+                )
+                continue
+            try:
+                raw = path.read_bytes()
+            except OSError as exc:
+                errors.append(f"{seg['name']}: unreadable ({exc})")
+                continue
+            if zlib.crc32(raw) != int(seg["file_crc"]):
+                errors.append(f"{seg['name']}: whole-file CRC mismatch")
+        return VerifyReport(
+            n_segments=self.n_segments,
+            n_records=n_records,
+            errors=tuple(errors),
+        )

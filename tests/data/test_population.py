@@ -1,0 +1,105 @@
+"""The synthetic signature-population generator."""
+
+import numpy as np
+import pytest
+
+from repro.data.population import SyntheticPopulation, synthesize_population
+from repro.errors import DatasetError
+
+
+@pytest.fixture
+def base(rng):
+    """A small structured base: sorted (min, max) pairs, some (0, 0)."""
+    n, c = 12, 5
+    pairs = np.sort(rng.uniform(0.0, 1.0, size=(n, c, 2)), axis=2)
+    occupied = rng.uniform(size=(n, c)) < 0.6
+    pairs[~occupied] = 0.0
+    vectors = pairs.reshape(n, 2 * c)
+    labels = [f"motion-{i % 4}" for i in range(n)]
+    return vectors, labels
+
+
+class TestStructure:
+    def test_shape_and_types(self, base):
+        vectors, labels = base
+        pop = synthesize_population(vectors, labels, 500, n_tenants=8, seed=1)
+        assert isinstance(pop, SyntheticPopulation)
+        assert len(pop) == 500
+        assert pop.vectors.shape == (500, vectors.shape[1])
+        assert len(pop.labels) == len(pop.tenants) == 500
+        assert pop.base_rows.shape == (500,)
+
+    def test_values_stay_in_unit_interval(self, base):
+        vectors, labels = base
+        pop = synthesize_population(vectors, labels, 800, jitter=0.3, seed=2)
+        assert pop.vectors.min() >= 0.0
+        assert pop.vectors.max() <= 1.0
+
+    def test_min_max_pairs_stay_ordered(self, base):
+        vectors, labels = base
+        pop = synthesize_population(vectors, labels, 800, jitter=0.3, seed=3)
+        pairs = pop.vectors.reshape(len(pop), -1, 2)
+        assert np.all(pairs[:, :, 0] <= pairs[:, :, 1])
+
+    def test_unoccupied_clusters_stay_zero(self, base):
+        vectors, labels = base
+        pop = synthesize_population(vectors, labels, 600, jitter=0.3, seed=4)
+        base_pairs = vectors[pop.base_rows].reshape(len(pop), -1, 2)
+        unoccupied = (base_pairs[:, :, 0] == 0) & (base_pairs[:, :, 1] == 0)
+        pairs = pop.vectors.reshape(len(pop), -1, 2)
+        assert np.all(pairs[unoccupied] == 0.0)
+        # Occupied clusters generally stay non-zero (jitter rarely zeroes).
+        assert pairs[~unoccupied].max() > 0.0
+
+    def test_labels_inherited_from_base_row(self, base):
+        vectors, labels = base
+        pop = synthesize_population(vectors, labels, 300, seed=5)
+        for i in (0, 100, 299):
+            assert pop.labels[i] == labels[int(pop.base_rows[i])]
+
+    def test_tenant_keys_and_count(self, base):
+        vectors, labels = base
+        pop = synthesize_population(vectors, labels, 1000, n_tenants=6,
+                                    seed=6, tenant_prefix="clinic")
+        assert pop.n_tenants == 6
+        assert all(t.startswith("clinic-") for t in pop.tenants)
+        assert len({len(t) for t in pop.tenants}) == 1  # fixed width
+
+    def test_zero_jitter_copies_base_rows(self, base):
+        vectors, labels = base
+        pop = synthesize_population(vectors, labels, 200, jitter=0.0, seed=7)
+        assert np.array_equal(pop.vectors, vectors[pop.base_rows])
+
+
+class TestDeterminism:
+    def test_same_seed_same_population(self, base):
+        vectors, labels = base
+        a = synthesize_population(vectors, labels, 400, seed=42)
+        b = synthesize_population(vectors, labels, 400, seed=42)
+        assert a.vectors.tobytes() == b.vectors.tobytes()
+        assert a.labels == b.labels
+        assert a.tenants == b.tenants
+        assert np.array_equal(a.base_rows, b.base_rows)
+
+    def test_different_seed_different_population(self, base):
+        vectors, labels = base
+        a = synthesize_population(vectors, labels, 400, seed=42)
+        b = synthesize_population(vectors, labels, 400, seed=43)
+        assert a.vectors.tobytes() != b.vectors.tobytes()
+
+
+class TestValidation:
+    def test_odd_dimension_rejected(self, rng):
+        with pytest.raises(DatasetError):
+            synthesize_population(rng.uniform(size=(4, 7)), ["a"] * 4, 10)
+
+    def test_label_count_mismatch_rejected(self, rng):
+        with pytest.raises(DatasetError):
+            synthesize_population(rng.uniform(size=(4, 6)), ["a"] * 3, 10)
+
+    def test_bad_jitter_rejected(self, base):
+        vectors, labels = base
+        with pytest.raises(DatasetError):
+            synthesize_population(vectors, labels, 10, jitter=1.5)
+        with pytest.raises(DatasetError):
+            synthesize_population(vectors, labels, 10, jitter=-0.1)

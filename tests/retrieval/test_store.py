@@ -1,0 +1,385 @@
+"""The persistent signature store: segments, manifest, compaction, recovery."""
+
+import json
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.errors import StoreError
+from repro.retrieval.store import (
+    MANIFEST_NAME,
+    SignatureStore,
+    record_width,
+    scan_segment,
+    segment_header_size,
+)
+from repro.utils import atomicio
+
+
+def make_batch(rng, n=40, dim=6, n_tenants=3, n_labels=4):
+    vectors = rng.uniform(0.0, 1.0, size=(n, dim))
+    labels = [f"motion-{i % n_labels}" for i in range(n)]
+    tenants = [f"tenant-{i % n_tenants}" for i in range(n)]
+    return vectors, labels, tenants
+
+
+class TestIngest:
+    def test_ingest_creates_segment_and_manifest(self, rng, tmp_path):
+        store = SignatureStore(tmp_path / "store")
+        vectors, labels, tenants = make_batch(rng)
+        result = store.ingest(vectors, labels, tenants)
+        assert result.n_written == 40
+        assert result.n_skipped == 0
+        assert (tmp_path / "store" / result.segment).exists()
+        assert (tmp_path / "store" / MANIFEST_NAME).exists()
+        assert store.n_segments == 1
+        assert store.n_records == 40
+
+    def test_records_round_trip_identity(self, rng, tmp_path):
+        store = SignatureStore(tmp_path / "store")
+        vectors, labels, tenants = make_batch(rng)
+        store.ingest(vectors, labels, tenants)
+        contents = store.records()
+        assert np.array_equal(contents.vectors, vectors)
+        assert contents.vectors.tobytes() == vectors.tobytes()
+        assert list(contents.labels) == labels
+        assert list(contents.tenants) == tenants
+        assert np.array_equal(contents.ids, np.arange(40, dtype=np.uint64))
+
+    def test_reopen_sees_same_contents(self, rng, tmp_path):
+        vectors, labels, tenants = make_batch(rng)
+        SignatureStore(tmp_path / "store").ingest(vectors, labels, tenants)
+        reopened = SignatureStore(tmp_path / "store")
+        contents = reopened.records()
+        assert np.array_equal(contents.vectors, vectors)
+        assert list(contents.tenants) == tenants
+
+    def test_multi_segment_id_sorted_concatenation(self, rng, tmp_path):
+        store = SignatureStore(tmp_path / "store")
+        v1, l1, t1 = make_batch(rng, n=10)
+        v2, l2, t2 = make_batch(rng, n=15)
+        store.ingest(v1, l1, t1)
+        store.ingest(v2, l2, t2)
+        contents = store.records()
+        assert store.n_segments == 2
+        assert np.array_equal(contents.ids, np.arange(25, dtype=np.uint64))
+        assert np.array_equal(contents.vectors, np.vstack([v1, v2]))
+
+    def test_single_tenant_string_broadcasts(self, rng, tmp_path):
+        store = SignatureStore(tmp_path / "store")
+        vectors, labels, _ = make_batch(rng, n=8)
+        store.ingest(vectors, labels, "clinic-a")
+        assert set(store.records().tenants) == {"clinic-a"}
+
+    def test_tenant_filtered_records(self, rng, tmp_path):
+        store = SignatureStore(tmp_path / "store")
+        vectors, labels, tenants = make_batch(rng, n_tenants=4)
+        store.ingest(vectors, labels, tenants)
+        sub = store.records(tenant="tenant-1")
+        assert len(sub) == 10
+        assert set(sub.tenants) == {"tenant-1"}
+        assert np.array_equal(sub.ids, np.arange(1, 40, 4, dtype=np.uint64))
+
+    def test_explicit_ids_skipped_when_present(self, rng, tmp_path):
+        store = SignatureStore(tmp_path / "store")
+        vectors, labels, tenants = make_batch(rng, n=10)
+        ids = np.arange(100, 110)
+        first = store.ingest(vectors, labels, tenants, ids=ids)
+        again = store.ingest(vectors, labels, tenants, ids=ids)
+        assert first.n_written == 10
+        assert again.n_written == 0
+        assert again.n_skipped == 10
+        assert again.segment is None
+        assert store.n_records == 10
+
+    def test_partial_overlap_writes_only_new_ids(self, rng, tmp_path):
+        store = SignatureStore(tmp_path / "store")
+        vectors, labels, tenants = make_batch(rng, n=10)
+        store.ingest(vectors[:6], labels[:6], tenants[:6],
+                     ids=np.arange(6))
+        result = store.ingest(vectors, labels, tenants, ids=np.arange(10))
+        assert result.n_written == 4
+        assert result.n_skipped == 6
+        contents = store.records()
+        assert np.array_equal(contents.vectors, vectors)
+
+    def test_auto_ids_continue_above_explicit_ids(self, rng, tmp_path):
+        store = SignatureStore(tmp_path / "store")
+        vectors, labels, tenants = make_batch(rng, n=5)
+        store.ingest(vectors, labels, tenants, ids=np.array([7, 3, 11, 2, 9]))
+        result = store.ingest(vectors, labels, tenants)
+        assert result.n_written == 5
+        assert store.records().ids.max() == 16  # 12..16 after max id 11
+
+    def test_rejections(self, rng, tmp_path):
+        store = SignatureStore(tmp_path / "store")
+        vectors, labels, tenants = make_batch(rng, n=10, dim=4)
+        store.ingest(vectors, labels, tenants)
+        with pytest.raises(StoreError):
+            store.ingest(rng.uniform(size=(3, 7)), ["a"] * 3, "t")  # dim
+        with pytest.raises(StoreError):
+            store.ingest(rng.uniform(size=(3, 4)), ["a"] * 2, "t")  # labels
+        with pytest.raises(StoreError):
+            store.ingest(rng.uniform(size=(3, 4)), ["a"] * 3, ["t"] * 2)
+        with pytest.raises(StoreError):
+            store.ingest(rng.uniform(size=(3, 4)), ["a"] * 3, "t",
+                         ids=np.array([1, 1, 2]))  # duplicate ids in batch
+
+
+class TestCompaction:
+    def test_compact_merges_to_one_segment(self, rng, tmp_path):
+        store = SignatureStore(tmp_path / "store")
+        batches = [make_batch(rng, n=12) for _ in range(4)]
+        for vectors, labels, tenants in batches:
+            store.ingest(vectors, labels, tenants)
+        before = store.records()
+        result = store.compact()
+        assert result.n_segments_before == 4
+        assert result.n_segments_after == 1
+        assert store.n_segments == 1
+        after = store.records()
+        assert np.array_equal(after.ids, before.ids)
+        assert after.vectors.tobytes() == before.vectors.tobytes()
+        assert after.labels == before.labels
+        assert after.tenants == before.tenants
+
+    def test_compact_removes_old_segment_files(self, rng, tmp_path):
+        store = SignatureStore(tmp_path / "store")
+        for _ in range(3):
+            vectors, labels, tenants = make_batch(rng, n=10)
+            store.ingest(vectors, labels, tenants)
+        old = {s.name for s in (tmp_path / "store").glob("seg-*.sig")}
+        store.compact()
+        new = {s.name for s in (tmp_path / "store").glob("seg-*.sig")}
+        assert len(new) == 1
+        assert not (old & new)
+
+    def test_compact_single_segment_is_noop(self, rng, tmp_path):
+        store = SignatureStore(tmp_path / "store")
+        vectors, labels, tenants = make_batch(rng)
+        store.ingest(vectors, labels, tenants)
+        result = store.compact()
+        assert result.n_segments_before == result.n_segments_after == 1
+        assert store.stats().n_compactions == 0
+
+    def test_ingest_after_compact_keeps_ids_unique(self, rng, tmp_path):
+        store = SignatureStore(tmp_path / "store")
+        for _ in range(2):
+            vectors, labels, tenants = make_batch(rng, n=10)
+            store.ingest(vectors, labels, tenants)
+        store.compact()
+        vectors, labels, tenants = make_batch(rng, n=10)
+        store.ingest(vectors, labels, tenants)
+        ids = store.records().ids
+        assert len(np.unique(ids)) == 30
+
+
+class TestIntegrity:
+    def test_verify_clean_store(self, rng, tmp_path):
+        store = SignatureStore(tmp_path / "store")
+        vectors, labels, tenants = make_batch(rng)
+        store.ingest(vectors, labels, tenants)
+        report = store.verify()
+        assert report.ok
+        assert report.n_records == 40
+
+    def test_flipped_byte_fails_file_crc(self, rng, tmp_path):
+        store = SignatureStore(tmp_path / "store")
+        vectors, labels, tenants = make_batch(rng)
+        result = store.ingest(vectors, labels, tenants)
+        seg = tmp_path / "store" / result.segment
+        raw = bytearray(seg.read_bytes())
+        raw[segment_header_size() + 10] ^= 0xFF
+        seg.write_bytes(bytes(raw))
+        with pytest.raises(StoreError):
+            store.records()
+        assert not store.verify().ok
+
+    def test_scan_recovers_prefix_before_corruption(self, rng, tmp_path):
+        store = SignatureStore(tmp_path / "store")
+        vectors, labels, tenants = make_batch(rng, n=20, dim=5)
+        result = store.ingest(vectors, labels, tenants)
+        seg = tmp_path / "store" / result.segment
+        raw = bytearray(seg.read_bytes())
+        # Corrupt the 8th record's payload: records 0..6 stay intact.
+        offset = segment_header_size() + 7 * record_width(5) + 3
+        raw[offset] ^= 0xFF
+        seg.write_bytes(bytes(raw))
+        scan = scan_segment(seg)
+        assert scan.n_complete == 7
+        assert scan.truncated
+        assert np.array_equal(scan.vectors, vectors[:7])
+
+    def test_scan_of_clean_segment_is_complete(self, rng, tmp_path):
+        store = SignatureStore(tmp_path / "store")
+        vectors, labels, tenants = make_batch(rng, n=9, dim=3)
+        result = store.ingest(vectors, labels, tenants)
+        scan = scan_segment(tmp_path / "store" / result.segment)
+        assert scan.n_complete == scan.n_expected == 9
+        assert not scan.truncated
+        assert scan.vectors.tobytes() == vectors.tobytes()
+
+    def test_scan_of_garbage_file_yields_nothing(self, tmp_path):
+        path = tmp_path / "junk.sig"
+        path.write_bytes(b"this is not a segment file at all........")
+        scan = scan_segment(path)
+        assert scan.n_complete == 0
+
+    def test_unreadable_manifest_raises_store_error(self, tmp_path):
+        root = tmp_path / "store"
+        root.mkdir()
+        (root / MANIFEST_NAME).write_text("{not json", encoding="utf-8")
+        with pytest.raises(StoreError):
+            SignatureStore(root)
+
+    def test_wrong_schema_rejected(self, tmp_path):
+        root = tmp_path / "store"
+        root.mkdir()
+        (root / MANIFEST_NAME).write_text(
+            json.dumps({"schema": "something/else"}), encoding="utf-8"
+        )
+        with pytest.raises(StoreError):
+            SignatureStore(root)
+
+
+class TestCrashRecovery:
+    """Kill mid-ingest (injected write failure), reopen, re-ingest."""
+
+    @staticmethod
+    def _torn_atomic_write(fraction):
+        """An atomic_write stand-in that crashes after a partial raw write.
+
+        Simulates the worst case atomicity is meant to prevent: bytes
+        land directly at the destination (no temp file) and the process
+        dies midway, leaving a torn file on disk.
+        """
+        from contextlib import contextmanager
+
+        @contextmanager
+        def torn(destination, mode="wb", encoding=None):
+            class TearingHandle:
+                def write(self, data):
+                    keep = max(1, int(len(data) * fraction))
+                    with open(destination, "ab") as real:  # noqa: lint by design
+                        real.write(data[:keep])
+                    raise OSError("injected crash: disk gone mid-write")
+
+            yield TearingHandle()
+
+        return torn
+
+    def test_partial_segment_is_invisible_and_reingest_heals(
+        self, rng, tmp_path, monkeypatch
+    ):
+        root = tmp_path / "store"
+        store = SignatureStore(root)
+        v1, l1, t1 = make_batch(rng, n=10, dim=4)
+        store.ingest(v1, l1, t1, ids=np.arange(10))
+
+        v2, l2, t2 = make_batch(rng, n=10, dim=4)
+        import repro.retrieval.store as store_mod
+
+        monkeypatch.setattr(store_mod, "atomic_write",
+                            self._torn_atomic_write(0.4))
+        with pytest.raises(OSError):
+            store.ingest(v2, l2, t2, ids=np.arange(10, 20))
+        monkeypatch.setattr(store_mod, "atomic_write", atomicio.atomic_write)
+
+        # A torn segment file exists on disk but the manifest never
+        # named it: every reader ignores it.
+        orphans = sorted(p.name for p in root.glob("seg-*.sig"))
+        assert len(orphans) == 2
+        reopened = SignatureStore(root)
+        assert reopened.n_segments == 1
+        contents = reopened.records()
+        assert len(contents) == 10
+        assert np.array_equal(contents.vectors, v1)
+        assert reopened.verify().ok
+
+        # The torn orphan holds no complete record the scanner would trust
+        # beyond its verified prefix.
+        orphan = root / "seg-000002.sig"
+        scan = scan_segment(orphan)
+        assert scan.n_complete < 10
+
+        # Replaying the exact same ingest is idempotent and heals the store.
+        result = reopened.ingest(v2, l2, t2, ids=np.arange(10, 20))
+        assert result.n_written == 10
+        healed = reopened.records()
+        assert len(healed) == 20
+        assert np.array_equal(healed.vectors, np.vstack([v1, v2]))
+        assert reopened.verify().ok
+        replay = reopened.ingest(v2, l2, t2, ids=np.arange(10, 20))
+        assert replay.n_written == 0
+
+    def test_crash_during_manifest_write_leaves_store_unchanged(
+        self, rng, tmp_path, monkeypatch
+    ):
+        root = tmp_path / "store"
+        store = SignatureStore(root)
+        v1, l1, t1 = make_batch(rng, n=8, dim=4)
+        store.ingest(v1, l1, t1)
+        manifest_before = (root / MANIFEST_NAME).read_bytes()
+
+        import repro.retrieval.store as store_mod
+
+        real = atomicio.atomic_write
+        calls = {"n": 0}
+
+        from contextlib import contextmanager
+
+        @contextmanager
+        def fail_on_manifest(destination, mode="wb", encoding=None):
+            if str(destination).endswith(MANIFEST_NAME):
+                calls["n"] += 1
+                raise OSError("injected crash before manifest commit")
+            with real(destination, mode=mode, encoding=encoding) as handle:
+                yield handle
+
+        monkeypatch.setattr(store_mod, "atomic_write", fail_on_manifest)
+        v2, l2, t2 = make_batch(rng, n=8, dim=4)
+        with pytest.raises(OSError):
+            store.ingest(v2, l2, t2)
+        monkeypatch.setattr(store_mod, "atomic_write", real)
+
+        assert calls["n"] == 1
+        assert (root / MANIFEST_NAME).read_bytes() == manifest_before
+        reopened = SignatureStore(root)
+        assert reopened.n_records == 8
+        assert reopened.verify().ok
+
+
+class TestStats:
+    def test_stats_counts(self, rng, tmp_path):
+        store = SignatureStore(tmp_path / "store")
+        vectors, labels, tenants = make_batch(rng, n=30, dim=6,
+                                              n_tenants=5, n_labels=3)
+        store.ingest(vectors, labels, tenants)
+        stats = store.stats()
+        assert stats.n_segments == 1
+        assert stats.n_records == 30
+        assert stats.dim == 6
+        assert stats.n_tenants == 5
+        assert stats.n_labels == 3
+        assert stats.n_bytes > 30 * record_width(6)
+        assert stats.next_id == 30
+
+    def test_empty_store(self, tmp_path):
+        store = SignatureStore(tmp_path / "store")
+        assert store.dim is None
+        assert store.n_records == 0
+        assert len(store.records()) == 0
+        assert store.verify().ok
+
+    def test_file_crc_matches_manifest(self, rng, tmp_path):
+        store = SignatureStore(tmp_path / "store")
+        vectors, labels, tenants = make_batch(rng, n=5, dim=2)
+        result = store.ingest(vectors, labels, tenants)
+        manifest = json.loads(
+            (tmp_path / "store" / MANIFEST_NAME).read_text(encoding="utf-8")
+        )
+        seg = manifest["segments"][0]
+        assert seg["name"] == result.segment
+        raw = (tmp_path / "store" / result.segment).read_bytes()
+        assert zlib.crc32(raw) == seg["file_crc"]

@@ -331,3 +331,110 @@ class TestHealthCommand:
         assert code == 0
         assert out.count("healthy") >= 2
         assert "watch: next check" in out
+
+
+class TestStoreCommand:
+    """The ``store`` subcommand group (ingest/compact/stats/query)."""
+
+    def _ingest(self, store_dir, signatures=400, **extra):
+        argv = [
+            "store", "ingest", "--store", str(store_dir),
+            "--base", "random", "--signatures", str(signatures),
+            "--tenants", "5", "--clusters", "6", "--batch-size", "150",
+            "--seed", "0",
+        ]
+        for flag, value in extra.items():
+            argv += [f"--{flag}", str(value)]
+        return main(argv)
+
+    def test_parser_requires_store_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["store"])
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(
+            ["store", "query", "--store", "s"]
+        )
+        assert args.store_command == "query"
+        assert args.k == 5
+        assert args.shards == 4
+        assert args.mode == "tenant"
+        assert args.backend == "linear"
+        assert args.tenant is None
+
+    def test_ingest_then_stats(self, tmp_path, capsys):
+        store_dir = tmp_path / "store"
+        assert self._ingest(store_dir) == 0
+        out = capsys.readouterr().out
+        assert "ingested 400 signatures" in out
+        assert "3 new segment(s)" in out  # 400 records / 150 per batch
+
+        assert main(["store", "stats", "--store", str(store_dir),
+                     "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "records" in out
+        assert "400" in out
+        assert "passed their CRC checks" in out
+
+    def test_reingest_same_seed_appends_new_ids(self, tmp_path, capsys):
+        store_dir = tmp_path / "store"
+        self._ingest(store_dir, signatures=200)
+        self._ingest(store_dir, signatures=200)
+        capsys.readouterr()
+        assert main(["store", "stats", "--store", str(store_dir)]) == 0
+        assert "400" in capsys.readouterr().out
+
+    def test_compact(self, tmp_path, capsys):
+        store_dir = tmp_path / "store"
+        self._ingest(store_dir)
+        capsys.readouterr()
+        assert main(["store", "compact", "--store", str(store_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "compacted 3 segment(s) -> 1" in out
+        assert main(["store", "stats", "--store", str(store_dir),
+                     "--verify"]) == 0
+
+    def test_query_passes_oracle_check(self, tmp_path, capsys):
+        store_dir = tmp_path / "store"
+        self._ingest(store_dir)
+        capsys.readouterr()
+        code = main([
+            "store", "query", "--store", str(store_dir),
+            "--queries", "16", "--k", "3", "--shards", "4",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "oracle check OK" in out
+
+    def test_query_idistance_backend_and_tenant_filter(self, tmp_path,
+                                                       capsys):
+        store_dir = tmp_path / "store"
+        self._ingest(store_dir)
+        capsys.readouterr()
+        code = main([
+            "store", "query", "--store", str(store_dir),
+            "--queries", "8", "--k", "2", "--backend", "idistance",
+            "--tenant", "tenant-00000",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "1 shard(s)" in out
+        assert "oracle check OK" in out
+
+    def test_query_empty_store_exits_2(self, tmp_path, capsys):
+        code = main(["store", "query", "--store", str(tmp_path / "none")])
+        assert code == 2
+        assert "empty" in capsys.readouterr().err
+
+    def test_stats_detects_corruption(self, tmp_path, capsys):
+        store_dir = tmp_path / "store"
+        self._ingest(store_dir, signatures=150)
+        seg = next(store_dir.glob("seg-*.sig"))
+        raw = bytearray(seg.read_bytes())
+        raw[-5] ^= 0xFF
+        seg.write_bytes(bytes(raw))
+        capsys.readouterr()
+        code = main(["store", "stats", "--store", str(store_dir),
+                     "--verify"])
+        assert code == 1
+        assert "verify:" in capsys.readouterr().err
